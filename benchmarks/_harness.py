@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates its paper artifact (figure listing, table, or
+series) as a text file under ``benchmarks/out/`` and prints it, so a
+``pytest benchmarks/ --benchmark-only`` run leaves the full set of
+reproduced artifacts on disk for comparison with the paper (see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUT_DIR = Path(__file__).resolve().parent / "out"
+
+
+def write_artifact(name: str, text: str) -> Path:
+    """Write one reproduced artifact and echo it to stdout."""
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = OUT_DIR / name
+    path.write_text(text.rstrip() + "\n")
+    print(f"\n===== {name} =====")
+    print(text.rstrip())
+    return path

@@ -1,0 +1,151 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Three ablations; two show a component is load-bearing, one documents a
+deliberate redundancy:
+
+* **redundancy elimination** (core minimization + subsumption pruning)
+  in the rewriter -- with both disabled, Example 1's harmless
+  ``r -> s -> v -> r`` cycle emits ever-longer subsumed CQs and the
+  saturation of an *SWR* set no longer terminates (Theorem 1's
+  algorithmic content lives here);
+* **the context check** in the P-node graph -- without it, a rewriting
+  step that real piece-unification can never perform (a shared
+  variable meeting an invented null whose context cannot join the
+  piece) is over-approximated, and a genuinely FO-rewritable set is
+  wrongly rejected as non-WR;
+* **factorization** in the rewriter -- measured to be *redundant* in
+  this engine: the piece unifier's forced aggregation already merges
+  query atoms whenever an existential head variable requires it, so
+  disabling the explicit factorization step loses no answers on the
+  canonical repeated-existential pattern.  The step is retained as a
+  cheap safety net.
+"""
+
+from _harness import write_artifact
+
+from repro.chase.certain import certain_answers
+from repro.data.database import Database
+from repro.data.evaluation import evaluate_ucq
+from repro.graphs.pnode_graph import build_pnode_graph
+from repro.lang.parser import parse_database, parse_program, parse_query
+from repro.lang.printer import format_program
+from repro.rewriting.budget import RewritingBudget
+from repro.rewriting.rewriter import rewrite
+from repro.workloads.generators import context_blocked_family
+from repro.workloads.paper import EXAMPLE1_QUERY, example1
+
+
+def test_ablation_redundancy_elimination(benchmark):
+    rules = example1()
+    budget = RewritingBudget(max_depth=10, max_cqs=3_000)
+
+    def compare():
+        full = rewrite(EXAMPLE1_QUERY, rules, budget)
+        bare = rewrite(
+            EXAMPLE1_QUERY,
+            rules,
+            budget,
+            prune_subsumed=False,
+            minimize=False,
+        )
+        return full, bare
+
+    full, bare = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert full.complete
+    assert not bare.complete  # diverges without redundancy elimination
+
+    lines = [
+        "Ablation A1 -- redundancy elimination in the rewriter "
+        "(Example 1)",
+        "",
+        "                          complete  CQs generated  depth",
+        f"minimize + prune (full)   {str(full.complete):<8}  "
+        f"{full.generated:>13}  {full.depth_reached:>5}",
+        f"neither (bare)            {str(bare.complete):<8}  "
+        f"{bare.generated:>13}  {bare.depth_reached:>5}",
+        "",
+        "without core minimization and subsumption pruning, the",
+        "harmless r -> s -> v -> r cycle keeps emitting longer",
+        "(subsumed) CQs: even an SWR set never saturates.  Theorem 1's",
+        "termination rests on redundancy elimination.",
+    ]
+    write_artifact("ablation_redundancy.txt", "\n".join(lines))
+
+
+def test_ablation_factorization_redundant(benchmark):
+    # Head r(Z, Z): answering q() :- r(U, V), r(V, U) requires merging
+    # the two query atoms.  Forced aggregation achieves it even with
+    # the explicit factorization step disabled.
+    rules = parse_program("a(X) -> r(Z, Z).")
+    query = parse_query("q() :- r(U, V), r(V, U)")
+    database = Database(parse_database("a(c)."))
+
+    def compare():
+        with_fact = rewrite(query, rules)
+        without_fact = rewrite(query, rules, factorize=False)
+        return with_fact, without_fact
+
+    with_fact, without_fact = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    truth = certain_answers(query, rules, database)
+    assert truth == {()}
+    assert evaluate_ucq(with_fact.ucq, database) == truth
+    assert evaluate_ucq(without_fact.ucq, database) == truth
+
+    lines = [
+        "Ablation A2 -- explicit factorization is redundant here",
+        "",
+        "rule:  a(X) -> r(Z, Z)        query:  q() :- r(U, V), r(V, U)",
+        "database: a(c)                certain answer: yes (chase)",
+        "",
+        f"with factorization   : UCQ size {with_fact.size}, finds the "
+        "answer",
+        f"without factorization: UCQ size {without_fact.size}, finds the "
+        "answer",
+        "",
+        "the piece unifier aggregates the second query atom into the",
+        "piece as soon as the existential class of Z leaks into it, so",
+        "the merged rewriting is produced without a separate",
+        "factorization step.  The step is kept as a safety net (it is",
+        "cheap and the completeness literature motivates it for other",
+        "operator designs).",
+    ]
+    write_artifact("ablation_factorization.txt", "\n".join(lines))
+
+
+def test_ablation_pnode_context_check(benchmark):
+    rules = context_blocked_family()
+
+    def compare():
+        with_check = build_pnode_graph(rules, context_check=True)
+        without_check = build_pnode_graph(rules, context_check=False)
+        return with_check.dangerous_cycle(), without_check.dangerous_cycle()
+
+    with_check, without_check = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    assert with_check is None         # WR (correct)
+    assert without_check is not None  # spurious rejection
+
+    # Ground truth: the set really is FO-rewritable -- the rewriting
+    # terminates on the atomic queries.
+    for text in ("q(X, Y, Z) :- r(X, Y, Z)", "q(X, Y) :- t(X, Y)"):
+        assert rewrite(parse_query(text), rules).complete
+
+    lines = [
+        "Ablation A3 -- the P-node graph's context check (Section 6)",
+        "",
+        "rules:",
+        format_program(rules),
+        "",
+        "with context check    : no dangerous cycle   => WR (correct)",
+        "without context check : spurious d+m+s cycle => wrongly not WR",
+        "",
+        "the apparent r -> t -> r recursion is broken in real rewriting:",
+        "continuing it would unify a shared variable (also constrained",
+        "by the u-atom) with Ra's invented null, and u can join no",
+        "piece.  The compatibility condition 'requires to check the",
+        "context of a P-atom' (paper, Section 6) -- this is why.",
+    ]
+    write_artifact("ablation_context_check.txt", "\n".join(lines))

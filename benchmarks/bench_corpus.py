@@ -1,0 +1,72 @@
+"""Corpus classification table: the full matrix over curated sets.
+
+Classifies every corpus entry against every implemented class and
+prints the matrix -- the repo's version of a "Table 1: how the classes
+relate on concrete inputs".  All verdicts are pinned by the corpus
+annotations (also asserted by the test suite), so this bench doubles
+as a regression check with timing.
+"""
+
+from _harness import write_artifact
+
+from repro.core.classify import classify
+from repro.lang.printer import format_table
+from repro.workloads.corpus import CORPUS
+
+COLUMNS = (
+    "SWR",
+    "WR",
+    "inclusion-dependencies",
+    "linear",
+    "multilinear",
+    "sticky",
+    "sticky-join",
+    "aGRD",
+    "domain-restricted",
+    "weakly-acyclic",
+)
+
+
+def classify_corpus():
+    rows = []
+    for entry in CORPUS:
+        memberships = classify(entry.rules()).memberships()
+        for class_name, expected in entry.expected.items():
+            assert memberships[class_name] is expected, entry.name
+        rows.append(
+            [entry.name]
+            + [
+                {True: "y", False: ".", None: "?"}[memberships[c]]
+                for c in COLUMNS
+            ]
+        )
+    return rows
+
+
+def test_corpus_classification(benchmark):
+    rows = benchmark.pedantic(classify_corpus, rounds=1, iterations=1)
+
+    short = {
+        "SWR": "SWR",
+        "WR": "WR",
+        "inclusion-dependencies": "ID",
+        "linear": "LIN",
+        "multilinear": "ML",
+        "sticky": "ST",
+        "sticky-join": "SJ",
+        "aGRD": "aGRD",
+        "domain-restricted": "DR",
+        "weakly-acyclic": "WA",
+    }
+    table = format_table(
+        ("entry",) + tuple(short[c] for c in COLUMNS), rows
+    )
+    lines = [
+        "Corpus classification matrix (y = member, . = not, ? = undecided)",
+        "",
+        table,
+        "",
+        "entries and provenance:",
+    ]
+    lines.extend(f"  {e.name}: {e.description}" for e in CORPUS)
+    write_artifact("corpus_matrix.txt", "\n".join(lines))

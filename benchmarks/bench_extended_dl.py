@@ -1,0 +1,84 @@
+"""E13 -- new FO-rewritable DL languages (Section 6's closing claim).
+
+The paper: WR "allows for the identification of new FO-rewritable
+Description Logic languages".  Concrete instance: DL-Lite_R extended
+with *qualified existential restrictions*.  Right-hand-side qualified
+existentials translate to multi-atom-head TGDs with a shared
+existential variable -- outside simple TGDs (hence outside SWR and the
+position graph entirely) -- yet the translated TBoxes are WR, their
+rewritings terminate, and ABox satisfiability w.r.t. disjointness
+axioms is itself solved by FO rewriting.
+"""
+
+from _harness import write_artifact
+
+from repro.core.swr import is_swr
+from repro.core.wr import is_wr
+from repro.data.csvio import facts_from_rows
+from repro.data.database import Database
+from repro.dlite.extended import extended_tbox_to_tgds, is_satisfiable
+from repro.lang.parser import parse_query
+from repro.lang.printer import format_program
+from repro.rewriting.rewriter import rewrite
+from repro.workloads.clinic import CLINIC_TBOX_TEXT, clinic_tbox
+
+
+def test_extended_dl(benchmark):
+    tbox = clinic_tbox()
+    rules = extended_tbox_to_tgds(tbox)
+
+    def classify_and_rewrite():
+        swr = is_swr(rules)
+        wr = is_wr(rules)
+        results = [
+            rewrite(parse_query(text), rules)
+            for text in (
+                "q(X) :- Clinician(X)",
+                "q(X) :- Patient(X)",
+                "q(X, W) :- worksIn(X, W), Ward(W)",
+            )
+        ]
+        return swr, wr, results
+
+    swr, wr, results = benchmark.pedantic(
+        classify_and_rewrite, rounds=1, iterations=1
+    )
+    assert not swr.is_swr      # multi-head rules: outside simple TGDs
+    assert wr.is_wr            # but Weakly Recursive
+    assert all(result.complete for result in results)
+
+    abox = Database(
+        facts_from_rows("Doctor", [("house",)])
+        + facts_from_rows("treats", [("house", "p1")])
+    )
+    satisfiable, _ = is_satisfiable(tbox, abox, rules=rules)
+    assert satisfiable
+    bad = Database(
+        facts_from_rows("Doctor", [("x",)])
+        + facts_from_rows("Patient", [("x",)])
+    )
+    unsat, violated = is_satisfiable(tbox, bad, rules=rules)
+    assert not unsat and violated
+
+    lines = [
+        "E13 -- DL-Lite_R + qualified existentials: a 'new' FO-rewritable DL",
+        "",
+        "TBox:",
+        CLINIC_TBOX_TEXT.strip(),
+        "",
+        "translated TGDs:",
+        format_program(rules),
+        "",
+        f"SWR: {swr.is_swr} (multi-atom heads: outside simple TGDs)",
+        f"WR : {wr.is_wr}",
+        "rewritings of the three workload queries: all terminate "
+        f"({', '.join(str(r.size) for r in results)} disjuncts)",
+        "ABox satisfiability via FO rewriting: consistent ABox accepted,",
+        f"Doctor∧Patient ABox rejected ({violated[0]}).",
+        "",
+        "qualified existentials are not expressible in DL-Lite_R; the",
+        "translated rule set is nonetheless WR -- the concrete sense in",
+        "which the graph-based classes 'identify new FO-rewritable DL",
+        "languages' (Section 6).",
+    ]
+    write_artifact("extended_dl.txt", "\n".join(lines))

@@ -1,0 +1,77 @@
+"""E10b -- Datalog materialisation vs FO rewriting on the full fragment.
+
+The paper's introduction positions TGDs against classical Datalog
+(bottom-up materialisation, no value invention).  On the
+existential-free fragment of the university ontology both strategies
+are available; this bench answers the same query by semi-naive
+materialisation and by rewriting across growing databases.  The shape
+to observe: materialisation cost is paid per database and grows with
+it, rewriting-evaluation stays flat -- and where the query is asked
+only once, materialisation's extra derived facts are pure overhead.
+"""
+
+import time
+
+from _harness import write_artifact
+
+from repro.data.datalog import DatalogProgram, datalog_fragment
+from repro.data.evaluation import evaluate_ucq
+from repro.lang.parser import parse_query
+from repro.rewriting.rewriter import rewrite
+from repro.workloads.ontologies import university_data, university_ontology
+
+SIZES = (20, 40, 80)
+QUERY = parse_query("q(X) :- employee(X)")
+
+
+def series():
+    rules = datalog_fragment(university_ontology())
+    program = DatalogProgram(rules)
+    rewriting = rewrite(QUERY, rules)
+    assert rewriting.complete
+    rows = []
+    for size in SIZES:
+        database = university_data(size, seed=size)
+        start = time.perf_counter()
+        materialised = program.materialize(database)
+        mat_answers = evaluate_ucq(QUERY, materialised.instance)
+        mat_time = time.perf_counter() - start
+        start = time.perf_counter()
+        rew_answers = evaluate_ucq(rewriting.ucq, database)
+        rew_time = time.perf_counter() - start
+        assert mat_answers == rew_answers
+        rows.append(
+            (
+                size,
+                len(database),
+                materialised.derived,
+                len(rew_answers),
+                mat_time,
+                rew_time,
+            )
+        )
+    return rows
+
+
+def test_materialization_vs_rewriting(benchmark):
+    rows = benchmark.pedantic(series, rounds=1, iterations=1)
+    assert all(mat > rew for *_, mat, rew in rows)
+
+    lines = [
+        "E10b -- semi-naive Datalog materialisation vs FO rewriting",
+        "(existential-free fragment of the university ontology)",
+        "",
+        "size  facts  derived  answers  materialise(s)  rewrite-eval(s)",
+    ]
+    for size, facts, derived, answers, mat, rew in rows:
+        lines.append(
+            f"{size:>4}  {facts:>5}  {derived:>7}  {answers:>7}  "
+            f"{mat:>14.4f}  {rew:>15.4f}"
+        )
+    lines += [
+        "",
+        "identical answers on every size; the materialisation cost",
+        "(deriving the closure) is paid per database, the rewriting is",
+        "data-independent.",
+    ]
+    write_artifact("materialization_vs_rewriting.txt", "\n".join(lines))

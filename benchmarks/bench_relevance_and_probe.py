@@ -1,0 +1,115 @@
+"""Optimization + diagnosis benches: relevance filtering and probing.
+
+* **Relevance filtering**: a realistic ontology bundles modules the
+  query never touches; backward-reachability filtering drops them
+  before the rewriter runs.  Measured on the university ontology
+  padded with disjoint transport-style modules.
+* **Rewritability probe**: the Section-7 triage -- before committing a
+  budget, classify a (query, rule set) pair as TERMINATES / DIVERGING /
+  UNKNOWN.  Measured on the paper's examples: Example 1 and per-query
+  cases of Example 2 terminate, the Example 2 chain is diagnosed as
+  diverging.
+"""
+
+import time
+
+from _harness import write_artifact
+
+from repro.lang.parser import parse_query
+from repro.rewriting.probe import ProbeVerdict, probe_query_rewritability
+from repro.rewriting.relevance import relevant_rules
+from repro.rewriting.rewriter import rewrite
+from repro.workloads.generators import swr_but_not_baselines
+from repro.workloads.ontologies import university_ontology
+from repro.workloads.paper import EXAMPLE2_QUERY, example1, example2
+
+QUERY = parse_query("q(X) :- employee(X)")
+
+
+def padded_ontology(modules: int):
+    rules = list(university_ontology())
+    rules.extend(swr_but_not_baselines(copies=modules))
+    return tuple(rules)
+
+
+def test_relevance_filtering(benchmark):
+    rules = padded_ontology(modules=30)
+    report = relevant_rules(QUERY, rules)
+    # Every padding rule is dropped, plus university rules the query
+    # cannot reach (student/course bookkeeping).
+    assert len(report.dropped) >= 90
+
+    def filtered_run():
+        filtered = relevant_rules(QUERY, rules).relevant
+        return rewrite(QUERY, filtered)
+
+    result = benchmark(filtered_run)
+    assert result.complete
+
+    start = time.perf_counter()
+    unfiltered = rewrite(QUERY, rules)
+    unfiltered_time = time.perf_counter() - start
+    start = time.perf_counter()
+    filtered = filtered_run()
+    filtered_time = time.perf_counter() - start
+    assert unfiltered.ucq == filtered.ucq
+
+    lines = [
+        "Relevance filtering on the university ontology + 30 disjoint "
+        "padding modules",
+        "",
+        f"rules total          : {len(rules)}",
+        f"rules after filtering: {len(relevant_rules(QUERY, rules).relevant)}",
+        f"unfiltered rewrite   : {unfiltered_time:.4f}s",
+        f"filtered rewrite     : {filtered_time:.4f}s "
+        f"({unfiltered_time / max(filtered_time, 1e-9):.1f}x)",
+        "",
+        "identical rewritings; the saturation loop no longer visits the",
+        "ninety unreachable padding rules each round.",
+    ]
+    write_artifact("relevance_filtering.txt", "\n".join(lines))
+
+
+def test_rewritability_probe(benchmark):
+    cases = [
+        ("Example 1, q(X) :- r(X,Y)", parse_query("q(X) :- r(X, Y)"), example1()),
+        ("Example 2, q() :- r(\"a\",X)", EXAMPLE2_QUERY, example2()),
+        (
+            "Example 2, q(X,Y) :- t(X,Y)",
+            parse_query("q(X, Y) :- t(X, Y)"),
+            example2(),
+        ),
+        (
+            "university, q(X) :- employee(X)",
+            QUERY,
+            university_ontology(),
+        ),
+    ]
+
+    def probe_all():
+        return [
+            (name, probe_query_rewritability(query, rules, max_depth=10))
+            for name, query, rules in cases
+        ]
+
+    reports = benchmark.pedantic(probe_all, rounds=1, iterations=1)
+    verdicts = {name: report.verdict for name, report in reports}
+    assert verdicts["Example 1, q(X) :- r(X,Y)"] is ProbeVerdict.TERMINATES
+    assert verdicts['Example 2, q() :- r("a",X)'] is ProbeVerdict.DIVERGING
+    assert verdicts["Example 2, q(X,Y) :- t(X,Y)"] is ProbeVerdict.TERMINATES
+
+    lines = [
+        "Per-query rewritability probe (Section 7 triage)",
+        "",
+        "case                                verdict      widths",
+    ]
+    for name, report in reports:
+        widths = ",".join(str(w) for w in report.widths)
+        lines.append(f"{name:<35} {report.verdict.value:<12} {widths}")
+    lines += [
+        "",
+        "even over the non-WR Example 2, individual queries can be",
+        "FO-rewritable (the t-query terminates) -- the per-query view",
+        "[11] is strictly finer than the per-ontology class check.",
+    ]
+    write_artifact("rewritability_probe.txt", "\n".join(lines))

@@ -1,0 +1,102 @@
+"""Rewriting scaling: UCQ size and time vs ontology depth/width.
+
+A figure-like performance series for the rewriting engine itself, on
+the two canonical DL-style families:
+
+* a concept *hierarchy* of depth d -- the rewriting of a query on the
+  top concept has exactly d+1 disjuncts (linear growth);
+* a *role chain* of depth d -- existential propagation, the rewriting
+  of a boolean query on the last relation also grows linearly.
+
+The shape to observe: disjunct counts grow linearly (no blow-up on
+these SWR families) and time stays polynomial.
+"""
+
+import time
+
+from _harness import write_artifact
+
+from repro.lang.atoms import Atom
+from repro.lang.queries import ConjunctiveQuery
+from repro.lang.terms import Variable
+from repro.rewriting.rewriter import rewrite
+from repro.workloads.generators import concept_hierarchy, role_chain
+
+DEPTHS = (4, 8, 16, 32)
+
+
+def hierarchy_series():
+    rows = []
+    for depth in DEPTHS:
+        rules = concept_hierarchy(depth)
+        query = ConjunctiveQuery(
+            [Variable("X")], [Atom(f"c{depth}", [Variable("X")])]
+        )
+        start = time.perf_counter()
+        result = rewrite(query, rules)
+        elapsed = time.perf_counter() - start
+        assert result.complete
+        assert result.size == depth + 1
+        rows.append((depth, result.size, elapsed))
+    return rows
+
+
+def chain_series():
+    rows = []
+    for depth in DEPTHS:
+        rules = role_chain(depth)
+        query = ConjunctiveQuery(
+            [], [Atom(f"r{depth}", [Variable("X"), Variable("Y")])]
+        )
+        start = time.perf_counter()
+        result = rewrite(query, rules)
+        elapsed = time.perf_counter() - start
+        assert result.complete
+        assert result.size == depth + 1
+        rows.append((depth, result.size, elapsed))
+    return rows
+
+
+def test_rewriting_scaling_hierarchy(benchmark):
+    rules = concept_hierarchy(max(DEPTHS))
+    query = ConjunctiveQuery(
+        [Variable("X")], [Atom(f"c{max(DEPTHS)}", [Variable("X")])]
+    )
+    benchmark(lambda: rewrite(query, rules))
+
+    rows = hierarchy_series()
+    lines = [
+        "Rewriting scaling -- concept hierarchy c0 ⊑ ... ⊑ c_d",
+        "",
+        "depth  disjuncts  seconds",
+    ]
+    lines.extend(
+        f"{depth:>5}  {size:>9}  {elapsed:.4f}" for depth, size, elapsed in rows
+    )
+    lines += ["", "disjuncts = depth + 1 exactly: linear, no blow-up."]
+    write_artifact("rewriting_scaling_hierarchy.txt", "\n".join(lines))
+
+
+def test_rewriting_scaling_chain(benchmark):
+    rules = role_chain(max(DEPTHS))
+    query = ConjunctiveQuery(
+        [], [Atom(f"r{max(DEPTHS)}", [Variable("X"), Variable("Y")])]
+    )
+    benchmark(lambda: rewrite(query, rules))
+
+    rows = chain_series()
+    lines = [
+        "Rewriting scaling -- existential role chain r_i(x,y) -> "
+        "r_{i+1}(x,z)",
+        "",
+        "depth  disjuncts  seconds",
+    ]
+    lines.extend(
+        f"{depth:>5}  {size:>9}  {elapsed:.4f}" for depth, size, elapsed in rows
+    )
+    lines += [
+        "",
+        "boolean queries traverse the whole chain (the invented value",
+        "needs no witness); linear growth again.",
+    ]
+    write_artifact("rewriting_scaling_chain.txt", "\n".join(lines))

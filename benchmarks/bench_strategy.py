@@ -1,0 +1,91 @@
+"""The Section-7 decision procedure end to end.
+
+Runs :func:`repro.obda.answer_with_best_strategy` over a spectrum of
+(ontology, query) situations -- SWR, WR-only, weakly-acyclic-only,
+and nothing-at-all -- and reports which branch each case takes and
+whether the answers are exact.  This is the "what to do in situations
+(i)/(ii)/(iii)" table the paper's Section 7 sketches.
+"""
+
+from _harness import write_artifact
+
+from repro.data.database import Database
+from repro.lang.parser import parse_database, parse_program, parse_query
+from repro.obda.strategy import answer_with_best_strategy
+from repro.workloads.ontologies import university_data, university_ontology
+from repro.workloads.paper import EXAMPLE2_QUERY, example2, example3
+
+NON_WA_RULES = parse_program(
+    """
+    t(Y1, Y2), r(Y3, Y4) -> s(Y1, Y3, Y2).
+    s(Y1, Y1, Y2) -> r(Y2, Y3).
+    r(X, Y) -> t(Y, Z).
+    """
+)
+
+
+def cases():
+    return (
+        (
+            "university / employee",
+            parse_query("q(X) :- employee(X)"),
+            university_ontology(),
+            university_data(15, seed=4),
+        ),
+        (
+            "example 3 / r-query",
+            parse_query("q(X, Y) :- r(X, Y)"),
+            example3(),
+            Database(parse_database("s(a, b, c). u(a).")),
+        ),
+        (
+            "example 2 / chain query",
+            EXAMPLE2_QUERY,
+            example2(),
+            Database(parse_database("t(b, a). r(b, e).")),
+        ),
+        (
+            "example 2 + t-feedback / chain query",
+            EXAMPLE2_QUERY,
+            NON_WA_RULES,
+            Database(parse_database("t(b, a). r(b, e).")),
+        ),
+    )
+
+
+def run_all():
+    rows = []
+    for name, query, rules, database in cases():
+        report = answer_with_best_strategy(query, rules, database)
+        rows.append(
+            (
+                name,
+                report.strategy.value,
+                report.exact,
+                len(report.answers),
+                report.reason,
+            )
+        )
+    return rows
+
+
+def test_strategy_triage(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    by_name = {name: strategy for name, strategy, *_ in rows}
+    assert by_name["university / employee"] == "rewriting"
+    assert by_name["example 3 / r-query"] == "rewriting"
+    assert by_name["example 2 / chain query"] == "chase"
+    assert by_name["example 2 + t-feedback / chain query"] == "approximation"
+
+    lines = [
+        "Section-7 decision procedure: per-(ontology, query) triage",
+        "",
+        "case                                  strategy       exact  |answers|",
+    ]
+    for name, strategy, exact, count, _ in rows:
+        lines.append(f"{name:<37} {strategy:<13}  {str(exact):<5}  {count}")
+    lines.append("")
+    lines.append("reasons:")
+    for name, _, _, _, reason in rows:
+        lines.append(f"  {name}: {reason}")
+    write_artifact("strategy_triage.txt", "\n".join(lines))

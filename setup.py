@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has no ``wheel`` package, so PEP 660 editable
+installs fail; this shim lets ``pip install -e . --no-use-pep517``
+(legacy ``setup.py develop``) work offline.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

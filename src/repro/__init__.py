@@ -1,0 +1,73 @@
+"""repro: Weakly Recursive TGDs and FO-rewritable ontology query answering.
+
+A reproduction of *Query Answering over Ontologies Specified via
+Database Dependencies* (Cristina Civili, SIGMOD'14 PhD Symposium):
+graph-based sufficient conditions for the first-order rewritability of
+conjunctive-query answering over tuple-generating dependencies, plus
+every substrate required to exercise them -- a relational engine, a
+chase, a sound-and-complete UCQ rewriter, baseline class recognizers,
+a DL-Lite translation and an OBDA facade.
+
+Typical usage::
+
+    from repro import parse_program, parse_query, classify, OBDASystem
+    from repro.data import Database
+
+    ontology = parse_program("professor(X) -> teaches(X, C). ...")
+    report = classify(ontology)          # SWR? WR? linear? sticky? ...
+    system = OBDASystem(ontology, Database(facts))
+    answers = system.certain_answers(parse_query("q(X) :- teaches(X, C)"))
+"""
+
+from repro.chase import certain_answers, restricted_chase
+from repro.core import classify, is_swr, is_wr
+from repro.data import Database, evaluate_cq, evaluate_ucq
+from repro.graphs import build_pnode_graph, build_position_graph
+from repro.lang import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    Signature,
+    TGD,
+    UnionOfConjunctiveQueries,
+    Variable,
+    parse_atom,
+    parse_database,
+    parse_program,
+    parse_query,
+    parse_ucq,
+)
+from repro.obda import OBDASystem
+from repro.rewriting import FORewritingEngine, RewritingBudget, rewrite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Constant",
+    "Database",
+    "FORewritingEngine",
+    "OBDASystem",
+    "RewritingBudget",
+    "Signature",
+    "TGD",
+    "UnionOfConjunctiveQueries",
+    "Variable",
+    "__version__",
+    "build_pnode_graph",
+    "build_position_graph",
+    "certain_answers",
+    "classify",
+    "evaluate_cq",
+    "evaluate_ucq",
+    "is_swr",
+    "is_wr",
+    "parse_atom",
+    "parse_database",
+    "parse_program",
+    "parse_query",
+    "parse_ucq",
+    "restricted_chase",
+    "rewrite",
+]

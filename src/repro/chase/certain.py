@@ -1,0 +1,75 @@
+"""Certain answers via the chase.
+
+``cert(q, P, D)`` (Section 3) is computed by chasing ``D`` with ``P``
+and evaluating ``q`` over the result, keeping only null-free tuples.
+This is sound and complete whenever the chase reaches a fixpoint (the
+chase instance is a universal model).  When the step budget runs out
+before a fixpoint, the unfiltered result would still be *sound* (every
+reported tuple is certain) but possibly incomplete; callers choose via
+``strict`` whether that is an error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.chase.chase import DEFAULT_MAX_STEPS, restricted_chase
+from repro.data.database import Database
+from repro.data.evaluation import evaluate_ucq
+from repro.lang.errors import ChaseBudgetExceeded
+from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.lang.terms import Term
+from repro.lang.tgd import TGD
+
+
+@dataclass(frozen=True)
+class CertainAnswerResult:
+    """Certain answers plus provenance about how they were obtained."""
+
+    answers: frozenset[tuple[Term, ...]]
+    complete: bool
+    chase_steps: int
+    chase_size: int
+
+
+def certain_answers_via_chase(
+    query: UnionOfConjunctiveQueries | ConjunctiveQuery,
+    rules: Sequence[TGD],
+    database: Database,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    strict: bool = True,
+) -> CertainAnswerResult:
+    """Compute ``cert(q, P, D)`` by restricted chase + filtered evaluation.
+
+    With ``strict=True`` (default) a non-terminating chase within the
+    budget raises :class:`ChaseBudgetExceeded`; with ``strict=False``
+    the result is returned with ``complete=False`` (sound lower bound).
+    """
+    result = restricted_chase(list(rules), database, max_steps=max_steps)
+    if not result.fixpoint and strict:
+        raise ChaseBudgetExceeded(
+            f"chase did not reach a fixpoint within {max_steps} steps; "
+            "certain answers would be incomplete"
+        )
+    answers = evaluate_ucq(
+        UnionOfConjunctiveQueries.of(query), result.instance, certain=True
+    )
+    return CertainAnswerResult(
+        answers=answers,
+        complete=result.fixpoint,
+        chase_steps=result.steps,
+        chase_size=len(result.instance),
+    )
+
+
+def certain_answers(
+    query: UnionOfConjunctiveQueries | ConjunctiveQuery,
+    rules: Sequence[TGD],
+    database: Database,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> frozenset[tuple[Term, ...]]:
+    """Shorthand returning just the answer set (strict mode)."""
+    return certain_answers_via_chase(
+        query, rules, database, max_steps=max_steps
+    ).answers

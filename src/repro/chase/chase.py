@@ -1,0 +1,164 @@
+"""Oblivious and restricted chase engines.
+
+A *trigger* is a pair (rule, homomorphism from the rule body into the
+current instance).  The **oblivious chase** fires every trigger exactly
+once; the **restricted chase** fires a trigger only when its head is
+not already satisfied by an extension of the trigger homomorphism.
+Both invent a fresh labeled null per existential head variable per
+firing.
+
+Neither chase terminates on arbitrary TGDs, so both engines take a
+step budget and report whether they reached a fixpoint.  With
+``strict=True`` they raise :class:`ChaseBudgetExceeded` instead of
+returning a truncated instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.chase.nulls import NullFactory
+from repro.data.database import Database
+from repro.data.evaluation import all_homomorphisms, find_homomorphism
+from repro.lang.atoms import Atom
+from repro.lang.errors import ChaseBudgetExceeded
+from repro.lang.terms import Term, Variable
+from repro.lang.tgd import TGD
+
+DEFAULT_MAX_STEPS = 100_000
+
+
+@dataclass(frozen=True)
+class ChaseResult:
+    """Outcome of a chase run.
+
+    Attributes:
+        instance: the chased database (contains the input facts).
+        steps: number of trigger firings performed.
+        fixpoint: True iff no applicable trigger remained.
+        nulls_created: number of labeled nulls invented.
+    """
+
+    instance: Database
+    steps: int
+    fixpoint: bool
+    nulls_created: int
+
+
+def restricted_chase(
+    rules: Sequence[TGD],
+    database: Database,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    strict: bool = False,
+) -> ChaseResult:
+    """Run the restricted (standard) chase up to *max_steps* firings.
+
+    A trigger fires only if the instantiated head cannot already be
+    mapped into the instance with the frontier held fixed, so the
+    result is generally much smaller than the oblivious chase and
+    terminates in strictly more cases.
+    """
+    return _chase(rules, database, max_steps, strict, restricted=True)
+
+
+def oblivious_chase(
+    rules: Sequence[TGD],
+    database: Database,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    strict: bool = False,
+) -> ChaseResult:
+    """Run the oblivious chase: every trigger fires exactly once."""
+    return _chase(rules, database, max_steps, strict, restricted=False)
+
+
+def _chase(
+    rules: Sequence[TGD],
+    database: Database,
+    max_steps: int,
+    strict: bool,
+    restricted: bool,
+) -> ChaseResult:
+    instance = database.copy()
+    nulls = NullFactory()
+    steps = 0
+    fired: set[tuple[int, tuple[Term, ...]]] = set()
+    # Round-based saturation: recompute triggers until a full round adds
+    # nothing.  Rules iterate in input order, homomorphisms in the
+    # evaluator's deterministic order, so runs are reproducible.
+    changed = True
+    while changed:
+        changed = False
+        for rule_index, rule in enumerate(rules):
+            body_vars = rule.body_variables()
+            for hom in list(all_homomorphisms(rule.body, instance)):
+                trigger_key = (
+                    rule_index,
+                    tuple(hom[v] for v in body_vars),
+                )
+                if trigger_key in fired:
+                    continue
+                if restricted and _head_satisfied(rule, hom, instance):
+                    fired.add(trigger_key)
+                    continue
+                if steps >= max_steps:
+                    if strict:
+                        raise ChaseBudgetExceeded(
+                            f"chase exceeded {max_steps} steps"
+                        )
+                    return ChaseResult(instance, steps, False, nulls.created)
+                _fire(rule, hom, instance, nulls)
+                fired.add(trigger_key)
+                steps += 1
+                changed = True
+    return ChaseResult(instance, steps, True, nulls.created)
+
+
+def _head_satisfied(
+    rule: TGD, hom: dict[Variable, Term], instance: Database
+) -> bool:
+    """True iff the instantiated head maps into *instance* (frontier fixed)."""
+    frontier = set(rule.distinguished_variables())
+    pattern: list[Atom] = []
+    for atom in rule.head:
+        terms: list[Term] = []
+        for term in atom.terms:
+            if isinstance(term, Variable) and term in frontier:
+                terms.append(hom[term])
+            else:
+                terms.append(term)
+        pattern.append(Atom(atom.relation, terms))
+    return find_homomorphism(pattern, instance) is not None
+
+
+def _fire(
+    rule: TGD,
+    hom: dict[Variable, Term],
+    instance: Database,
+    nulls: NullFactory,
+) -> None:
+    """Add the instantiated head, inventing nulls for ∃-head variables."""
+    assignment: dict[Variable, Term] = dict(hom)
+    for var in rule.existential_head_variables():
+        assignment[var] = nulls.fresh()
+    for atom in rule.head:
+        terms = [
+            assignment[t] if isinstance(t, Variable) else t
+            for t in atom.terms
+        ]
+        instance.add(Atom(atom.relation, terms))
+
+
+def chase_closure(
+    rules: Iterable[TGD],
+    facts: Iterable[Atom],
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> Database:
+    """Convenience: restricted-chase a fact list and return the instance.
+
+    Raises :class:`ChaseBudgetExceeded` if no fixpoint is reached.
+    """
+    result = restricted_chase(
+        list(rules), Database(facts), max_steps=max_steps, strict=True
+    )
+    return result.instance

@@ -1,0 +1,75 @@
+"""Weak acyclicity: the classical chase-termination guarantee.
+
+Weak acyclicity (Fagin et al., data exchange) is orthogonal to the
+paper's FO-rewritability classes but essential infrastructure here: the
+test suite and benches use the chase as ground truth for certain
+answers, which requires knowing the chase terminates.  A TGD set is
+weakly acyclic when its *position dependency graph* has no cycle
+through a special edge.
+
+The graph has one node per position ``r[i]`` and, for every rule and
+every body occurrence of a frontier variable ``x`` at position ``p``:
+
+* a **regular** edge ``p -> q`` for every head occurrence of ``x`` at
+  position ``q``;
+* a **special** edge ``p -> q`` for every head position ``q`` holding
+  an existential head variable (a value invented from ``x``'s value).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+
+from repro.lang.atoms import Position
+from repro.lang.terms import Variable
+from repro.lang.tgd import TGD
+
+
+def position_dependency_graph(rules: Sequence[TGD]) -> nx.MultiDiGraph:
+    """Build the position dependency graph of *rules*.
+
+    Edges carry a boolean attribute ``special``.
+    """
+    graph = nx.MultiDiGraph()
+    for rule in rules:
+        frontier = set(rule.distinguished_variables())
+        existential = set(rule.existential_head_variables())
+        head_sites: dict[Variable, list[Position]] = {}
+        existential_sites: list[Position] = []
+        for atom in rule.head:
+            for position, term in enumerate(atom.terms, start=1):
+                if isinstance(term, Variable):
+                    site = Position(atom.relation, position)
+                    if term in existential:
+                        existential_sites.append(site)
+                    else:
+                        head_sites.setdefault(term, []).append(site)
+        for atom in rule.body:
+            for position, term in enumerate(atom.terms, start=1):
+                if not isinstance(term, Variable) or term not in frontier:
+                    continue
+                source = Position(atom.relation, position)
+                for target in head_sites.get(term, ()):
+                    graph.add_edge(source, target, special=False)
+                for target in existential_sites:
+                    graph.add_edge(source, target, special=True)
+    return graph
+
+
+def is_weakly_acyclic(rules: Sequence[TGD]) -> bool:
+    """True iff no cycle of the dependency graph uses a special edge.
+
+    Equivalently: no strongly connected component contains a special
+    edge (an intra-SCC edge always lies on some cycle).
+    """
+    graph = position_dependency_graph(rules)
+    component_of: dict[Position, int] = {}
+    for index, component in enumerate(nx.strongly_connected_components(graph)):
+        for node in component:
+            component_of[node] = index
+    for source, target, data in graph.edges(data=True):
+        if data["special"] and component_of[source] == component_of[target]:
+            return False
+    return True

@@ -1,0 +1,46 @@
+"""Baseline TGD classes the paper compares against.
+
+Every class named in the paper is implemented as a recognizer returning
+a :class:`~repro.classes.base.ClassCheck` with human-readable reasons:
+
+* **Linear** and **Multilinear** TGDs (Calì–Gottlob–Lukasiewicz),
+* **Sticky** and **Sticky-Join** TGDs (Calì–Gottlob–Pieris), via the
+  variable-marking procedure,
+* **aGRD** -- acyclic graph of rule dependencies (Baget et al. [2]),
+* **Domain-Restricted** TGDs (Baget et al. [2]),
+* **Weakly Acyclic** TGDs (Fagin et al.; chase termination, used by the
+  test harness),
+* **Guarded** TGDs and plain **Datalog** (reference points).
+
+Section 5 of the paper proves that, over simple TGDs, SWR subsumes
+Linear, Multilinear, Sticky and Sticky-Join; experiment E7 checks this
+empirically against these recognizers.
+"""
+
+from repro.classes.agrd import is_agrd, rule_dependency_graph
+from repro.classes.base import ClassCheck
+from repro.classes.domain_restricted import is_domain_restricted
+from repro.classes.inclusion import is_frontier_guarded, is_inclusion_dependencies
+from repro.classes.linear import is_datalog, is_guarded, is_linear, is_multilinear
+from repro.classes.registry import BASELINE_RECOGNIZERS, all_recognizers
+from repro.classes.sticky import is_sticky, is_sticky_join, sticky_marking
+from repro.classes.weakly_acyclic import is_weakly_acyclic_check
+
+__all__ = [
+    "BASELINE_RECOGNIZERS",
+    "ClassCheck",
+    "all_recognizers",
+    "is_agrd",
+    "is_datalog",
+    "is_domain_restricted",
+    "is_frontier_guarded",
+    "is_inclusion_dependencies",
+    "is_guarded",
+    "is_linear",
+    "is_multilinear",
+    "is_sticky",
+    "is_sticky_join",
+    "is_weakly_acyclic_check",
+    "rule_dependency_graph",
+    "sticky_marking",
+]

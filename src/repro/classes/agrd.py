@@ -1,0 +1,116 @@
+"""Acyclic Graph of Rule Dependencies (aGRD), Baget et al. [2].
+
+Rule ``R2`` *depends on* rule ``R1`` when an application of ``R1`` can
+trigger a new application of ``R2`` -- witnessed by a unifier between
+some head atom of ``R1`` and some body atom of ``R2`` that respects
+existential variables (an existential head variable of ``R1`` denotes
+a fresh null, so it cannot be required to equal a constant, a frontier
+variable, or another existential variable).  A TGD set is aGRD when
+the dependency graph has no directed cycle; aGRD sets are
+FO-rewritable (the rewriting saturation visits each rule at most
+once along any derivation path).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+
+from repro.classes.base import ClassCheck, label_of
+from repro.lang.atoms import Atom
+from repro.lang.terms import Constant, Variable
+from repro.lang.tgd import TGD
+
+
+def _may_trigger(producer: TGD, consumer: TGD) -> bool:
+    """True iff firing *producer* can enable a new match of *consumer*."""
+    fresh_consumer = consumer.rename_apart(producer.variables())
+    existential = set(producer.existential_head_variables())
+    frontier = set(producer.distinguished_variables())
+    for head_atom in producer.head:
+        for body_atom in fresh_consumer.body:
+            if _unifies_with_nulls(head_atom, body_atom, existential, frontier):
+                return True
+    return False
+
+
+def _unifies_with_nulls(
+    head_atom: Atom,
+    body_atom: Atom,
+    existential: set[Variable],
+    frontier: set[Variable],
+) -> bool:
+    """Position-wise unification respecting invented nulls."""
+    if (
+        head_atom.relation != body_atom.relation
+        or head_atom.arity != body_atom.arity
+    ):
+        return False
+    parent: dict = {}
+
+    def find(term):
+        parent.setdefault(term, term)
+        while parent[term] != term:
+            parent[term] = parent[parent[term]]
+            term = parent[term]
+        return term
+
+    def union(left, right):
+        left_root, right_root = find(left), find(right)
+        if left_root != right_root:
+            parent[left_root] = right_root
+
+    for left, right in zip(head_atom.terms, body_atom.terms):
+        union(left, right)
+
+    groups: dict = {}
+    for term in list(parent):
+        groups.setdefault(find(term), set()).add(term)
+    for group in groups.values():
+        constants = {t for t in group if isinstance(t, Constant)}
+        if len(constants) > 1:
+            return False
+        group_existential = {
+            t for t in group if isinstance(t, Variable) and t in existential
+        }
+        if group_existential:
+            if len(group_existential) > 1:
+                return False
+            if constants:
+                return False
+            if any(
+                isinstance(t, Variable) and t in frontier for t in group
+            ):
+                return False
+    return True
+
+
+def rule_dependency_graph(rules: Sequence[TGD]) -> nx.DiGraph:
+    """The GRD: nodes are rule indexes; edge i→j iff rule j depends on i."""
+    rules = tuple(rules)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(len(rules)))
+    for i, producer in enumerate(rules):
+        for j, consumer in enumerate(rules):
+            if _may_trigger(producer, consumer):
+                graph.add_edge(i, j)
+    return graph
+
+
+def is_agrd(rules: Sequence[TGD]) -> ClassCheck:
+    """The graph of rule dependencies is acyclic."""
+    rules = tuple(rules)
+    graph = rule_dependency_graph(rules)
+    try:
+        cycle = nx.find_cycle(graph)
+    except nx.NetworkXNoCycle:
+        return ClassCheck("aGRD", True)
+    rendered = " -> ".join(
+        label_of(rules[source], source + 1) for source, _ in cycle
+    )
+    first = cycle[0][0]
+    rendered += f" -> {label_of(rules[first], first + 1)}"
+    return ClassCheck(
+        "aGRD", False, (f"dependency cycle: {rendered}",)
+    )

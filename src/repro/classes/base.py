@@ -1,0 +1,37 @@
+"""Common result type for class recognizers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ClassCheck:
+    """Outcome of one class-membership check.
+
+    Attributes:
+        name: the class name (``"linear"``, ``"sticky"``, ...).
+        member: the verdict.
+        reasons: when not a member, per-rule human-readable reasons;
+            empty for members.
+    """
+
+    name: str
+    member: bool
+    reasons: tuple[str, ...] = field(default_factory=tuple)
+
+    def __bool__(self) -> bool:
+        return self.member
+
+    def explain(self) -> str:
+        """Human-readable verdict with reasons."""
+        if self.member:
+            return f"{self.name}: yes"
+        lines = [f"{self.name}: no"]
+        lines.extend(f"  {reason}" for reason in self.reasons)
+        return "\n".join(lines)
+
+
+def label_of(rule, index: int) -> str:
+    """Display label for a rule in reasons (its label or ``#i``)."""
+    return rule.label or f"#{index}"

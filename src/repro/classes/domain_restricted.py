@@ -1,0 +1,33 @@
+"""Domain-Restricted TGDs (Baget et al. [2]).
+
+A rule is *domain restricted* when every head atom contains either all
+of the rule's body variables or none of them.  The class is one of the
+known FO-rewritable classes the paper's WR is claimed to subsume
+(Section 6: "including domain-restricted TGDs and acyclic graph of
+rule dependencies [2], which are incomparable with SWR TGDs").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.classes.base import ClassCheck, label_of
+from repro.lang.tgd import TGD
+
+
+def is_domain_restricted(rules: Sequence[TGD]) -> ClassCheck:
+    """Every head atom contains all body variables or none of them."""
+    reasons: list[str] = []
+    for i, rule in enumerate(rules, start=1):
+        body_vars = set(rule.body_variables())
+        for atom in rule.head:
+            head_atom_vars = set(atom.variables()) & body_vars
+            if head_atom_vars and head_atom_vars != body_vars:
+                missing = ", ".join(
+                    sorted(v.name for v in body_vars - head_atom_vars)
+                )
+                reasons.append(
+                    f"[{label_of(rule, i)}] head atom {atom} contains some "
+                    f"but not all body variables (missing {missing})"
+                )
+    return ClassCheck("domain-restricted", not reasons, tuple(reasons))

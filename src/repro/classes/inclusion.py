@@ -1,0 +1,53 @@
+"""Inclusion dependencies and frontier-guarded TGDs.
+
+* **Inclusion dependencies** (the formalism of the paper's reference
+  [7], Calì–Lembo–Rosati 2003): linear TGDs whose single body atom and
+  single head atom contain no repeated variables and no constants --
+  the classical FO-rewritable fragment that predates Datalog±.  Every
+  inclusion dependency is a simple linear TGD, hence SWR.
+* **Frontier-guarded TGDs**: some body atom contains the whole
+  frontier.  Decidable but not FO-rewritable in general; included as a
+  reference point (it subsumes guarded for query answering purposes).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.classes.base import ClassCheck, label_of
+from repro.lang.tgd import TGD
+
+
+def is_inclusion_dependencies(rules: Sequence[TGD]) -> ClassCheck:
+    """Single-atom body and head; no repeats; no constants."""
+    reasons: list[str] = []
+    for i, rule in enumerate(rules, start=1):
+        label = label_of(rule, i)
+        if len(rule.body) != 1:
+            reasons.append(f"[{label}] body has {len(rule.body)} atoms")
+            continue
+        if len(rule.head) != 1:
+            reasons.append(f"[{label}] head has {len(rule.head)} atoms")
+            continue
+        for atom in (rule.body[0], rule.head[0]):
+            if atom.has_repeated_variable():
+                reasons.append(
+                    f"[{label}] repeated variable in {atom}"
+                )
+            if atom.constants():
+                reasons.append(f"[{label}] constant in {atom}")
+    return ClassCheck("inclusion-dependencies", not reasons, tuple(reasons))
+
+
+def is_frontier_guarded(rules: Sequence[TGD]) -> ClassCheck:
+    """Some body atom contains every frontier variable."""
+    reasons: list[str] = []
+    for i, rule in enumerate(rules, start=1):
+        frontier = set(rule.distinguished_variables())
+        if not any(
+            frontier <= set(atom.variables()) for atom in rule.body
+        ):
+            reasons.append(
+                f"[{label_of(rule, i)}] no body atom guards the frontier"
+            )
+    return ClassCheck("frontier-guarded", not reasons, tuple(reasons))

@@ -1,0 +1,73 @@
+"""Shape-based classes: Linear, Multilinear, Guarded, Datalog.
+
+* A TGD is **linear** when its body is a single atom (Calì, Gottlob,
+  Lukasiewicz).  Linear TGDs are FO-rewritable.
+* A TGD is **multilinear** when every body atom contains every
+  distinguished (frontier) variable of the rule -- each body atom
+  guards the frontier.  The paper's Example 3 rejects multilinearity
+  because ``u(y1)`` "does not contain the variable y2" (``y2`` is a
+  frontier variable of ``R3``).  Every linear TGD is multilinear.
+* A TGD is **guarded** when some body atom contains *all* body
+  variables.  Guarded TGDs have decidable (but not AC0) query
+  answering; the class is included as a reference point.
+* A TGD is **Datalog** (full) when it has no existential head
+  variables.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.classes.base import ClassCheck, label_of
+from repro.lang.tgd import TGD
+
+
+def is_linear(rules: Sequence[TGD]) -> ClassCheck:
+    """Every rule's body is a single atom."""
+    reasons = tuple(
+        f"[{label_of(rule, i)}] body has {len(rule.body)} atoms"
+        for i, rule in enumerate(rules, start=1)
+        if len(rule.body) != 1
+    )
+    return ClassCheck("linear", not reasons, reasons)
+
+
+def is_multilinear(rules: Sequence[TGD]) -> ClassCheck:
+    """Every body atom contains every frontier variable."""
+    reasons: list[str] = []
+    for i, rule in enumerate(rules, start=1):
+        frontier = set(rule.distinguished_variables())
+        for atom in rule.body:
+            missing = frontier - set(atom.variables())
+            if missing:
+                names = ", ".join(sorted(v.name for v in missing))
+                reasons.append(
+                    f"[{label_of(rule, i)}] atom {atom} misses frontier "
+                    f"variable(s) {names}"
+                )
+    return ClassCheck("multilinear", not reasons, tuple(reasons))
+
+
+def is_guarded(rules: Sequence[TGD]) -> ClassCheck:
+    """Some body atom contains all body variables of the rule."""
+    reasons: list[str] = []
+    for i, rule in enumerate(rules, start=1):
+        body_vars = set(rule.body_variables())
+        if not any(
+            body_vars <= set(atom.variables()) for atom in rule.body
+        ):
+            reasons.append(f"[{label_of(rule, i)}] no guard atom")
+    return ClassCheck("guarded", not reasons, tuple(reasons))
+
+
+def is_datalog(rules: Sequence[TGD]) -> ClassCheck:
+    """No rule has existential head variables."""
+    reasons: list[str] = []
+    for i, rule in enumerate(rules, start=1):
+        existential = rule.existential_head_variables()
+        if existential:
+            names = ", ".join(v.name for v in existential)
+            reasons.append(
+                f"[{label_of(rule, i)}] existential head variable(s) {names}"
+            )
+    return ClassCheck("datalog", not reasons, tuple(reasons))

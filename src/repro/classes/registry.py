@@ -1,0 +1,46 @@
+"""Registry of class recognizers.
+
+``BASELINE_RECOGNIZERS`` lists the FO-rewritable comparison classes the
+paper names; :func:`all_recognizers` adds the reference classes that
+are not FO-rewritable but useful for reporting (guarded, datalog,
+weakly-acyclic).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.classes.agrd import is_agrd
+from repro.classes.base import ClassCheck
+from repro.classes.domain_restricted import is_domain_restricted
+from repro.classes.inclusion import is_frontier_guarded, is_inclusion_dependencies
+from repro.classes.linear import is_datalog, is_guarded, is_linear, is_multilinear
+from repro.classes.sticky import is_sticky, is_sticky_join
+from repro.classes.weakly_acyclic import is_weakly_acyclic_check
+from repro.lang.tgd import TGD
+
+Recognizer = Callable[[Sequence[TGD]], ClassCheck]
+
+#: The FO-rewritable classes the paper compares SWR/WR against.
+BASELINE_RECOGNIZERS: tuple[tuple[str, Recognizer], ...] = (
+    ("inclusion-dependencies", is_inclusion_dependencies),
+    ("linear", is_linear),
+    ("multilinear", is_multilinear),
+    ("sticky", is_sticky),
+    ("sticky-join", is_sticky_join),
+    ("aGRD", is_agrd),
+    ("domain-restricted", is_domain_restricted),
+)
+
+#: Reference classes reported alongside the baselines.
+REFERENCE_RECOGNIZERS: tuple[tuple[str, Recognizer], ...] = (
+    ("guarded", is_guarded),
+    ("frontier-guarded", is_frontier_guarded),
+    ("datalog", is_datalog),
+    ("weakly-acyclic", is_weakly_acyclic_check),
+)
+
+
+def all_recognizers() -> tuple[tuple[str, Recognizer], ...]:
+    """Baselines followed by reference recognizers."""
+    return BASELINE_RECOGNIZERS + REFERENCE_RECOGNIZERS

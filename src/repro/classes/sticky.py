@@ -1,0 +1,122 @@
+"""Sticky and Sticky-Join TGDs via the variable-marking procedure.
+
+The marking procedure (Calì, Gottlob, Pieris):
+
+1. **Base step.**  For each rule and each body variable that does not
+   occur in the rule's head, mark that variable (in that rule's body).
+2. **Propagation.**  Let a *marked position* be a position at which a
+   marked variable occurs in some rule body.  Repeat until fixpoint:
+   for each rule and each variable occurring in the rule's *head* at a
+   marked position, mark that variable in the rule's body.
+
+A set is **sticky** when no marked variable occurs more than once in a
+rule body (counting repeated occurrences within a single atom: the
+paper's Example 3 fails stickiness "since y1 appears twice in the atom
+t(y1,y1,y2)").  A set is **sticky-join** under the weaker condition
+that no marked variable occurs in two or more *distinct* body atoms
+(within-atom repetition is tolerated: Example 3 fails it "since y1
+appears in two different atoms of body(R3)").  The sticky-join
+recognizer implements exactly this occurrence condition, which is the
+behaviour the paper's examples pin down; it preserves the known
+containments Linear ⊆ Sticky-Join and Sticky ⊆ Sticky-Join.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.classes.base import ClassCheck, label_of
+from repro.lang.atoms import Position
+from repro.lang.terms import Variable
+from repro.lang.tgd import TGD
+
+
+def sticky_marking(
+    rules: Sequence[TGD],
+) -> tuple[frozenset[tuple[int, Variable]], frozenset[Position]]:
+    """Run the marking procedure.
+
+    Returns ``(marked, marked_positions)`` where *marked* holds pairs
+    ``(rule index, variable)`` (0-based rule indexes) and
+    *marked_positions* the positions carrying a marked variable in some
+    body.
+    """
+    rules = tuple(rules)
+    marked: set[tuple[int, Variable]] = set()
+
+    # Base step: body variables missing from the head.
+    for index, rule in enumerate(rules):
+        head_vars = set(rule.head_variables())
+        for var in rule.body_variables():
+            if var not in head_vars:
+                marked.add((index, var))
+
+    # Propagation to fixpoint through positions.
+    while True:
+        marked_positions = _marked_positions(rules, marked)
+        added = False
+        for index, rule in enumerate(rules):
+            for atom in rule.head:
+                for position, term in enumerate(atom.terms, start=1):
+                    if not isinstance(term, Variable):
+                        continue
+                    if Position(atom.relation, position) not in marked_positions:
+                        continue
+                    if term in set(rule.body_variables()):
+                        if (index, term) not in marked:
+                            marked.add((index, term))
+                            added = True
+        if not added:
+            return frozenset(marked), frozenset(marked_positions)
+
+
+def _marked_positions(
+    rules: Sequence[TGD], marked: set[tuple[int, Variable]]
+) -> set[Position]:
+    positions: set[Position] = set()
+    for index, rule in enumerate(rules):
+        for atom in rule.body:
+            for position, term in enumerate(atom.terms, start=1):
+                if isinstance(term, Variable) and (index, term) in marked:
+                    positions.add(Position(atom.relation, position))
+    return positions
+
+
+def is_sticky(rules: Sequence[TGD]) -> ClassCheck:
+    """No marked variable occurs more than once in a rule body."""
+    rules = tuple(rules)
+    marked, _ = sticky_marking(rules)
+    reasons: list[str] = []
+    for index, rule in enumerate(rules):
+        for var in set(rule.body_variables()):
+            if (index, var) not in marked:
+                continue
+            occurrences = sum(
+                len(atom.positions_of(var)) for atom in rule.body
+            )
+            if occurrences >= 2:
+                reasons.append(
+                    f"[{label_of(rule, index + 1)}] marked variable "
+                    f"{var.name} occurs {occurrences} times in the body"
+                )
+    return ClassCheck("sticky", not reasons, tuple(reasons))
+
+
+def is_sticky_join(rules: Sequence[TGD]) -> ClassCheck:
+    """No marked variable occurs in two or more distinct body atoms."""
+    rules = tuple(rules)
+    marked, _ = sticky_marking(rules)
+    reasons: list[str] = []
+    for index, rule in enumerate(rules):
+        for var in set(rule.body_variables()):
+            if (index, var) not in marked:
+                continue
+            atoms = sum(
+                1 for atom in rule.body if var in atom.variables()
+            )
+            if atoms >= 2:
+                reasons.append(
+                    f"[{label_of(rule, index + 1)}] marked variable "
+                    f"{var.name} occurs in {atoms} distinct body atoms"
+                )
+    return ClassCheck("sticky-join", not reasons, tuple(reasons))

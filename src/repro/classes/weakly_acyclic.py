@@ -1,0 +1,27 @@
+"""Weak acyclicity as a class recognizer.
+
+Wraps :func:`repro.chase.termination.is_weakly_acyclic` in the common
+:class:`~repro.classes.base.ClassCheck` interface.  Weak acyclicity
+guarantees chase termination (not FO-rewritability); the test and
+bench harnesses rely on it to know when the chase is usable as ground
+truth.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.chase.termination import is_weakly_acyclic
+from repro.classes.base import ClassCheck
+from repro.lang.tgd import TGD
+
+
+def is_weakly_acyclic_check(rules: Sequence[TGD]) -> ClassCheck:
+    """Position dependency graph has no cycle through a special edge."""
+    if is_weakly_acyclic(rules):
+        return ClassCheck("weakly-acyclic", True)
+    return ClassCheck(
+        "weakly-acyclic",
+        False,
+        ("position dependency graph has a cycle through a special edge",),
+    )

@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Four commands mirroring the library's workflow:
+
+* ``classify``  -- read a TGD program, print the class-membership table
+  and the SWR/WR explanations;
+* ``rewrite``   -- read a program and a query, print the UCQ rewriting
+  (or, with ``--sql``, the compiled SQL);
+* ``answer``    -- read a program, a query and a fact file, print the
+  certain answers (rewriting-based; ``--via-chase`` for the oracle);
+* ``graph``     -- emit the position graph or P-node graph of a program
+  as a text summary or Graphviz DOT.
+
+Programs, queries and facts use the textual syntax of
+:mod:`repro.lang.parser`; every input is a file path or ``-`` for
+stdin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.chase.certain import certain_answers
+from repro.core.classify import classify
+from repro.data.database import Database
+from repro.data.evaluation import evaluate_ucq
+from repro.data.sql import ucq_to_sql
+from repro.graphs.dot import pnode_graph_to_dot, position_graph_to_dot
+from repro.graphs.pnode_graph import build_pnode_graph
+from repro.graphs.position_graph import build_position_graph
+from repro.lang.errors import ReproError
+from repro.lang.parser import parse_database, parse_program, parse_query
+from repro.lang.printer import format_answers, format_ucq
+from repro.rewriting.budget import RewritingBudget
+from repro.rewriting.rewriter import rewrite
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    return Path(path).read_text()
+
+
+def _budget(args: argparse.Namespace) -> RewritingBudget:
+    return RewritingBudget(
+        max_depth=args.max_depth, max_cqs=args.max_cqs, strict=False
+    )
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    rules = parse_program(_read(args.program))
+    report = classify(rules)
+    print(report.table())
+    if args.explain:
+        print()
+        print(report.swr.explain())
+        if report.wr is not None:
+            print(report.wr.explain())
+        for check in report.baselines.values():
+            if not check.member:
+                print(check.explain())
+    return 0
+
+
+def cmd_rewrite(args: argparse.Namespace) -> int:
+    rules = parse_program(_read(args.program))
+    query = parse_query(args.query)
+    result = rewrite(query, rules, _budget(args))
+    if not result.complete:
+        print(
+            f"warning: rewriting incomplete within budget "
+            f"(depth={result.depth_reached}, cqs={result.generated}); "
+            "output is a sound under-approximation",
+            file=sys.stderr,
+        )
+    if args.sql:
+        print(ucq_to_sql(result.ucq))
+    elif args.explain:
+        for cq in result.ucq:
+            steps = result.derivation_of(cq)
+            provenance = " <= " + ", ".join(steps) if steps else ""
+            print(f"{cq}.{provenance}")
+    else:
+        print(format_ucq(result.ucq))
+    return 0 if result.complete else 3
+
+
+def cmd_answer(args: argparse.Namespace) -> int:
+    rules = parse_program(_read(args.program))
+    query = parse_query(args.query)
+    database = Database(parse_database(_read(args.data)))
+    if args.via_chase:
+        answers = certain_answers(query, rules, database)
+    else:
+        result = rewrite(query, rules, _budget(args))
+        if not result.complete:
+            print(
+                "warning: rewriting incomplete; answers are a sound "
+                "under-approximation",
+                file=sys.stderr,
+            )
+        answers = evaluate_ucq(result.ucq, database)
+    if query.is_boolean():
+        print("true" if answers else "false")
+    else:
+        print(format_answers(answers))
+    return 0
+
+
+def cmd_graph(args: argparse.Namespace) -> int:
+    rules = parse_program(_read(args.program))
+    if args.kind == "position":
+        graph = build_position_graph(rules)
+        rendered = (
+            position_graph_to_dot(graph) if args.dot else graph.summary()
+        )
+    else:
+        graph = build_pnode_graph(rules)
+        rendered = pnode_graph_to_dot(graph) if args.dot else graph.summary()
+    print(rendered)
+    if args.stats:
+        from repro.graphs.analysis import census
+
+        print()
+        print(census(graph.graph).format())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Weakly Recursive TGDs: classification, FO rewriting "
+        "and certain-answer query answering",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_classify = sub.add_parser(
+        "classify", help="class-membership table for a TGD program"
+    )
+    p_classify.add_argument("program", help="TGD file ('-' for stdin)")
+    p_classify.add_argument(
+        "--explain", action="store_true", help="print per-class reasons"
+    )
+    p_classify.set_defaults(func=cmd_classify)
+
+    def add_budget(p):
+        p.add_argument("--max-depth", type=int, default=50)
+        p.add_argument("--max-cqs", type=int, default=100_000)
+
+    p_rewrite = sub.add_parser("rewrite", help="UCQ rewriting of a query")
+    p_rewrite.add_argument("program")
+    p_rewrite.add_argument("query", help='e.g. "q(X) :- faculty(X)"')
+    p_rewrite.add_argument(
+        "--sql", action="store_true", help="emit SQL instead of Datalog"
+    )
+    p_rewrite.add_argument(
+        "--explain",
+        action="store_true",
+        help="annotate each disjunct with its rule derivation",
+    )
+    add_budget(p_rewrite)
+    p_rewrite.set_defaults(func=cmd_rewrite)
+
+    p_answer = sub.add_parser("answer", help="certain answers over facts")
+    p_answer.add_argument("program")
+    p_answer.add_argument("query")
+    p_answer.add_argument("data", help="fact file ('-' for stdin)")
+    p_answer.add_argument(
+        "--via-chase",
+        action="store_true",
+        help="use the chase oracle instead of rewriting",
+    )
+    add_budget(p_answer)
+    p_answer.set_defaults(func=cmd_answer)
+
+    p_graph = sub.add_parser(
+        "graph", help="position graph / P-node graph of a program"
+    )
+    p_graph.add_argument("program")
+    p_graph.add_argument(
+        "kind", choices=("position", "pnode"), help="which graph to build"
+    )
+    p_graph.add_argument(
+        "--dot", action="store_true", help="emit Graphviz DOT"
+    )
+    p_graph.add_argument(
+        "--stats", action="store_true", help="append a structural census"
+    )
+    p_graph.set_defaults(func=cmd_graph)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

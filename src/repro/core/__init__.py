@@ -1,0 +1,27 @@
+"""The paper's contribution: SWR and WR membership, and classification.
+
+* :mod:`repro.core.swr` -- Simply Weakly Recursive TGDs (Definition 5):
+  simple TGDs whose position graph has no cycle with both an ``m``-edge
+  and an ``s``-edge.  Membership is in PTIME.
+* :mod:`repro.core.wr` -- Weakly Recursive TGDs (Definition 8):
+  arbitrary TGDs whose P-node graph has no cycle with ``d``, ``m`` and
+  ``s`` edges and no ``i``-edge.
+* :mod:`repro.core.classify` -- classify a TGD set against every
+  recognizer in the library (SWR, WR and all baseline classes).
+"""
+
+from repro.core.classify import ClassificationReport, classify
+from repro.core.per_query import PerQueryClassReport, classify_for_query
+from repro.core.swr import SWRResult, is_swr
+from repro.core.wr import WRResult, is_wr
+
+__all__ = [
+    "ClassificationReport",
+    "PerQueryClassReport",
+    "SWRResult",
+    "WRResult",
+    "classify",
+    "classify_for_query",
+    "is_swr",
+    "is_wr",
+]

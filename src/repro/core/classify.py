@@ -1,0 +1,92 @@
+"""Classification of a TGD set against every class in the library.
+
+Produces the membership matrix the benches print for experiment E7
+(the paper's subsumption claims): SWR, WR and every baseline class,
+with per-class reasons and witnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.classes.base import ClassCheck
+from repro.classes.registry import all_recognizers
+from repro.core.swr import SWRResult, is_swr
+from repro.core.wr import WRResult, is_wr
+from repro.graphs.pnode_graph import PNodeGraphBudgetExceeded
+from repro.lang.printer import format_table
+from repro.lang.tgd import TGD
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Membership of one TGD set in every implemented class.
+
+    Attributes:
+        rules: the classified set.
+        swr: the full SWR check result (with position graph).
+        wr: the full WR check result (with P-node graph), or None if
+            the P-node graph exceeded its node budget.
+        baselines: name -> ClassCheck for every other recognizer.
+    """
+
+    rules: tuple[TGD, ...]
+    swr: SWRResult
+    wr: WRResult | None
+    baselines: Mapping[str, ClassCheck]
+
+    def memberships(self) -> dict[str, bool | None]:
+        """Flat name -> verdict mapping (None = not decided)."""
+        out: dict[str, bool | None] = {
+            "SWR": self.swr.is_swr,
+            "WR": self.wr.is_wr if self.wr is not None else None,
+        }
+        for name, check in self.baselines.items():
+            out[name] = check.member
+        return out
+
+    def table(self) -> str:
+        """A two-column text table: class, member?"""
+        rows = [
+            (name, {True: "yes", False: "no", None: "?"}[verdict])
+            for name, verdict in self.memberships().items()
+        ]
+        return format_table(("class", "member"), rows)
+
+    def in_any_baseline(self) -> bool:
+        """True iff some FO-rewritable baseline class accepts the set.
+
+        Only the FO-rewritable baselines count (guarded/datalog/
+        weakly-acyclic are reference classes, not FO-rewritable ones).
+        """
+        fo_baselines = (
+            "inclusion-dependencies",
+            "linear",
+            "multilinear",
+            "sticky",
+            "sticky-join",
+            "aGRD",
+            "domain-restricted",
+        )
+        return any(
+            self.baselines[name].member
+            for name in fo_baselines
+            if name in self.baselines
+        )
+
+
+def classify(
+    rules: Sequence[TGD], wr_max_nodes: int = 20_000
+) -> ClassificationReport:
+    """Run every recognizer over *rules* and collect the verdicts."""
+    rules = tuple(rules)
+    swr_result = is_swr(rules)
+    try:
+        wr_result: WRResult | None = is_wr(rules, max_nodes=wr_max_nodes)
+    except PNodeGraphBudgetExceeded:
+        wr_result = None
+    checks = {name: check(rules) for name, check in all_recognizers()}
+    return ClassificationReport(
+        rules=rules, swr=swr_result, wr=wr_result, baselines=checks
+    )

@@ -1,0 +1,77 @@
+"""Per-query class checking: Section 7's fallback, done statically.
+
+When a TGD set as a whole fails SWR/WR, a *specific query* may only
+reach a well-behaved part of it.  The static version of that idea:
+restrict the rule set to the rules backward-reachable from the query
+(:mod:`repro.rewriting.relevance` — only those can ever participate in
+the query's rewriting) and run the membership check on the restriction.
+A positive verdict guarantees FO-rewritability *of this query* even
+over an ill-behaved ontology.
+
+The dynamic counterpart (actually running the staged rewriter) is
+:mod:`repro.rewriting.probe`; this module is the cheap static filter
+to try first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.swr import SWRResult, is_swr
+from repro.core.wr import WRResult, is_wr
+from repro.graphs.pnode_graph import (
+    DEFAULT_MAX_NODES,
+    PNodeGraphBudgetExceeded,
+)
+from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.lang.tgd import TGD
+from repro.rewriting.relevance import relevant_rules
+
+
+@dataclass(frozen=True)
+class PerQueryClassReport:
+    """Class membership of the query-relevant fragment of a rule set.
+
+    Attributes:
+        relevant: the rules backward-reachable from the query.
+        dropped: the ignored rules.
+        swr: SWR check on the relevant fragment.
+        wr: WR check on the relevant fragment (None if over budget).
+        fo_rewritable_guaranteed: True when the fragment is SWR or WR
+            -- every rewriting of the query stays within the fragment,
+            so the query is FO-rewritable over the full set too.
+    """
+
+    relevant: tuple[TGD, ...]
+    dropped: tuple[TGD, ...]
+    swr: SWRResult
+    wr: WRResult | None
+
+    @property
+    def fo_rewritable_guaranteed(self) -> bool:
+        if self.swr.is_swr:
+            return True
+        return self.wr is not None and self.wr.is_wr
+
+
+def classify_for_query(
+    query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+    rules: Sequence[TGD],
+    wr_max_nodes: int = DEFAULT_MAX_NODES,
+) -> PerQueryClassReport:
+    """SWR/WR membership of the query-relevant fragment of *rules*."""
+    relevance = relevant_rules(query, rules)
+    fragment = relevance.relevant
+    swr_result = is_swr(fragment)
+    wr_result: WRResult | None
+    try:
+        wr_result = is_wr(fragment, max_nodes=wr_max_nodes)
+    except PNodeGraphBudgetExceeded:
+        wr_result = None  # keep the SWR verdict; WR undecided
+    return PerQueryClassReport(
+        relevant=fragment,
+        dropped=relevance.dropped,
+        swr=swr_result,
+        wr=wr_result,
+    )

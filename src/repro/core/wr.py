@@ -1,0 +1,68 @@
+"""Weakly Recursive (WR) TGDs -- Definition 8.
+
+A set ``P`` of arbitrary TGDs (constants, repeated variables and
+multi-atom heads allowed) is WR iff its P-node graph has no cycle that
+contains a ``d``-edge, an ``m``-edge and an ``s``-edge while containing
+no ``i``-edge.  The paper conjectures that every WR set is
+FO-rewritable and that the membership problem is in PSPACE; the P-node
+graph construction used here is the documented reconstruction of
+:mod:`repro.graphs.pnode_graph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.graphs.cycles import LabeledEdge
+from repro.graphs.pnode_graph import (
+    DEFAULT_MAX_NODES,
+    PNodeGraph,
+    build_pnode_graph,
+)
+from repro.lang.tgd import TGD
+
+
+@dataclass(frozen=True)
+class WRResult:
+    """Outcome of a WR membership check.
+
+    Attributes:
+        is_wr: True iff the P-node graph has no dangerous cycle.
+        graph: the constructed P-node graph.
+        dangerous_cycle: a witness cycle with ``d``, ``m`` and ``s``
+            edges and no ``i``-edge, or None.
+    """
+
+    is_wr: bool
+    graph: PNodeGraph
+    dangerous_cycle: tuple[LabeledEdge, ...] | None
+
+    def explain(self) -> str:
+        """Human-readable verdict with the witness cycle, if any."""
+        lines = [f"WR: {self.is_wr}"]
+        lines.append(
+            f"P-node graph: {len(self.graph.pnodes)} nodes, "
+            f"{len(self.graph.edges)} edges"
+        )
+        if self.dangerous_cycle is None:
+            lines.append("no cycle with d, m and s edges avoiding i-edges")
+        else:
+            lines.append("dangerous cycle (d+m+s, no i):")
+            lines.extend(f"  {edge}" for edge in self.dangerous_cycle)
+        return "\n".join(lines)
+
+
+def is_wr(
+    rules: Sequence[TGD], max_nodes: int = DEFAULT_MAX_NODES
+) -> WRResult:
+    """Check WR membership (Definition 8) with witnesses.
+
+    Raises
+    :class:`~repro.graphs.pnode_graph.PNodeGraphBudgetExceeded` when the
+    P-node graph grows beyond *max_nodes* (the problem is conjectured
+    PSPACE-complete, so a budget is unavoidable in general).
+    """
+    graph = build_pnode_graph(tuple(rules), max_nodes=max_nodes)
+    cycle = graph.dangerous_cycle()
+    return WRResult(is_wr=cycle is None, graph=graph, dangerous_cycle=cycle)

@@ -1,0 +1,32 @@
+"""Extensional layer: in-memory relational database, evaluation, SQL.
+
+This package provides the "traditional relational database" substrate
+that OBDA layers an ontology on top of (paper Section 1): an in-memory
+fact store with hash indexes, a conjunctive-query evaluator implementing
+``ans(q, D)`` of Section 3, a compiler from UCQs to SQL with a SQLite
+execution backend (demonstrating that FO-rewritability turns ontology
+QA into plain SQL evaluation), and CSV fact I/O.
+"""
+
+from repro.data.csvio import load_facts_csv, save_facts_csv
+from repro.data.database import Database
+from repro.data.datalog import (
+    DatalogProgram,
+    MaterializationResult,
+    datalog_fragment,
+)
+from repro.data.evaluation import evaluate_cq, evaluate_ucq
+from repro.data.sql import SQLiteBackend, ucq_to_sql
+
+__all__ = [
+    "Database",
+    "DatalogProgram",
+    "MaterializationResult",
+    "datalog_fragment",
+    "SQLiteBackend",
+    "evaluate_cq",
+    "evaluate_ucq",
+    "load_facts_csv",
+    "save_facts_csv",
+    "ucq_to_sql",
+]

@@ -1,0 +1,90 @@
+"""CSV import/export of fact sets.
+
+The on-disk layout is one CSV file per relation (``<relation>.csv``)
+with no header; every cell is read back as a string constant unless it
+parses as an integer, in which case it becomes an integer constant.
+Labeled nulls are serialised as ``_:label`` and restored as nulls.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable
+
+from repro.data.database import Database
+from repro.lang.atoms import Atom
+from repro.lang.errors import ReproError
+from repro.lang.terms import Constant, Null, Term
+
+
+def _cell_to_term(cell: str) -> Term:
+    if cell.startswith("_:"):
+        return Null(cell[2:])
+    try:
+        return Constant(int(cell))
+    except ValueError:
+        return Constant(cell)
+
+
+def _term_to_cell(term: Term) -> str:
+    if isinstance(term, Null):
+        return f"_:{term.label}"
+    if isinstance(term, Constant):
+        return str(term.value)
+    raise ReproError(f"cannot serialise non-ground term {term!r}")
+
+
+def load_facts_csv(directory: str | Path) -> Database:
+    """Load every ``*.csv`` file under *directory* into a database.
+
+    The file stem names the relation; rows become facts.
+    """
+    base = Path(directory)
+    if not base.is_dir():
+        raise ReproError(f"{base} is not a directory")
+    database = Database()
+    for path in sorted(base.glob("*.csv")):
+        relation = path.stem
+        with path.open(newline="") as handle:
+            for row in csv.reader(handle):
+                if not row:
+                    continue
+                database.add(Atom(relation, [_cell_to_term(c) for c in row]))
+    return database
+
+
+def save_facts_csv(database: Database, directory: str | Path) -> tuple[Path, ...]:
+    """Write the database as one CSV file per relation; return the paths."""
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for relation in database.relations():
+        path = base / f"{relation}.csv"
+        rows = sorted(
+            database.rows(relation),
+            key=lambda row: tuple(_term_to_cell(t) for t in row),
+        )
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            for row in rows:
+                writer.writerow([_term_to_cell(t) for t in row])
+        written.append(path)
+    return tuple(written)
+
+
+def facts_from_rows(relation: str, rows: Iterable[Iterable[object]]) -> tuple[Atom, ...]:
+    """Convenience: build facts from plain Python rows.
+
+    Strings and ints become constants; existing terms pass through.
+    """
+    out: list[Atom] = []
+    for row in rows:
+        terms: list[Term] = []
+        for value in row:
+            if isinstance(value, (Constant, Null)):
+                terms.append(value)
+            else:
+                terms.append(Constant(value))
+        out.append(Atom(relation, terms))
+    return tuple(out)

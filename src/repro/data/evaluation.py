@@ -1,0 +1,160 @@
+"""Conjunctive-query evaluation over :class:`~repro.data.database.Database`.
+
+Implements ``ans(q, D)`` of Section 3 for CQs and UCQs by an indexed
+backtracking join: atoms are processed most-bound-first, each step
+either probing a (relation, position) hash index when some argument is
+already bound or scanning the relation otherwise.
+
+Two answer policies are provided:
+
+* :func:`evaluate_cq` / :func:`evaluate_ucq` return every answer tuple,
+  including tuples that mention labeled nulls (useful when querying a
+  chase instance as a plain database);
+* the ``certain=True`` flag filters tuples mentioning nulls, which is
+  the filter used to read certain answers off a chase.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.data.database import Database
+from repro.lang.atoms import Atom
+from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.lang.terms import Null, Term, Variable
+
+
+def evaluate_cq(
+    query: ConjunctiveQuery, database: Database, certain: bool = False
+) -> frozenset[tuple[Term, ...]]:
+    """All answers of *query* over *database*.
+
+    With ``certain=True``, answers containing labeled nulls are
+    filtered out (the certain-answer filter over chase instances).
+    Boolean queries return ``{()}`` when satisfied and ``frozenset()``
+    otherwise.
+    """
+    answers: set[tuple[Term, ...]] = set()
+    for binding in _match_body(list(query.body), database, {}):
+        row = tuple(
+            binding[t] if isinstance(t, Variable) else t
+            for t in query.answer_terms
+        )
+        if certain and any(isinstance(t, Null) for t in row):
+            continue
+        answers.add(row)
+    return frozenset(answers)
+
+
+def evaluate_ucq(
+    query: UnionOfConjunctiveQueries | ConjunctiveQuery,
+    database: Database,
+    certain: bool = False,
+) -> frozenset[tuple[Term, ...]]:
+    """All answers of a UCQ (union of the disjuncts' answers)."""
+    answers: set[tuple[Term, ...]] = set()
+    for cq in UnionOfConjunctiveQueries.of(query):
+        answers.update(evaluate_cq(cq, database, certain=certain))
+    return frozenset(answers)
+
+
+def holds(query: ConjunctiveQuery, database: Database) -> bool:
+    """True iff the boolean query (or some answer) is satisfied."""
+    for _ in _match_body(list(query.body), database, {}):
+        return True
+    return False
+
+
+def find_homomorphism(
+    atoms: Sequence[Atom], database: Database
+) -> dict[Variable, Term] | None:
+    """A homomorphism from *atoms* into *database*, or None.
+
+    Used by the chase (applicability and satisfaction checks) and by
+    CQ containment via the canonical-database method.
+    """
+    for binding in _match_body(list(atoms), database, {}):
+        return binding
+    return None
+
+
+def all_homomorphisms(
+    atoms: Sequence[Atom], database: Database
+) -> Iterator[dict[Variable, Term]]:
+    """Every homomorphism from *atoms* into *database* (lazily)."""
+    return _match_body(list(atoms), database, {})
+
+
+def _match_body(
+    atoms: list[Atom],
+    database: Database,
+    binding: dict[Variable, Term],
+) -> Iterator[dict[Variable, Term]]:
+    """Backtracking join: yield every extension of *binding* matching *atoms*."""
+    if not atoms:
+        yield dict(binding)
+        return
+    index = _pick_next(atoms, database, binding)
+    atom = atoms[index]
+    rest = atoms[:index] + atoms[index + 1:]
+    for row in _candidate_rows(atom, database, binding):
+        extension = _match_atom(atom, row, binding)
+        if extension is None:
+            continue
+        yield from _match_body(rest, database, extension)
+
+
+def _pick_next(
+    atoms: list[Atom], database: Database, binding: dict[Variable, Term]
+) -> int:
+    """Greedy join order: prefer atoms with bound arguments, then small relations."""
+    best_index = 0
+    best_key: tuple[int, int] | None = None
+    for i, atom in enumerate(atoms):
+        bound = sum(
+            1
+            for t in atom.terms
+            if not isinstance(t, Variable) or t in binding
+        )
+        key = (-bound, database.count(atom.relation))
+        if best_key is None or key < best_key:
+            best_key = key
+            best_index = i
+    return best_index
+
+
+def _candidate_rows(
+    atom: Atom, database: Database, binding: dict[Variable, Term]
+) -> tuple[tuple[Term, ...], ...]:
+    """Rows of the atom's relation worth trying under *binding*.
+
+    Probes the hash index on the first bound argument position, falling
+    back to a full relation scan when nothing is bound.
+    """
+    for position, term in enumerate(atom.terms, start=1):
+        if isinstance(term, Variable):
+            value = binding.get(term)
+            if value is not None:
+                return database.lookup(atom.relation, position, value)
+        else:
+            return database.lookup(atom.relation, position, term)
+    return tuple(database.rows(atom.relation))
+
+
+def _match_atom(
+    atom: Atom, row: tuple[Term, ...], binding: dict[Variable, Term]
+) -> dict[Variable, Term] | None:
+    """Extend *binding* so that *atom* maps onto *row*, or None."""
+    if len(row) != atom.arity:
+        return None
+    extension = dict(binding)
+    for term, value in zip(atom.terms, row):
+        if isinstance(term, Variable):
+            bound = extension.get(term)
+            if bound is None:
+                extension[term] = value
+            elif bound != value:
+                return None
+        elif term != value:
+            return None
+    return extension

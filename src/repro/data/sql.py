@@ -1,0 +1,204 @@
+"""UCQ-to-SQL compilation and a SQLite execution backend.
+
+First-order rewritability (Definition 1) is valuable precisely because
+the rewritten query can be handed to a plain RDBMS.  This module closes
+that loop: :func:`ucq_to_sql` compiles a UCQ into a ``SELECT ... UNION``
+statement, and :class:`SQLiteBackend` materialises a
+:class:`~repro.data.database.Database` into SQLite tables and executes
+the SQL, so ontology-mediated query answering really does run as SQL
+over the original data (paper Section 1: "the complexity of query
+answering ... matches the complexity of query evaluation in classical
+DBMSs").
+
+Every value is stored in a tagged text encoding (``s:`` for strings,
+``i:`` for integers, ``n:`` for labeled nulls) so heterogeneous constant
+types round-trip exactly and the Unique Name Assumption is preserved by
+SQL equality.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, Sequence
+
+from repro.data.database import Database
+from repro.lang.atoms import Atom
+from repro.lang.errors import ReproError
+from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.lang.signature import Signature
+from repro.lang.terms import Constant, Null, Term, Variable
+
+
+def _encode(term: Term) -> str:
+    if isinstance(term, Constant):
+        if isinstance(term.value, bool):
+            raise ReproError("boolean constants are not supported in SQL backend")
+        if isinstance(term.value, int):
+            return f"i:{term.value}"
+        return f"s:{term.value}"
+    if isinstance(term, Null):
+        return f"n:{term.label}"
+    raise ReproError(f"cannot encode non-ground term {term!r}")
+
+
+def _decode(text: str) -> Term:
+    tag, _, payload = text.partition(":")
+    if tag == "i":
+        return Constant(int(payload))
+    if tag == "s":
+        return Constant(payload)
+    if tag == "n":
+        return Null(payload)
+    raise ReproError(f"malformed encoded value {text!r}")
+
+
+def _sql_literal(term: Term) -> str:
+    encoded = _encode(term).replace("'", "''")
+    return f"'{encoded}'"
+
+
+def _quote_ident(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+def cq_to_sql(query: ConjunctiveQuery) -> str:
+    """Compile one CQ into a ``SELECT DISTINCT`` over self-joined tables.
+
+    Each body atom becomes a table alias ``t0, t1, ...``; variable
+    co-occurrence becomes equality predicates; constants become
+    equality with literals.  Boolean queries select the literal ``1``.
+    """
+    aliases = [f"t{i}" for i in range(len(query.body))]
+    from_clause = ", ".join(
+        f"{_quote_ident(atom.relation)} AS {alias}"
+        for atom, alias in zip(query.body, aliases)
+    )
+    first_site: dict[Variable, str] = {}
+    conditions: list[str] = []
+    for atom, alias in zip(query.body, aliases):
+        for position, term in enumerate(atom.terms, start=1):
+            column = f"{alias}.c{position}"
+            if isinstance(term, Variable):
+                anchor = first_site.get(term)
+                if anchor is None:
+                    first_site[term] = column
+                else:
+                    conditions.append(f"{column} = {anchor}")
+            else:
+                conditions.append(f"{column} = {_sql_literal(term)}")
+    if query.answer_terms:
+        select_items = []
+        for i, term in enumerate(query.answer_terms):
+            if isinstance(term, Variable):
+                select_items.append(f"{first_site[term]} AS a{i}")
+            else:
+                select_items.append(f"{_sql_literal(term)} AS a{i}")
+        select_clause = ", ".join(select_items)
+    else:
+        select_clause = "1 AS a0"
+    sql = f"SELECT DISTINCT {select_clause} FROM {from_clause}"
+    if conditions:
+        sql += " WHERE " + " AND ".join(conditions)
+    return sql
+
+
+def ucq_to_sql(query: UnionOfConjunctiveQueries | ConjunctiveQuery) -> str:
+    """Compile a UCQ into a ``UNION`` of per-disjunct ``SELECT`` blocks."""
+    ucq = UnionOfConjunctiveQueries.of(query)
+    return "\nUNION\n".join(cq_to_sql(cq) for cq in ucq)
+
+
+class SQLiteBackend:
+    """A SQLite-backed relational store mirroring a :class:`Database`.
+
+    Intended usage::
+
+        backend = SQLiteBackend.from_database(db)
+        rows = backend.execute_ucq(rewriting)
+
+    The backend creates one table per relation with columns
+    ``c1 ... ck`` and a covering index per column, then evaluates
+    compiled SQL with ordinary SQLite query processing.
+    """
+
+    def __init__(self, signature: Signature):
+        self._signature = signature
+        self._connection = sqlite3.connect(":memory:")
+        for relation in signature.relations():
+            arity = signature[relation]
+            columns = ", ".join(f"c{i} TEXT NOT NULL" for i in range(1, arity + 1))
+            if arity == 0:
+                columns = "c0 TEXT NOT NULL DEFAULT ''"
+            self._connection.execute(
+                f"CREATE TABLE {_quote_ident(relation)} ({columns})"
+            )
+            for i in range(1, arity + 1):
+                self._connection.execute(
+                    f"CREATE INDEX {_quote_ident(f'ix_{relation}_{i}')} "
+                    f"ON {_quote_ident(relation)} (c{i})"
+                )
+
+    @classmethod
+    def from_database(cls, database: Database) -> "SQLiteBackend":
+        """Create tables for the database's signature and load its facts."""
+        backend = cls(database.signature)
+        backend.load(database.facts())
+        return backend
+
+    def load(self, facts: Iterable[Atom]) -> int:
+        """Bulk-insert facts; returns the number of rows inserted."""
+        count = 0
+        for fact in facts:
+            placeholders = ", ".join("?" for _ in fact.terms) or "''"
+            self._connection.execute(
+                f"INSERT INTO {_quote_ident(fact.relation)} VALUES ({placeholders})",
+                tuple(_encode(t) for t in fact.terms),
+            )
+            count += 1
+        self._connection.commit()
+        return count
+
+    def execute_sql(self, sql: str) -> frozenset[tuple[Term, ...]]:
+        """Run raw compiled SQL, decoding rows back into terms."""
+        cursor = self._connection.execute(sql)
+        out: set[tuple[Term, ...]] = set()
+        for row in cursor.fetchall():
+            decoded = tuple(
+                _decode(cell) for cell in row if isinstance(cell, str)
+            )
+            out.add(decoded)
+        return frozenset(out)
+
+    def execute_cq(self, query: ConjunctiveQuery) -> frozenset[tuple[Term, ...]]:
+        """Compile and run one CQ; boolean queries return {()} or {}."""
+        rows = self._connection.execute(cq_to_sql(query)).fetchall()
+        return _decode_rows(rows, query.arity)
+
+    def execute_ucq(
+        self, query: UnionOfConjunctiveQueries | ConjunctiveQuery
+    ) -> frozenset[tuple[Term, ...]]:
+        """Compile and run a UCQ; boolean queries return {()} or {}."""
+        ucq = UnionOfConjunctiveQueries.of(query)
+        rows = self._connection.execute(ucq_to_sql(ucq)).fetchall()
+        return _decode_rows(rows, ucq.arity)
+
+    def close(self) -> None:
+        """Close the underlying SQLite connection."""
+        self._connection.close()
+
+    def __enter__(self) -> "SQLiteBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _decode_rows(
+    rows: Sequence[Sequence[object]], arity: int
+) -> frozenset[tuple[Term, ...]]:
+    if arity == 0:
+        return frozenset([()]) if rows else frozenset()
+    out: set[tuple[Term, ...]] = set()
+    for row in rows:
+        out.add(tuple(_decode(str(cell)) for cell in row))
+    return frozenset(out)

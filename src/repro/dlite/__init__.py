@@ -1,0 +1,51 @@
+"""DL-Lite_R: syntax and translation into TGDs.
+
+The paper motivates TGD-based ontologies as a generalisation of the
+DL-Lite family (Section 1) and reports that WR "allows for the
+identification of new FO-rewritable Description Logic languages"
+(Section 6).  This package implements the positive-inclusion fragment
+of DL-Lite_R (concept and role inclusions over atomic concepts,
+existential restrictions and inverse roles) and its standard
+translation into TGDs, which experiment E11 feeds to the SWR checker.
+"""
+
+from repro.dlite.syntax import (
+    AtomicConcept,
+    AtomicRole,
+    ConceptInclusion,
+    Exists,
+    Inverse,
+    RoleInclusion,
+    TBox,
+)
+from repro.dlite.extended import (
+    Disjointness,
+    ExtendedConceptInclusion,
+    ExtendedTBox,
+    QualifiedExists,
+    extended_tbox_to_tgds,
+    is_satisfiable,
+    violation_queries,
+)
+from repro.dlite.parser import parse_extended_tbox, parse_tbox
+from repro.dlite.translate import tbox_to_tgds
+
+__all__ = [
+    "AtomicConcept",
+    "AtomicRole",
+    "ConceptInclusion",
+    "Disjointness",
+    "ExtendedConceptInclusion",
+    "ExtendedTBox",
+    "Exists",
+    "Inverse",
+    "RoleInclusion",
+    "QualifiedExists",
+    "TBox",
+    "extended_tbox_to_tgds",
+    "is_satisfiable",
+    "parse_extended_tbox",
+    "parse_tbox",
+    "tbox_to_tgds",
+    "violation_queries",
+]

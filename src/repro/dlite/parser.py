@@ -1,0 +1,154 @@
+"""Parser for a textual DL-Lite / extended-DL syntax.
+
+One axiom per line; ``%`` starts a comment to end of line.
+Concept names start with an uppercase letter, role names with a
+lowercase letter (the usual DL convention); ``-`` after a role name
+denotes its inverse.
+
+Examples::
+
+    Professor <= Person                   % concept inclusion
+    Professor <= exists teaches           % unqualified existential
+    exists teaches- <= Course             % inverse on the left
+    Professor <= exists teaches.Course    % qualified (extended DL)
+    teaches- <= taughtBy                  % role inclusion
+    Student <= not Professor              % disjointness (extended DL)
+
+:func:`parse_tbox` accepts the DL-Lite_R fragment and returns a
+:class:`~repro.dlite.syntax.TBox`; :func:`parse_extended_tbox` accepts
+the full language and returns an
+:class:`~repro.dlite.extended.ExtendedTBox`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.dlite.extended import (
+    Disjointness,
+    ExtendedAxiom,
+    ExtendedConcept,
+    ExtendedConceptInclusion,
+    ExtendedTBox,
+    QualifiedExists,
+)
+from repro.dlite.syntax import (
+    AtomicConcept,
+    AtomicRole,
+    Axiom,
+    Concept,
+    ConceptInclusion,
+    Exists,
+    Inverse,
+    Role,
+    RoleInclusion,
+    TBox,
+)
+from repro.lang.errors import ParseError
+
+_NAME = r"[A-Za-z][A-Za-z0-9_]*"
+_ROLE_RE = re.compile(rf"^({_NAME})(-?)$")
+_EXISTS_RE = re.compile(rf"^exists\s+({_NAME})(-?)(?:\.({_NAME}))?$")
+
+
+def _parse_role(text: str) -> Role:
+    match = _ROLE_RE.match(text)
+    if not match or not match.group(1)[0].islower():
+        raise ParseError(f"expected a role, got {text!r}")
+    role: Role = AtomicRole(match.group(1))
+    if match.group(2):
+        role = Inverse(role)  # type: ignore[arg-type]
+    return role
+
+
+def _parse_side(text: str) -> ExtendedConcept | Role:
+    """A concept (possibly extended) or a role, by convention."""
+    text = text.strip()
+    exists = _EXISTS_RE.match(text)
+    if exists:
+        name, inverse, filler = exists.groups()
+        if not name[0].islower():
+            raise ParseError(f"role name must be lowercase: {name!r}")
+        role: Role = AtomicRole(name)
+        if inverse:
+            role = Inverse(role)  # type: ignore[arg-type]
+        if filler:
+            if not filler[0].isupper():
+                raise ParseError(
+                    f"concept name must be uppercase: {filler!r}"
+                )
+            return QualifiedExists(role, AtomicConcept(filler))
+        return Exists(role)
+    plain = _ROLE_RE.match(text)
+    if not plain:
+        raise ParseError(f"cannot parse DL expression {text!r}")
+    name = plain.group(1)
+    if name[0].isupper():
+        if plain.group(2):
+            raise ParseError(f"concepts have no inverse: {text!r}")
+        return AtomicConcept(name)
+    return _parse_role(text)
+
+
+def _axiom_lines(text: str) -> list[str]:
+    # One axiom per line; periods stay (they qualify existentials).
+    lines: list[str] = []
+    for raw in text.splitlines():
+        line = raw.split("%", 1)[0].strip()
+        if line:
+            lines.append(line)
+    return lines
+
+
+def _parse_axiom(line: str) -> ExtendedAxiom:
+    if "<=" not in line:
+        raise ParseError(f"missing '<=' in axiom {line!r}")
+    left_text, right_text = (part.strip() for part in line.split("<=", 1))
+    negated = False
+    if right_text.startswith("not "):
+        negated = True
+        right_text = right_text[4:].strip()
+    left = _parse_side(left_text)
+    right = _parse_side(right_text)
+    left_is_role = isinstance(left, (AtomicRole, Inverse))
+    right_is_role = isinstance(right, (AtomicRole, Inverse))
+    if negated:
+        if left_is_role or right_is_role:
+            raise ParseError(
+                f"role disjointness is not supported: {line!r}"
+            )
+        return Disjointness(left, right)  # type: ignore[arg-type]
+    if left_is_role != right_is_role:
+        raise ParseError(
+            f"axiom mixes a role and a concept: {line!r}"
+        )
+    if left_is_role:
+        return RoleInclusion(left, right)  # type: ignore[arg-type]
+    if _is_core_concept(left) and _is_core_concept(right):
+        return ConceptInclusion(left, right)  # type: ignore[arg-type]
+    return ExtendedConceptInclusion(left, right)  # type: ignore[arg-type]
+
+
+def _is_core_concept(side: object) -> bool:
+    return isinstance(side, (AtomicConcept, Exists))
+
+
+def parse_extended_tbox(text: str) -> ExtendedTBox:
+    """Parse the full extended language."""
+    return ExtendedTBox(
+        tuple(_parse_axiom(line) for line in _axiom_lines(text))
+    )
+
+
+def parse_tbox(text: str) -> TBox:
+    """Parse the DL-Lite_R fragment; reject extended constructs."""
+    axioms: list[Axiom] = []
+    for axiom in parse_extended_tbox(text):
+        if isinstance(axiom, (ConceptInclusion, RoleInclusion)):
+            axioms.append(axiom)
+        else:
+            raise ParseError(
+                f"axiom {axiom} is outside DL-Lite_R; use "
+                "parse_extended_tbox"
+            )
+    return TBox(tuple(axioms))

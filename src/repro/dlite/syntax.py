@@ -1,0 +1,105 @@
+"""Abstract syntax of the positive fragment of DL-Lite_R.
+
+Supported expressions:
+
+* basic concepts: atomic concepts ``A`` and unqualified existential
+  restrictions ``∃R`` / ``∃R⁻``;
+* basic roles: atomic roles ``P`` and inverse roles ``P⁻``;
+* positive inclusions: ``B1 ⊑ B2`` (concepts) and ``Q1 ⊑ Q2`` (roles).
+
+Negative inclusions (disjointness) do not affect positive query
+answering over satisfiable ontologies and are omitted; functionality
+assertions are outside the TGD fragment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class AtomicConcept:
+    """An atomic concept (unary predicate), e.g. ``Professor``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class AtomicRole:
+    """An atomic role (binary predicate), e.g. ``teaches``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Inverse:
+    """The inverse ``P⁻`` of an atomic role."""
+
+    role: AtomicRole
+
+    def __str__(self) -> str:
+        return f"{self.role}^-"
+
+
+Role = Union[AtomicRole, Inverse]
+
+
+@dataclass(frozen=True)
+class Exists:
+    """The unqualified existential restriction ``∃Q``."""
+
+    role: Role
+
+    def __str__(self) -> str:
+        return f"exists {self.role}"
+
+
+Concept = Union[AtomicConcept, Exists]
+
+
+@dataclass(frozen=True)
+class ConceptInclusion:
+    """A positive concept inclusion ``B1 ⊑ B2``."""
+
+    sub: Concept
+    sup: Concept
+
+    def __str__(self) -> str:
+        return f"{self.sub} ⊑ {self.sup}"
+
+
+@dataclass(frozen=True)
+class RoleInclusion:
+    """A positive role inclusion ``Q1 ⊑ Q2``."""
+
+    sub: Role
+    sup: Role
+
+    def __str__(self) -> str:
+        return f"{self.sub} ⊑ {self.sup}"
+
+
+Axiom = Union[ConceptInclusion, RoleInclusion]
+
+
+@dataclass(frozen=True)
+class TBox:
+    """A DL-Lite_R TBox: a finite set of positive inclusions."""
+
+    axioms: tuple[Axiom, ...]
+
+    def __iter__(self):
+        return iter(self.axioms)
+
+    def __len__(self) -> int:
+        return len(self.axioms)
+
+    def __str__(self) -> str:
+        return "\n".join(str(a) for a in self.axioms)

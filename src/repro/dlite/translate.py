@@ -1,0 +1,72 @@
+"""Translation of DL-Lite_R TBoxes into TGDs.
+
+The standard FO translation: concepts become unary predicates, roles
+binary predicates, and each positive inclusion one TGD, e.g.
+
+* ``A ⊑ ∃P``        becomes ``A(x) -> P(x, y)``;
+* ``∃P⁻ ⊑ A``       becomes ``P(y, x) -> A(x)``;
+* ``P ⊑ S⁻``        becomes ``P(x, y) -> S(y, x)``.
+
+Every produced TGD is *simple* (single-atom head and body, no repeated
+variables, no constants) and linear, so a translated TBox is always
+within SWR (experiment E11 checks this property).
+"""
+
+from __future__ import annotations
+
+from repro.dlite.syntax import (
+    AtomicConcept,
+    AtomicRole,
+    Concept,
+    ConceptInclusion,
+    Exists,
+    Inverse,
+    Role,
+    RoleInclusion,
+    TBox,
+)
+from repro.lang.atoms import Atom
+from repro.lang.terms import Variable
+from repro.lang.tgd import TGD
+
+_X = Variable("X")
+_Y = Variable("Y")
+_Z = Variable("Zf")
+
+
+def _concept_atom(concept: Concept, subject: Variable, fresh: Variable) -> Atom:
+    """The atom asserting *subject* is in *concept*.
+
+    For existential restrictions the second role argument is *fresh*.
+    """
+    if isinstance(concept, AtomicConcept):
+        return Atom(concept.name, [subject])
+    role = concept.role
+    if isinstance(role, AtomicRole):
+        return Atom(role.name, [subject, fresh])
+    return Atom(role.role.name, [fresh, subject])
+
+
+def _role_atom(role: Role, first: Variable, second: Variable) -> Atom:
+    """The atom asserting ``role(first, second)`` (handling inverses)."""
+    if isinstance(role, AtomicRole):
+        return Atom(role.name, [first, second])
+    return Atom(role.role.name, [second, first])
+
+
+def tbox_to_tgds(tbox: TBox) -> tuple[TGD, ...]:
+    """Translate every axiom of *tbox* into one TGD."""
+    rules: list[TGD] = []
+    for index, axiom in enumerate(tbox, start=1):
+        label = f"A{index}"
+        if isinstance(axiom, ConceptInclusion):
+            body = _concept_atom(axiom.sub, _X, _Y)
+            head = _concept_atom(axiom.sup, _X, _Z)
+            rules.append(TGD([body], [head], label=label))
+        elif isinstance(axiom, RoleInclusion):
+            body = _role_atom(axiom.sub, _X, _Y)
+            head = _role_atom(axiom.sup, _X, _Y)
+            rules.append(TGD([body], [head], label=label))
+        else:
+            raise TypeError(f"unsupported axiom {axiom!r}")
+    return tuple(rules)

@@ -1,0 +1,38 @@
+"""Graph encodings of TGD sets: the paper's core contribution.
+
+Two structures (Section 4):
+
+* the **position graph** ``AG(P)`` (Definitions 2–4), whose nodes are
+  positions ``r[i]`` / ``r[ ]`` and whose ``m``/``s`` edge labels track
+  "missing" distinguished variables and "splitting" existential
+  variables along query-rewriting steps; and
+* the **P-node graph** (Definitions 6–7; full definition reconstructed,
+  see :mod:`repro.graphs.pnode_graph`), whose nodes pair a canonical
+  *P-atom* with its generating context and whose edges carry the four
+  labels ``s``, ``m``, ``d``, ``i``.
+
+Both support the labeled-cycle analysis (:mod:`repro.graphs.cycles`)
+that underlies the SWR (Definition 5) and WR (Definition 8) acyclicity
+conditions, and can be rendered to Graphviz DOT
+(:mod:`repro.graphs.dot`).
+"""
+
+from repro.graphs.analysis import GraphCensus, census
+from repro.graphs.cycles import LabeledEdge, LabeledGraph
+from repro.graphs.dot import pnode_graph_to_dot, position_graph_to_dot
+from repro.graphs.pnode_graph import PNode, PNodeGraph, build_pnode_graph
+from repro.graphs.position_graph import PositionGraph, build_position_graph
+
+__all__ = [
+    "GraphCensus",
+    "LabeledEdge",
+    "LabeledGraph",
+    "PNode",
+    "PNodeGraph",
+    "PositionGraph",
+    "build_pnode_graph",
+    "census",
+    "build_position_graph",
+    "pnode_graph_to_dot",
+    "position_graph_to_dot",
+]

@@ -1,0 +1,95 @@
+"""Structural analysis of the paper's graphs.
+
+A compact census used by the CLI (``graph --stats``) and by anyone
+inspecting why a TGD set passed or failed an acyclicity condition:
+node/edge counts, per-label edge counts, SCC structure, and which
+label combinations occur *inside* cycles (the data the SWR/WR
+conditions actually read).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import networkx as nx
+
+from repro.graphs.cycles import LabeledGraph
+
+
+@dataclass(frozen=True)
+class GraphCensus:
+    """Structural summary of a labeled graph.
+
+    Attributes:
+        nodes: node count.
+        edges: edge count.
+        label_counts: label -> number of edges carrying it.
+        scc_count: number of strongly connected components.
+        cyclic_scc_count: SCCs containing at least one internal edge
+            (i.e. participating in some cycle).
+        cycle_label_sets: the distinct label-combination sets realised
+            by cyclic SCCs (each is the union of labels over the SCC's
+            internal edges) -- a dangerous combination appears here iff
+            a dangerous cycle exists.
+    """
+
+    nodes: int
+    edges: int
+    label_counts: Mapping[str, int]
+    scc_count: int
+    cyclic_scc_count: int
+    cycle_label_sets: tuple[frozenset[str], ...]
+
+    def format(self) -> str:
+        """Human-readable multi-line rendering."""
+        lines = [
+            f"nodes: {self.nodes}",
+            f"edges: {self.edges}",
+        ]
+        for label in sorted(self.label_counts):
+            lines.append(f"  {label}-edges: {self.label_counts[label]}")
+        lines.append(
+            f"SCCs: {self.scc_count} ({self.cyclic_scc_count} cyclic)"
+        )
+        if self.cycle_label_sets:
+            rendered = sorted(
+                "{" + ",".join(sorted(labels)) + "}"
+                for labels in self.cycle_label_sets
+            )
+            lines.append(f"labels realised on cycles: {', '.join(rendered)}")
+        else:
+            lines.append("labels realised on cycles: (acyclic)")
+        return "\n".join(lines)
+
+
+def census(graph: LabeledGraph) -> GraphCensus:
+    """Compute the :class:`GraphCensus` of *graph*."""
+    label_counts: dict[str, int] = {}
+    for edge in graph.edges:
+        for label in edge.labels:
+            label_counts[label] = label_counts.get(label, 0) + 1
+
+    nxg = graph.to_networkx()
+    cyclic_label_sets: list[frozenset[str]] = []
+    scc_count = 0
+    cyclic = 0
+    for component in nx.strongly_connected_components(nxg):
+        scc_count += 1
+        internal = [
+            nxg[s][t]["labels"]
+            for s, t in nxg.edges(component)
+            if t in component
+        ]
+        if internal:
+            cyclic += 1
+            cyclic_label_sets.append(frozenset().union(*internal))
+
+    return GraphCensus(
+        nodes=len(graph),
+        edges=len(graph.edges),
+        label_counts=label_counts,
+        scc_count=scc_count,
+        cyclic_scc_count=cyclic,
+        cycle_label_sets=tuple(sorted(cyclic_label_sets, key=sorted)),
+    )

@@ -1,0 +1,194 @@
+"""Labeled directed graphs and dangerous-cycle detection.
+
+Both the position graph and the P-node graph reduce FO-rewritability to
+the *absence of cycles carrying certain label combinations* (a cycle
+with both an ``m``-edge and an ``s``-edge for SWR; a cycle with ``d``,
+``m`` and ``s`` edges and no ``i``-edge for WR).  A cycle here is a
+closed walk; since any two edges inside one strongly connected
+component lie on a common closed walk, the existence question reduces
+to: *is there an SCC (of the graph with forbidden-labeled edges
+removed) whose internal edges jointly cover all required labels?*
+
+:class:`LabeledGraph` stores label sets per edge (labels accumulate
+when an edge is derived several ways, matching ``L : E -> 2^{m,s}`` of
+Definition 4) and implements the SCC-based check together with witness
+extraction (an explicit closed walk through one edge per required
+label).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class LabeledEdge:
+    """One directed edge with its accumulated label set."""
+
+    source: Hashable
+    target: Hashable
+    labels: frozenset[str]
+
+    def __str__(self) -> str:
+        labels = ",".join(sorted(self.labels)) if self.labels else "∅"
+        return f"{self.source} -[{labels}]-> {self.target}"
+
+
+class LabeledGraph:
+    """A directed graph whose edges carry sets of string labels."""
+
+    def __init__(self):
+        self._nodes: dict[Hashable, None] = {}
+        self._edges: dict[tuple[Hashable, Hashable], set[str]] = {}
+
+    # ----------------------------------------------------------------- #
+    # Construction                                                       #
+    # ----------------------------------------------------------------- #
+
+    def add_node(self, node: Hashable) -> bool:
+        """Insert *node*; return True iff it was new."""
+        if node in self._nodes:
+            return False
+        self._nodes[node] = None
+        return True
+
+    def add_edge(
+        self, source: Hashable, target: Hashable, labels: Iterable[str] = ()
+    ) -> None:
+        """Insert the edge, accumulating *labels* onto any existing ones."""
+        self.add_node(source)
+        self.add_node(target)
+        self._edges.setdefault((source, target), set()).update(labels)
+
+    def add_labels(
+        self, source: Hashable, target: Hashable, labels: Iterable[str]
+    ) -> None:
+        """Add labels to an existing edge (error if absent)."""
+        key = (source, target)
+        if key not in self._edges:
+            raise KeyError(f"no edge {source} -> {target}")
+        self._edges[key].update(labels)
+
+    # ----------------------------------------------------------------- #
+    # Inspection                                                         #
+    # ----------------------------------------------------------------- #
+
+    @property
+    def nodes(self) -> tuple[Hashable, ...]:
+        """All nodes, in insertion order."""
+        return tuple(self._nodes)
+
+    @property
+    def edges(self) -> tuple[LabeledEdge, ...]:
+        """All edges with their label sets, in insertion order."""
+        return tuple(
+            LabeledEdge(source, target, frozenset(labels))
+            for (source, target), labels in self._edges.items()
+        )
+
+    def labels(self, source: Hashable, target: Hashable) -> frozenset[str]:
+        """Label set of an edge (empty frozenset when absent)."""
+        return frozenset(self._edges.get((source, target), ()))
+
+    def has_edge(self, source: Hashable, target: Hashable) -> bool:
+        """True iff the directed edge is present."""
+        return (source, target) in self._edges
+
+    def successors(self, node: Hashable) -> tuple[Hashable, ...]:
+        """Targets of edges out of *node*, in insertion order."""
+        return tuple(t for (s, t) in self._edges if s == node)
+
+    def edges_with_label(self, label: str) -> tuple[LabeledEdge, ...]:
+        """All edges whose label set contains *label*."""
+        return tuple(e for e in self.edges if label in e.labels)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._nodes
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Export to a networkx DiGraph with a ``labels`` edge attribute."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self._nodes)
+        for (source, target), labels in self._edges.items():
+            graph.add_edge(source, target, labels=frozenset(labels))
+        return graph
+
+    # ----------------------------------------------------------------- #
+    # Dangerous-cycle analysis                                           #
+    # ----------------------------------------------------------------- #
+
+    def find_labeled_cycle(
+        self,
+        required: Iterable[str],
+        forbidden: Iterable[str] = (),
+    ) -> tuple[LabeledEdge, ...] | None:
+        """A closed walk covering every *required* label, or None.
+
+        Edges carrying any *forbidden* label are excluded entirely
+        (walking them would place a forbidden label on the cycle).
+        The witness is returned as the edge sequence of a closed walk;
+        ``None`` means no such cycle exists.
+        """
+        required = list(dict.fromkeys(required))
+        forbidden_set = set(forbidden)
+        allowed = nx.DiGraph()
+        allowed.add_nodes_from(self._nodes)
+        for (source, target), labels in self._edges.items():
+            if labels & forbidden_set:
+                continue
+            allowed.add_edge(source, target, labels=frozenset(labels))
+
+        for component in nx.strongly_connected_components(allowed):
+            internal = [
+                (s, t, allowed[s][t]["labels"])
+                for s, t in allowed.edges(component)
+                if t in component
+            ]
+            if not internal:
+                continue
+            covering: list[tuple[Hashable, Hashable, frozenset[str]]] = []
+            satisfied = True
+            for label in required:
+                edge = next(
+                    (e for e in internal if label in e[2]), None
+                )
+                if edge is None:
+                    satisfied = False
+                    break
+                covering.append(edge)
+            if not required:
+                covering = [internal[0]]
+            if satisfied:
+                return self._stitch_walk(allowed, covering)
+        return None
+
+    def has_labeled_cycle(
+        self, required: Iterable[str], forbidden: Iterable[str] = ()
+    ) -> bool:
+        """True iff :meth:`find_labeled_cycle` would return a witness."""
+        return self.find_labeled_cycle(required, forbidden) is not None
+
+    def _stitch_walk(
+        self,
+        graph: nx.DiGraph,
+        covering: Sequence[tuple[Hashable, Hashable, frozenset[str]]],
+    ) -> tuple[LabeledEdge, ...]:
+        """Join the covering edges into one closed walk via SCC paths."""
+        walk: list[LabeledEdge] = []
+        distinct: list[tuple[Hashable, Hashable, frozenset[str]]] = []
+        for edge in covering:
+            if edge not in distinct:
+                distinct.append(edge)
+        for i, (source, target, labels) in enumerate(distinct):
+            walk.append(LabeledEdge(source, target, labels))
+            next_source = distinct[(i + 1) % len(distinct)][0]
+            path = nx.shortest_path(graph, target, next_source)
+            for a, b in zip(path, path[1:]):
+                walk.append(LabeledEdge(a, b, graph[a][b]["labels"]))
+        return tuple(walk)

@@ -1,0 +1,69 @@
+"""Graphviz DOT rendering of the position graph and P-node graph.
+
+The benches regenerate the paper's Figures 1–3 both as text listings
+and as DOT files; any Graphviz installation renders the latter with
+``dot -Tpng``.  Edge labels show the accumulated label set
+(``m``, ``s``, ``d``, ``i``); dangerous-cycle edges can be highlighted.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.graphs.cycles import LabeledEdge
+from repro.graphs.pnode_graph import PNodeGraph
+from repro.graphs.position_graph import PositionGraph
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _render(
+    name: str,
+    nodes: Iterable[object],
+    edges: Iterable[LabeledEdge],
+    highlight: Iterable[LabeledEdge] = (),
+) -> str:
+    highlighted = {(e.source, e.target) for e in highlight}
+    lines = [f"digraph {name} {{", "  rankdir=TB;", '  node [shape=ellipse];']
+    index: dict[object, str] = {}
+    for i, node in enumerate(nodes):
+        index[node] = f"n{i}"
+        lines.append(f'  n{i} [label="{_escape(str(node))}"];')
+    for edge in edges:
+        label = ",".join(sorted(edge.labels))
+        attrs = [f'label="{_escape(label)}"'] if label else []
+        if (edge.source, edge.target) in highlighted:
+            attrs.append("color=red")
+            attrs.append("penwidth=2")
+        attr_text = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(
+            f"  {index[edge.source]} -> {index[edge.target]}{attr_text};"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def position_graph_to_dot(
+    graph: PositionGraph, name: str = "AG", highlight_dangerous: bool = True
+) -> str:
+    """DOT source for a position graph (Figures 1 and 2)."""
+    highlight: tuple[LabeledEdge, ...] = ()
+    if highlight_dangerous:
+        witness = graph.dangerous_cycle()
+        if witness:
+            highlight = witness
+    return _render(name, graph.positions, graph.edges, highlight)
+
+
+def pnode_graph_to_dot(
+    graph: PNodeGraph, name: str = "PG", highlight_dangerous: bool = True
+) -> str:
+    """DOT source for a P-node graph (Figure 3)."""
+    highlight: tuple[LabeledEdge, ...] = ()
+    if highlight_dangerous:
+        witness = graph.dangerous_cycle()
+        if witness:
+            highlight = witness
+    return _render(name, graph.pnodes, graph.edges, highlight)

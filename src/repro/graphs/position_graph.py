@@ -1,0 +1,191 @@
+"""The position graph ``AG(P)`` (Definitions 2–4 of the paper).
+
+Nodes are positions ``r[ ]`` (generic) and ``r[i]`` (specific); an edge
+``σ -> σ'`` abstracts one query-rewriting step transforming an atom
+whose shape is described by ``σ`` into a body atom described by ``σ'``.
+Labels record dangerous behaviours of the step:
+
+* ``m`` ("missing"): some distinguished variable of the applied TGD is
+  missing from the body atom, so the rewriting step *loses* a binding;
+* ``s`` ("splitting"): the traced existential variable occurs in two or
+  more body atoms, so the rewriting step *splits* an unknown into a
+  join.
+
+The construction follows Definition 4 literally.  It is specified for
+*simple* TGDs; on non-simple input (repeated variables or constants)
+the same induction still runs -- ``Pos(x, β)`` simply returns every
+position of ``x`` -- which is exactly how the paper's Example 2 uses
+the position graph "nonetheless" to exhibit its failure mode.
+Multi-atom heads are outside the definition and rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.graphs.cycles import LabeledEdge, LabeledGraph
+from repro.lang.atoms import Atom, Position
+from repro.lang.errors import NotSupportedError
+from repro.lang.terms import Variable
+from repro.lang.tgd import TGD
+
+MISSING = "m"
+SPLITTING = "s"
+
+
+@dataclass(frozen=True)
+class PositionGraph:
+    """The computed position graph together with its input rules."""
+
+    rules: tuple[TGD, ...]
+    graph: LabeledGraph
+
+    @property
+    def positions(self) -> tuple[Position, ...]:
+        """All nodes (positions), in construction order."""
+        return tuple(self.graph.nodes)  # type: ignore[return-value]
+
+    @property
+    def edges(self) -> tuple[LabeledEdge, ...]:
+        """All labeled edges, in construction order."""
+        return self.graph.edges
+
+    def m_edges(self) -> tuple[LabeledEdge, ...]:
+        """Edges labeled ``m``."""
+        return self.graph.edges_with_label(MISSING)
+
+    def s_edges(self) -> tuple[LabeledEdge, ...]:
+        """Edges labeled ``s``."""
+        return self.graph.edges_with_label(SPLITTING)
+
+    def dangerous_cycle(self) -> tuple[LabeledEdge, ...] | None:
+        """A cycle with both an ``m``-edge and an ``s``-edge, or None.
+
+        Definition 5 forbids exactly these cycles.
+        """
+        return self.graph.find_labeled_cycle((MISSING, SPLITTING))
+
+    def summary(self) -> str:
+        """Human-readable node/edge listing (stable order)."""
+        lines = [f"nodes ({len(self.graph)}):"]
+        lines.extend(f"  {node}" for node in sorted(
+            self.positions, key=lambda p: p.sort_key()
+        ))
+        lines.append(f"edges ({len(self.edges)}):")
+        lines.extend(
+            f"  {edge}"
+            for edge in sorted(
+                self.edges,
+                key=lambda e: (e.source.sort_key(), e.target.sort_key()),
+            )
+        )
+        return "\n".join(lines)
+
+
+def r_compatible(head: Atom, position: Position) -> bool:
+    """R-compatibility (Definition 3) of a rule head with a position.
+
+    ``r[ ]`` requires only matching relation; ``r[i]`` additionally
+    requires the head's *i*-th argument to be a distinguished variable
+    of the rule -- checked by the caller, which knows the rule.  This
+    helper checks the structural part (relation and position range).
+    """
+    if head.relation != position.relation:
+        return False
+    if position.index is None:
+        return True
+    return 1 <= position.index <= head.arity
+
+
+def build_position_graph(rules: Sequence[TGD]) -> PositionGraph:
+    """Construct ``AG(P)`` per Definition 4 (worklist closure)."""
+    rules = tuple(rules)
+    for rule in rules:
+        if len(rule.head) != 1:
+            raise NotSupportedError(
+                f"position graph requires single-atom heads; {rule} has "
+                f"{len(rule.head)}"
+            )
+    graph = LabeledGraph()
+    worklist: list[Position] = []
+
+    def discover(position: Position) -> None:
+        if graph.add_node(position):
+            worklist.append(position)
+
+    # Base case: one generic node per rule-head relation.
+    for rule in rules:
+        discover(Position(rule.single_head().relation))
+
+    # Inductive case: expand each node against every compatible rule.
+    while worklist:
+        sigma = worklist.pop(0)
+        for rule in rules:
+            _expand(sigma, rule, graph, discover)
+
+    return PositionGraph(rules=rules, graph=graph)
+
+
+def _expand(sigma: Position, rule: TGD, graph: LabeledGraph, discover) -> None:
+    """Apply Definition 4 points 1–3 for one (node, rule) pair."""
+    head = rule.single_head()
+    if not r_compatible(head, sigma):
+        return
+    distinguished = set(rule.distinguished_variables())
+    traced: Variable | None = None
+    if sigma.index is not None:
+        term = head[sigma.index]
+        # Definition 3(ii): α[i] must be a distinguished variable.
+        if not isinstance(term, Variable) or term not in distinguished:
+            return
+        traced = term
+
+    existential_body = set(rule.existential_body_variables())
+    edges_added: list[tuple[Position, Position]] = []
+
+    for beta in rule.body:
+        edges_for_beta: list[tuple[Position, Position]] = []
+
+        # (1a) generic edge to the body atom's relation.
+        target = Position(beta.relation)
+        edges_for_beta.append((sigma, target))
+
+        # (1b) one edge per position of each existential body variable.
+        for var in beta.variables():
+            if var in existential_body:
+                for index in beta.positions_of(var):
+                    edges_for_beta.append(
+                        (sigma, Position(beta.relation, index))
+                    )
+
+        # (1c) trace the distinguished variable at σ's position into β.
+        if traced is not None:
+            for index in beta.positions_of(traced):
+                edges_for_beta.append((sigma, Position(beta.relation, index)))
+
+        # (1d) m-label when β misses a distinguished variable of R.
+        beta_vars = set(beta.variables())
+        missing = not distinguished <= beta_vars
+        for source, dest in edges_for_beta:
+            discover(dest)
+            graph.add_edge(source, dest, (MISSING,) if missing else ())
+        edges_added.extend(edges_for_beta)
+
+    # (2) s-label everywhere when an existential body variable occurs
+    #     in two or more body atoms.
+    split = any(
+        _occurrence_atoms(rule, var) >= 2 for var in existential_body
+    )
+    # (3) s-label everywhere when the traced variable occurs in two or
+    #     more body atoms.
+    if traced is not None and _occurrence_atoms(rule, traced) >= 2:
+        split = True
+    if split:
+        for source, dest in edges_added:
+            graph.add_labels(source, dest, (SPLITTING,))
+
+
+def _occurrence_atoms(rule: TGD, var: Variable) -> int:
+    """Number of *body atoms* of the rule in which *var* occurs."""
+    return sum(1 for atom in rule.body if var in atom.variables())

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the repro library.
+
+Every exception raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParseError(ReproError):
+    """Raised when the textual Datalog±-style syntax cannot be parsed.
+
+    Carries the offending text and, when available, the position at
+    which parsing failed, so error messages can point at the problem.
+    """
+
+    def __init__(self, message: str, text: str | None = None, pos: int | None = None):
+        self.text = text
+        self.pos = pos
+        if text is not None and pos is not None:
+            snippet = text[max(0, pos - 20):pos + 20]
+            message = f"{message} (at offset {pos}: ...{snippet!r}...)"
+        super().__init__(message)
+
+
+class SignatureError(ReproError):
+    """Raised when a relation symbol is used with inconsistent arity."""
+
+
+class SafetyError(ReproError):
+    """Raised when a rule or query violates a safety condition.
+
+    Examples: a TGD with an empty body or head, a CQ whose distinguished
+    variable does not occur in its body (Section 3 requires every
+    distinguished variable to occur at least once in the body).
+    """
+
+
+class RewritingBudgetExceeded(ReproError):
+    """Raised when the UCQ rewriting engine exhausts its budget.
+
+    FO-rewritability of an arbitrary TGD set is undecidable, so the
+    rewriter accepts explicit budgets (maximum resolution depth and
+    maximum number of generated CQs).  Exceeding a budget does *not*
+    mean the input is not FO-rewritable -- only that this run could not
+    confirm it within the allotted resources.
+    """
+
+    def __init__(self, message: str, partial_cqs: int = 0, depth_reached: int = 0):
+        self.partial_cqs = partial_cqs
+        self.depth_reached = depth_reached
+        super().__init__(message)
+
+
+class ChaseBudgetExceeded(ReproError):
+    """Raised when the chase engine exceeds its step budget.
+
+    The chase of a TGD set need not terminate; engines therefore take a
+    maximum number of applications and raise this error when it runs
+    out before reaching a fixpoint.
+    """
+
+
+class NotSupportedError(ReproError):
+    """Raised when an operation is asked of an input outside its scope.
+
+    For example, requesting the position graph of TGDs with multi-atom
+    heads (the position graph is defined for single-head TGDs only).
+    """

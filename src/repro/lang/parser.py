@@ -1,0 +1,280 @@
+"""Parser for a Datalog±-style textual syntax.
+
+The concrete syntax follows the conventions of the DLGP format used by
+existential-rule tools:
+
+* **Variables** are identifiers starting with an uppercase letter
+  (``X``, ``Y1``, ``Person``).
+* **Constants** are identifiers starting with a lowercase letter
+  (``alice``), double-quoted strings (``"a"``) or integers (``42``).
+* **Atoms** are ``relation(term, ..., term)``; relation symbols are
+  identifiers (any case -- the token before ``(`` is always a relation).
+* **TGDs** are ``body -> head`` with comma-separated atom lists, e.g.
+  ``s(Y1,Y2,Y3), t(Y4) -> r(Y1,Y3)``.  An optional ``label:`` prefix
+  names the rule: ``r1: v(Y1,Y2), q(Y2) -> s(Y1,Y3,Y2)``.
+* **CQs** are ``q(X, Y) :- body`` (the head relation names the query);
+  boolean queries are written ``q() :- body``.
+* **Programs** are sequences of TGDs separated by periods or newlines;
+  ``%`` starts a comment running to end of line.
+* **Databases** are sequences of ground atoms with the same separators.
+
+Example::
+
+    r1: s(Y1,Y2,Y3), t(Y4) -> r(Y1,Y3).
+    r2: v(Y1,Y2), q(Y2) -> s(Y1,Y3,Y2).
+    r3: r(Y1,Y2) -> v(Y1,Y2).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, NamedTuple
+
+from repro.lang.atoms import Atom
+from repro.lang.errors import ParseError
+from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.lang.terms import Constant, Term, Variable
+from repro.lang.tgd import TGD
+
+_TOKEN_SPEC = [
+    ("WS", r"[ \t\r]+"),
+    ("COMMENT", r"%[^\n]*"),
+    ("NEWLINE", r"\n"),
+    ("ARROW", r"->"),
+    ("IMPLIES", r":-"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("PERIOD", r"\."),
+    ("COLON", r":"),
+    ("STRING", r'"[^"\n]*"'),
+    ("INT", r"-?\d+"),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_]*"),
+]
+
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{rx})" for name, rx in _TOKEN_SPEC))
+
+
+class _Token(NamedTuple):
+    kind: str
+    value: str
+    pos: int
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", text, pos)
+        kind = match.lastgroup or ""
+        if kind not in ("WS", "COMMENT"):
+            yield _Token(kind, match.group(), pos)
+        pos = match.end()
+    yield _Token("EOF", "", pos)
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = list(_tokenize(text))
+        self.index = 0
+
+    # -- token plumbing ------------------------------------------------ #
+
+    def peek(self, skip_newlines: bool = True) -> _Token:
+        i = self.index
+        if skip_newlines:
+            while self.tokens[i].kind == "NEWLINE":
+                i += 1
+        return self.tokens[i]
+
+    def advance(self, skip_newlines: bool = True) -> _Token:
+        if skip_newlines:
+            while self.tokens[self.index].kind == "NEWLINE":
+                self.index += 1
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        token = self.advance()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, got {token.kind} {token.value!r}",
+                self.text,
+                token.pos,
+            )
+        return token
+
+    def at_end(self) -> bool:
+        return self.peek().kind == "EOF"
+
+    # -- grammar ------------------------------------------------------- #
+
+    def term(self) -> Term:
+        token = self.advance()
+        if token.kind == "IDENT":
+            if token.value[0].isupper() or token.value[0] == "_":
+                return Variable(token.value)
+            return Constant(token.value)
+        if token.kind == "STRING":
+            return Constant(token.value[1:-1])
+        if token.kind == "INT":
+            return Constant(int(token.value))
+        raise ParseError(
+            f"expected a term, got {token.kind} {token.value!r}",
+            self.text,
+            token.pos,
+        )
+
+    def atom(self) -> Atom:
+        relation = self.expect("IDENT").value
+        self.expect("LPAREN")
+        terms: list[Term] = []
+        if self.peek().kind != "RPAREN":
+            terms.append(self.term())
+            while self.peek().kind == "COMMA":
+                self.advance()
+                terms.append(self.term())
+        self.expect("RPAREN")
+        return Atom(relation, terms)
+
+    def atom_list(self) -> list[Atom]:
+        atoms = [self.atom()]
+        while self.peek().kind == "COMMA":
+            self.advance()
+            atoms.append(self.atom())
+        return atoms
+
+    def tgd(self) -> TGD:
+        label = None
+        # Lookahead for "label :" -- an IDENT followed by COLON.
+        if (
+            self.peek().kind == "IDENT"
+            and self.tokens[self._next_significant(1)].kind == "COLON"
+        ):
+            label = self.advance().value
+            self.expect("COLON")
+        body = self.atom_list()
+        self.expect("ARROW")
+        head = self.atom_list()
+        return TGD(body, head, label=label)
+
+    def _next_significant(self, offset: int) -> int:
+        """Index of the *offset*-th significant token after the cursor."""
+        i = self.index
+        found = 0
+        while True:
+            if self.tokens[i].kind != "NEWLINE":
+                found += 1
+                if found > offset:
+                    return i
+            i += 1
+
+    def query(self) -> ConjunctiveQuery:
+        name = self.expect("IDENT").value
+        self.expect("LPAREN")
+        answers: list[Variable] = []
+        if self.peek().kind != "RPAREN":
+            answers.append(self._answer_variable())
+            while self.peek().kind == "COMMA":
+                self.advance()
+                answers.append(self._answer_variable())
+        self.expect("RPAREN")
+        self.expect("IMPLIES")
+        body = self.atom_list()
+        return ConjunctiveQuery(answers, body, name=name)
+
+    def _answer_variable(self) -> Variable:
+        token = self.expect("IDENT")
+        if not (token.value[0].isupper() or token.value[0] == "_"):
+            raise ParseError(
+                f"answer position must be a variable, got {token.value!r}",
+                self.text,
+                token.pos,
+            )
+        return Variable(token.value)
+
+    def statement_separator(self) -> None:
+        """Consume an optional period and any newlines."""
+        if self.peek(skip_newlines=False).kind == "PERIOD":
+            self.advance(skip_newlines=False)
+        while self.peek(skip_newlines=False).kind == "NEWLINE":
+            self.advance(skip_newlines=False)
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom, e.g. ``r(X, "a", 3)``."""
+    parser = _Parser(text)
+    atom = parser.atom()
+    parser.statement_separator()
+    if not parser.at_end():
+        token = parser.peek()
+        raise ParseError("trailing input after atom", text, token.pos)
+    return atom
+
+
+def parse_tgd(text: str) -> TGD:
+    """Parse a single TGD, e.g. ``r1: s(X,Y) -> r(X,Z)``."""
+    parser = _Parser(text)
+    rule = parser.tgd()
+    parser.statement_separator()
+    if not parser.at_end():
+        token = parser.peek()
+        raise ParseError("trailing input after TGD", text, token.pos)
+    return rule
+
+
+def parse_program(text: str) -> tuple[TGD, ...]:
+    """Parse a sequence of TGDs separated by periods/newlines.
+
+    Rules without an explicit label receive ``R1``, ``R2``, ... in
+    order of appearance.
+    """
+    parser = _Parser(text)
+    rules: list[TGD] = []
+    while not parser.at_end():
+        rule = parser.tgd()
+        parser.statement_separator()
+        rules.append(rule)
+    return tuple(
+        rule if rule.label else TGD(rule.body, rule.head, label=f"R{i}")
+        for i, rule in enumerate(rules, start=1)
+    )
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a single CQ, e.g. ``q(X) :- r(X, Y), s(Y)``."""
+    parser = _Parser(text)
+    query = parser.query()
+    parser.statement_separator()
+    if not parser.at_end():
+        token = parser.peek()
+        raise ParseError("trailing input after query", text, token.pos)
+    return query
+
+
+def parse_ucq(text: str) -> UnionOfConjunctiveQueries:
+    """Parse one or more CQs (a UCQ), separated by periods/newlines."""
+    parser = _Parser(text)
+    disjuncts: list[ConjunctiveQuery] = []
+    while not parser.at_end():
+        disjuncts.append(parser.query())
+        parser.statement_separator()
+    return UnionOfConjunctiveQueries(disjuncts)
+
+
+def parse_database(text: str) -> tuple[Atom, ...]:
+    """Parse a sequence of ground atoms (facts)."""
+    parser = _Parser(text)
+    facts: list[Atom] = []
+    while not parser.at_end():
+        atom = parser.atom()
+        if not atom.is_ground():
+            raise ParseError(f"fact {atom} is not ground", text, 0)
+        parser.statement_separator()
+        facts.append(atom)
+    return tuple(facts)

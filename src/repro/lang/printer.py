@@ -1,0 +1,65 @@
+"""Pretty-printing helpers shared across the library.
+
+``str()`` on the language objects already produces the concrete syntax
+accepted by :mod:`repro.lang.parser`; this module adds multi-object
+layouts (programs, rewritings, classification reports) used by the
+examples and benchmark harnesses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.lang.tgd import TGD
+
+
+def format_program(rules: Iterable[TGD]) -> str:
+    """Render a TGD set one rule per line, with trailing periods."""
+    return "\n".join(f"{rule}." for rule in rules)
+
+
+def format_ucq(ucq: UnionOfConjunctiveQueries | Sequence[ConjunctiveQuery]) -> str:
+    """Render a UCQ one disjunct per line."""
+    disjuncts = list(ucq)
+    return "\n".join(f"{cq}." for cq in disjuncts)
+
+
+def format_answers(rows: Iterable[tuple]) -> str:
+    """Render answer tuples one per line, deterministically sorted."""
+    rendered = sorted(
+        "(" + ", ".join(str(v) for v in row) + ")" for row in rows
+    )
+    return "\n".join(rendered)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render a fixed-width text table (used by the bench harnesses)."""
+    columns = [[str(h)] for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        for cell, column in zip(row, columns):
+            column.append(str(cell))
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_mapping(mapping: Mapping[object, object], indent: str = "  ") -> str:
+    """Render a mapping one ``key: value`` pair per line, sorted by key."""
+    return "\n".join(
+        f"{indent}{key}: {value}"
+        for key, value in sorted(mapping.items(), key=lambda kv: str(kv[0]))
+    )

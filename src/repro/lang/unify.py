@@ -1,0 +1,75 @@
+"""Most-general unifiers for terms and atoms.
+
+Unification here is first-order unification without function symbols,
+so the occurs check is unnecessary: terms are variables, constants or
+nulls, never compound.  Constants unify only with themselves (Unique
+Name Assumption) and with variables; nulls likewise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.lang.atoms import Atom
+from repro.lang.substitution import Substitution
+from repro.lang.terms import Term, Variable
+
+
+def mgu(pairs: Iterable[tuple[Term, Term]]) -> Substitution | None:
+    """Most general unifier of a set of term pairs, or None.
+
+    Implemented as the standard Martelli–Montanari loop specialised to
+    flat terms: maintain a triangular binding map and resolve each pair
+    under the bindings accumulated so far.
+    """
+    bindings: dict[Variable, Term] = {}
+
+    def resolve(term: Term) -> Term:
+        while isinstance(term, Variable) and term in bindings:
+            term = bindings[term]
+        return term
+
+    for left, right in pairs:
+        left = resolve(left)
+        right = resolve(right)
+        if left == right:
+            continue
+        if isinstance(left, Variable):
+            bindings[left] = right
+        elif isinstance(right, Variable):
+            bindings[right] = left
+        else:
+            return None  # two distinct ground terms (UNA)
+
+    # Flatten the triangular map into an idempotent substitution.
+    flat = {var: resolve(var) for var in bindings}
+    return Substitution(flat)
+
+
+def mgu_atoms(first: Atom, second: Atom) -> Substitution | None:
+    """Most general unifier of two atoms, or None.
+
+    Atoms unify only when they share relation symbol and arity.
+    """
+    if first.relation != second.relation or first.arity != second.arity:
+        return None
+    return mgu(zip(first.terms, second.terms))
+
+
+def mgu_atom_sets(pairs: Sequence[tuple[Atom, Atom]]) -> Substitution | None:
+    """Simultaneous MGU of several atom pairs, or None.
+
+    Used by piece unification, where a set of query atoms must unify
+    with a set of head atoms under one substitution.
+    """
+    term_pairs: list[tuple[Term, Term]] = []
+    for first, second in pairs:
+        if first.relation != second.relation or first.arity != second.arity:
+            return None
+        term_pairs.extend(zip(first.terms, second.terms))
+    return mgu(term_pairs)
+
+
+def unifiable(first: Atom, second: Atom) -> bool:
+    """True iff the two atoms have a unifier."""
+    return mgu_atoms(first, second) is not None

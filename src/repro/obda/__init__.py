@@ -1,0 +1,22 @@
+"""OBDA system facade: ontology + mappings + data source.
+
+The paper's architecture (Section 1): an ontology holds the
+intensional knowledge, a DBMS manages the extensional data, and an
+optional mapping layer relates the two "through mapping assertions
+[14]".  :class:`~repro.obda.system.OBDASystem` wires together the
+library's pieces into that three-layer architecture, answering UCQs by
+FO-rewriting (with a chase-based oracle available for validation).
+"""
+
+from repro.obda.mappings import MappingAssertion, apply_mappings
+from repro.obda.strategy import Strategy, StrategyReport, answer_with_best_strategy
+from repro.obda.system import OBDASystem
+
+__all__ = [
+    "MappingAssertion",
+    "OBDASystem",
+    "Strategy",
+    "StrategyReport",
+    "answer_with_best_strategy",
+    "apply_mappings",
+]

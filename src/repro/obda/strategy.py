@@ -1,0 +1,123 @@
+"""The Section-7 decision procedure, operationalised.
+
+Given an arbitrary TGD set, Section 7 distinguishes three situations:
+(i) the set is WR -- use FO rewriting; (ii) membership cannot be
+established; (iii) the set is not WR -- fall back to approximation.
+:func:`answer_with_best_strategy` implements the full decision tree on
+a *per-query* basis, exploiting every tool in the library:
+
+1. **REWRITING** -- the query-relevant fragment is SWR or WR
+   (:mod:`repro.core.per_query`): rewriting is guaranteed to terminate
+   and the answers are exact, with AC0 data complexity.
+2. **PROBED_REWRITING** -- the fragment's class is unknown but the
+   staged probe (:mod:`repro.rewriting.probe`) observed the rewriting
+   completing: exact answers, same evaluation path.
+3. **CHASE** -- rewriting unavailable, but the fragment is weakly
+   acyclic: the chase terminates, so certain answers are exact (at
+   data-dependent cost).
+4. **APPROXIMATION** -- everything else: depth-bounded rewriting gives
+   a sound under-approximation (:mod:`repro.rewriting.approx`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.chase.certain import certain_answers_via_chase
+from repro.chase.termination import is_weakly_acyclic
+from repro.core.per_query import classify_for_query
+from repro.data.database import Database
+from repro.data.evaluation import evaluate_ucq
+from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.lang.terms import Term
+from repro.lang.tgd import TGD
+from repro.rewriting.approx import approximate_answers
+from repro.rewriting.probe import ProbeVerdict, probe_query_rewritability
+from repro.rewriting.rewriter import rewrite
+
+
+class Strategy(enum.Enum):
+    """The answering strategy selected by the decision procedure."""
+
+    REWRITING = "rewriting"
+    PROBED_REWRITING = "probed-rewriting"
+    CHASE = "chase"
+    APPROXIMATION = "approximation"
+
+
+@dataclass(frozen=True)
+class StrategyReport:
+    """Answers plus how (and how reliably) they were obtained.
+
+    Attributes:
+        answers: the computed answer set.
+        strategy: which branch of the decision tree ran.
+        exact: True when *answers* are exactly the certain answers;
+            False for the sound APPROXIMATION under-approximation.
+        reason: one-line human-readable justification.
+    """
+
+    answers: frozenset[tuple[Term, ...]]
+    strategy: Strategy
+    exact: bool
+    reason: str
+
+
+def answer_with_best_strategy(
+    query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+    rules: Sequence[TGD],
+    database: Database,
+    probe_depth: int = 10,
+    approx_depth: int = 8,
+    chase_max_steps: int = 200_000,
+) -> StrategyReport:
+    """Run the per-query Section-7 decision tree and answer *query*."""
+    rules = tuple(rules)
+    report = classify_for_query(query, rules)
+    fragment = report.relevant
+
+    if report.fo_rewritable_guaranteed:
+        result = rewrite(query, fragment)
+        which = "SWR" if report.swr.is_swr else "WR"
+        return StrategyReport(
+            answers=evaluate_ucq(result.ucq, database),
+            strategy=Strategy.REWRITING,
+            exact=True,
+            reason=f"query-relevant fragment is {which}: "
+            "FO rewriting terminates and is exact",
+        )
+
+    probe = probe_query_rewritability(query, fragment, max_depth=probe_depth)
+    if probe.verdict is ProbeVerdict.TERMINATES:
+        return StrategyReport(
+            answers=evaluate_ucq(probe.rewriting, database),
+            strategy=Strategy.PROBED_REWRITING,
+            exact=True,
+            reason="class membership unknown, but the staged rewriting "
+            "completed: exact per-query rewriting",
+        )
+
+    if is_weakly_acyclic(fragment):
+        chase_result = certain_answers_via_chase(
+            query, fragment, database, max_steps=chase_max_steps
+        )
+        return StrategyReport(
+            answers=chase_result.answers,
+            strategy=Strategy.CHASE,
+            exact=True,
+            reason="not (provably) FO-rewritable, but weakly acyclic: "
+            "the chase terminates, certain answers are exact",
+        )
+
+    approx = approximate_answers(
+        query, fragment, database, max_depth=approx_depth
+    )
+    return StrategyReport(
+        answers=approx.answers,
+        strategy=Strategy.APPROXIMATION,
+        exact=approx.exact,
+        reason="outside every terminating regime: depth-bounded "
+        "rewriting returns a sound under-approximation",
+    )

@@ -1,0 +1,151 @@
+"""The OBDA system facade.
+
+:class:`OBDASystem` assembles the three layers of Section 1 of the
+paper: a TGD ontology, an optional GAV mapping layer, and a source
+database.  Query answering runs the FO-rewriting pipeline by default
+(rewrite once, evaluate over the virtual ABox -- either in memory or
+compiled to SQL), with a chase-based oracle for validation.
+
+Before answering, :meth:`OBDASystem.classification` reports where the
+ontology sits among the library's classes (the paper's Section 7
+scenarios: WR / undetermined / not WR), so callers can decide between
+exact rewriting and the sound approximation of
+:mod:`repro.rewriting.approx`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.chase.certain import certain_answers_via_chase
+from repro.core.classify import ClassificationReport, classify
+from repro.data.database import Database
+from repro.data.sql import SQLiteBackend
+from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.lang.signature import Signature
+from repro.lang.terms import Term
+from repro.lang.tgd import TGD
+from repro.obda.mappings import MappingAssertion, apply_mappings
+from repro.rewriting.budget import RewritingBudget
+from repro.rewriting.engine import FORewritingEngine
+
+
+class OBDASystem:
+    """Ontology + mappings + data: certain-answer query answering.
+
+    Args:
+        ontology: the TGD set (intensional layer).
+        source: the source database (extensional layer).
+        mappings: GAV assertions source -> ontology vocabulary; when
+            None the source is taken to be stated directly in the
+            ontology's vocabulary (identity mapping).
+        budget: rewriting budget for the engine.
+    """
+
+    def __init__(
+        self,
+        ontology: Sequence[TGD],
+        source: Database,
+        mappings: Sequence[MappingAssertion] | None = None,
+        budget: RewritingBudget | None = None,
+    ):
+        self._ontology = tuple(ontology)
+        self._source = source
+        self._mappings = tuple(mappings) if mappings is not None else None
+        self._engine = FORewritingEngine(self._ontology, budget=budget)
+        self._abox: Database | None = None
+        self._sql_backend: SQLiteBackend | None = None
+        self._classification: ClassificationReport | None = None
+
+    # ----------------------------------------------------------------- #
+    # Layers                                                              #
+    # ----------------------------------------------------------------- #
+
+    @property
+    def ontology(self) -> tuple[TGD, ...]:
+        """The intensional layer (TGDs)."""
+        return self._ontology
+
+    @property
+    def engine(self) -> FORewritingEngine:
+        """The underlying rewriting engine (rewritings are cached)."""
+        return self._engine
+
+    def abox(self) -> Database:
+        """The virtual ABox: source data seen through the mappings."""
+        if self._abox is None:
+            if self._mappings is None:
+                self._abox = self._source
+            else:
+                self._abox = apply_mappings(self._mappings, self._source)
+        return self._abox
+
+    def classification(self) -> ClassificationReport:
+        """Where the ontology sits among the implemented classes."""
+        if self._classification is None:
+            self._classification = classify(self._ontology)
+        return self._classification
+
+    # ----------------------------------------------------------------- #
+    # Query answering                                                     #
+    # ----------------------------------------------------------------- #
+
+    def certain_answers(
+        self,
+        query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+        require_complete: bool = True,
+    ) -> frozenset[tuple[Term, ...]]:
+        """Certain answers via FO rewriting over the virtual ABox."""
+        return self._engine.answer(
+            query, self.abox(), require_complete=require_complete
+        )
+
+    def certain_answers_sql(
+        self, query: ConjunctiveQuery | UnionOfConjunctiveQueries
+    ) -> frozenset[tuple[Term, ...]]:
+        """Certain answers with the rewriting executed as SQLite SQL."""
+        if self._sql_backend is None:
+            # The rewriting may mention ontology relations with no
+            # stored facts, so the schema covers the whole ontology
+            # signature, not just the ABox's.
+            abox = self.abox()
+            signature = Signature(dict(abox.signature))
+            for rule in self._ontology:
+                signature.observe_tgd(rule)
+            backend = SQLiteBackend(signature)
+            backend.load(abox.facts())
+            self._sql_backend = backend
+        return self._engine.answer_sql(query, self._sql_backend)
+
+    def certain_answers_chase(
+        self,
+        query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+        max_steps: int = 100_000,
+    ) -> frozenset[tuple[Term, ...]]:
+        """Oracle: certain answers via the restricted chase.
+
+        Exponentially more expensive in the data; used to validate the
+        rewriting pipeline (and by the E10 bench to show the rewriting
+        side's data-complexity advantage).
+        """
+        return certain_answers_via_chase(
+            query, self._ontology, self.abox(), max_steps=max_steps
+        ).answers
+
+    def sql_for(
+        self, query: ConjunctiveQuery | UnionOfConjunctiveQueries
+    ) -> str:
+        """The SQL text the rewriting compiles to."""
+        return self._engine.sql_for(query)
+
+    def close(self) -> None:
+        """Release the SQLite backend, if one was created."""
+        if self._sql_backend is not None:
+            self._sql_backend.close()
+            self._sql_backend = None
+
+    def __enter__(self) -> "OBDASystem":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

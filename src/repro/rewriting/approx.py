@@ -1,0 +1,93 @@
+"""Sound approximation of certain answers for badly-behaved TGD sets.
+
+Section 7 of the paper observes that an arbitrary TGD set ``P`` lands
+in one of three situations: (i) ``P`` is WR, (ii) WR membership cannot
+be established effectively, (iii) ``P`` is not WR -- and proposes
+approximation techniques (via *query patterns*, [11]) for (ii) and
+(iii).  This module implements the natural rewriting-based
+approximation: depth-capped rewriting is *sound* (each generated
+disjunct derives only certain answers), so evaluating deeper and deeper
+partial rewritings yields a monotonically growing under-approximation
+of ``cert(q, P, D)`` that converges to it in the limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.data.database import Database
+from repro.data.evaluation import evaluate_ucq
+from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.lang.terms import Term
+from repro.lang.tgd import TGD
+from repro.rewriting.budget import RewritingBudget
+from repro.rewriting.rewriter import rewrite
+
+
+@dataclass(frozen=True)
+class ApproximationReport:
+    """Per-depth record of a converging approximation run.
+
+    Attributes:
+        depths: the rewriting depths tried, in order.
+        answer_counts: |answers| obtained at each depth.
+        ucq_sizes: number of disjuncts of each partial rewriting.
+        answers: the final (deepest) answer set.
+        exact: True iff the rewriting completed at some depth, making
+            the final answers exactly the certain answers.
+        converged_at: first depth at which the answer set stopped
+            growing, or None if it grew up to the last depth tried.
+    """
+
+    depths: tuple[int, ...]
+    answer_counts: tuple[int, ...]
+    ucq_sizes: tuple[int, ...]
+    answers: frozenset[tuple[Term, ...]]
+    exact: bool
+    converged_at: int | None
+
+
+def approximate_answers(
+    query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+    rules: Sequence[TGD],
+    database: Database,
+    max_depth: int = 8,
+    max_cqs: int = 50_000,
+) -> ApproximationReport:
+    """Evaluate depth-1..max_depth partial rewritings over *database*.
+
+    Every reported answer is certain (soundness); the report records
+    how the answer set grows with depth and whether it stabilised.
+    """
+    depths: list[int] = []
+    counts: list[int] = []
+    sizes: list[int] = []
+    answers: frozenset[tuple[Term, ...]] = frozenset()
+    exact = False
+    for depth in range(1, max_depth + 1):
+        result = rewrite(
+            query, rules, RewritingBudget(max_depth=depth, max_cqs=max_cqs)
+        )
+        answers = evaluate_ucq(result.ucq, database)
+        depths.append(depth)
+        counts.append(len(answers))
+        sizes.append(len(result.ucq))
+        if result.complete:
+            exact = True
+            break
+    converged_at: int | None = None
+    for i in range(len(counts)):
+        if counts[i:] == [counts[i]] * (len(counts) - i):
+            converged_at = depths[i]
+            break
+    if len(counts) <= 1:
+        converged_at = depths[0] if depths else None
+    return ApproximationReport(
+        depths=tuple(depths),
+        answer_counts=tuple(counts),
+        ucq_sizes=tuple(sizes),
+        answers=answers,
+        exact=exact,
+        converged_at=converged_at,
+    )

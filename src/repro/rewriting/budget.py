@@ -1,0 +1,59 @@
+"""Budgets for the rewriting engine.
+
+Deciding FO-rewritability of an arbitrary TGD set is undecidable
+(Section 2 of the paper, citing Beeri–Vardi), so the rewriter is a
+semi-decision procedure: it terminates on well-behaved inputs (SWR, WR
+and the classes they subsume) and must be bounded on everything else.
+A :class:`RewritingBudget` caps both the resolution depth (number of
+breadth-first rewriting rounds) and the total number of generated CQs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RewritingBudget:
+    """Resource limits for one rewriting run.
+
+    Attributes:
+        max_depth: maximum number of breadth-first rewriting rounds
+            (None means unlimited -- use only when termination is
+            guaranteed, e.g. after an SWR/WR membership check).
+        max_cqs: maximum number of distinct CQs generated in total.
+        max_seconds: wall-clock ceiling for the saturation (None means
+            unlimited).  The count budgets bound *work items*, not
+            time -- a diverging rewriting whose CQs keep growing can
+            burn minutes well under ``max_cqs`` -- so time-sensitive
+            callers (probes, tests, interactive tools) should set this.
+        strict: when True, exceeding a limit raises
+            :class:`~repro.lang.errors.RewritingBudgetExceeded`; when
+            False the partial (sound but possibly incomplete) rewriting
+            is returned with ``complete=False``.
+    """
+
+    max_depth: int | None = None
+    max_cqs: int = 100_000
+    max_seconds: float | None = None
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_depth is not None and self.max_depth < 0:
+            raise ValueError(f"max_depth must be >= 0, got {self.max_depth}")
+        if self.max_cqs < 1:
+            raise ValueError(f"max_cqs must be >= 1, got {self.max_cqs}")
+        if self.max_seconds is not None and self.max_seconds <= 0:
+            raise ValueError(
+                f"max_seconds must be positive, got {self.max_seconds}"
+            )
+
+    @classmethod
+    def default(cls) -> "RewritingBudget":
+        """A budget generous enough for every workload in this repo."""
+        return cls(max_depth=None, max_cqs=100_000, strict=False)
+
+    @classmethod
+    def shallow(cls, depth: int) -> "RewritingBudget":
+        """A depth-capped budget for approximation experiments."""
+        return cls(max_depth=depth, max_cqs=100_000, strict=False)

@@ -1,0 +1,110 @@
+"""End-to-end FO-rewriting query-answering engine.
+
+:class:`FORewritingEngine` packages the pipeline the paper advocates:
+given an ontology (a set of TGDs), answer a UCQ over a plain database
+by (1) computing the FO-rewriting of the query w.r.t. the TGDs and
+(2) evaluating the rewriting over the database alone -- either with the
+in-memory evaluator or compiled to SQL on a SQLite backend.  Data
+complexity is therefore that of evaluating a fixed FO query (AC0),
+which is the whole point of FO-rewritability (Definition 1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.data.database import Database
+from repro.data.evaluation import evaluate_ucq
+from repro.data.sql import SQLiteBackend, ucq_to_sql
+from repro.lang.errors import RewritingBudgetExceeded
+from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.lang.terms import Term
+from repro.lang.tgd import TGD
+from repro.rewriting.budget import RewritingBudget
+from repro.rewriting.rewriter import RewritingResult, rewrite
+
+
+class FORewritingEngine:
+    """Answers UCQs over a TGD ontology by query rewriting.
+
+    Rewritings are cached per query (keyed by the UCQ's canonical
+    form), so answering the same query over many databases pays the
+    rewriting cost once -- the usage pattern OBDA is designed around.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[TGD],
+        budget: RewritingBudget | None = None,
+        filter_relevant: bool = True,
+    ):
+        self._rules = tuple(rules)
+        self._budget = budget or RewritingBudget.default()
+        self._filter_relevant = filter_relevant
+        self._cache: dict[UnionOfConjunctiveQueries, RewritingResult] = {}
+
+    @property
+    def rules(self) -> tuple[TGD, ...]:
+        """The ontology this engine answers queries over."""
+        return self._rules
+
+    def rewrite(
+        self, query: ConjunctiveQuery | UnionOfConjunctiveQueries
+    ) -> RewritingResult:
+        """The (cached) rewriting of *query* w.r.t. the engine's rules."""
+        ucq = UnionOfConjunctiveQueries.of(query)
+        result = self._cache.get(ucq)
+        if result is None:
+            rules: Sequence[TGD] = self._rules
+            if self._filter_relevant:
+                from repro.rewriting.relevance import relevant_rules
+
+                rules = relevant_rules(ucq, rules).relevant
+            result = rewrite(ucq, rules, self._budget)
+            self._cache[ucq] = result
+        return result
+
+    def answer(
+        self,
+        query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+        database: Database,
+        require_complete: bool = True,
+    ) -> frozenset[tuple[Term, ...]]:
+        """Certain answers of *query* over (rules, database).
+
+        With ``require_complete=True`` (default) an incomplete rewriting
+        (budget exhausted) raises; with False the sound partial answer
+        set is returned.
+        """
+        result = self.rewrite(query)
+        if require_complete and not result.complete:
+            raise RewritingBudgetExceeded(
+                "rewriting incomplete within budget; pass "
+                "require_complete=False for a sound approximation",
+                partial_cqs=result.generated,
+                depth_reached=result.depth_reached,
+            )
+        return evaluate_ucq(result.ucq, database)
+
+    def answer_sql(
+        self,
+        query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+        backend: SQLiteBackend,
+        require_complete: bool = True,
+    ) -> frozenset[tuple[Term, ...]]:
+        """Like :meth:`answer` but evaluated as SQL on a SQLite backend."""
+        result = self.rewrite(query)
+        if require_complete and not result.complete:
+            raise RewritingBudgetExceeded(
+                "rewriting incomplete within budget; pass "
+                "require_complete=False for a sound approximation",
+                partial_cqs=result.generated,
+                depth_reached=result.depth_reached,
+            )
+        return backend.execute_ucq(result.ucq)
+
+    def sql_for(
+        self, query: ConjunctiveQuery | UnionOfConjunctiveQueries
+    ) -> str:
+        """The SQL text of the rewriting (the "equivalent SQL query")."""
+        return ucq_to_sql(self.rewrite(query).ucq)

@@ -1,0 +1,151 @@
+"""CQ subsumption and minimization.
+
+``q1`` is *subsumed by* ``q2`` (``q1 ⊑ q2``) when every answer of
+``q1`` is an answer of ``q2`` over every database.  By the
+homomorphism theorem this holds iff there is a homomorphism from the
+body of ``q2`` to the body of ``q1`` mapping the answer tuple of
+``q2`` position-wise onto the answer tuple of ``q1``.
+
+The check is implemented with the canonical-database ("freezing")
+method: the variables of ``q1`` are frozen into private constants, the
+frozen body becomes a database, and the evaluator searches for a
+homomorphic match of ``q2``'s body.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.data.database import Database
+from repro.data.evaluation import all_homomorphisms
+from repro.lang.atoms import Atom
+from repro.lang.queries import ConjunctiveQuery
+from repro.lang.terms import Constant, Term, Variable
+
+
+class _Frozen:
+    """Private payload wrapping a frozen variable name.
+
+    Wrapping guarantees frozen constants can never collide with real
+    constants appearing in queries.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Frozen) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("_Frozen", self.name))
+
+    def __repr__(self) -> str:
+        return f"_Frozen({self.name!r})"
+
+    def __str__(self) -> str:
+        return f"«{self.name}»"
+
+    def __lt__(self, other: "_Frozen") -> bool:
+        return self.name < other.name
+
+
+def _freeze_term(term: Term) -> Term:
+    if isinstance(term, Variable):
+        return Constant(_Frozen(term.name))
+    return term
+
+
+def _freeze_body(body: Sequence[Atom]) -> Database:
+    database = Database()
+    for atom in body:
+        database.add(Atom(atom.relation, [_freeze_term(t) for t in atom.terms]))
+    return database
+
+
+def is_subsumed(subsumee: ConjunctiveQuery, subsumer: ConjunctiveQuery) -> bool:
+    """True iff ``subsumee ⊑ subsumer`` (the subsumer is more general).
+
+    Queries of different arity are never comparable.
+    """
+    if subsumee.arity != subsumer.arity:
+        return False
+    canonical = _freeze_body(subsumee.body)
+    frozen_answers = tuple(_freeze_term(t) for t in subsumee.answer_terms)
+    for hom in all_homomorphisms(list(subsumer.body), canonical):
+        image = tuple(
+            hom[t] if isinstance(t, Variable) else t
+            for t in subsumer.answer_terms
+        )
+        if image == frozen_answers:
+            return True
+    return False
+
+
+def equivalent(first: ConjunctiveQuery, second: ConjunctiveQuery) -> bool:
+    """True iff the two CQs are logically equivalent (mutual subsumption)."""
+    return is_subsumed(first, second) and is_subsumed(second, first)
+
+
+def remove_subsumed(
+    queries: Sequence[ConjunctiveQuery],
+) -> tuple[ConjunctiveQuery, ...]:
+    """Keep only subsumption-maximal CQs (the minimal equivalent UCQ).
+
+    A query is dropped when another input query strictly subsumes it;
+    among mutually equivalent queries the one with the smallest body
+    (earliest on ties) survives, so output is deterministic.
+    """
+    queries = list(queries)
+    rank = {
+        i: (len(query.body), i) for i, query in enumerate(queries)
+    }
+    kept: list[ConjunctiveQuery] = []
+    for i, query in enumerate(queries):
+        dominated = False
+        for j, other in enumerate(queries):
+            if i == j:
+                continue
+            if not is_subsumed(query, other):
+                continue
+            if is_subsumed(other, query):
+                # Equivalent pair: keep the better-ranked one only.
+                if rank[j] < rank[i]:
+                    dominated = True
+                    break
+            else:
+                dominated = True
+                break
+        if not dominated:
+            kept.append(query)
+    return tuple(kept)
+
+
+def minimize_cq(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Remove redundant body atoms (compute a core of the query).
+
+    Repeatedly drops an atom when the remaining body still admits a
+    homomorphism from the full query fixing the answer tuple -- i.e.
+    the shortened query is equivalent to the original.
+    """
+    body = list(dict.fromkeys(query.body))
+    changed = True
+    while changed and len(body) > 1:
+        changed = False
+        for i in range(len(body)):
+            candidate_body = body[:i] + body[i + 1:]
+            answer_vars = set(query.answer_variables)
+            remaining_vars = {
+                v for atom in candidate_body for v in atom.variables()
+            }
+            if not answer_vars <= remaining_vars:
+                continue
+            candidate = ConjunctiveQuery(
+                query.answer_terms, candidate_body, name=query.name
+            )
+            if is_subsumed(candidate, query):
+                body = candidate_body
+                changed = True
+                break
+    return ConjunctiveQuery(query.answer_terms, body, name=query.name)

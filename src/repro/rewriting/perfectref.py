@@ -1,0 +1,220 @@
+"""A PerfectRef-style baseline rewriter for linear TGDs.
+
+PerfectRef (Calvanese et al., the DL-Lite rewriting algorithm) is the
+classical baseline every rewriting engine is measured against.  This
+module implements its natural generalisation to *linear* TGDs
+(single-atom bodies): repeatedly
+
+1. **atom rewriting** -- replace one query atom that unifies with a
+   rule head (under the usual existential-variable applicability
+   conditions) by the rule's body atom, and
+2. **reduce** -- unify two query atoms with each other (PerfectRef's
+   factorisation step),
+
+until no new CQ (up to canonical form) appears.  Subsumed CQs are
+removed from the final result only, as in the original algorithm.
+
+On linear inputs this produces the same UCQ (up to equivalence) as the
+general piece engine (:mod:`repro.rewriting.rewriter`) -- asserted by
+tests and the comparison bench -- while being considerably simpler;
+it exists as the baseline, not as a replacement: it cannot handle
+multi-atom bodies or heads.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.lang.atoms import Atom
+from repro.lang.errors import NotSupportedError
+from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.lang.substitution import Substitution
+from repro.lang.terms import Constant, Term, Variable
+from repro.lang.tgd import TGD
+from repro.rewriting.budget import RewritingBudget
+from repro.rewriting.minimize import remove_subsumed
+from repro.rewriting.pieces import factorizations
+from repro.rewriting.rewriter import RewritingResult
+
+
+def perfectref_rewrite(
+    query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+    rules: Sequence[TGD],
+    budget: RewritingBudget | None = None,
+) -> RewritingResult:
+    """PerfectRef-style saturation over linear TGDs.
+
+    Raises :class:`NotSupportedError` on non-linear or multi-head
+    rules -- the baseline's scope is exactly the DL-Lite-shaped
+    fragment.
+    """
+    budget = budget or RewritingBudget.default()
+    rules = list(rules)
+    for rule in rules:
+        if len(rule.body) != 1 or len(rule.head) != 1:
+            raise NotSupportedError(
+                f"PerfectRef baseline requires linear single-head rules; "
+                f"got {rule.label or rule}"
+            )
+
+    seen: dict[tuple, ConjunctiveQuery] = {}
+    frontier: list[ConjunctiveQuery] = []
+    for cq in UnionOfConjunctiveQueries.of(query):
+        cq = cq.dedupe_body()
+        key = cq.canonical()
+        if key not in seen:
+            seen[key] = cq
+            frontier.append(cq)
+
+    per_depth = [len(frontier)]
+    depth = 0
+    explored = 0
+    complete = True
+    while frontier:
+        if budget.max_depth is not None and depth >= budget.max_depth:
+            complete = False
+            break
+        depth += 1
+        next_frontier: list[ConjunctiveQuery] = []
+        for cq in frontier:
+            explored += 1
+            candidates = list(_atom_rewritings(cq, rules))
+            candidates.extend(factorizations(cq))
+            for candidate in candidates:
+                candidate = candidate.dedupe_body()
+                key = candidate.canonical()
+                if key in seen:
+                    continue
+                seen[key] = candidate
+                next_frontier.append(candidate)
+            if len(seen) > budget.max_cqs:
+                complete = False
+                next_frontier = []
+                break
+        per_depth.append(len(next_frontier))
+        frontier = next_frontier
+        if not complete:
+            break
+
+    final = remove_subsumed(list(seen.values()))
+    return RewritingResult(
+        ucq=UnionOfConjunctiveQueries(list(final)),
+        complete=complete,
+        depth_reached=depth,
+        generated=len(seen),
+        explored=explored,
+        per_depth=tuple(per_depth),
+    )
+
+
+def _atom_rewritings(cq: ConjunctiveQuery, rules: Sequence[TGD]):
+    """All single-atom rewriting steps of *cq* (PerfectRef step 1)."""
+    answer_vars = set(cq.answer_variables)
+    for index, atom in enumerate(cq.body):
+        shared = _shared_variables(cq, index)
+        for rule in rules:
+            fresh = rule.rename_apart(
+                set(cq.body_variables()) | answer_vars
+            )
+            head = fresh.head[0]
+            unifier = _applicable_unifier(
+                atom, head, fresh, shared, answer_vars
+            )
+            if unifier is None:
+                continue
+            new_body = [
+                unifier.apply_atom(a)
+                for i, a in enumerate(cq.body)
+                if i != index
+            ]
+            new_body.append(unifier.apply_atom(fresh.body[0]))
+            answers = [unifier.apply_term(t) for t in cq.answer_terms]
+            yield ConjunctiveQuery(answers, new_body, name=cq.name)
+
+
+def _shared_variables(cq: ConjunctiveQuery, index: int) -> set[Variable]:
+    """Variables of atom *index* occurring elsewhere in the query."""
+    mine = set(cq.body[index].variables())
+    others: set[Variable] = set()
+    for i, atom in enumerate(cq.body):
+        if i != index:
+            others.update(atom.variables())
+    return mine & others
+
+
+def _applicable_unifier(
+    atom: Atom,
+    head: Atom,
+    rule: TGD,
+    shared: set[Variable],
+    answer_vars: set[Variable],
+) -> Substitution | None:
+    """PerfectRef applicability: bound positions need frontier partners."""
+    if atom.relation != head.relation or atom.arity != head.arity:
+        return None
+    existential = set(rule.existential_head_variables())
+
+    parent: dict[Term, Term] = {}
+
+    def find(term: Term) -> Term:
+        parent.setdefault(term, term)
+        while parent[term] != term:
+            parent[term] = parent[parent[term]]
+            term = parent[term]
+        return term
+
+    for left, right in zip(atom.terms, head.terms):
+        left_root, right_root = find(left), find(right)
+        if left_root != right_root:
+            parent[left_root] = right_root
+
+    groups: dict[Term, set[Term]] = {}
+    for term in list(parent):
+        groups.setdefault(find(term), set()).add(term)
+
+    mapping: dict[Variable, Term] = {}
+    for group in groups.values():
+        constants = {t for t in group if isinstance(t, Constant)}
+        if len(constants) > 1:
+            return None
+        group_existential = {
+            t for t in group if isinstance(t, Variable) and t in existential
+        }
+        if group_existential:
+            if len(group_existential) > 1 or constants:
+                return None
+            bound = {
+                t
+                for t in group
+                if isinstance(t, Variable)
+                and (t in shared or t in answer_vars)
+            }
+            frontier = {
+                t
+                for t in group
+                if isinstance(t, Variable)
+                and t in set(rule.distinguished_variables())
+            }
+            if bound or frontier:
+                return None  # a bound argument cannot become a null
+        representative = _representative(group, answer_vars, existential)
+        for term in group:
+            if isinstance(term, Variable) and term != representative:
+                mapping[term] = representative
+    return Substitution(mapping)
+
+
+def _representative(
+    group: set[Term], answer_vars: set[Variable], existential: set[Variable]
+) -> Term:
+    def rank(term: Term) -> tuple:
+        if isinstance(term, Constant):
+            return (0, str(term))
+        assert isinstance(term, Variable)
+        if term in answer_vars:
+            return (1, term.name)
+        if term not in existential:
+            return (2, term.name)
+        return (3, term.name)
+
+    return min(group, key=rank)

@@ -1,0 +1,293 @@
+"""Piece unification: the rewriting step over existential rules.
+
+A rewriting step resolves a subset of the query atoms (a *piece*)
+against the head of a TGD and replaces it with the rule body.  The
+piece cannot be chosen freely: a query variable unified with an
+*existential head variable* of the rule corresponds to a labeled null
+in the canonical model, so it must not be an answer variable, must not
+be unified with a constant or with a frontier variable, and every other
+atom in which it occurs must belong to the piece as well (otherwise the
+step would claim knowledge about a null that the rest of the query
+still constrains).  When a shared variable blocks a unification, the
+piece is *aggregated*: the blocking atoms are pulled into the piece and
+unified against head atoms too, recursively.
+
+This is the classical sound-and-complete rewriting operator for
+existential rules; the paper's position graph and P-node graph are
+precisely abstractions of the possible sequences of these steps
+("every edge from an atom σ to an atom σ' represents the possible
+transformation of σ into σ' through a query rewriting step", Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lang.atoms import Atom
+from repro.lang.queries import ConjunctiveQuery
+from repro.lang.substitution import Substitution
+from repro.lang.terms import Constant, Term, Variable
+from repro.lang.tgd import TGD
+
+
+@dataclass(frozen=True)
+class PieceRewriting:
+    """One successful rewriting step.
+
+    Attributes:
+        query: the rewritten conjunctive query.
+        rule: the (renamed-apart) rule instance that was applied.
+        piece: indexes of the query body atoms consumed by the step.
+    """
+
+    query: ConjunctiveQuery
+    rule: TGD
+    piece: frozenset[int]
+
+
+class _UnionFind:
+    """Union-find over terms for building unifier classes."""
+
+    def __init__(self):
+        self._parent: dict[Term, Term] = {}
+
+    def find(self, term: Term) -> Term:
+        parent = self._parent.setdefault(term, term)
+        if parent == term:
+            return term
+        root = self.find(parent)
+        self._parent[term] = root
+        return root
+
+    def union(self, left: Term, right: Term) -> None:
+        left_root, right_root = self.find(left), self.find(right)
+        if left_root != right_root:
+            self._parent[left_root] = right_root
+
+    def classes(self) -> list[set[Term]]:
+        groups: dict[Term, set[Term]] = {}
+        for term in list(self._parent):
+            groups.setdefault(self.find(term), set()).add(term)
+        return list(groups.values())
+
+
+def piece_rewritings(
+    query: ConjunctiveQuery, rule: TGD
+) -> Iterator[PieceRewriting]:
+    """All piece rewritings of *query* with *rule* (deduplicated).
+
+    The rule is standardized apart from the query first.  Pieces are
+    enumerated starting from every single (query atom, head atom) pair
+    and closed under the aggregation forced by existential-variable
+    sharing; each distinct closed piece yields at most one rewriting
+    (the most general unifier of its pairs).
+    """
+    fresh_rule = rule.rename_apart(
+        set(query.body_variables()) | set(query.answer_variables)
+    )
+    produced: set[frozenset[tuple[int, int]]] = set()
+    results: list[PieceRewriting] = []
+    for query_index in range(len(query.body)):
+        for head_index in range(len(fresh_rule.head)):
+            _close(
+                frozenset([(query_index, head_index)]),
+                query,
+                fresh_rule,
+                produced,
+                results,
+            )
+    yield from results
+
+
+def _close(
+    pairs: frozenset[tuple[int, int]],
+    query: ConjunctiveQuery,
+    rule: TGD,
+    produced: set[frozenset[tuple[int, int]]],
+    results: list[PieceRewriting],
+) -> None:
+    """Try to complete *pairs* into a valid piece unifier.
+
+    Appends a :class:`PieceRewriting` to *results* when the unifier is
+    valid; recurses with aggregated pieces when an existential class
+    leaks into atoms outside the piece; gives up silently when the
+    unifier is structurally impossible.
+    """
+    if pairs in produced:
+        return
+    produced.add(pairs)
+
+    # Position-wise union of each (query atom, head atom) pair.
+    union = _UnionFind()
+    for query_index, head_index in pairs:
+        query_atom = query.body[query_index]
+        head_atom = rule.head[head_index]
+        if (
+            query_atom.relation != head_atom.relation
+            or query_atom.arity != head_atom.arity
+        ):
+            return
+        for query_term, head_term in zip(query_atom.terms, head_atom.terms):
+            union.union(query_term, head_term)
+
+    existential = set(rule.existential_head_variables())
+    frontier = set(rule.distinguished_variables())
+    answer_vars = set(query.answer_variables)
+    piece = {query_index for query_index, _ in pairs}
+    outside_occurrences = _variable_sites(query, piece)
+
+    aggregation_needed: list[int] = []
+    for group in union.classes():
+        constants = [t for t in group if isinstance(t, Constant)]
+        if len(set(constants)) > 1:
+            return  # two distinct constants can never be equal (UNA)
+        group_existential = [
+            t for t in group
+            if isinstance(t, Variable) and t in existential
+        ]
+        if not group_existential:
+            continue
+        if len(set(group_existential)) > 1:
+            return  # two distinct invented nulls are never equal
+        if constants:
+            return  # a null is never equal to a constant
+        if any(
+            isinstance(t, Variable) and t in frontier for t in group
+        ):
+            return  # a null is never equal to a frontier value
+        for term in group:
+            if not isinstance(term, Variable) or term in existential:
+                continue
+            if term in answer_vars:
+                return  # answers are never nulls
+            aggregation_needed.extend(outside_occurrences.get(term, ()))
+
+    if aggregation_needed:
+        # The unifier claims some query variable denotes a null, but the
+        # variable also occurs outside the piece: pull each outside atom
+        # into the piece, trying every head atom as its partner.
+        blocking = aggregation_needed[0]
+        for head_index in range(len(rule.head)):
+            _close(
+                pairs | {(blocking, head_index)},
+                query,
+                rule,
+                produced,
+                results,
+            )
+        return
+
+    substitution = _class_substitution(union, answer_vars, existential)
+    new_body: list[Atom] = [
+        substitution.apply_atom(atom)
+        for index, atom in enumerate(query.body)
+        if index not in piece
+    ]
+    new_body.extend(substitution.apply_atom(atom) for atom in rule.body)
+    deduped = list(dict.fromkeys(new_body))
+    new_answers = [substitution.apply_term(t) for t in query.answer_terms]
+    rewritten = ConjunctiveQuery(new_answers, deduped, name=query.name)
+    results.append(
+        PieceRewriting(query=rewritten, rule=rule, piece=frozenset(piece))
+    )
+
+
+def _variable_sites(
+    query: ConjunctiveQuery, piece: set[int]
+) -> dict[Variable, tuple[int, ...]]:
+    """Map each variable to the body-atom indexes outside *piece* using it."""
+    sites: dict[Variable, list[int]] = {}
+    for index, atom in enumerate(query.body):
+        if index in piece:
+            continue
+        for var in atom.variables():
+            sites.setdefault(var, []).append(index)
+    return {var: tuple(indexes) for var, indexes in sites.items()}
+
+
+def _class_substitution(
+    union: _UnionFind,
+    answer_vars: set[Variable],
+    existential: set[Variable],
+) -> Substitution:
+    """Build the unifying substitution from the union-find classes.
+
+    Representative preference: the constant if the class has one, then
+    answer variables, then other non-existential variables.  Classes
+    consisting of an existential head variable plus piece-local query
+    variables map onto the existential variable; those variables vanish
+    with the piece, so the choice is invisible in the result.
+    """
+    mapping: dict[Variable, Term] = {}
+    for group in union.classes():
+        representative = _pick_representative(group, answer_vars, existential)
+        for term in group:
+            if isinstance(term, Variable) and term != representative:
+                mapping[term] = representative
+    return Substitution(mapping)
+
+
+def _pick_representative(
+    group: set[Term],
+    answer_vars: set[Variable],
+    existential: set[Variable],
+) -> Term:
+    def rank(term: Term) -> tuple:
+        if isinstance(term, Constant):
+            return (0, str(term))
+        assert isinstance(term, Variable)
+        if term in answer_vars:
+            return (1, term.name)
+        if term not in existential:
+            return (2, term.name)
+        return (3, term.name)
+
+    return min(group, key=rank)
+
+
+def factorizations(query: ConjunctiveQuery) -> Iterator[ConjunctiveQuery]:
+    """All single-step factorizations of *query*.
+
+    A factorization unifies two body atoms of the query, producing a
+    more specific query.  Factorized queries are sound (specialisations)
+    and are required as *intermediate* rewriting states: a rule head
+    with a repeated or shared existential variable may only become
+    applicable after two query atoms have been merged.  Unifications
+    that would equate two distinct constants are skipped.
+    """
+    body = query.body
+    for i in range(len(body)):
+        for j in range(i + 1, len(body)):
+            first, second = body[i], body[j]
+            if first.relation != second.relation or first.arity != second.arity:
+                continue
+            unifier = _factor_mgu(first, second, set(query.answer_variables))
+            if unifier is None:
+                continue
+            new_body = list(
+                dict.fromkeys(unifier.apply_atom(a) for a in body)
+            )
+            if len(new_body) >= len(body):
+                continue  # nothing merged; the step did no work
+            new_answers = [unifier.apply_term(t) for t in query.answer_terms]
+            yield ConjunctiveQuery(new_answers, new_body, name=query.name)
+
+
+def _factor_mgu(
+    first: Atom, second: Atom, answer_vars: set[Variable]
+) -> Substitution | None:
+    """MGU of two query atoms preferring answer variables as survivors."""
+    union = _UnionFind()
+    for left, right in zip(first.terms, second.terms):
+        union.union(left, right)
+    mapping: dict[Variable, Term] = {}
+    for group in union.classes():
+        constants = [t for t in group if isinstance(t, Constant)]
+        if len(set(constants)) > 1:
+            return None
+        representative = _pick_representative(group, answer_vars, set())
+        for term in group:
+            if isinstance(term, Variable) and term != representative:
+                mapping[term] = representative
+    return Substitution(mapping)

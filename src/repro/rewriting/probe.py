@@ -1,0 +1,121 @@
+"""Per-query FO-rewritability probing (the Section 7 scenario).
+
+When a TGD set fails (or cannot be shown to pass) the WR check, a
+*specific* query may still be FO-rewritable: the dangerous cycles may
+be unreachable from its atoms ([11] attacks exactly this with "query
+patterns").  :func:`probe_query_rewritability` runs depth-staged
+rewriting and classifies the outcome:
+
+* ``TERMINATES`` -- the saturation completed: this query is
+  FO-rewritable over this set and the returned UCQ is its rewriting;
+* ``DIVERGING`` -- the join width of the partial rewriting keeps
+  strictly growing round after round (the paper's "unbounded chain"
+  signature); evidence, not proof, of non-rewritability;
+* ``UNKNOWN`` -- the budget ran out without a growth trend.
+
+The probe is deliberately cheap to call before committing to a large
+budget, and its ``TERMINATES`` verdict is definitive.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.lang.tgd import TGD
+from repro.rewriting.budget import RewritingBudget
+from repro.rewriting.rewriter import RewritingResult, rewrite
+
+
+class ProbeVerdict(enum.Enum):
+    """Outcome classes of a rewritability probe."""
+
+    TERMINATES = "terminates"
+    DIVERGING = "diverging"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class ProbeReport:
+    """Result of probing one query against one TGD set.
+
+    Attributes:
+        verdict: see :class:`ProbeVerdict`.
+        result: the last (deepest) rewriting result; when the verdict
+            is TERMINATES this is the complete rewriting.
+        widths: widest-join trajectory across the probed depths (the
+            growth evidence behind a DIVERGING verdict).
+        depths: the depths probed, aligned with *widths*.
+    """
+
+    verdict: ProbeVerdict
+    result: RewritingResult
+    widths: tuple[int, ...]
+    depths: tuple[int, ...]
+
+    @property
+    def rewriting(self) -> UnionOfConjunctiveQueries:
+        """The (possibly partial) UCQ of the deepest probe."""
+        return self.result.ucq
+
+
+def probe_query_rewritability(
+    query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+    rules: Sequence[TGD],
+    max_depth: int = 12,
+    max_cqs: int = 50_000,
+    growth_rounds: int = 4,
+    max_seconds_per_depth: float | None = 10.0,
+) -> ProbeReport:
+    """Stage the rewriting depth and watch for completion or growth.
+
+    A DIVERGING verdict requires the widest join to strictly increase
+    over the last *growth_rounds* probed depths -- the signature of an
+    unbounded chain; mere size growth of the UCQ (normal for
+    hierarchies) does not qualify.
+    """
+    widths: list[int] = []
+    depths: list[int] = []
+    last: RewritingResult | None = None
+    for depth in range(1, max_depth + 1):
+        last = rewrite(
+            query,
+            rules,
+            RewritingBudget(
+                max_depth=depth,
+                max_cqs=max_cqs,
+                max_seconds=max_seconds_per_depth,
+            ),
+        )
+        depths.append(depth)
+        widths.append(last.max_body_atoms)
+        if last.complete:
+            return ProbeReport(
+                verdict=ProbeVerdict.TERMINATES,
+                result=last,
+                widths=tuple(widths),
+                depths=tuple(depths),
+            )
+    assert last is not None
+    recent = widths[-growth_rounds:]
+    strictly_growing = len(recent) == growth_rounds and all(
+        b > a for a, b in zip(recent, recent[1:])
+    )
+    trend = widths[-2 * growth_rounds:]
+    loosely_growing = (
+        len(trend) == 2 * growth_rounds
+        and trend[-1] > trend[0]
+        and all(b >= a for a, b in zip(trend, trend[1:]))
+    )
+    if strictly_growing or loosely_growing:
+        verdict = ProbeVerdict.DIVERGING
+    else:
+        verdict = ProbeVerdict.UNKNOWN
+    return ProbeReport(
+        verdict=verdict,
+        result=last,
+        widths=tuple(widths),
+        depths=tuple(depths),
+    )

@@ -1,0 +1,74 @@
+"""Rule-relevance filtering: shrink the rule set before rewriting.
+
+A rewriting step can only apply a rule whose head relation occurs in
+the current query -- and the bodies that step introduces determine
+which relations can occur later.  The *relevant* rules for a query are
+therefore the backward-reachable ones:
+
+1. start from the query's relations;
+2. a rule is relevant when some head atom's relation is reachable;
+3. its body relations become reachable; repeat to fixpoint.
+
+Filtering is sound and completeness-preserving (irrelevant rules can
+never participate in any rewriting step of the query), and matters in
+practice: real ontologies bundle many modules, and the position/P-node
+graph costs and the per-round rule loop all shrink with the rule set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.lang.tgd import TGD
+
+
+@dataclass(frozen=True)
+class RelevanceReport:
+    """Outcome of relevance filtering.
+
+    Attributes:
+        relevant: the retained rules, in input order.
+        dropped: the discarded rules, in input order.
+        reachable_relations: the backward-reachable relation symbols.
+    """
+
+    relevant: tuple[TGD, ...]
+    dropped: tuple[TGD, ...]
+    reachable_relations: frozenset[str]
+
+
+def relevant_rules(
+    query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+    rules: Sequence[TGD],
+) -> RelevanceReport:
+    """Backward-reachability filtering of *rules* for *query*."""
+    rules = tuple(rules)
+    reachable: set[str] = set()
+    for cq in UnionOfConjunctiveQueries.of(query):
+        reachable.update(atom.relation for atom in cq.body)
+
+    selected: set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for index, rule in enumerate(rules):
+            if index in selected:
+                continue
+            if any(atom.relation in reachable for atom in rule.head):
+                selected.add(index)
+                body_relations = {atom.relation for atom in rule.body}
+                if not body_relations <= reachable:
+                    reachable |= body_relations
+                changed = True
+
+    relevant = tuple(rules[i] for i in sorted(selected))
+    dropped = tuple(
+        rule for i, rule in enumerate(rules) if i not in selected
+    )
+    return RelevanceReport(
+        relevant=relevant,
+        dropped=dropped,
+        reachable_relations=frozenset(reachable),
+    )

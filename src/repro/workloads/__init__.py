@@ -1,0 +1,54 @@
+"""Workloads: the paper's examples, synthetic generators, ontologies.
+
+* :mod:`repro.workloads.paper` -- the exact TGD sets of the paper's
+  Examples 1, 2 and 3 and the queries its narrative uses.
+* :mod:`repro.workloads.generators` -- seeded random TGD-set generators
+  targeted at specific classes (linear, sticky-ish, ...), used by the
+  classification-matrix and scaling experiments.
+* :mod:`repro.workloads.ontologies` -- hand-written OBDA-style
+  ontologies (a LUBM-flavoured university domain and a transport
+  domain) with data generators and query workloads.
+"""
+
+from repro.workloads.clinic import (
+    clinic_data,
+    clinic_ontology,
+    clinic_queries,
+    clinic_tbox,
+)
+from repro.workloads.corpus import CORPUS, CorpusEntry
+from repro.workloads.ontologies import (
+    transport_data,
+    transport_ontology,
+    transport_queries,
+    university_data,
+    university_ontology,
+    university_queries,
+)
+from repro.workloads.paper import (
+    EXAMPLE1_QUERY,
+    EXAMPLE2_QUERY,
+    example1,
+    example2,
+    example3,
+)
+
+__all__ = [
+    "CORPUS",
+    "CorpusEntry",
+    "EXAMPLE1_QUERY",
+    "EXAMPLE2_QUERY",
+    "example1",
+    "example2",
+    "example3",
+    "clinic_data",
+    "clinic_ontology",
+    "clinic_queries",
+    "clinic_tbox",
+    "transport_data",
+    "transport_ontology",
+    "transport_queries",
+    "university_data",
+    "university_ontology",
+    "university_queries",
+]

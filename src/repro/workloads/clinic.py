@@ -1,0 +1,103 @@
+"""The clinic workload: an extended-DL domain (experiment E13).
+
+A healthcare domain written in DL-Lite_R *plus qualified existential
+restrictions* -- the concrete "new FO-rewritable DL" of Section 6.
+Provides the TBox (text and parsed), its TGD translation, a seeded
+ABox generator and a query workload, mirroring the structure of the
+university and transport workloads.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.csvio import facts_from_rows
+from repro.data.database import Database
+from repro.dlite.extended import ExtendedTBox, extended_tbox_to_tgds
+from repro.dlite.parser import parse_extended_tbox
+from repro.lang.parser import parse_query
+from repro.lang.queries import ConjunctiveQuery
+from repro.lang.tgd import TGD
+
+CLINIC_TBOX_TEXT = """
+Doctor <= Clinician
+Nurse <= Clinician
+Clinician <= exists worksIn.Ward         % qualified: beyond DL-Lite
+Patient <= exists assignedTo.Ward
+exists treats.Patient <= Clinician       % qualified on the left
+Doctor <= exists treats
+exists treats- <= Patient
+exists assignedTo <= Patient
+Ward <= not Patient
+Doctor <= not Patient
+"""
+
+
+def clinic_tbox() -> ExtendedTBox:
+    """The parsed clinic TBox."""
+    return parse_extended_tbox(CLINIC_TBOX_TEXT)
+
+
+def clinic_ontology() -> tuple[TGD, ...]:
+    """The clinic TBox translated to TGDs (WR, not SWR)."""
+    return extended_tbox_to_tgds(clinic_tbox())
+
+
+def clinic_data(size: int, seed: int = 0) -> Database:
+    """A random, consistent clinic ABox with ~``3*size`` facts."""
+    rng = random.Random(seed)
+    abox = Database()
+    doctors = [f"doc{i}" for i in range(max(1, size // 3))]
+    nurses = [f"nurse{i}" for i in range(max(1, size // 3))]
+    patients = [f"pat{i}" for i in range(size)]
+    wards = [f"ward{i}" for i in range(max(1, size // 5))]
+
+    abox.add_all(facts_from_rows("Doctor", [(d,) for d in doctors]))
+    abox.add_all(facts_from_rows("Nurse", [(n,) for n in nurses]))
+    abox.add_all(facts_from_rows("Patient", [(p,) for p in patients]))
+    abox.add_all(facts_from_rows("Ward", [(w,) for w in wards]))
+    abox.add_all(
+        facts_from_rows(
+            "treats",
+            [
+                (rng.choice(doctors), rng.choice(patients))
+                for _ in range(size)
+            ],
+        )
+    )
+    abox.add_all(
+        facts_from_rows(
+            "worksIn",
+            [
+                (rng.choice(doctors + nurses), rng.choice(wards))
+                for _ in range(size)
+            ],
+        )
+    )
+    abox.add_all(
+        facts_from_rows(
+            "assignedTo",
+            [
+                (rng.choice(patients), rng.choice(wards))
+                for _ in range(size // 2)
+            ],
+        )
+    )
+    return abox
+
+
+def clinic_queries() -> tuple[tuple[str, ConjunctiveQuery], ...]:
+    """Named query workload over the clinic vocabulary."""
+    return (
+        ("CQ1-clinicians", parse_query("q(X) :- Clinician(X)")),
+        ("CQ2-patients", parse_query("q(X) :- Patient(X)")),
+        (
+            "CQ3-treating-clinicians",
+            parse_query("q(X) :- treats(X, P), Patient(P)"),
+        ),
+        (
+            "CQ4-shared-ward",
+            parse_query("q(C, P) :- worksIn(C, W), assignedTo(P, W)"),
+        ),
+        ("CQ5-someone-works", parse_query("q() :- worksIn(X, W), Ward(W)")),
+    )

@@ -1,0 +1,341 @@
+"""A curated corpus of TGD sets with known classifications.
+
+Fifteen small rule sets drawn from the paper and the surrounding
+literature (linear/sticky examples in the style of Calì–Gottlob–Pieris,
+dependency-graph examples in the style of Baget et al., chase
+folklore), each annotated with its expected membership in every class
+this library implements.  The corpus serves three purposes:
+
+* a regression net for all recognizers at once
+  (``tests/workloads/test_corpus.py``);
+* a demonstration set for the classification bench and CLI;
+* executable documentation of how the classes relate on concrete
+  inputs.
+
+``expected`` maps class names (as produced by
+:meth:`repro.core.classify.ClassificationReport.memberships`) to the
+expected verdict; classes not listed are not pinned by that entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.lang.parser import parse_program
+from repro.lang.tgd import TGD
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One annotated rule set."""
+
+    name: str
+    description: str
+    program: str
+    expected: Mapping[str, bool] = field(default_factory=dict)
+
+    def rules(self) -> tuple[TGD, ...]:
+        """Parse the program text."""
+        return parse_program(self.program)
+
+
+CORPUS: tuple[CorpusEntry, ...] = (
+    CorpusEntry(
+        name="id-chain",
+        description="plain inclusion dependencies (CLR 2003 style)",
+        program="""
+            emp(X, D) -> person(X).
+            person(X) -> hasName(X, N).
+            hasName(X, N) -> name(N).
+        """,
+        expected={
+            "inclusion-dependencies": True,
+            "linear": True,
+            "multilinear": True,
+            "sticky": True,
+            "sticky-join": True,
+            "SWR": True,
+            "WR": True,
+            "aGRD": True,
+        },
+    ),
+    CorpusEntry(
+        name="linear-cycle",
+        description="cyclic linear TGDs: recursion without splitting",
+        program="""
+            r(X, Y) -> s(Y, X).
+            s(X, Y) -> r(X, Y).
+        """,
+        expected={
+            "linear": True,
+            "SWR": True,
+            "WR": True,
+            "aGRD": False,
+            "datalog": True,
+        },
+    ),
+    CorpusEntry(
+        name="linear-invention-cycle",
+        description="linear with value invention around a cycle",
+        program="""
+            person(X) -> hasParent(X, Y).
+            hasParent(X, Y) -> person(Y).
+        """,
+        expected={
+            "linear": True,
+            "sticky": True,
+            "SWR": True,
+            "WR": True,
+            "weakly-acyclic": False,
+        },
+    ),
+    CorpusEntry(
+        name="multilinear-guarded",
+        description="every body atom carries the frontier",
+        program="""
+            a(X, Y2), b(X, Z2) -> c(X).
+            c(X) -> a(X, W).
+        """,
+        expected={
+            "linear": False,
+            "multilinear": True,
+            "SWR": True,
+            "WR": True,
+        },
+    ),
+    CorpusEntry(
+        name="sticky-join-rules",
+        description="joins on variables that survive into the head",
+        program="""
+            r(X, Y), s(Y, Z) -> t(X, Y, Z).
+            t(X, Y, Z) -> r(X, Y).
+        """,
+        expected={
+            "sticky": True,
+            "sticky-join": True,
+            "linear": False,
+            "SWR": True,
+            "WR": True,
+        },
+    ),
+    CorpusEntry(
+        name="sticky-violation",
+        description="a dropped variable joined across atoms",
+        program="""
+            r(X, Y), s(Y, Z) -> t(X, Z).
+        """,
+        expected={
+            "sticky": False,
+            "sticky-join": False,
+            "multilinear": False,
+            "SWR": True,
+            "WR": True,
+            "aGRD": True,
+        },
+    ),
+    CorpusEntry(
+        name="transitivity",
+        description="the classic non-FO-rewritable datalog rule",
+        program="""
+            edge(X, Y) -> path(X, Y).
+            path(X, Y), path(Y, Z) -> path(X, Z).
+        """,
+        expected={
+            "datalog": True,
+            "SWR": False,
+            "linear": False,
+            "weakly-acyclic": True,
+        },
+    ),
+    CorpusEntry(
+        name="dangerous-split",
+        description="m+s self-loop: splitting plus a missing frontier",
+        program="""
+            r(Y2, X), t(Y2, V) -> r(X, V).
+        """,
+        expected={"SWR": False, "WR": False, "sticky": False},
+    ),
+    CorpusEntry(
+        name="paper-example-1",
+        description="the paper's Example 1 (Figure 1)",
+        program="""
+            s(Y1, Y2, Y3), t(Y4) -> r(Y1, Y3).
+            v(Y1, Y2), q0(Y2) -> s(Y1, Y3, Y2).
+            r(Y1, Y2) -> v(Y1, Y2).
+        """,
+        expected={
+            "SWR": True,
+            "WR": True,
+            "linear": False,
+            "multilinear": False,
+            "sticky-join": True,
+        },
+    ),
+    CorpusEntry(
+        name="paper-example-2",
+        description="the paper's Example 2 (Figures 2-3): not WR",
+        program="""
+            t(Y1, Y2), r(Y3, Y4) -> s(Y1, Y3, Y2).
+            s(Y1, Y1, Y2) -> r(Y2, Y3).
+        """,
+        expected={"SWR": False, "WR": False, "weakly-acyclic": True},
+    ),
+    CorpusEntry(
+        name="paper-example-3",
+        description="the paper's Example 3: weak recursion, WR only",
+        program="""
+            r(Y1, Y2) -> t(Y3, Y1, Y1).
+            s(Y1, Y2, Y3) -> r(Y1, Y2).
+            u(Y1), t(Y1, Y1, Y2) -> s(Y1, Y1, Y2).
+        """,
+        expected={
+            "SWR": False,
+            "WR": True,
+            "linear": False,
+            "multilinear": False,
+            "sticky": False,
+            "sticky-join": False,
+            "aGRD": True,
+            "weakly-acyclic": False,
+        },
+    ),
+    CorpusEntry(
+        name="domain-restricted-only",
+        description="head atoms carry all or none of the body variables",
+        program="""
+            a(X, Y) -> pair(X, Y), tag(Z).
+        """,
+        expected={
+            "domain-restricted": True,
+            "linear": True,
+            "SWR": False,
+            "WR": True,
+        },
+    ),
+    CorpusEntry(
+        name="agrd-pipeline",
+        description="acyclic rule dependencies: a one-shot pipeline",
+        program="""
+            raw(X) -> stage1(X, Y).
+            stage1(X, Y) -> stage2(Y).
+            stage2(Y) -> done(Y).
+        """,
+        expected={
+            "aGRD": True,
+            "linear": True,
+            "SWR": True,
+            "WR": True,
+            "weakly-acyclic": True,
+        },
+    ),
+    CorpusEntry(
+        name="constants-guard",
+        description="constants restrict applicability (not simple)",
+        program="""
+            status(X, "active") -> user(X).
+            user(X) -> status(X, "known").
+        """,
+        expected={
+            "SWR": False,
+            "WR": True,
+            "linear": True,
+            "datalog": True,
+        },
+    ),
+    CorpusEntry(
+        name="multi-head-invention",
+        description="a shared invented value across two head atoms",
+        program="""
+            person(X) -> account(X, A), owner(A).
+            owner(A) -> audited(A).
+        """,
+        expected={
+            "SWR": False,
+            "WR": True,
+            "linear": True,
+            "weakly-acyclic": True,
+        },
+    ),
+    CorpusEntry(
+        name="frontier-guarded-not-guarded",
+        description="the frontier has a guard atom, the body does not",
+        program="""
+            big(X, Y), side(Z, W) -> head(X, Y).
+        """,
+        expected={
+            "guarded": False,
+            "frontier-guarded": True,
+            "multilinear": False,
+            "SWR": True,
+            "WR": True,
+        },
+    ),
+    CorpusEntry(
+        name="guarded-recursion",
+        description="guarded but value-inventing recursion (not AC0)",
+        program="""
+            node(X) -> edge(X, Y).
+            edge(X, Y) -> node(Y).
+        """,
+        expected={
+            "guarded": True,
+            "linear": True,
+            "SWR": True,
+            "WR": True,
+            "weakly-acyclic": False,
+        },
+    ),
+    CorpusEntry(
+        name="harmless-split",
+        description="an s-cycle with no m-edge stays SWR",
+        program="""
+            s(X, Y2), t(Y2) -> r(X).
+            r(X) -> u(X).
+            u(X) -> s(X, Z).
+        """,
+        expected={
+            "SWR": True,
+            "WR": True,
+            "sticky": False,
+            "sticky-join": False,
+            "multilinear": False,
+        },
+    ),
+    CorpusEntry(
+        name="isolated-atom",
+        description="a body atom sharing no variables (i-edge material)",
+        program="""
+            trigger(Y4), payload(X) -> out(X).
+            out(X) -> payload(X).
+        """,
+        expected={
+            "SWR": True,
+            "WR": True,
+            "multilinear": False,
+            "guarded": False,
+        },
+    ),
+    CorpusEntry(
+        name="sticky-but-not-swr",
+        description="stickiness does not require simplicity",
+        program="""
+            r(X, X) -> p(X).
+            p(X) -> r(X, Y).
+        """,
+        expected={
+            "sticky": True,
+            "SWR": False,
+            "WR": True,
+            "linear": True,
+        },
+    ),
+)
+
+
+def entry(name: str) -> CorpusEntry:
+    """Look one corpus entry up by name."""
+    for candidate in CORPUS:
+        if candidate.name == name:
+            return candidate
+    raise KeyError(name)

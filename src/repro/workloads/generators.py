@@ -1,0 +1,339 @@
+"""Seeded random TGD-set generators, one family per target class.
+
+The classification-matrix experiment (E7) and the membership-scaling
+experiment (E8) need many TGD sets with known or controllable
+properties.  Each generator takes an explicit ``random.Random`` seed so
+every bench run is reproducible.
+
+Construction-by-design is preferred over rejection sampling: e.g.
+:func:`random_multilinear` *builds* bodies in which every atom contains
+the whole frontier rather than filtering random rules.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.lang.atoms import Atom
+from repro.lang.terms import Constant, Term, Variable
+from repro.lang.tgd import TGD
+
+
+def _relation_pool(
+    rng: random.Random, count: int, max_arity: int
+) -> list[tuple[str, int]]:
+    return [
+        (f"p{i}", rng.randint(1, max_arity)) for i in range(count)
+    ]
+
+
+def _variables(count: int) -> list[Variable]:
+    return [Variable(f"V{i}") for i in range(count)]
+
+
+def random_simple(
+    rng: random.Random,
+    n_rules: int = 5,
+    n_relations: int = 6,
+    max_arity: int = 3,
+    max_body_atoms: int = 3,
+) -> tuple[TGD, ...]:
+    """Random *simple* TGDs: single head, no constants, no repeats.
+
+    Per rule: a body of 1..max_body_atoms atoms over a shared variable
+    pool (each atom uses distinct variables, as simplicity requires)
+    and a single-atom head mixing frontier and existential variables.
+    """
+    relations = _relation_pool(rng, n_relations, max_arity)
+    rules: list[TGD] = []
+    for index in range(n_rules):
+        n_body = rng.randint(1, max_body_atoms)
+        pool = _variables(max_arity * (n_body + 1))
+        body: list[Atom] = []
+        used: list[Variable] = []
+        for _ in range(n_body):
+            relation, arity = rng.choice(relations)
+            # Mix fresh variables with already-used ones (joins), but
+            # never repeat a variable inside one atom.
+            atom_vars: list[Variable] = []
+            candidates = [v for v in pool if v not in atom_vars]
+            for _ in range(arity):
+                reuse = used and rng.random() < 0.5
+                choices = (
+                    [v for v in used if v not in atom_vars]
+                    if reuse
+                    else [v for v in candidates if v not in used and v not in atom_vars]
+                )
+                if not choices:
+                    choices = [v for v in pool if v not in atom_vars]
+                var = rng.choice(choices)
+                atom_vars.append(var)
+            used.extend(v for v in atom_vars if v not in used)
+            body.append(Atom(relation, atom_vars))
+        relation, arity = rng.choice(relations)
+        head_vars: list[Variable] = []
+        fresh_counter = 0
+        for _ in range(arity):
+            if used and rng.random() < 0.7:
+                choices = [v for v in used if v not in head_vars]
+                if choices:
+                    head_vars.append(rng.choice(choices))
+                    continue
+            fresh_counter += 1
+            fresh = Variable(f"E{index}_{fresh_counter}")
+            head_vars.append(fresh)
+        rules.append(TGD(body, [Atom(relation, head_vars)], label=f"G{index + 1}"))
+    return tuple(rules)
+
+
+def random_linear(
+    rng: random.Random,
+    n_rules: int = 6,
+    n_relations: int = 6,
+    max_arity: int = 3,
+) -> tuple[TGD, ...]:
+    """Random linear TGDs (single body atom, single head atom)."""
+    return tuple(
+        _strip_to_linear(rule, i)
+        for i, rule in enumerate(
+            random_simple(
+                rng,
+                n_rules=n_rules,
+                n_relations=n_relations,
+                max_arity=max_arity,
+                max_body_atoms=1,
+            ),
+            start=1,
+        )
+    )
+
+
+def _strip_to_linear(rule: TGD, index: int) -> TGD:
+    return TGD(rule.body[:1], rule.head, label=f"L{index}")
+
+
+def random_multilinear(
+    rng: random.Random,
+    n_rules: int = 5,
+    n_relations: int = 5,
+    max_arity: int = 4,
+    max_body_atoms: int = 3,
+) -> tuple[TGD, ...]:
+    """Random multilinear TGDs: every body atom contains the frontier.
+
+    The frontier is drawn first and injected into every body atom (so
+    arities must accommodate it); remaining argument places take fresh
+    existential body variables.
+    """
+    rules: list[TGD] = []
+    for index in range(n_rules):
+        frontier_size = rng.randint(1, max(1, max_arity - 1))
+        frontier = [Variable(f"F{index}_{k}") for k in range(frontier_size)]
+        n_body = rng.randint(1, max_body_atoms)
+        body: list[Atom] = []
+        for a in range(n_body):
+            extra = rng.randint(0, max_arity - frontier_size)
+            terms: list[Term] = list(frontier) + [
+                Variable(f"B{index}_{a}_{k}") for k in range(extra)
+            ]
+            rng.shuffle(terms)
+            body.append(Atom(f"m{rng.randint(0, n_relations - 1)}_{len(terms)}", terms))
+        head_arity = rng.randint(1, max_arity)
+        # Sample head variables without replacement so the rule stays
+        # simple (no repeated variable inside the head atom).
+        available = list(frontier)
+        rng.shuffle(available)
+        head_terms: list[Term] = []
+        for k in range(head_arity):
+            if available and rng.random() < 0.7:
+                head_terms.append(available.pop())
+            else:
+                head_terms.append(Variable(f"H{index}_{k}"))
+        head = Atom(f"m{rng.randint(0, n_relations - 1)}_{head_arity}", head_terms)
+        rules.append(TGD(body, [head], label=f"M{index + 1}"))
+    return tuple(rules)
+
+
+def random_arbitrary(
+    rng: random.Random,
+    n_rules: int = 5,
+    n_relations: int = 6,
+    max_arity: int = 3,
+    max_body_atoms: int = 3,
+    constant_probability: float = 0.15,
+    repeat_probability: float = 0.2,
+) -> tuple[TGD, ...]:
+    """Random arbitrary TGDs: constants and repeated variables allowed."""
+    relations = _relation_pool(rng, n_relations, max_arity)
+    constants = [Constant(c) for c in ("a", "b", "c")]
+    rules: list[TGD] = []
+    for index in range(n_rules):
+        n_body = rng.randint(1, max_body_atoms)
+        used: list[Variable] = []
+        body: list[Atom] = []
+        for a in range(n_body):
+            relation, arity = rng.choice(relations)
+            terms: list[Term] = []
+            for k in range(arity):
+                roll = rng.random()
+                if roll < constant_probability:
+                    terms.append(rng.choice(constants))
+                elif roll < constant_probability + repeat_probability and used:
+                    terms.append(rng.choice(used))
+                else:
+                    var = Variable(f"V{index}_{a}_{k}")
+                    used.append(var)
+                    terms.append(var)
+            body.append(Atom(relation, terms))
+        relation, arity = rng.choice(relations)
+        head_terms: list[Term] = []
+        for k in range(arity):
+            if used and rng.random() < 0.7:
+                head_terms.append(rng.choice(used))
+            else:
+                head_terms.append(Variable(f"E{index}_{k}"))
+        rules.append(TGD(body, [Atom(relation, head_terms)], label=f"A{index + 1}"))
+    return tuple(rules)
+
+
+def concept_hierarchy(depth: int) -> tuple[TGD, ...]:
+    """A linear concept chain ``c0 ⊑ c1 ⊑ ... ⊑ c_depth`` as TGDs.
+
+    The canonical scaling family: SWR, linear, sticky -- everything --
+    with position graphs of size Θ(depth).
+    """
+    x = Variable("X")
+    return tuple(
+        TGD([Atom(f"c{i}", [x])], [Atom(f"c{i + 1}", [x])], label=f"H{i + 1}")
+        for i in range(depth)
+    )
+
+
+def role_chain(depth: int) -> tuple[TGD, ...]:
+    """``r_i(x,y) -> r_{i+1}(x,z)`` chains: existential propagation.
+
+    Still SWR (no splitting), with m-edges along the whole chain.
+    """
+    x, y, z = Variable("X"), Variable("Y"), Variable("Z")
+    return tuple(
+        TGD(
+            [Atom(f"r{i}", [x, y])],
+            [Atom(f"r{i + 1}", [x, z])],
+            label=f"C{i + 1}",
+        )
+        for i in range(depth)
+    )
+
+
+def swr_but_not_baselines(copies: int = 1) -> tuple[TGD, ...]:
+    """SWR sets outside Linear/Multilinear/Sticky/Sticky-Join.
+
+    Each copy joins two body atoms on a variable that is *dropped*
+    from the head (so the sticky marking rejects it, cross-atom, which
+    also kills sticky-join), with one atom missing the frontier (not
+    multilinear) and two-atom bodies (not linear).  The recursion
+    ``r -> u -> s -> r`` keeps the position graph cyclic, but its only
+    dangerous label is the ``s`` from the dropped-variable split --
+    the cycle carries no ``m``-edge, so the set stays SWR.  *copies*
+    disjoint copies scale the set up for the E8 experiment.
+    """
+    rules: list[TGD] = []
+    for c in range(copies):
+        x, y2, z = Variable(f"X{c}"), Variable(f"Y{c}"), Variable(f"Z{c}")
+        rules.extend(
+            [
+                TGD(
+                    [Atom(f"s{c}", [x, y2]), Atom(f"t{c}", [y2])],
+                    [Atom(f"r{c}", [x])],
+                    label=f"W{c}_1",
+                ),
+                TGD(
+                    [Atom(f"r{c}", [x])],
+                    [Atom(f"u{c}", [x])],
+                    label=f"W{c}_2",
+                ),
+                TGD(
+                    [Atom(f"u{c}", [x])],
+                    [Atom(f"s{c}", [x, z])],
+                    label=f"W{c}_3",
+                ),
+            ]
+        )
+    return tuple(rules)
+
+
+def dangerous_family(copies: int = 1) -> tuple[TGD, ...]:
+    """Disjoint copies of the paper's Example 2 (not FO-rewritable)."""
+    rules: list[TGD] = []
+    for c in range(copies):
+        y1, y2, y3, y4 = (Variable(f"Y{c}_{k}") for k in range(1, 5))
+        rules.extend(
+            [
+                TGD(
+                    [Atom(f"t{c}", [y1, y2]), Atom(f"r{c}", [y3, y4])],
+                    [Atom(f"s{c}", [y1, y3, y2])],
+                    label=f"D{c}_1",
+                ),
+                TGD(
+                    [Atom(f"s{c}", [y1, y1, y2])],
+                    [Atom(f"r{c}", [y2, y3])],
+                    label=f"D{c}_2",
+                ),
+            ]
+        )
+    return tuple(rules)
+
+
+def context_blocked_family() -> tuple[TGD, ...]:
+    """A set whose safety only the P-node context check can see.
+
+    The apparent cycle ``r -> t -> r`` is broken in real rewriting
+    because continuing it would unify a *shared* query variable (also
+    constrained by the ``u``-atom of the context) with the invented
+    null of ``Ra`` -- and ``u`` cannot join the piece (it matches no
+    head atom).  The reconstruction's context check blocks exactly
+    that expansion; with the check ablated away, the P-node graph
+    contains a spurious dangerous (d+m+s) cycle and the set is wrongly
+    rejected.  Used by the ablation bench.
+    """
+    x = Variable("X")
+    v, v2 = Variable("V"), Variable("V2")
+    y2, z = Variable("Y2"), Variable("Z")
+    return (
+        TGD(
+            [Atom("t", [y2, x]), Atom("w", [y2, v2])],
+            [Atom("r", [x, v2, z])],
+            label="Ra",
+        ),
+        TGD(
+            [Atom("r", [x, v2, v]), Atom("u", [v])],
+            [Atom("t", [x, v])],
+            label="Rb",
+        ),
+    )
+
+
+def generate_database(
+    rng: random.Random,
+    rules: Sequence[TGD],
+    facts_per_relation: int = 5,
+    domain_size: int = 8,
+):
+    """Random facts over the body relations of *rules*.
+
+    Returns a list of ground atoms usable to seed a chase or a
+    database; every constant is drawn from ``d0..d<domain_size-1>``.
+    """
+    from repro.lang.signature import Signature
+
+    signature = Signature.from_rules(list(rules))
+    domain = [Constant(f"d{i}") for i in range(domain_size)]
+    facts = []
+    for relation in signature.relations():
+        arity = signature[relation]
+        for _ in range(facts_per_relation):
+            facts.append(
+                Atom(relation, [rng.choice(domain) for _ in range(arity)])
+            )
+    return facts

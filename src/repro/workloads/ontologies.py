@@ -1,0 +1,206 @@
+"""Hand-written OBDA-style ontologies with data and query workloads.
+
+Two domains, both designed to be SWR (hence FO-rewritable):
+
+* **university** -- a LUBM-flavoured academic domain with concept
+  hierarchies, role typing and existential "value invention"
+  (every faculty member teaches *something*);
+* **transport** -- a mobility-aid/transport domain in the spirit of
+  the ontologies used by rewriting-engine evaluations, exercising
+  inverse-role-style rules.
+
+Each domain provides the TGD set, a seeded data generator producing a
+source database, and a list of named conjunctive queries.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.database import Database
+from repro.lang.parser import parse_program, parse_query
+from repro.lang.queries import ConjunctiveQuery
+from repro.lang.tgd import TGD
+
+
+def university_ontology() -> tuple[TGD, ...]:
+    """The university TGD set (SWR by construction)."""
+    return parse_program(
+        """
+        U1: assistantProfessor(X) -> professor(X).
+        U2: fullProfessor(X) -> professor(X).
+        U3: professor(X) -> faculty(X).
+        U4: lecturer(X) -> faculty(X).
+        U5: faculty(X) -> employee(X).
+        U6: faculty(X) -> teaches(X, C).
+        U7: teaches(X, C) -> course(C).
+        U8: teaches(X, C) -> faculty(X).
+        U9: gradStudent(X) -> student(X).
+        U10: undergradStudent(X) -> student(X).
+        U11: gradStudent(X) -> takes(X, C).
+        U12: takes(X, C) -> student(X).
+        U13: takes(X, C) -> course(C).
+        U14: hasAdvisor(X, Y) -> gradStudent(X).
+        U15: hasAdvisor(X, Y) -> professor(Y).
+        U16: department(D) -> hasChair(D, P).
+        U17: hasChair(D, P) -> professor(P).
+        U18: hasChair(D, P) -> memberOf(P, D).
+        U19: worksFor(X, D) -> memberOf(X, D).
+        U20: memberOf(X, D) -> affiliated(X, D).
+        U21: teaches(X, C), takes(Y, C) -> instructs(X, Y).
+        U22: hasAdvisor(X, Y), memberOf(Y, D) -> researchGroup(D, G).
+        U23: instructs(X, Y) -> knows(X, Y).
+        """
+    )
+
+
+def university_data(size: int, seed: int = 0) -> Database:
+    """A random university source database with ~``6*size`` facts."""
+    rng = random.Random(seed)
+    database = Database()
+    from repro.data.csvio import facts_from_rows
+
+    people = [f"person{i}" for i in range(size)]
+    departments = [f"dept{i}" for i in range(max(1, size // 5))]
+    courses = [f"course{i}" for i in range(max(1, size // 2))]
+
+    rows_full = [(p,) for p in people[: size // 4]]
+    rows_assistant = [(p,) for p in people[size // 4: size // 2]]
+    rows_grad = [(p,) for p in people[size // 2: (3 * size) // 4]]
+    rows_undergrad = [(p,) for p in people[(3 * size) // 4:]]
+    database.add_all(facts_from_rows("fullProfessor", rows_full))
+    database.add_all(facts_from_rows("assistantProfessor", rows_assistant))
+    database.add_all(facts_from_rows("gradStudent", rows_grad))
+    database.add_all(facts_from_rows("undergradStudent", rows_undergrad))
+    database.add_all(facts_from_rows("department", [(d,) for d in departments]))
+
+    professors = [r[0] for r in rows_full + rows_assistant]
+    grads = [r[0] for r in rows_grad]
+    teach_rows = [
+        (rng.choice(professors), rng.choice(courses))
+        for _ in range(size)
+        if professors and courses
+    ]
+    take_rows = [
+        (rng.choice(grads), rng.choice(courses))
+        for _ in range(size)
+        if grads and courses
+    ]
+    advisor_rows = [
+        (rng.choice(grads), rng.choice(professors))
+        for _ in range(max(1, size // 2))
+        if grads and professors
+    ]
+    work_rows = [
+        (rng.choice(professors), rng.choice(departments))
+        for _ in range(size)
+        if professors and departments
+    ]
+    database.add_all(facts_from_rows("teaches", teach_rows))
+    database.add_all(facts_from_rows("takes", take_rows))
+    database.add_all(facts_from_rows("hasAdvisor", advisor_rows))
+    database.add_all(facts_from_rows("worksFor", work_rows))
+    return database
+
+
+def university_queries() -> tuple[tuple[str, ConjunctiveQuery], ...]:
+    """Named query workload over the university ontology."""
+    return (
+        ("UQ1-employees", parse_query("q(X) :- employee(X)")),
+        ("UQ2-students", parse_query("q(X) :- student(X)")),
+        (
+            "UQ3-advised-by-faculty",
+            parse_query("q(X, Y) :- hasAdvisor(X, Y), faculty(Y)"),
+        ),
+        (
+            "UQ4-teaching-members",
+            parse_query("q(X) :- teaches(X, C), memberOf(X, D)"),
+        ),
+        (
+            "UQ5-course-exists",
+            parse_query("q(X) :- faculty(X), teaches(X, C), course(C)"),
+        ),
+        (
+            "UQ6-dept-affiliates",
+            parse_query("q(D) :- department(D), affiliated(P, D)"),
+        ),
+    )
+
+
+def transport_ontology() -> tuple[TGD, ...]:
+    """The transport/mobility TGD set (SWR by construction)."""
+    return parse_program(
+        """
+        T1: bus(X) -> publicTransport(X).
+        T2: tram(X) -> publicTransport(X).
+        T3: publicTransport(X) -> vehicle(X).
+        T4: wheelchair(X) -> mobilityAid(X).
+        T5: mobilityAid(X) -> device(X).
+        T6: publicTransport(X) -> servesRoute(X, R).
+        T7: servesRoute(X, R) -> route(R).
+        T8: accessible(X) -> vehicle(X).
+        T9: rampEquipped(X) -> accessible(X).
+        T10: assists(D, P) -> mobilityAid(D).
+        T11: assists(D, P) -> person(P).
+        T12: usesTransport(P, X) -> person(P).
+        T13: usesTransport(P, X) -> vehicle(X).
+        """
+    )
+
+
+def transport_data(size: int, seed: int = 1) -> Database:
+    """A random transport source database."""
+    rng = random.Random(seed)
+    from repro.data.csvio import facts_from_rows
+
+    database = Database()
+    vehicles = [f"veh{i}" for i in range(size)]
+    people = [f"pers{i}" for i in range(size)]
+    devices = [f"dev{i}" for i in range(max(1, size // 2))]
+
+    database.add_all(
+        facts_from_rows("bus", [(v,) for v in vehicles[: size // 2]])
+    )
+    database.add_all(
+        facts_from_rows("tram", [(v,) for v in vehicles[size // 2:]])
+    )
+    database.add_all(
+        facts_from_rows(
+            "rampEquipped", [(v,) for v in vehicles if rng.random() < 0.3]
+        )
+    )
+    database.add_all(
+        facts_from_rows("wheelchair", [(d,) for d in devices])
+    )
+    database.add_all(
+        facts_from_rows(
+            "assists",
+            [(rng.choice(devices), rng.choice(people)) for _ in range(size)],
+        )
+    )
+    database.add_all(
+        facts_from_rows(
+            "usesTransport",
+            [(rng.choice(people), rng.choice(vehicles)) for _ in range(size)],
+        )
+    )
+    return database
+
+
+def transport_queries() -> tuple[tuple[str, ConjunctiveQuery], ...]:
+    """Named query workload over the transport ontology."""
+    return (
+        ("TQ1-vehicles", parse_query("q(X) :- vehicle(X)")),
+        (
+            "TQ2-aided-travellers",
+            parse_query("q(P) :- assists(D, P), usesTransport(P, X)"),
+        ),
+        (
+            "TQ3-accessible-public",
+            parse_query("q(X) :- accessible(X), publicTransport(X)"),
+        ),
+        (
+            "TQ4-routes-exist",
+            parse_query("q(X, R) :- publicTransport(X), servesRoute(X, R)"),
+        ),
+    )

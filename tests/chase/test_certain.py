@@ -1,0 +1,92 @@
+"""Tests for repro.chase.certain (certain answers via chase)."""
+
+import pytest
+
+from repro.chase.certain import certain_answers, certain_answers_via_chase
+from repro.data.database import Database
+from repro.lang.errors import ChaseBudgetExceeded
+from repro.lang.parser import parse_database, parse_program, parse_query, parse_ucq
+from repro.lang.terms import Constant
+
+
+def db(text):
+    return Database(parse_database(text))
+
+
+class TestCertainAnswers:
+    def test_derived_facts_are_certain(self, hierarchy_rules):
+        answers = certain_answers(
+            parse_query("q(X) :- d(X)"), hierarchy_rules, db("a(v).")
+        )
+        assert answers == {(Constant("v"),)}
+
+    def test_invented_values_are_not_certain(self, existential_rules):
+        answers = certain_answers(
+            parse_query("q(Y) :- worksAt(X, Y)"),
+            existential_rules,
+            db("person(p)."),
+        )
+        assert answers == frozenset()
+
+    def test_boolean_query_over_invented_values_is_certain(
+        self, existential_rules
+    ):
+        answers = certain_answers(
+            parse_query("q() :- worksAt(X, Y), org(Y)"),
+            existential_rules,
+            db("person(p)."),
+        )
+        assert answers == {()}
+
+    def test_join_through_invented_value(self):
+        rules = parse_program("a(X) -> r(X, Y), s(Y, X).")
+        answers = certain_answers(
+            parse_query("q(X) :- r(X, Y), s(Y, X)"), rules, db("a(c).")
+        )
+        assert answers == {(Constant("c"),)}
+
+    def test_ucq_certain_answers(self, hierarchy_rules):
+        ucq = parse_ucq("q(X) :- d(X). q(X) :- zzz(X).")
+        answers = certain_answers(ucq, hierarchy_rules, db("a(v)."))
+        assert answers == {(Constant("v"),)}
+
+    def test_monotone_in_the_database(self, hierarchy_rules):
+        small = certain_answers(
+            parse_query("q(X) :- d(X)"), hierarchy_rules, db("a(v).")
+        )
+        large = certain_answers(
+            parse_query("q(X) :- d(X)"),
+            hierarchy_rules,
+            db("a(v). a(w). b(u)."),
+        )
+        assert small <= large
+
+
+class TestBudgets:
+    def test_strict_raises_on_divergence(self):
+        rules = parse_program("p(X) -> r(X, Y). r(X, Y) -> p(Y).")
+        with pytest.raises(ChaseBudgetExceeded):
+            certain_answers(
+                parse_query("q(X) :- p(X)"), rules, db("p(a)."), max_steps=5
+            )
+
+    def test_non_strict_reports_incomplete(self):
+        rules = parse_program("p(X) -> r(X, Y). r(X, Y) -> p(Y).")
+        result = certain_answers_via_chase(
+            parse_query("q(X) :- p(X)"),
+            rules,
+            db("p(a)."),
+            max_steps=5,
+            strict=False,
+        )
+        assert not result.complete
+        # Sound: the reported tuples are genuinely certain.
+        assert (Constant("a"),) in result.answers
+
+    def test_result_provenance_fields(self, hierarchy_rules):
+        result = certain_answers_via_chase(
+            parse_query("q(X) :- d(X)"), hierarchy_rules, db("a(v).")
+        )
+        assert result.complete
+        assert result.chase_steps == 3
+        assert result.chase_size == 4

@@ -1,0 +1,118 @@
+"""Tests for repro.chase.chase."""
+
+import pytest
+
+from repro.chase.chase import (
+    chase_closure,
+    oblivious_chase,
+    restricted_chase,
+)
+from repro.data.database import Database
+from repro.lang.atoms import Atom
+from repro.lang.errors import ChaseBudgetExceeded
+from repro.lang.parser import parse_database, parse_program
+from repro.lang.terms import Constant
+
+
+def db(text):
+    return Database(parse_database(text))
+
+
+class TestRestrictedChase:
+    def test_datalog_saturation(self, hierarchy_rules):
+        result = restricted_chase(list(hierarchy_rules), db("a(x)."))
+        assert result.fixpoint
+        for relation in ("a", "b", "c", "d"):
+            assert Atom(relation, [Constant("x")]) in result.instance
+
+    def test_null_invention(self, existential_rules):
+        result = restricted_chase(list(existential_rules), db("person(p)."))
+        assert result.fixpoint
+        assert result.nulls_created == 1
+        assert result.instance.count("worksAt") == 1
+        assert result.instance.count("org") == 1
+
+    def test_satisfied_head_not_refired(self, existential_rules):
+        # p already works somewhere: rule r1 must not invent a null.
+        result = restricted_chase(
+            list(existential_rules), db("person(p). worksAt(p, acme).")
+        )
+        assert result.fixpoint
+        assert result.nulls_created == 0
+        assert result.instance.count("worksAt") == 1
+
+    def test_multi_head_rule_fires_atomically(self):
+        rules = parse_program("a(X) -> b(X, Y), c(Y).")
+        result = restricted_chase(list(rules), db("a(p)."))
+        assert result.fixpoint
+        b_rows = result.instance.rows("b")
+        c_rows = result.instance.rows("c")
+        assert len(b_rows) == 1 and len(c_rows) == 1
+        # The invented null is shared between the two head atoms.
+        (b_row,) = b_rows
+        (c_row,) = c_rows
+        assert b_row[1] == c_row[0]
+
+    def test_budget_returns_partial_when_not_strict(self):
+        rules = parse_program("p(X) -> r(X, Y). r(X, Y) -> p(Y).")
+        result = restricted_chase(list(rules), db("p(a)."), max_steps=10)
+        assert not result.fixpoint
+        assert result.steps == 10
+
+    def test_budget_strict_raises(self):
+        rules = parse_program("p(X) -> r(X, Y). r(X, Y) -> p(Y).")
+        with pytest.raises(ChaseBudgetExceeded):
+            restricted_chase(
+                list(rules), db("p(a)."), max_steps=10, strict=True
+            )
+
+    def test_input_database_not_mutated(self, hierarchy_rules):
+        database = db("a(x).")
+        restricted_chase(list(hierarchy_rules), database)
+        assert len(database) == 1
+
+    def test_constants_in_rules_instantiated(self):
+        rules = parse_program('special(X) -> labeled(X, "vip").')
+        result = restricted_chase(list(rules), db("special(s)."))
+        assert Atom(
+            "labeled", [Constant("s"), Constant("vip")]
+        ) in result.instance
+
+    def test_deterministic_runs(self, existential_rules):
+        first = restricted_chase(list(existential_rules), db("person(a). person(b)."))
+        second = restricted_chase(list(existential_rules), db("person(a). person(b)."))
+        assert first.instance == second.instance
+
+
+class TestObliviousChase:
+    def test_oblivious_fires_even_when_satisfied(self, existential_rules):
+        result = oblivious_chase(
+            list(existential_rules), db("person(p). worksAt(p, acme).")
+        )
+        assert result.fixpoint
+        # Oblivious chase invents a null although worksAt(p, acme) holds.
+        assert result.nulls_created >= 1
+        assert result.instance.count("worksAt") == 2
+
+    def test_oblivious_superset_of_restricted(self, existential_rules):
+        base = db("person(p).")
+        restricted = restricted_chase(list(existential_rules), base.copy())
+        oblivious = oblivious_chase(list(existential_rules), base.copy())
+        assert len(oblivious.instance) >= len(restricted.instance)
+
+    def test_each_trigger_fires_once(self):
+        rules = parse_program("a(X) -> b(X, Y).")
+        result = oblivious_chase(list(rules), db("a(p)."))
+        assert result.steps == 1
+        assert result.fixpoint
+
+
+class TestChaseClosure:
+    def test_closure_convenience(self, hierarchy_rules):
+        instance = chase_closure(hierarchy_rules, parse_database("a(x)."))
+        assert instance.count("d") == 1
+
+    def test_closure_strict_on_divergence(self):
+        rules = parse_program("p(X) -> r(X, Y). r(X, Y) -> p(Y).")
+        with pytest.raises(ChaseBudgetExceeded):
+            chase_closure(rules, parse_database("p(a)."), max_steps=5)

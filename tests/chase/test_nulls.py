@@ -1,0 +1,24 @@
+"""Tests for repro.chase.nulls (NullFactory)."""
+
+from repro.chase.nulls import NullFactory
+from repro.lang.terms import Null
+
+
+class TestNullFactory:
+    def test_sequential_labels(self):
+        factory = NullFactory()
+        assert factory.fresh() == Null("n1")
+        assert factory.fresh() == Null("n2")
+        assert factory.created == 2
+
+    def test_custom_prefix(self):
+        factory = NullFactory(prefix="w")
+        assert factory.fresh() == Null("w1")
+
+    def test_factories_are_independent(self):
+        first, second = NullFactory(), NullFactory()
+        first.fresh()
+        assert second.created == 0
+        # Independent factories intentionally repeat labels: a chase
+        # run owns its factory and never mixes instances.
+        assert second.fresh() == Null("n1")

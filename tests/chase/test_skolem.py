@@ -1,0 +1,81 @@
+"""Tests for repro.chase.skolem (the semi-oblivious chase)."""
+
+import pytest
+
+from repro.chase.chase import oblivious_chase, restricted_chase
+from repro.chase.skolem import skolem_chase
+from repro.data.database import Database
+from repro.data.evaluation import evaluate_cq
+from repro.lang.errors import ChaseBudgetExceeded
+from repro.lang.parser import parse_database, parse_program, parse_query
+
+
+def db(text):
+    return Database(parse_database(text))
+
+
+class TestSkolemChase:
+    def test_datalog_same_as_restricted(self, hierarchy_rules):
+        base = db("a(x). b(y).")
+        skolem = skolem_chase(list(hierarchy_rules), base.copy())
+        restricted = restricted_chase(list(hierarchy_rules), base.copy())
+        assert skolem.instance == restricted.instance
+
+    def test_same_frontier_reuses_null(self, existential_rules):
+        # person(p) fires r1 once; even replayed triggers reuse the
+        # Skolem value -- exactly one worksAt fact per person.
+        result = skolem_chase(list(existential_rules), db("person(p)."))
+        assert result.fixpoint
+        assert result.instance.count("worksAt") == 1
+
+    def test_distinct_frontiers_get_distinct_nulls(self, existential_rules):
+        result = skolem_chase(
+            list(existential_rules), db("person(p). person(q).")
+        )
+        nulls = result.instance.nulls()
+        assert len(nulls) == 2
+
+    def test_between_restricted_and_oblivious(self, existential_rules):
+        base = db("person(p). worksAt(p, acme).")
+        restricted = restricted_chase(list(existential_rules), base.copy())
+        skolem = skolem_chase(list(existential_rules), base.copy())
+        oblivious = oblivious_chase(list(existential_rules), base.copy())
+        assert len(restricted.instance) <= len(skolem.instance)
+        assert len(skolem.instance) <= len(oblivious.instance)
+
+    def test_certain_answers_match_restricted(self):
+        rules = parse_program(
+            """
+            a(X) -> r(X, Y), s(Y).
+            s(Y) -> marked(Y).
+            """
+        )
+        base = db("a(c1). a(c2).")
+        query = parse_query("q(X) :- r(X, Y), marked(Y)")
+        skolem = skolem_chase(list(rules), base.copy())
+        restricted = restricted_chase(list(rules), base.copy())
+        assert evaluate_cq(
+            query, skolem.instance, certain=True
+        ) == evaluate_cq(query, restricted.instance, certain=True)
+
+    def test_deterministic_instance(self, existential_rules):
+        first = skolem_chase(list(existential_rules), db("person(a). person(b)."))
+        second = skolem_chase(list(existential_rules), db("person(b). person(a)."))
+        assert first.instance == second.instance
+
+    def test_budget_strict(self):
+        rules = parse_program("p(X) -> r(X, Y). r(X, Y) -> p(Y).")
+        with pytest.raises(ChaseBudgetExceeded):
+            skolem_chase(list(rules), db("p(a)."), max_steps=5, strict=True)
+
+    def test_budget_non_strict_partial(self):
+        rules = parse_program("p(X) -> r(X, Y). r(X, Y) -> p(Y).")
+        result = skolem_chase(list(rules), db("p(a)."), max_steps=5)
+        assert not result.fixpoint
+
+    def test_multi_head_shares_skolem_value(self):
+        rules = parse_program("a(X) -> b(X, Y), c(Y).")
+        result = skolem_chase(list(rules), db("a(p)."))
+        (b_row,) = result.instance.rows("b")
+        (c_row,) = result.instance.rows("c")
+        assert b_row[1] == c_row[0]

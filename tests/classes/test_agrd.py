@@ -1,0 +1,73 @@
+"""Tests for repro.classes.agrd (rule dependencies)."""
+
+from repro.classes.agrd import is_agrd, rule_dependency_graph
+from repro.lang.parser import parse_program
+from repro.workloads.paper import example1, example2, example3
+
+
+class TestDependencies:
+    def test_head_feeding_body_creates_edge(self):
+        rules = parse_program("a(X) -> b(X). b(X) -> c(X).")
+        graph = rule_dependency_graph(rules)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 0)
+
+    def test_self_dependency(self):
+        rules = parse_program("p(X, Y) -> p(Y, Z).")
+        graph = rule_dependency_graph(rules)
+        assert graph.has_edge(0, 0)
+
+    def test_existential_cannot_bind_constant(self):
+        # Rule 1 invents Y; rule 2 requires the second argument to be
+        # the constant "k": a fresh null never equals a constant.
+        rules = parse_program(
+            """
+            a(X) -> r(X, Y).
+            r(X, "k") -> b(X).
+            """
+        )
+        graph = rule_dependency_graph(rules)
+        assert not graph.has_edge(0, 1)
+
+    def test_existential_cannot_merge_with_frontier(self):
+        # Rule 1 produces r(x, null); rule 2 needs r(W, W).
+        rules = parse_program(
+            """
+            a(X) -> r(X, Y).
+            r(W, W) -> b(W).
+            """
+        )
+        graph = rule_dependency_graph(rules)
+        assert not graph.has_edge(0, 1)
+
+    def test_two_existentials_cannot_merge(self):
+        rules = parse_program(
+            """
+            a(X) -> r(Y, Z).
+            r(W, W) -> b(W).
+            """
+        )
+        graph = rule_dependency_graph(rules)
+        assert not graph.has_edge(0, 1)
+
+
+class TestVerdicts:
+    def test_acyclic_hierarchy_accepted(self, hierarchy_rules):
+        assert is_agrd(hierarchy_rules)
+
+    def test_cycle_rejected_with_witness(self):
+        rules = parse_program("a(X) -> b(X). b(X) -> a(X).")
+        check = is_agrd(rules)
+        assert not check
+        assert "dependency cycle" in check.reasons[0]
+
+    def test_example1_not_agrd(self):
+        # r -> v -> r is a genuine dependency cycle.
+        assert not is_agrd(example1())
+
+    def test_example2_not_agrd(self):
+        assert not is_agrd(example2())
+
+    def test_example3_is_agrd(self):
+        # The blocked unification breaks the only potential cycle.
+        assert is_agrd(example3())

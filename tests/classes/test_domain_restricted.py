@@ -1,0 +1,81 @@
+"""Tests for repro.classes.domain_restricted and weakly_acyclic checks."""
+
+from repro.classes.domain_restricted import is_domain_restricted
+from repro.classes.registry import BASELINE_RECOGNIZERS, all_recognizers
+from repro.classes.weakly_acyclic import is_weakly_acyclic_check
+from repro.lang.parser import parse_program
+from repro.workloads.paper import example3
+
+
+class TestDomainRestricted:
+    def test_all_body_variables_in_head_accepted(self):
+        rules = parse_program("a(X, Y) -> b(X, Y, Z).")
+        assert is_domain_restricted(rules)
+
+    def test_no_body_variables_in_head_accepted(self):
+        rules = parse_program("a(X, Y) -> b(Z).")
+        assert is_domain_restricted(rules)
+
+    def test_partial_head_rejected(self):
+        rules = parse_program("a(X, Y) -> b(X).")
+        check = is_domain_restricted(rules)
+        assert not check
+        assert "Y" in check.reasons[0]
+
+    def test_per_head_atom_check(self):
+        # One head atom full, one empty: both fine.
+        rules = parse_program("a(X, Y) -> b(X, Y), c(Z).")
+        assert is_domain_restricted(rules)
+
+    def test_example3_not_domain_restricted(self):
+        assert not is_domain_restricted(example3())
+
+
+class TestWeaklyAcyclicCheck:
+    def test_accepting_case(self, hierarchy_rules):
+        assert is_weakly_acyclic_check(hierarchy_rules)
+
+    def test_rejecting_case(self):
+        rules = parse_program("p(X) -> r(X, Y). r(X, Y) -> p(Y).")
+        check = is_weakly_acyclic_check(rules)
+        assert not check
+        assert check.reasons
+
+
+class TestRegistry:
+    def test_baselines_are_the_paper_classes(self):
+        names = [name for name, _ in BASELINE_RECOGNIZERS]
+        assert names == [
+            "inclusion-dependencies",
+            "linear",
+            "multilinear",
+            "sticky",
+            "sticky-join",
+            "aGRD",
+            "domain-restricted",
+        ]
+
+    def test_all_recognizers_callable(self, hierarchy_rules):
+        for name, recognizer in all_recognizers():
+            check = recognizer(hierarchy_rules)
+            assert check.name == name
+            assert isinstance(check.member, bool)
+
+    def test_known_containments_on_small_programs(self):
+        """Linear ⊆ Multilinear, Linear ⊆ Sticky-Join, Sticky ⊆ Sticky-Join."""
+        from repro.classes.linear import is_linear, is_multilinear
+        from repro.classes.sticky import is_sticky, is_sticky_join
+
+        programs = [
+            parse_program("a(X) -> b(X, Y)."),
+            parse_program("a(X, Y) -> b(Y)."),
+            parse_program("a(X), b(X) -> c(X)."),
+            parse_program("a(X, Y), b(Y, Z) -> c(X, Z)."),
+            parse_program("t(Y, Y, X) -> s(X)."),
+        ]
+        for rules in programs:
+            if is_linear(rules):
+                assert is_multilinear(rules)
+                assert is_sticky_join(rules)
+            if is_sticky(rules):
+                assert is_sticky_join(rules)

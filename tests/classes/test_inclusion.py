@@ -1,0 +1,74 @@
+"""Tests for repro.classes.inclusion."""
+
+from repro.classes.inclusion import (
+    is_frontier_guarded,
+    is_inclusion_dependencies,
+)
+from repro.classes.linear import is_guarded, is_linear
+from repro.core.swr import is_swr
+from repro.lang.parser import parse_program
+from repro.workloads.paper import example1, example3
+
+
+class TestInclusionDependencies:
+    def test_plain_id_accepted(self):
+        rules = parse_program("emp(X, D) -> dept(D, Y).")
+        assert is_inclusion_dependencies(rules)
+
+    def test_join_body_rejected(self):
+        rules = parse_program("a(X), b(X) -> c(X).")
+        check = is_inclusion_dependencies(rules)
+        assert not check and "body has 2 atoms" in check.reasons[0]
+
+    def test_repeated_variable_rejected(self):
+        rules = parse_program("r(X, X) -> s(X).")
+        assert not is_inclusion_dependencies(rules)
+
+    def test_constant_rejected(self):
+        rules = parse_program('r(X) -> s(X, "k").')
+        assert not is_inclusion_dependencies(rules)
+
+    def test_multi_head_rejected(self):
+        rules = parse_program("a(X) -> b(X), c(X).")
+        assert not is_inclusion_dependencies(rules)
+
+    def test_ids_are_linear_and_swr(self):
+        # The classical containment: IDs ⊆ linear simple TGDs ⊆ SWR.
+        rules = parse_program(
+            """
+            emp(X, D) -> person(X).
+            person(X) -> hasName(X, N).
+            hasName(X, N) -> named(N).
+            """
+        )
+        assert is_inclusion_dependencies(rules)
+        assert is_linear(rules)
+        assert is_swr(rules).is_swr
+
+    def test_example1_not_ids(self):
+        assert not is_inclusion_dependencies(example1())
+
+
+class TestFrontierGuarded:
+    def test_guard_on_frontier_only(self):
+        # The body is not guarded (no atom holds all body variables)
+        # but IS frontier-guarded (an atom holds the whole frontier).
+        rules = parse_program("big(X, Y), other(Z, W) -> head(X, Y).")
+        assert not is_guarded(rules)
+        assert is_frontier_guarded(rules)
+
+    def test_guarded_implies_frontier_guarded(self):
+        programs = [
+            parse_program("a(X, Y) -> b(X)."),
+            parse_program("g(X, Y, Z), a(X) -> c(X, Y)."),
+        ]
+        for rules in programs:
+            if is_guarded(rules):
+                assert is_frontier_guarded(rules)
+
+    def test_split_frontier_rejected(self):
+        rules = parse_program("a(X), b(Y) -> c(X, Y).")
+        assert not is_frontier_guarded(rules)
+
+    def test_example3_frontier_guarded(self):
+        assert is_frontier_guarded(example3())

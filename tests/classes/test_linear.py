@@ -1,0 +1,70 @@
+"""Tests for repro.classes.linear (shape-based classes)."""
+
+from repro.classes.linear import is_datalog, is_guarded, is_linear, is_multilinear
+from repro.lang.parser import parse_program
+from repro.workloads.paper import example1, example3
+
+
+class TestLinear:
+    def test_single_atom_bodies_accepted(self):
+        rules = parse_program("a(X) -> b(X, Y). b(X, Y) -> c(Y).")
+        assert is_linear(rules)
+
+    def test_join_body_rejected(self):
+        rules = parse_program("a(X), b(X) -> c(X).")
+        check = is_linear(rules)
+        assert not check
+        assert "2 atoms" in check.reasons[0]
+
+    def test_example1_not_linear(self):
+        assert not is_linear(example1())
+
+    def test_empty_set_is_linear(self):
+        assert is_linear(())
+
+
+class TestMultilinear:
+    def test_every_linear_set_is_multilinear(self):
+        rules = parse_program("a(X) -> b(X, Y). b(X, Y) -> c(Y).")
+        assert is_multilinear(rules)
+
+    def test_frontier_in_every_atom_accepted(self):
+        rules = parse_program("a(X, Y2), b(X, Z2) -> c(X).")
+        assert is_multilinear(rules)
+
+    def test_example3_rejected_via_u_atom(self):
+        # Paper: "nor multilinear, since u(y1) in R3 does not contain
+        # the variable y2".
+        check = is_multilinear(example3())
+        assert not check
+        assert any("u(Y1)" in r and "Y2" in r for r in check.reasons)
+
+    def test_missing_frontier_var_rejected(self):
+        rules = parse_program("a(X), b(Y) -> c(X, Y).")
+        assert not is_multilinear(rules)
+
+
+class TestGuarded:
+    def test_guard_atom_accepted(self):
+        rules = parse_program("big(X, Y, Z), a(X) -> c(X, Y).")
+        assert is_guarded(rules)
+
+    def test_no_guard_rejected(self):
+        rules = parse_program("a(X, Y), b(Y, Z) -> c(X, Z).")
+        assert not is_guarded(rules)
+
+    def test_linear_always_guarded(self):
+        rules = parse_program("a(X, Y) -> b(X).")
+        assert is_guarded(rules)
+
+
+class TestDatalog:
+    def test_full_rules_accepted(self):
+        rules = parse_program("a(X, Y) -> b(Y, X).")
+        assert is_datalog(rules)
+
+    def test_value_invention_rejected(self):
+        rules = parse_program("a(X) -> b(X, Y).")
+        check = is_datalog(rules)
+        assert not check
+        assert "Y" in check.reasons[0]

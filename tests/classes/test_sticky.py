@@ -1,0 +1,98 @@
+"""Tests for repro.classes.sticky (the marking procedure)."""
+
+from repro.classes.sticky import is_sticky, is_sticky_join, sticky_marking
+from repro.lang.atoms import Position
+from repro.lang.parser import parse_program
+from repro.lang.terms import Variable
+from repro.workloads.paper import example3
+
+
+class TestMarking:
+    def test_base_step_marks_dropped_variables(self):
+        rules = parse_program("a(X, Y) -> b(X).")
+        marked, positions = sticky_marking(rules)
+        assert (0, Variable("Y")) in marked
+        assert (0, Variable("X")) not in marked
+        assert Position("a", 2) in positions
+
+    def test_propagation_through_head_positions(self):
+        # Rule 1 drops its second variable from position b[2]... rule 2
+        # writes Y into b[2] of rule 1's body relation? Construct the
+        # classic two-rule propagation:
+        rules = parse_program(
+            """
+            b(X, Y) -> c(X).
+            a(X, Y) -> b(X, Y).
+            """
+        )
+        marked, _ = sticky_marking(rules)
+        # Y is dropped by rule 1 (marked at b[2]); rule 2's head has Y
+        # at b[2], so Y becomes marked in rule 2's body as well.
+        assert (0, Variable("Y")) in marked
+        assert (1, Variable("Y")) in marked
+
+    def test_no_marking_when_all_variables_kept(self):
+        rules = parse_program("a(X, Y) -> b(Y, X).")
+        marked, _ = sticky_marking(rules)
+        assert marked == frozenset()
+
+    def test_example3_marking_reaches_y1(self):
+        marked, _ = sticky_marking(example3())
+        # Index 2 is R3; its Y1 must end up marked via propagation.
+        assert (2, Variable("Y1")) in marked
+
+
+class TestSticky:
+    def test_joinless_rules_accepted(self):
+        rules = parse_program("a(X, Y) -> b(X). b(X) -> c(X, Z).")
+        assert is_sticky(rules)
+
+    def test_join_on_kept_variable_accepted(self):
+        # X is never marked (it survives into every head).
+        rules = parse_program("a(X), b(X) -> c(X).")
+        assert is_sticky(rules)
+
+    def test_join_on_dropped_variable_rejected(self):
+        rules = parse_program("a(X, Y), b(Y, Z) -> c(X, Z).")
+        check = is_sticky(rules)
+        assert not check
+        assert "Y" in check.reasons[0]
+
+    def test_example3_rejected_with_paper_reason(self):
+        # "y1 appears twice in the atom t(y1,y1,y2) of R3"
+        check = is_sticky(example3())
+        assert not check
+        assert any("R3" in r and "Y1" in r for r in check.reasons)
+
+    def test_within_atom_repetition_of_marked_var_rejected(self):
+        rules = parse_program("t(Y, Y, X) -> s(X).")
+        assert not is_sticky(rules)
+
+
+class TestStickyJoin:
+    def test_sticky_implies_sticky_join(self):
+        rules = parse_program("a(X), b(X) -> c(X).")
+        assert is_sticky(rules) and is_sticky_join(rules)
+
+    def test_within_atom_repetition_tolerated(self):
+        # Marked Y repeated inside ONE atom: sticky fails, sticky-join
+        # tolerates it.
+        rules = parse_program("t(Y, Y, X) -> s(X).")
+        assert not is_sticky(rules)
+        assert is_sticky_join(rules)
+
+    def test_cross_atom_marked_join_rejected(self):
+        rules = parse_program("a(X, Y), b(Y, Z) -> c(X, Z).")
+        check = is_sticky_join(rules)
+        assert not check
+        assert "distinct body atoms" in check.reasons[0]
+
+    def test_example3_rejected_with_paper_reason(self):
+        # "y1 appears in two different atoms of body(R3)"
+        check = is_sticky_join(example3())
+        assert not check
+        assert any("R3" in r for r in check.reasons)
+
+    def test_linear_always_sticky_join(self):
+        rules = parse_program("a(X, Y, Y) -> b(X, Z).")
+        assert is_sticky_join(rules)

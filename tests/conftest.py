@@ -1,0 +1,54 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.database import Database
+from repro.lang.parser import parse_database, parse_program, parse_query
+
+
+@pytest.fixture
+def hierarchy_rules():
+    """A three-level concept hierarchy (linear, SWR, everything)."""
+    return parse_program(
+        """
+        r1: a(X) -> b(X).
+        r2: b(X) -> c(X).
+        r3: c(X) -> d(X).
+        """
+    )
+
+
+@pytest.fixture
+def existential_rules():
+    """Rules with value invention: everyone works somewhere."""
+    return parse_program(
+        """
+        r1: person(X) -> worksAt(X, Y).
+        r2: worksAt(X, Y) -> org(Y).
+        """
+    )
+
+
+@pytest.fixture
+def small_database():
+    return Database(
+        parse_database(
+            """
+            a(one). a(two). b(three).
+            person(ada). person(alan).
+            worksAt(ada, lab).
+            """
+        )
+    )
+
+
+def q(text: str):
+    """Terse query-parsing helper for test bodies."""
+    return parse_query(text)
+
+
+def rules(text: str):
+    """Terse program-parsing helper for test bodies."""
+    return parse_program(text)

@@ -1,0 +1,76 @@
+"""Tests for repro.core.classify."""
+
+from repro.core.classify import classify
+from repro.workloads.ontologies import university_ontology
+from repro.workloads.paper import example1, example2, example3
+
+
+class TestPaperClassifications:
+    def test_example1_memberships(self):
+        report = classify(example1())
+        memberships = report.memberships()
+        assert memberships["SWR"] is True
+        assert memberships["WR"] is True
+
+    def test_example2_memberships(self):
+        report = classify(example2())
+        memberships = report.memberships()
+        assert memberships["SWR"] is False
+        assert memberships["WR"] is False
+
+    def test_example3_escapes_every_baseline(self):
+        """The paper's Example 3 narrative, checked class by class."""
+        report = classify(example3())
+        memberships = report.memberships()
+        assert memberships["linear"] is False       # body(R3) has 2 atoms
+        assert memberships["multilinear"] is False  # u(Y1) misses Y2
+        assert memberships["sticky"] is False       # Y1 twice in t(Y1,Y1,Y2)
+        assert memberships["sticky-join"] is False  # Y1 in two atoms
+        assert memberships["SWR"] is False          # not simple
+        assert memberships["WR"] is True            # the new class wins
+
+    def test_example3_is_agrd(self):
+        # Not claimed by the paper, but true and instructive: the same
+        # blocked unification that makes the recursion "only apparent"
+        # also breaks the R1 -> R3 rule dependency, so the dependency
+        # graph is acyclic.
+        report = classify(example3())
+        assert report.baselines["aGRD"].member
+
+
+class TestReportStructure:
+    def test_table_renders_all_classes(self):
+        table = classify(example1()).table()
+        for name in ("SWR", "WR", "linear", "sticky", "aGRD"):
+            assert name in table
+
+    def test_university_is_swr_only(self):
+        # The showcase ontology: SWR/WR but outside every baseline.
+        report = classify(university_ontology())
+        memberships = report.memberships()
+        assert memberships["SWR"] is True
+        assert memberships["WR"] is True
+        assert not report.in_any_baseline()
+
+    def test_in_any_baseline_positive(self):
+        report = classify(example1())
+        # Example 1 is not linear (two-atom bodies) but check others:
+        # aGRD? it has a dependency cycle; the set is outside baselines
+        # except... compute and check coherently with memberships().
+        assert report.in_any_baseline() == any(
+            report.baselines[name].member
+            for name in (
+                "linear",
+                "multilinear",
+                "sticky",
+                "sticky-join",
+                "aGRD",
+                "domain-restricted",
+            )
+        )
+
+    def test_wr_budget_yields_none(self):
+        report = classify(example2(), wr_max_nodes=2)
+        assert report.wr is None
+        assert report.memberships()["WR"] is None
+        assert "?" in report.table()

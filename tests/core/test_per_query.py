@@ -1,0 +1,59 @@
+"""Tests for repro.core.per_query (per-query class checking)."""
+
+from repro.core.per_query import classify_for_query
+from repro.lang.parser import parse_program, parse_query
+from repro.workloads.paper import EXAMPLE2_QUERY, example2
+
+
+def mixed_ontology():
+    """Example 2 (not WR) bundled with a harmless hierarchy module."""
+    return tuple(example2()) + tuple(
+        parse_program(
+            """
+            good1: a(X) -> b(X).
+            good2: b(X) -> c(X).
+            """
+        )
+    )
+
+
+class TestClassifyForQuery:
+    def test_query_touching_bad_fragment_not_guaranteed(self):
+        report = classify_for_query(EXAMPLE2_QUERY, mixed_ontology())
+        assert not report.fo_rewritable_guaranteed
+        assert len(report.relevant) == 2  # the Example 2 rules
+
+    def test_query_in_good_fragment_guaranteed(self):
+        report = classify_for_query(
+            parse_query("q(X) :- c(X)"), mixed_ontology()
+        )
+        assert report.fo_rewritable_guaranteed
+        assert report.swr.is_swr
+        assert len(report.dropped) == 2  # the Example 2 rules dropped
+
+    def test_guarantee_matches_actual_rewriting(self):
+        from repro.rewriting.rewriter import rewrite
+
+        rules = mixed_ontology()
+        query = parse_query("q(X) :- c(X)")
+        report = classify_for_query(query, rules)
+        assert report.fo_rewritable_guaranteed
+        assert rewrite(query, rules).complete
+
+    def test_wr_fragment_counts_as_guaranteed(self):
+        # Example 3 is not SWR but WR: per-query check over it alone.
+        from repro.workloads.paper import example3
+
+        report = classify_for_query(
+            parse_query("q(X, Y) :- r(X, Y)"), example3()
+        )
+        assert not report.swr.is_swr
+        assert report.wr is not None and report.wr.is_wr
+        assert report.fo_rewritable_guaranteed
+
+    def test_unreferenced_relation_trivial_fragment(self):
+        report = classify_for_query(
+            parse_query("q(X) :- unknown(X)"), mixed_ontology()
+        )
+        assert report.relevant == ()
+        assert report.fo_rewritable_guaranteed

@@ -1,0 +1,78 @@
+"""Tests for repro.core.swr (Definition 5, Theorem 1)."""
+
+from repro.core.swr import is_swr
+from repro.lang.parser import parse_program
+from repro.workloads.paper import example1, example2, example3
+
+
+class TestPaperVerdicts:
+    def test_example1_is_swr(self):
+        result = is_swr(example1())
+        assert result.is_swr
+        assert result.simple
+        assert result.dangerous_cycle is None
+
+    def test_example2_not_swr_because_not_simple(self):
+        result = is_swr(example2())
+        assert not result.is_swr
+        assert not result.simple
+        # ... yet the graph condition passes: the documented failure.
+        assert result.graph_condition
+
+    def test_example3_not_swr_because_not_simple(self):
+        result = is_swr(example3())
+        assert not result.is_swr
+        assert not result.simple
+
+
+class TestGraphCondition:
+    def test_dangerous_set_rejected(self):
+        rules = parse_program("r(Y2, X), t(Y2, V) -> r(X, V).")
+        result = is_swr(rules)
+        assert not result.is_swr
+        assert result.simple
+        assert result.dangerous_cycle is not None
+
+    def test_witness_cycle_carries_both_labels(self):
+        rules = parse_program("r(Y2, X), t(Y2, V) -> r(X, V).")
+        witness = is_swr(rules).dangerous_cycle
+        labels = set().union(*(e.labels for e in witness))
+        assert {"m", "s"} <= labels
+
+    def test_harmless_recursion_accepted(self):
+        # Recursion without splits: plain transitive-style hierarchy.
+        rules = parse_program("a(X) -> b(X). b(X) -> a(X).")
+        assert is_swr(rules).is_swr
+
+    def test_split_without_missing_is_safe(self):
+        # Y2 splits across two atoms but no frontier variable is ever
+        # missing: s-edges without m-edges are harmless.
+        rules = parse_program("r(X, Y2), t(Y2, X) -> r(X, X2).")
+        result = is_swr(rules)
+        # NB: rule has repeated variables? No: X appears in two atoms
+        # (allowed); within each atom all variables distinct.
+        assert result.simple
+        assert result.is_swr
+
+    def test_empty_set_is_swr(self):
+        assert is_swr(()).is_swr
+
+
+class TestReporting:
+    def test_simplicity_violations_labeled(self):
+        result = is_swr(example2())
+        assert any(label == "R2" for label, _ in result.simplicity_violations)
+
+    def test_multi_head_reported_without_graph(self):
+        rules = parse_program("a(X) -> b(X), c(X).")
+        result = is_swr(rules)
+        assert not result.is_swr
+        assert result.graph is None
+        assert not result.graph_condition
+
+    def test_explain_mentions_verdict(self):
+        text = is_swr(example1()).explain()
+        assert "SWR: True" in text
+        text = is_swr(example2()).explain()
+        assert "SWR: False" in text
+        assert "repeated variable" in text

@@ -1,0 +1,54 @@
+"""Tests for repro.data.csvio."""
+
+from repro.data.csvio import facts_from_rows, load_facts_csv, save_facts_csv
+from repro.data.database import Database
+from repro.lang.atoms import Atom
+from repro.lang.terms import Constant, Null
+
+import pytest
+
+from repro.lang.errors import ReproError
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        database = Database(
+            [
+                Atom("r", [Constant("a"), Constant(1)]),
+                Atom("r", [Constant("b"), Constant(2)]),
+                Atom("s", [Constant("x")]),
+            ]
+        )
+        paths = save_facts_csv(database, tmp_path)
+        assert sorted(p.name for p in paths) == ["r.csv", "s.csv"]
+        loaded = load_facts_csv(tmp_path)
+        assert loaded == database
+
+    def test_nulls_roundtrip(self, tmp_path):
+        database = Database([Atom("r", [Null("n3"), Constant("a")])])
+        save_facts_csv(database, tmp_path)
+        assert load_facts_csv(tmp_path) == database
+
+    def test_integers_parsed_back_as_ints(self, tmp_path):
+        database = Database([Atom("r", [Constant(7)])])
+        save_facts_csv(database, tmp_path)
+        loaded = load_facts_csv(tmp_path)
+        assert Atom("r", [Constant(7)]) in loaded
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_facts_csv(tmp_path / "nope")
+
+    def test_empty_directory_gives_empty_database(self, tmp_path):
+        assert len(load_facts_csv(tmp_path)) == 0
+
+
+class TestFactsFromRows:
+    def test_plain_values_wrapped(self):
+        facts = facts_from_rows("r", [("a", 1), ("b", 2)])
+        assert facts[0] == Atom("r", [Constant("a"), Constant(1)])
+
+    def test_existing_terms_pass_through(self):
+        n = Null("n1")
+        facts = facts_from_rows("r", [(n,)])
+        assert facts[0].terms == (n,)

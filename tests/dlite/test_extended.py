@@ -1,0 +1,172 @@
+"""Tests for repro.dlite.extended and repro.dlite.parser."""
+
+import pytest
+
+from repro.core.wr import is_wr
+from repro.data.csvio import facts_from_rows
+from repro.data.database import Database
+from repro.dlite.extended import (
+    Disjointness,
+    ExtendedConceptInclusion,
+    ExtendedTBox,
+    QualifiedExists,
+    extended_tbox_to_tgds,
+    is_satisfiable,
+    violation_queries,
+)
+from repro.dlite.parser import parse_extended_tbox, parse_tbox
+from repro.dlite.syntax import (
+    AtomicConcept,
+    AtomicRole,
+    ConceptInclusion,
+    Exists,
+    Inverse,
+    RoleInclusion,
+)
+from repro.lang.errors import ParseError
+
+SAMPLE = """
+Professor <= Person
+Professor <= exists teaches.Course
+exists supervises.Student <= Busy
+exists teaches <= Teacher
+Course <= not Person
+teaches- <= taughtBy
+"""
+
+
+class TestParser:
+    def test_concept_inclusion(self):
+        tbox = parse_extended_tbox("Professor <= Person")
+        assert tbox.axioms == (
+            ConceptInclusion(
+                AtomicConcept("Professor"), AtomicConcept("Person")
+            ),
+        )
+
+    def test_unqualified_existential(self):
+        tbox = parse_extended_tbox("Professor <= exists teaches")
+        (axiom,) = tbox.axioms
+        assert axiom.sup == Exists(AtomicRole("teaches"))
+
+    def test_inverse_role(self):
+        tbox = parse_extended_tbox("exists teaches- <= Course")
+        (axiom,) = tbox.axioms
+        assert axiom.sub == Exists(Inverse(AtomicRole("teaches")))
+
+    def test_qualified_existential(self):
+        tbox = parse_extended_tbox("Professor <= exists teaches.Course")
+        (axiom,) = tbox.axioms
+        assert isinstance(axiom, ExtendedConceptInclusion)
+        assert axiom.sup == QualifiedExists(
+            AtomicRole("teaches"), AtomicConcept("Course")
+        )
+
+    def test_role_inclusion_with_inverse(self):
+        tbox = parse_extended_tbox("teaches- <= taughtBy")
+        (axiom,) = tbox.axioms
+        assert isinstance(axiom, RoleInclusion)
+
+    def test_disjointness(self):
+        tbox = parse_extended_tbox("Student <= not Professor")
+        (axiom,) = tbox.axioms
+        assert isinstance(axiom, Disjointness)
+
+    def test_comments_ignored(self):
+        tbox = parse_extended_tbox("A <= B  % hierarchy\n% full line\n")
+        assert len(tbox) == 1
+
+    def test_mixed_role_concept_rejected(self):
+        with pytest.raises(ParseError):
+            parse_extended_tbox("teaches <= Person")
+
+    def test_concept_inverse_rejected(self):
+        with pytest.raises(ParseError):
+            parse_extended_tbox("Person- <= Agent")
+
+    def test_strict_parser_rejects_extensions(self):
+        parse_tbox("Professor <= Person")  # fine
+        with pytest.raises(ParseError):
+            parse_tbox("Professor <= exists teaches.Course")
+        with pytest.raises(ParseError):
+            parse_tbox("A <= not B")
+
+
+class TestTranslation:
+    def test_qualified_rhs_gives_multi_head(self):
+        tbox = parse_extended_tbox("Professor <= exists teaches.Course")
+        (rule,) = extended_tbox_to_tgds(tbox)
+        assert len(rule.head) == 2
+        assert len(rule.existential_head_variables()) == 1
+
+    def test_qualified_lhs_gives_two_atom_body(self):
+        tbox = parse_extended_tbox("exists supervises.Student <= Busy")
+        (rule,) = extended_tbox_to_tgds(tbox)
+        assert len(rule.body) == 2
+        assert rule.head[0].relation == "Busy"
+
+    def test_disjointness_generates_no_rule(self):
+        tbox = parse_extended_tbox(SAMPLE)
+        rules = extended_tbox_to_tgds(tbox)
+        assert len(rules) == len(tbox) - 1
+
+    def test_sample_is_wr(self):
+        rules = extended_tbox_to_tgds(parse_extended_tbox(SAMPLE))
+        assert is_wr(rules).is_wr
+
+
+class TestSatisfiability:
+    def test_violation_queries_boolean(self):
+        tbox = parse_extended_tbox(SAMPLE)
+        queries = violation_queries(tbox)
+        assert len(queries) == 1
+        assert queries[0].is_boolean()
+
+    def test_consistent_abox(self):
+        tbox = parse_extended_tbox(SAMPLE)
+        abox = Database(facts_from_rows("Professor", [("noether",)]))
+        satisfiable, violated = is_satisfiable(tbox, abox)
+        assert satisfiable and violated == ()
+
+    def test_direct_violation(self):
+        tbox = parse_extended_tbox(SAMPLE)
+        abox = Database(
+            facts_from_rows("Course", [("x",)])
+            + facts_from_rows("Person", [("x",)])
+        )
+        satisfiable, violated = is_satisfiable(tbox, abox)
+        assert not satisfiable
+        assert "Course" in violated[0]
+
+    def test_violation_through_inference(self):
+        # Professor(x) derives Person(x); stating Course(x) then
+        # violates the disjointness only via the TBox.
+        tbox = parse_extended_tbox(SAMPLE)
+        abox = Database(
+            facts_from_rows("Professor", [("x",)])
+            + facts_from_rows("Course", [("x",)])
+        )
+        satisfiable, _ = is_satisfiable(tbox, abox)
+        assert not satisfiable
+
+    def test_invented_values_do_not_violate(self):
+        # Professor(x) implies an (anonymous) Course; the anonymous
+        # course is not known to be a Person, so no violation.
+        tbox = parse_extended_tbox(SAMPLE)
+        abox = Database(facts_from_rows("Professor", [("x",)]))
+        satisfiable, _ = is_satisfiable(tbox, abox)
+        assert satisfiable
+
+
+class TestExtendedTBoxStructure:
+    def test_axiom_partition(self):
+        tbox = parse_extended_tbox(SAMPLE)
+        assert len(tbox.positive_axioms()) + len(tbox.negative_axioms()) == len(
+            tbox
+        )
+
+    def test_str_renderings(self):
+        tbox = parse_extended_tbox(SAMPLE)
+        rendered = "\n".join(str(a) for a in tbox)
+        assert "exists teaches.Course" in rendered
+        assert "¬" in rendered

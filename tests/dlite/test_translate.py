@@ -1,0 +1,95 @@
+"""Tests for repro.dlite (DL-Lite_R syntax and TGD translation)."""
+
+from repro.core.swr import is_swr
+from repro.classes.linear import is_linear
+from repro.dlite.syntax import (
+    AtomicConcept,
+    AtomicRole,
+    ConceptInclusion,
+    Exists,
+    Inverse,
+    RoleInclusion,
+    TBox,
+)
+from repro.dlite.translate import tbox_to_tgds
+from repro.lang.parser import parse_tgd
+
+
+def tgd_strings(tbox):
+    return {
+        str(rule).split(": ", 1)[1] for rule in tbox_to_tgds(tbox)
+    }
+
+
+PERSON = AtomicConcept("person")
+PROF = AtomicConcept("professor")
+TEACHES = AtomicRole("teaches")
+TAUGHT_BY = AtomicRole("taughtBy")
+
+
+class TestConceptInclusions:
+    def test_atomic_to_atomic(self):
+        tbox = TBox((ConceptInclusion(PROF, PERSON),))
+        assert tgd_strings(tbox) == {"professor(X) -> person(X)"}
+
+    def test_atomic_to_exists(self):
+        tbox = TBox((ConceptInclusion(PROF, Exists(TEACHES)),))
+        assert tgd_strings(tbox) == {"professor(X) -> teaches(X, Zf)"}
+
+    def test_atomic_to_exists_inverse(self):
+        tbox = TBox((ConceptInclusion(PROF, Exists(Inverse(TEACHES))),))
+        assert tgd_strings(tbox) == {"professor(X) -> teaches(Zf, X)"}
+
+    def test_exists_to_atomic(self):
+        tbox = TBox((ConceptInclusion(Exists(TEACHES), PROF),))
+        assert tgd_strings(tbox) == {"teaches(X, Y) -> professor(X)"}
+
+    def test_exists_inverse_to_atomic(self):
+        tbox = TBox((ConceptInclusion(Exists(Inverse(TEACHES)), PERSON),))
+        assert tgd_strings(tbox) == {"teaches(Y, X) -> person(X)"}
+
+
+class TestRoleInclusions:
+    def test_plain_role_inclusion(self):
+        tbox = TBox((RoleInclusion(TEACHES, TAUGHT_BY),))
+        assert tgd_strings(tbox) == {"teaches(X, Y) -> taughtBy(X, Y)"}
+
+    def test_inverse_on_the_right(self):
+        tbox = TBox((RoleInclusion(TEACHES, Inverse(TAUGHT_BY)),))
+        assert tgd_strings(tbox) == {"teaches(X, Y) -> taughtBy(Y, X)"}
+
+    def test_inverse_on_the_left(self):
+        tbox = TBox((RoleInclusion(Inverse(TEACHES), TAUGHT_BY),))
+        assert tgd_strings(tbox) == {"teaches(Y, X) -> taughtBy(X, Y)"}
+
+
+class TestE11Property:
+    """Experiment E11: translated TBoxes are linear, simple and SWR."""
+
+    def sample_tbox(self):
+        return TBox(
+            (
+                ConceptInclusion(PROF, PERSON),
+                ConceptInclusion(PROF, Exists(TEACHES)),
+                ConceptInclusion(Exists(Inverse(TEACHES)), AtomicConcept("course")),
+                RoleInclusion(TEACHES, Inverse(TAUGHT_BY)),
+                ConceptInclusion(Exists(TAUGHT_BY), AtomicConcept("course")),
+            )
+        )
+
+    def test_translation_is_linear(self):
+        assert is_linear(tbox_to_tgds(self.sample_tbox()))
+
+    def test_translation_is_simple_and_swr(self):
+        rules = tbox_to_tgds(self.sample_tbox())
+        result = is_swr(rules)
+        assert result.simple
+        assert result.is_swr
+
+    def test_labels_sequential(self):
+        rules = tbox_to_tgds(self.sample_tbox())
+        assert [r.label for r in rules] == ["A1", "A2", "A3", "A4", "A5"]
+
+    def test_roundtrip_through_parser(self):
+        for rule in tbox_to_tgds(self.sample_tbox()):
+            assert parse_tgd(str(rule)) == rule

@@ -1,0 +1,61 @@
+"""Tests for repro.graphs.analysis (the structural census)."""
+
+from repro.graphs.analysis import census
+from repro.graphs.cycles import LabeledGraph
+from repro.graphs.pnode_graph import build_pnode_graph
+from repro.graphs.position_graph import build_position_graph
+from repro.workloads.paper import example1, example2
+
+
+def graph_of(edges):
+    graph = LabeledGraph()
+    for source, target, labels in edges:
+        graph.add_edge(source, target, labels)
+    return graph
+
+
+class TestCensus:
+    def test_counts(self):
+        graph = graph_of(
+            [("a", "b", ("m",)), ("b", "a", ("s",)), ("b", "c", ())]
+        )
+        result = census(graph)
+        assert result.nodes == 3
+        assert result.edges == 3
+        assert result.label_counts == {"m": 1, "s": 1}
+
+    def test_cycle_label_sets(self):
+        graph = graph_of([("a", "b", ("m",)), ("b", "a", ("s",))])
+        result = census(graph)
+        assert result.cyclic_scc_count == 1
+        assert result.cycle_label_sets == (frozenset({"m", "s"}),)
+
+    def test_acyclic_graph(self):
+        graph = graph_of([("a", "b", ("m",))])
+        result = census(graph)
+        assert result.cyclic_scc_count == 0
+        assert result.cycle_label_sets == ()
+        assert "acyclic" in result.format()
+
+    def test_self_loop_is_cyclic(self):
+        graph = graph_of([("a", "a", ("d",))])
+        assert census(graph).cyclic_scc_count == 1
+
+    def test_example1_census_matches_swr_story(self):
+        result = census(build_position_graph(example1()).graph)
+        assert "s" not in result.label_counts     # no s-edges at all
+        assert result.cyclic_scc_count == 1       # the harmless cycle
+        assert frozenset() in result.cycle_label_sets
+
+    def test_example2_pnode_census_shows_danger(self):
+        result = census(build_pnode_graph(example2()).graph)
+        assert any(
+            {"d", "m", "s"} <= labels for labels in result.cycle_label_sets
+        )
+
+    def test_format_lists_labels_sorted(self):
+        graph = graph_of([("a", "b", ("s", "m", "d"))])
+        text = census(graph).format()
+        assert text.index("d-edges") < text.index("m-edges") < text.index(
+            "s-edges"
+        )

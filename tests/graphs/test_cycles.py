@@ -1,0 +1,128 @@
+"""Tests for repro.graphs.cycles (labeled graphs, dangerous cycles)."""
+
+from repro.graphs.cycles import LabeledGraph
+
+
+def graph_of(edges):
+    graph = LabeledGraph()
+    for source, target, labels in edges:
+        graph.add_edge(source, target, labels)
+    return graph
+
+
+class TestConstruction:
+    def test_labels_accumulate(self):
+        graph = LabeledGraph()
+        graph.add_edge("a", "b", ("m",))
+        graph.add_edge("a", "b", ("s",))
+        assert graph.labels("a", "b") == {"m", "s"}
+
+    def test_nodes_in_insertion_order(self):
+        graph = graph_of([("b", "a", ()), ("a", "c", ())])
+        assert graph.nodes == ("b", "a", "c")
+
+    def test_edges_with_label(self):
+        graph = graph_of([("a", "b", ("m",)), ("b", "c", ())])
+        assert len(graph.edges_with_label("m")) == 1
+
+    def test_add_labels_requires_edge(self):
+        graph = LabeledGraph()
+        try:
+            graph.add_labels("x", "y", ("m",))
+        except KeyError:
+            pass
+        else:
+            raise AssertionError("expected KeyError")
+
+    def test_successors(self):
+        graph = graph_of([("a", "b", ()), ("a", "c", ())])
+        assert graph.successors("a") == ("b", "c")
+
+    def test_to_networkx(self):
+        graph = graph_of([("a", "b", ("m",))])
+        nxg = graph.to_networkx()
+        assert nxg["a"]["b"]["labels"] == {"m"}
+
+
+class TestLabeledCycles:
+    def test_no_cycle_in_dag(self):
+        graph = graph_of([("a", "b", ("m",)), ("b", "c", ("s",))])
+        assert graph.find_labeled_cycle(("m", "s")) is None
+
+    def test_cycle_with_both_labels_on_distinct_edges(self):
+        graph = graph_of([("a", "b", ("m",)), ("b", "a", ("s",))])
+        witness = graph.find_labeled_cycle(("m", "s"))
+        assert witness is not None
+        labels = set().union(*(e.labels for e in witness))
+        assert {"m", "s"} <= labels
+
+    def test_cycle_with_both_labels_on_one_edge(self):
+        graph = graph_of([("a", "b", ("m", "s")), ("b", "a", ())])
+        assert graph.find_labeled_cycle(("m", "s")) is not None
+
+    def test_labels_in_different_cycles_do_not_combine(self):
+        # Two disjoint cycles: one with m, one with s. No single cycle
+        # carries both.
+        graph = graph_of(
+            [
+                ("a", "b", ("m",)),
+                ("b", "a", ()),
+                ("c", "d", ("s",)),
+                ("d", "c", ()),
+            ]
+        )
+        assert graph.find_labeled_cycle(("m", "s")) is None
+
+    def test_self_loop_counts_as_cycle(self):
+        graph = graph_of([("a", "a", ("m", "s"))])
+        assert graph.find_labeled_cycle(("m", "s")) is not None
+
+    def test_label_on_entry_path_does_not_count(self):
+        # m only on the edge INTO the cycle, not inside it.
+        graph = graph_of(
+            [("x", "a", ("m",)), ("a", "b", ("s",)), ("b", "a", ())]
+        )
+        assert graph.find_labeled_cycle(("m", "s")) is None
+
+    def test_forbidden_label_excludes_edge(self):
+        graph = graph_of(
+            [("a", "b", ("m", "i")), ("b", "a", ("s",))]
+        )
+        # The only m-edge is also an i-edge; i is forbidden.
+        assert graph.find_labeled_cycle(("m", "s"), forbidden=("i",)) is None
+
+    def test_forbidden_label_spares_other_cycles(self):
+        graph = graph_of(
+            [
+                ("a", "b", ("m", "i")),
+                ("b", "a", ("s",)),
+                ("c", "d", ("m",)),
+                ("d", "c", ("s",)),
+            ]
+        )
+        witness = graph.find_labeled_cycle(("m", "s"), forbidden=("i",))
+        assert witness is not None
+        assert {e.source for e in witness} <= {"c", "d"}
+
+    def test_empty_required_means_any_cycle(self):
+        graph = graph_of([("a", "b", ()), ("b", "a", ())])
+        assert graph.find_labeled_cycle(()) is not None
+
+    def test_witness_is_a_closed_walk(self):
+        graph = graph_of(
+            [
+                ("a", "b", ("m",)),
+                ("b", "c", ()),
+                ("c", "a", ("s",)),
+            ]
+        )
+        witness = graph.find_labeled_cycle(("m", "s"))
+        assert witness is not None
+        for first, second in zip(witness, witness[1:]):
+            assert first.target == second.source
+        assert witness[-1].target == witness[0].source
+
+    def test_has_labeled_cycle_shorthand(self):
+        graph = graph_of([("a", "a", ("m",))])
+        assert graph.has_labeled_cycle(("m",))
+        assert not graph.has_labeled_cycle(("s",))

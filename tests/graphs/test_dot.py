@@ -1,0 +1,52 @@
+"""Tests for repro.graphs.dot (Graphviz rendering)."""
+
+from repro.graphs.dot import pnode_graph_to_dot, position_graph_to_dot
+from repro.graphs.pnode_graph import build_pnode_graph
+from repro.graphs.position_graph import build_position_graph
+from repro.workloads.paper import example1, example2
+
+
+class TestPositionGraphDot:
+    def test_valid_digraph_structure(self):
+        dot = position_graph_to_dot(build_position_graph(example1()))
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+    def test_all_nodes_rendered(self):
+        graph = build_position_graph(example1())
+        dot = position_graph_to_dot(graph)
+        for position in graph.positions:
+            assert str(position) in dot
+
+    def test_edge_labels_rendered(self):
+        dot = position_graph_to_dot(build_position_graph(example1()))
+        assert 'label="m"' in dot
+
+    def test_custom_name(self):
+        dot = position_graph_to_dot(
+            build_position_graph(example1()), name="Fig1"
+        )
+        assert "digraph Fig1" in dot
+
+
+class TestPNodeGraphDot:
+    def test_dangerous_cycle_highlighted(self):
+        dot = pnode_graph_to_dot(build_pnode_graph(example2()))
+        assert "color=red" in dot
+
+    def test_no_highlight_for_safe_graphs(self):
+        dot = pnode_graph_to_dot(build_pnode_graph(example1()))
+        assert "color=red" not in dot
+
+    def test_highlight_can_be_disabled(self):
+        dot = pnode_graph_to_dot(
+            build_pnode_graph(example2()), highlight_dangerous=False
+        )
+        assert "color=red" not in dot
+
+    def test_quotes_escaped(self):
+        from repro.lang.parser import parse_program
+
+        rules = parse_program('a(X, "k") -> r(X). r(X) -> p(X).')
+        dot = pnode_graph_to_dot(build_pnode_graph(rules))
+        assert '\\"k\\"' in dot

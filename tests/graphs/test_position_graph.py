@@ -1,0 +1,174 @@
+"""Tests for repro.graphs.position_graph against Definition 4.
+
+The Figure 1 / Figure 2 structural assertions live here; the
+integration tests assert the downstream SWR verdicts.
+"""
+
+import pytest
+
+from repro.graphs.position_graph import build_position_graph
+from repro.lang.atoms import Position
+from repro.lang.errors import NotSupportedError
+from repro.lang.parser import parse_program
+from repro.workloads.paper import example1, example2
+
+
+def edge_map(graph):
+    return {
+        (str(e.source), str(e.target)): set(e.labels) for e in graph.edges
+    }
+
+
+class TestFigure1:
+    """The position graph of the paper's Example 1 (Figure 1)."""
+
+    @pytest.fixture
+    def graph(self):
+        return build_position_graph(example1())
+
+    def test_node_set(self, graph):
+        names = {str(p) for p in graph.positions}
+        # Figure 1 plus t[1] (Definition 4 point 1(b) literally adds a
+        # node for every existential body variable; see EXPERIMENTS.md).
+        assert names == {
+            "r[ ]", "s[ ]", "t[ ]", "v[ ]", "q0[ ]", "s[2]", "t[1]",
+        }
+
+    def test_edges_and_m_labels(self, graph):
+        edges = edge_map(graph)
+        assert edges[("r[ ]", "s[ ]")] == set()
+        assert edges[("r[ ]", "t[ ]")] == {"m"}
+        assert edges[("r[ ]", "s[2]")] == set()
+        assert edges[("r[ ]", "t[1]")] == {"m"}
+        assert edges[("s[ ]", "v[ ]")] == set()
+        assert edges[("s[ ]", "q0[ ]")] == {"m"}
+        assert edges[("v[ ]", "r[ ]")] == set()
+        assert len(edges) == 7
+
+    def test_no_s_edges(self, graph):
+        assert graph.s_edges() == ()
+
+    def test_harmless_cycle_exists_but_not_dangerous(self, graph):
+        # r[] -> s[] -> v[] -> r[] is a cycle, but with no s-edge it is
+        # harmless: Definition 5 only forbids m+s cycles.
+        assert graph.graph.find_labeled_cycle(()) is not None
+        assert graph.dangerous_cycle() is None
+
+    def test_dead_end_at_existential_head_position(self, graph):
+        # s[2] corresponds to R2's existential head variable Y3: no
+        # rule head is R-compatible with it, so it has no successors.
+        assert graph.graph.successors(Position("s", 2)) == ()
+
+
+class TestFigure2:
+    """The position graph of Example 2 -- the documented failure."""
+
+    @pytest.fixture
+    def graph(self):
+        return build_position_graph(example2())
+
+    def test_node_set(self, graph):
+        names = {str(p) for p in graph.positions}
+        assert names == {
+            "r[ ]", "r[1]", "r[2]",
+            "s[ ]", "s[1]", "s[2]", "s[3]",
+            "t[ ]", "t[1]", "t[2]",
+        }
+
+    def test_no_s_edges_despite_unbounded_chain(self, graph):
+        # The within-atom repetition of Y1 in body(R2) is invisible:
+        # "occurring in at least two atoms" never triggers.
+        assert graph.s_edges() == ()
+
+    def test_no_dangerous_cycle(self, graph):
+        # The criterion (wrongly) passes -- the paper's motivation for
+        # the P-node graph.
+        assert graph.dangerous_cycle() is None
+
+    def test_m_edges_present(self, graph):
+        assert len(graph.m_edges()) > 0
+
+    def test_r2_existential_position_is_dead_end(self, graph):
+        # r[2] holds R2's existential head variable Y3.
+        assert graph.graph.successors(Position("r", 2)) == ()
+
+
+class TestConstructionMechanics:
+    def test_multi_head_rejected(self):
+        rules = parse_program("a(X) -> b(X), c(X).")
+        with pytest.raises(NotSupportedError):
+            build_position_graph(rules)
+
+    def test_empty_rule_set(self):
+        graph = build_position_graph(())
+        assert graph.positions == ()
+        assert graph.edges == ()
+
+    def test_s_label_point_two_existential_in_two_atoms(self):
+        # Y2 occurs in both body atoms and not in the head: every edge
+        # of the expansion carries s.
+        rules = parse_program("a(X, Y2), b(Y2) -> r(X).")
+        graph = build_position_graph(rules)
+        assert all("s" in e.labels for e in graph.edges)
+
+    def test_s_label_point_three_traced_variable_split(self):
+        # Node r[1] arises from the existential body variable W of the
+        # second rule; expanding it against the first rule traces X,
+        # which occurs in both body atoms -> point 3 puts s on every
+        # edge of that expansion.  The generic node r[ ] traces nothing
+        # and its expansion has no split (no existential body variable
+        # of rule 1 occurs in two atoms), so its edges carry no s.
+        rules = parse_program(
+            """
+            a(X, Y), b(X) -> r(X).
+            r(W), c(W, X) -> p(X).
+            """
+        )
+        graph = build_position_graph(rules)
+        from_r1 = [e for e in graph.edges if str(e.source) == "r[1]"]
+        from_generic = [e for e in graph.edges if str(e.source) == "r[ ]"]
+        assert from_r1 and all("s" in e.labels for e in from_r1)
+        assert from_generic and all(
+            "s" not in e.labels for e in from_generic
+        )
+
+    def test_m_label_is_per_body_atom(self):
+        # b misses the frontier variable X; a does not.
+        rules = parse_program("a(X), b(Y) -> r(X).")
+        graph = build_position_graph(rules)
+        edges = edge_map(graph)
+        assert edges[("r[ ]", "a[ ]")] == set()
+        assert "m" in edges[("r[ ]", "b[ ]")]
+
+    def test_labels_accumulate_across_rules(self):
+        # Two rules derive r[] -> a[]: one contributes m, one nothing.
+        rules = parse_program(
+            """
+            a(X), c(Y) -> r(X, Y).
+            a(X) -> r(X, Z).
+            """
+        )
+        graph = build_position_graph(rules)
+        assert "m" in edge_map(graph)[("r[ ]", "a[ ]")]
+
+    def test_head_constant_position_not_compatible(self):
+        # Position r[1] holds a constant in the head: Definition 3(ii)
+        # requires a distinguished variable, so no expansion happens.
+        rules = parse_program('a(X) -> r("k", X). r(Y, X) -> p(Y).')
+        graph = build_position_graph(rules)
+        # p's body traces Y into r[1]; r[1] must be a dead end via the
+        # first rule (its head has "k" at position 1).
+        sources = {str(e.source) for e in graph.edges}
+        assert "r[1]" not in sources
+
+    def test_dangerous_cycle_detected(self):
+        # A genuine m+s cycle: the recursive rule splits the
+        # existential body variable Y2 across both atoms (s) while the
+        # r-atom misses the frontier variable V (m) -- the self-loop
+        # r[ ] -> r[ ] carries both labels.
+        rules = parse_program("r(Y2, X), t(Y2, V) -> r(X, V).")
+        graph = build_position_graph(rules)
+        witness = graph.dangerous_cycle()
+        assert witness is not None
+        labels = set().union(*(e.labels for e in witness))
+        assert {"m", "s"} <= labels

@@ -1,0 +1,35 @@
+"""Every example script must run to completion.
+
+The examples are part of the public surface; this test executes each
+one in a subprocess and requires a zero exit code, so a library change
+that breaks an example fails the suite rather than rotting silently.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stdout[-2000:]}\n"
+        f"{result.stderr[-2000:]}"
+    )
+
+
+def test_examples_exist():
+    names = {script.name for script in SCRIPTS}
+    assert "quickstart.py" in names
+    assert len(names) >= 5

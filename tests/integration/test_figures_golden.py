@@ -1,0 +1,84 @@
+"""Golden tests: the regenerated paper figures, pinned edge by edge.
+
+The benches regenerate Figures 1–3 as artifacts; these tests pin the
+exact structural content so any change to the graph constructions is
+caught immediately (and consciously) rather than silently altering the
+reproduction.
+"""
+
+from repro.graphs.pnode_graph import build_pnode_graph
+from repro.graphs.position_graph import build_position_graph
+from repro.workloads.paper import example1, example2
+
+FIGURE1_EDGES = {
+    ("r[ ]", "s[ ]", ""),
+    ("r[ ]", "s[2]", ""),
+    ("r[ ]", "t[ ]", "m"),
+    ("r[ ]", "t[1]", "m"),
+    ("s[ ]", "v[ ]", ""),
+    ("s[ ]", "q0[ ]", "m"),
+    ("v[ ]", "r[ ]", ""),
+}
+
+FIGURE2_NODES = {
+    "r[ ]", "r[1]", "r[2]",
+    "s[ ]", "s[1]", "s[2]", "s[3]",
+    "t[ ]", "t[1]", "t[2]",
+}
+
+
+def edge_set(graph):
+    return {
+        (str(e.source), str(e.target), ",".join(sorted(e.labels)))
+        for e in graph.edges
+    }
+
+
+class TestFigure1Golden:
+    def test_exact_edge_set(self):
+        graph = build_position_graph(example1())
+        assert edge_set(graph) == FIGURE1_EDGES
+
+    def test_exact_node_count(self):
+        graph = build_position_graph(example1())
+        assert len(graph.positions) == 7
+
+
+class TestFigure2Golden:
+    def test_exact_node_set(self):
+        graph = build_position_graph(example2())
+        assert {str(p) for p in graph.positions} == FIGURE2_NODES
+
+    def test_edge_count_and_label_profile(self):
+        graph = build_position_graph(example2())
+        assert len(graph.edges) == 22
+        labels = sorted(
+            ",".join(sorted(e.labels)) for e in graph.edges
+        )
+        # 15 m-labeled edges, 7 unlabeled, no s anywhere.
+        assert labels.count("m") == 15
+        assert labels.count("") == 7
+
+
+class TestFigure3Golden:
+    def test_node_count_and_inventory(self):
+        graph = build_pnode_graph(example2())
+        names = {str(n) for n in graph.pnodes}
+        assert len(names) == 14
+        for figure_atom in (
+            "r(x1, x2)",
+            "s(x1, x2, x3)",
+            "s(x1, x1, x2)",
+            "s(z, z, x1)",
+        ):
+            assert figure_atom in names
+
+    def test_dangerous_cycle_label_profile(self):
+        graph = build_pnode_graph(example2())
+        witness = graph.dangerous_cycle()
+        profiles = {",".join(sorted(e.labels)) for e in witness}
+        assert "d,m,s" in profiles
+
+    def test_edge_count(self):
+        graph = build_pnode_graph(example2())
+        assert len(graph.edges) == 24

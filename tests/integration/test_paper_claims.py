@@ -1,0 +1,237 @@
+"""Integration tests: every checkable claim of the paper (E1-E12).
+
+Each test class corresponds to an experiment id in DESIGN.md §4 and is
+the pass/fail core of the corresponding bench.
+"""
+
+import random
+
+import pytest
+
+from repro.chase.certain import certain_answers
+from repro.core.classify import classify
+from repro.core.swr import is_swr
+from repro.core.wr import is_wr
+from repro.data.database import Database
+from repro.data.evaluation import evaluate_ucq
+from repro.graphs.position_graph import build_position_graph
+from repro.graphs.pnode_graph import build_pnode_graph
+from repro.lang.parser import parse_query
+from repro.rewriting.budget import RewritingBudget
+from repro.rewriting.rewriter import rewrite
+from repro.workloads.generators import generate_database
+from repro.workloads.paper import (
+    EXAMPLE1_QUERY,
+    EXAMPLE2_QUERY,
+    example1,
+    example2,
+    example3,
+)
+
+
+class TestE1Figure1:
+    """Figure 1 + 'no s-edges => SWR'."""
+
+    def test_no_s_edges_and_swr(self):
+        graph = build_position_graph(example1())
+        assert graph.s_edges() == ()
+        assert is_swr(example1()).is_swr
+
+
+class TestE2Example1FORewritability:
+    """Theorem 1 instantiated: Example 1's rewriting terminates and
+    matches chase-certain answers on random databases."""
+
+    def test_rewriting_terminates(self):
+        assert rewrite(EXAMPLE1_QUERY, example1()).complete
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_rewriting_equals_chase(self, seed):
+        rules = example1()
+        facts = generate_database(
+            random.Random(seed), rules, facts_per_relation=4, domain_size=5
+        )
+        database = Database(facts)
+        result = rewrite(EXAMPLE1_QUERY, rules)
+        rewriting_answers = evaluate_ucq(result.ucq, database)
+        chase_answers = certain_answers(EXAMPLE1_QUERY, rules, database)
+        assert rewriting_answers == chase_answers
+
+
+class TestE3Figure2:
+    """The position graph wrongly passes Example 2."""
+
+    def test_position_graph_criterion_passes(self):
+        result = is_swr(example2())
+        assert result.graph_condition      # the graph sees no danger
+        assert not result.simple           # but the set is not simple
+        assert not result.is_swr
+
+
+class TestE4UnboundedChain:
+    """q() :- r("a", x) has an unbounded rewriting chain."""
+
+    def test_join_width_grows_with_depth(self):
+        widths = []
+        for depth in (2, 4, 6, 8, 10):
+            result = rewrite(
+                EXAMPLE2_QUERY, example2(), RewritingBudget(max_depth=depth)
+            )
+            assert not result.complete
+            widths.append(result.max_body_atoms)
+        assert widths == sorted(widths)
+        assert widths[-1] >= widths[0] + 3  # genuine growth, not noise
+
+
+class TestE5Figure3:
+    """The P-node graph catches Example 2 (Definition 8)."""
+
+    def test_not_wr_with_witness(self):
+        result = is_wr(example2())
+        assert not result.is_wr
+        labels = set().union(*(e.labels for e in result.dangerous_cycle))
+        assert {"d", "m", "s"} <= labels and "i" not in labels
+
+    def test_figure3_node_inventory(self):
+        graph = build_pnode_graph(example2())
+        names = {str(n) for n in graph.pnodes}
+        for expected in ("r(x1, x2)", "s(x1, x1, x2)", "s(z, z, x1)"):
+            assert expected in names
+
+
+class TestE6Example3:
+    """Example 3: outside the four named classes and SWR, yet WR and
+    FO-rewritable."""
+
+    def test_class_escapes(self):
+        report = classify(example3())
+        memberships = report.memberships()
+        for name in ("linear", "multilinear", "sticky", "sticky-join", "SWR"):
+            assert memberships[name] is False, name
+        assert memberships["WR"] is True
+
+    @pytest.mark.parametrize(
+        "query_text",
+        [
+            "q(X, Y) :- r(X, Y)",
+            "q(X, Y, Z) :- s(X, Y, Z)",
+            "q() :- t(X, Y, Z)",
+            "q(X) :- u(X), t(X, X, Y)",
+        ],
+    )
+    def test_fo_rewritable_queries_terminate_and_match_chase(
+        self, query_text
+    ):
+        rules = example3()
+        query = parse_query(query_text)
+        result = rewrite(query, rules)
+        assert result.complete
+        for seed in range(3):
+            facts = generate_database(
+                random.Random(seed), rules, facts_per_relation=4,
+                domain_size=4,
+            )
+            database = Database(facts)
+            assert evaluate_ucq(result.ucq, database) == certain_answers(
+                query, rules, database, max_steps=50_000
+            )
+
+
+class TestE7Subsumption:
+    """Section 5: over simple TGDs, SWR ⊇ Linear/Multilinear/Sticky/
+    Sticky-Join (empirically, over random sets)."""
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_baselines_imply_swr_on_simple_sets(self, seed):
+        from repro.classes.linear import is_linear, is_multilinear
+        from repro.classes.sticky import is_sticky, is_sticky_join
+        from repro.workloads.generators import random_simple
+
+        rules = random_simple(
+            random.Random(seed), n_rules=4, n_relations=4, max_arity=3
+        )
+        assert all(r.is_simple() for r in rules)
+        in_baseline = (
+            is_linear(rules).member
+            or is_multilinear(rules).member
+            or is_sticky(rules).member
+            or is_sticky_join(rules).member
+        )
+        if in_baseline:
+            assert is_swr(rules).is_swr, [str(r) for r in rules]
+
+    def test_strictness_witness(self):
+        """A set that is SWR but in none of the four baselines."""
+        from repro.classes.linear import is_linear, is_multilinear
+        from repro.classes.sticky import is_sticky, is_sticky_join
+        from repro.workloads.generators import swr_but_not_baselines
+
+        rules = swr_but_not_baselines()
+        assert is_swr(rules).is_swr
+        assert not is_linear(rules).member
+        assert not is_multilinear(rules).member
+        assert not is_sticky(rules).member
+        assert not is_sticky_join(rules).member
+
+
+class TestE11DLLite:
+    """DL-Lite_R TBoxes translate into SWR TGDs."""
+
+    def test_random_tboxes_always_swr(self):
+        from repro.dlite.syntax import (
+            AtomicConcept,
+            AtomicRole,
+            ConceptInclusion,
+            Exists,
+            Inverse,
+            RoleInclusion,
+            TBox,
+        )
+        from repro.dlite.translate import tbox_to_tgds
+
+        rng = random.Random(11)
+        concepts = [AtomicConcept(f"c{i}") for i in range(4)]
+        roles = [AtomicRole(f"p{i}") for i in range(3)]
+        for _ in range(10):
+            axioms = []
+            for _ in range(8):
+                if rng.random() < 0.7:
+                    side = lambda: (
+                        rng.choice(concepts)
+                        if rng.random() < 0.5
+                        else Exists(
+                            rng.choice(roles)
+                            if rng.random() < 0.5
+                            else Inverse(rng.choice(roles))
+                        )
+                    )
+                    axioms.append(ConceptInclusion(side(), side()))
+                else:
+                    side = lambda: (
+                        rng.choice(roles)
+                        if rng.random() < 0.5
+                        else Inverse(rng.choice(roles))
+                    )
+                    axioms.append(RoleInclusion(side(), side()))
+            rules = tbox_to_tgds(TBox(tuple(axioms)))
+            assert is_swr(rules).is_swr
+
+
+class TestE12Approximation:
+    """Section 7: sound, convergent approximation for non-WR sets."""
+
+    def test_approximation_sound_and_growing(self):
+        from repro.rewriting.approx import approximate_answers
+        from repro.lang.parser import parse_database
+
+        rules = example2()
+        database = Database(
+            parse_database("t(a, a). t(b, a). s(c, c, a). r(a, d).")
+        )
+        report = approximate_answers(
+            EXAMPLE2_QUERY, rules, database, max_depth=6
+        )
+        truth = certain_answers(EXAMPLE2_QUERY, rules, database)
+        assert report.answers <= truth
+        counts = list(report.answer_counts)
+        assert counts == sorted(counts)

@@ -1,0 +1,104 @@
+"""Tests for repro.lang.atoms."""
+
+import pytest
+
+from repro.lang.atoms import Atom, Position
+from repro.lang.terms import Constant, Null, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+A, B = Constant("a"), Constant("b")
+
+
+class TestAtom:
+    def test_positions_are_one_based(self):
+        atom = Atom("r", [X, A])
+        assert atom[1] == X
+        assert atom[2] == A
+
+    def test_position_out_of_range(self):
+        atom = Atom("r", [X])
+        with pytest.raises(IndexError):
+            atom[0]
+        with pytest.raises(IndexError):
+            atom[2]
+
+    def test_variables_ordered_without_repeats(self):
+        atom = Atom("r", [Y, X, Y, A])
+        assert atom.variables() == (Y, X)
+
+    def test_constants_ordered_without_repeats(self):
+        atom = Atom("r", [A, X, B, A])
+        assert atom.constants() == (A, B)
+
+    def test_nulls_collected(self):
+        n = Null("n1")
+        assert Atom("r", [n, X]).nulls() == (n,)
+
+    def test_positions_of_repeated_term(self):
+        atom = Atom("r", [X, Y, X])
+        assert atom.positions_of(X) == (1, 3)
+        assert atom.positions_of(Y) == (2,)
+        assert atom.positions_of(Z) == ()
+
+    def test_repeated_variable_detection(self):
+        assert Atom("r", [X, X]).has_repeated_variable()
+        assert not Atom("r", [X, Y]).has_repeated_variable()
+        # repeated constants are not repeated *variables*
+        assert not Atom("r", [A, A]).has_repeated_variable()
+
+    def test_groundness(self):
+        assert Atom("r", [A, Null("n")]).is_ground()
+        assert not Atom("r", [A, X]).is_ground()
+
+    def test_equality_and_hash(self):
+        assert Atom("r", [X, A]) == Atom("r", [X, A])
+        assert Atom("r", [X, A]) != Atom("r", [A, X])
+        assert Atom("r", [X]) != Atom("s", [X])
+        assert len({Atom("r", [X]), Atom("r", [X])}) == 1
+
+    def test_str_rendering(self):
+        assert str(Atom("r", [X, A])) == 'r(X, "a")'
+
+    def test_zero_arity_atom(self):
+        atom = Atom("done", [])
+        assert atom.arity == 0
+        assert atom.is_ground()
+        assert str(atom) == "done()"
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("", [X])
+
+    def test_sort_key_orders_by_relation_then_terms(self):
+        atoms = [Atom("s", [X]), Atom("r", [Y]), Atom("r", [A])]
+        ordered = sorted(atoms)
+        assert [a.relation for a in ordered] == ["r", "r", "s"]
+        assert ordered[0] == Atom("r", [A])
+
+
+class TestPosition:
+    def test_generic_versus_indexed(self):
+        assert Position("r").is_generic
+        assert not Position("r", 2).is_generic
+
+    def test_equality(self):
+        assert Position("r") == Position("r")
+        assert Position("r", 1) != Position("r", 2)
+        assert Position("r") != Position("r", 1)
+        assert Position("r", 1) != Position("s", 1)
+
+    def test_str_rendering_matches_paper(self):
+        assert str(Position("r")) == "r[ ]"
+        assert str(Position("r", 2)) == "r[2]"
+
+    def test_invalid_index_rejected(self):
+        with pytest.raises(ValueError):
+            Position("r", 0)
+
+    def test_sorting_generic_first(self):
+        positions = [Position("r", 2), Position("r"), Position("r", 1)]
+        assert sorted(positions) == [
+            Position("r"),
+            Position("r", 1),
+            Position("r", 2),
+        ]

@@ -1,0 +1,58 @@
+"""Tests for the error model (repro.lang.errors)."""
+
+import pytest
+
+from repro.lang.errors import (
+    ChaseBudgetExceeded,
+    NotSupportedError,
+    ParseError,
+    ReproError,
+    RewritingBudgetExceeded,
+    SafetyError,
+    SignatureError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            ParseError,
+            SafetyError,
+            SignatureError,
+            RewritingBudgetExceeded,
+            ChaseBudgetExceeded,
+            NotSupportedError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    def test_pnode_budget_error_in_hierarchy(self):
+        from repro.graphs.pnode_graph import PNodeGraphBudgetExceeded
+
+        assert issubclass(PNodeGraphBudgetExceeded, ReproError)
+
+    def test_catching_repro_error_catches_all(self):
+        with pytest.raises(ReproError):
+            raise ParseError("boom")
+
+
+class TestParseErrorContext:
+    def test_offset_rendered(self):
+        error = ParseError("bad token", text="abc$def", pos=3)
+        assert "offset 3" in str(error)
+        assert error.pos == 3
+
+    def test_without_context(self):
+        error = ParseError("bad token")
+        assert str(error) == "bad token"
+
+
+class TestRewritingBudgetPayload:
+    def test_diagnostics_attached(self):
+        error = RewritingBudgetExceeded(
+            "over budget", partial_cqs=42, depth_reached=7
+        )
+        assert error.partial_cqs == 42
+        assert error.depth_reached == 7

@@ -1,0 +1,57 @@
+"""Tests for repro.lang.printer."""
+
+import pytest
+
+from repro.lang.parser import parse_program, parse_ucq
+from repro.lang.printer import (
+    format_answers,
+    format_mapping,
+    format_program,
+    format_table,
+    format_ucq,
+)
+from repro.lang.terms import Constant
+
+
+class TestFormatProgram:
+    def test_one_rule_per_line_with_periods(self):
+        program = parse_program("a(X) -> b(X). b(X) -> c(X).")
+        text = format_program(program)
+        assert text.count("\n") == 1
+        assert text.endswith(".")
+
+
+class TestFormatUCQ:
+    def test_one_disjunct_per_line(self):
+        ucq = parse_ucq("q(X) :- a(X). q(X) :- b(X).")
+        assert len(format_ucq(ucq).splitlines()) == 2
+
+
+class TestFormatAnswers:
+    def test_sorted_rendering(self):
+        rows = [(Constant("b"),), (Constant("a"),)]
+        assert format_answers(rows).splitlines() == ['("a")', '("b")']
+
+    def test_empty(self):
+        assert format_answers([]) == ""
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(("name", "n"), [("alpha", 1), ("b", 22)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        # All rows equally wide (ignoring trailing spaces).
+        widths = {len(line.rstrip()) <= len(lines[1]) for line in lines}
+        assert widths == {True}
+
+    def test_cell_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+
+class TestFormatMapping:
+    def test_sorted_by_key(self):
+        text = format_mapping({"b": 2, "a": 1})
+        assert text.splitlines() == ["  a: 1", "  b: 2"]

@@ -1,0 +1,145 @@
+"""Tests for repro.lang.queries."""
+
+import pytest
+
+from repro.lang.atoms import Atom
+from repro.lang.errors import SafetyError
+from repro.lang.parser import parse_query
+from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.lang.substitution import Substitution
+from repro.lang.terms import Constant, Null, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+A = Constant("a")
+
+
+class TestConstruction:
+    def test_answer_variable_must_occur_in_body(self):
+        with pytest.raises(SafetyError):
+            ConjunctiveQuery([X], [Atom("r", [Y])])
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(SafetyError):
+            ConjunctiveQuery([], [])
+
+    def test_null_in_answer_rejected(self):
+        with pytest.raises(SafetyError):
+            ConjunctiveQuery([Null("n")], [Atom("r", [X])])
+
+    def test_constant_answers_allowed(self):
+        query = ConjunctiveQuery([A, X], [Atom("r", [X])])
+        assert query.arity == 2
+        assert query.answer_variables == (X,)
+
+    def test_repeated_answer_variables_allowed(self):
+        query = ConjunctiveQuery([X, X], [Atom("r", [X])])
+        assert query.arity == 2
+        assert query.answer_variables == (X,)
+
+
+class TestVariableClassification:
+    def test_existential_variables(self):
+        query = parse_query("q(X) :- r(X, Y), s(Y, Z)")
+        assert {v.name for v in query.existential_variables()} == {"Y", "Z"}
+
+    def test_nle_variables_are_shared_existentials(self):
+        query = parse_query("q(X) :- r(X, Y), s(Y, Z)")
+        assert [v.name for v in query.nle_variables()] == ["Y"]
+
+    def test_answer_variables_are_not_nle(self):
+        query = parse_query("q(X) :- r(X, Y), s(X, Z)")
+        assert query.nle_variables() == ()
+
+    def test_within_atom_repetition_is_not_nle(self):
+        # NLE requires occurrence in MORE THAN ONE atom.
+        query = parse_query("q() :- r(Y, Y)")
+        assert query.nle_variables() == ()
+
+    def test_boolean_query(self):
+        assert parse_query("q() :- r(X)").is_boolean()
+        assert not parse_query("q(X) :- r(X)").is_boolean()
+
+    def test_constants_include_answer_constants(self):
+        query = ConjunctiveQuery([A], [Atom("r", [X, Constant("b")])])
+        assert query.constants() == (A, Constant("b"))
+
+
+class TestTransformation:
+    def test_apply_substitution_to_answers_and_body(self):
+        query = parse_query("q(X) :- r(X, Y)")
+        applied = query.apply(Substitution({X: Z, Y: A}))
+        assert applied.answer_terms == (Z,)
+        assert applied.body == (Atom("r", [Z, A]),)
+
+    def test_apply_can_ground_answer_terms(self):
+        query = parse_query("q(X) :- r(X, Y)")
+        applied = query.apply(Substitution({X: A}))
+        assert applied.answer_terms == (A,)
+
+    def test_dedupe_body(self):
+        query = ConjunctiveQuery([X], [Atom("r", [X]), Atom("r", [X])])
+        assert len(query.dedupe_body().body) == 1
+
+    def test_rename_apart_preserves_structure(self):
+        query = parse_query("q(X) :- r(X, Y)")
+        renamed = query.rename_apart([X, Y])
+        assert renamed.canonical() == query.canonical()
+        assert {v.name for v in renamed.body_variables()}.isdisjoint({"X", "Y"})
+
+
+class TestCanonical:
+    def test_renaming_invariance(self):
+        first = parse_query("q(X) :- r(X, Y), s(Y)")
+        second = parse_query("q(U) :- r(U, V), s(V)")
+        assert first.canonical() == second.canonical()
+
+    def test_body_order_invariance(self):
+        first = parse_query("q(X) :- r(X, Y), s(Y)")
+        second = parse_query("q(X) :- s(Y), r(X, Y)")
+        assert first.canonical() == second.canonical()
+
+    def test_distinct_structures_distinct_keys(self):
+        first = parse_query("q(X) :- r(X, Y)")
+        second = parse_query("q(X) :- r(Y, X)")
+        assert first.canonical() != second.canonical()
+
+    def test_constant_visible_in_key(self):
+        first = parse_query('q() :- r("a", X)')
+        second = parse_query('q() :- r("b", X)')
+        assert first.canonical() != second.canonical()
+
+    def test_answer_shape_visible_in_key(self):
+        free = parse_query("q(X, Y) :- r(X, Y)")
+        merged = ConjunctiveQuery([X, X], [Atom("r", [X, X])])
+        assert free.canonical() != merged.canonical()
+
+
+class TestUCQ:
+    def test_canonical_duplicates_removed(self):
+        first = parse_query("q(X) :- r(X, Y)")
+        second = parse_query("q(U) :- r(U, W)")
+        ucq = UnionOfConjunctiveQueries([first, second])
+        assert len(ucq) == 1
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(SafetyError):
+            UnionOfConjunctiveQueries(
+                [parse_query("q(X) :- r(X)"), parse_query("q() :- r(X)")]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(SafetyError):
+            UnionOfConjunctiveQueries([])
+
+    def test_of_lifts_cq(self):
+        cq = parse_query("q(X) :- r(X)")
+        ucq = UnionOfConjunctiveQueries.of(cq)
+        assert len(ucq) == 1
+        assert UnionOfConjunctiveQueries.of(ucq) is ucq
+
+    def test_equality_is_set_like(self):
+        a = parse_query("q(X) :- r(X)")
+        b = parse_query("q(X) :- s(X)")
+        assert UnionOfConjunctiveQueries([a, b]) == UnionOfConjunctiveQueries(
+            [b, a]
+        )

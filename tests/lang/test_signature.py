@@ -1,0 +1,60 @@
+"""Tests for repro.lang.signature."""
+
+import pytest
+
+from repro.lang.atoms import Atom
+from repro.lang.errors import SignatureError
+from repro.lang.parser import parse_program, parse_query
+from repro.lang.signature import Signature
+from repro.lang.terms import Variable
+
+X = Variable("X")
+
+
+class TestSignature:
+    def test_declare_and_lookup(self):
+        sig = Signature({"r": 2})
+        assert sig["r"] == 2
+        assert "r" in sig
+
+    def test_inconsistent_arity_rejected(self):
+        sig = Signature({"r": 2})
+        with pytest.raises(SignatureError):
+            sig.declare("r", 3)
+
+    def test_redeclare_same_arity_ok(self):
+        sig = Signature({"r": 2})
+        sig.declare("r", 2)
+        assert len(sig) == 1
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SignatureError):
+            Signature({"r": -1})
+
+    def test_observe_atom(self):
+        sig = Signature()
+        sig.observe_atom(Atom("r", [X, X]))
+        assert sig["r"] == 2
+
+    def test_from_rules(self):
+        rules = parse_program("a(X), b(X, Y) -> c(X, Y, Z).")
+        sig = Signature.from_rules(rules)
+        assert dict(sig) == {"a": 1, "b": 2, "c": 3}
+
+    def test_observe_query(self):
+        sig = Signature()
+        sig.observe_query(parse_query("q(X) :- r(X, Y), s(Y)"))
+        assert sig["r"] == 2 and sig["s"] == 1
+
+    def test_max_arity(self):
+        assert Signature({"a": 1, "b": 4}).max_arity() == 4
+        assert Signature().max_arity() == 0
+
+    def test_relations_sorted(self):
+        assert Signature({"z": 1, "a": 2}).relations() == ("a", "z")
+
+    def test_cross_object_consistency_enforced(self):
+        rules = parse_program("a(X) -> b(X).")
+        sig = Signature.from_rules(rules)
+        with pytest.raises(SignatureError):
+            sig.observe_atom(Atom("b", [X, X]))

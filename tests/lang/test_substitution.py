@@ -1,0 +1,94 @@
+"""Tests for repro.lang.substitution."""
+
+import pytest
+
+from repro.lang.atoms import Atom
+from repro.lang.substitution import Substitution, rename_apart
+from repro.lang.terms import Constant, Variable
+
+X, Y, Z, W = Variable("X"), Variable("Y"), Variable("Z"), Variable("W")
+A = Constant("a")
+
+
+class TestSubstitution:
+    def test_identity_bindings_dropped(self):
+        sub = Substitution({X: X, Y: A})
+        assert X not in sub
+        assert sub[Y] == A
+
+    def test_apply_term(self):
+        sub = Substitution({X: A})
+        assert sub.apply_term(X) == A
+        assert sub.apply_term(Y) == Y
+        assert sub.apply_term(A) == A
+
+    def test_apply_is_simultaneous_not_iterated(self):
+        sub = Substitution({X: Y, Y: A})
+        # X maps to Y, not all the way to A.
+        assert sub.apply_term(X) == Y
+
+    def test_apply_atom(self):
+        sub = Substitution({X: A, Y: Z})
+        assert sub.apply_atom(Atom("r", [X, Y, X])) == Atom("r", [A, Z, A])
+
+    def test_compose_order(self):
+        first = Substitution({X: Y})
+        second = Substitution({Y: A})
+        composed = first.compose(second)
+        assert composed.apply_term(X) == A
+        assert composed.apply_term(Y) == A
+
+    def test_compose_respects_apply_equation(self):
+        first = Substitution({X: Y, Z: A})
+        second = Substitution({Y: W})
+        composed = first.compose(second)
+        for term in (X, Y, Z, W, A):
+            assert composed.apply_term(term) == second.apply_term(
+                first.apply_term(term)
+            )
+
+    def test_bind_overrides(self):
+        sub = Substitution({X: Y}).bind(X, A)
+        assert sub[X] == A
+
+    def test_restrict(self):
+        sub = Substitution({X: A, Y: A})
+        restricted = sub.restrict([X])
+        assert X in restricted and Y not in restricted
+
+    def test_renaming_detection(self):
+        assert Substitution({X: Y, Z: W}).is_renaming()
+        assert not Substitution({X: Y, Z: Y}).is_renaming()  # not injective
+        assert not Substitution({X: A}).is_renaming()
+
+    def test_non_variable_domain_rejected(self):
+        with pytest.raises(TypeError):
+            Substitution({A: X})  # type: ignore[dict-item]
+
+    def test_equality_and_hash(self):
+        assert Substitution({X: A}) == Substitution({X: A})
+        assert len({Substitution({X: A}), Substitution({X: A})}) == 1
+
+    def test_identity_is_empty(self):
+        assert len(Substitution.identity()) == 0
+
+
+class TestRenameApart:
+    def test_only_clashing_names_renamed(self):
+        renaming = rename_apart([X, Y], taken=[X])
+        assert X in renaming
+        assert Y not in renaming
+
+    def test_renamed_variables_avoid_taken(self):
+        renaming = rename_apart([X], taken=[X, Variable("X~1")])
+        assert renaming[X] == Variable("X~2")
+
+    def test_result_is_injective(self):
+        taken = [X, Y]
+        renaming = rename_apart([X, Y], taken=taken)
+        images = set(renaming.values())
+        assert len(images) == 2
+        assert images.isdisjoint(set(taken))
+
+    def test_no_clash_returns_empty(self):
+        assert len(rename_apart([X], taken=[Y])) == 0

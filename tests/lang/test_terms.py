@@ -1,0 +1,104 @@
+"""Tests for repro.lang.terms."""
+
+import pytest
+
+from repro.lang.terms import (
+    Constant,
+    Null,
+    Variable,
+    fresh_null,
+    fresh_variable,
+    is_constant,
+    is_ground,
+    is_null,
+    is_variable,
+    term_sort_key,
+)
+
+
+class TestVariable:
+    def test_equality_is_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_hashable_and_set_usable(self):
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_str_is_bare_name(self):
+        assert str(Variable("Abc")) == "Abc"
+
+
+class TestConstant:
+    def test_equality_is_by_payload(self):
+        assert Constant("a") == Constant("a")
+        assert Constant("a") != Constant("b")
+
+    def test_int_and_str_payloads_distinct(self):
+        assert Constant(1) != Constant("1")
+
+    def test_str_rendering_quotes_strings(self):
+        assert str(Constant("a")) == '"a"'
+        assert str(Constant(42)) == "42"
+
+    def test_not_equal_to_variable_of_same_text(self):
+        assert Constant("X") != Variable("X")
+
+
+class TestNull:
+    def test_equality_is_by_label(self):
+        assert Null("n1") == Null("n1")
+        assert Null("n1") != Null("n2")
+
+    def test_str_rendering(self):
+        assert str(Null("n7")) == "_:n7"
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError):
+            Null("")
+
+
+class TestPredicates:
+    def test_kind_predicates(self):
+        assert is_variable(Variable("X"))
+        assert is_constant(Constant("a"))
+        assert is_null(Null("n"))
+        assert not is_variable(Constant("a"))
+        assert not is_constant(Null("n"))
+
+    def test_groundness(self):
+        assert is_ground(Constant("a"))
+        assert is_ground(Null("n"))
+        assert not is_ground(Variable("X"))
+
+
+class TestOrdering:
+    def test_total_order_across_kinds(self):
+        terms = [Variable("X"), Null("n"), Constant("a")]
+        ordered = sorted(terms, key=term_sort_key)
+        assert ordered == [Constant("a"), Null("n"), Variable("X")]
+
+    def test_lt_operator_consistent_with_key(self):
+        assert Constant("a") < Variable("A")
+        assert Null("n") < Variable("A")
+
+    def test_sorting_is_deterministic_for_mixed_payloads(self):
+        first = sorted([Constant(2), Constant("b")], key=term_sort_key)
+        second = sorted([Constant("b"), Constant(2)], key=term_sort_key)
+        assert first == second
+
+
+class TestFreshGeneration:
+    def test_fresh_variables_never_repeat(self):
+        generated = {fresh_variable().name for _ in range(100)}
+        assert len(generated) == 100
+
+    def test_fresh_variable_prefix(self):
+        assert fresh_variable("Q").name.startswith("Q#")
+
+    def test_fresh_nulls_never_repeat(self):
+        generated = {fresh_null().label for _ in range(100)}
+        assert len(generated) == 100

@@ -1,0 +1,130 @@
+"""Tests for repro.lang.tgd."""
+
+import pytest
+
+from repro.lang.atoms import Atom
+from repro.lang.errors import SafetyError
+from repro.lang.parser import parse_tgd
+from repro.lang.substitution import Substitution
+from repro.lang.terms import Constant, Variable
+from repro.lang.tgd import TGD, normalize_to_single_head
+
+X, Y, Z, W = Variable("X"), Variable("Y"), Variable("Z"), Variable("W")
+
+
+class TestVariableClassification:
+    def test_distinguished_variables(self):
+        rule = parse_tgd("s(Y1, Y2, Y3), t(Y4) -> r(Y1, Y3)")
+        names = [v.name for v in rule.distinguished_variables()]
+        assert names == ["Y1", "Y3"]
+
+    def test_existential_body_variables(self):
+        rule = parse_tgd("s(Y1, Y2, Y3), t(Y4) -> r(Y1, Y3)")
+        names = [v.name for v in rule.existential_body_variables()]
+        assert names == ["Y2", "Y4"]
+
+    def test_existential_head_variables(self):
+        rule = parse_tgd("v(Y1, Y2), q0(Y2) -> s(Y1, Y3, Y2)")
+        names = [v.name for v in rule.existential_head_variables()]
+        assert names == ["Y3"]
+
+    def test_all_classifications_partition_variables(self):
+        rule = parse_tgd("a(X, Y), b(Y, Z) -> c(X, W, Z)")
+        every = set(rule.variables())
+        frontier = set(rule.distinguished_variables())
+        ex_body = set(rule.existential_body_variables())
+        ex_head = set(rule.existential_head_variables())
+        assert frontier | ex_body | ex_head == every
+        assert frontier & ex_body == set()
+        assert frontier & ex_head == set()
+        assert ex_body & ex_head == set()
+
+    def test_constants_collected(self):
+        rule = parse_tgd('a(X, "k") -> b(X, 3)')
+        assert rule.constants() == (Constant("k"), Constant(3))
+
+
+class TestShapePredicates:
+    def test_simple_rule(self):
+        assert parse_tgd("a(X, Y) -> b(Y, Z)").is_simple()
+
+    def test_repeated_variable_not_simple(self):
+        rule = parse_tgd("a(X, X) -> b(X)")
+        assert not rule.is_simple()
+        assert any("repeated" in r for r in rule.simplicity_violations())
+
+    def test_constant_not_simple(self):
+        rule = parse_tgd('a(X, "c") -> b(X)')
+        assert not rule.is_simple()
+        assert any("constant" in r for r in rule.simplicity_violations())
+
+    def test_multi_head_not_simple(self):
+        rule = parse_tgd("a(X) -> b(X), c(X)")
+        assert not rule.is_simple()
+        assert any("head has" in r for r in rule.simplicity_violations())
+
+    def test_datalog_detection(self):
+        assert parse_tgd("a(X, Y) -> b(Y, X)").is_datalog()
+        assert not parse_tgd("a(X) -> b(X, Y)").is_datalog()
+
+    def test_single_head_accessor(self):
+        assert parse_tgd("a(X) -> b(X)").single_head() == Atom("b", [X])
+        with pytest.raises(SafetyError):
+            parse_tgd("a(X) -> b(X), c(X)").single_head()
+
+
+class TestConstruction:
+    def test_empty_body_rejected(self):
+        with pytest.raises(SafetyError):
+            TGD([], [Atom("r", [X])])
+
+    def test_empty_head_rejected(self):
+        with pytest.raises(SafetyError):
+            TGD([Atom("r", [X])], [])
+
+    def test_label_does_not_affect_equality(self):
+        first = parse_tgd("one: a(X) -> b(X)")
+        second = parse_tgd("two: a(X) -> b(X)")
+        assert first == second
+        assert first.label == "one" and second.label == "two"
+
+
+class TestTransformation:
+    def test_rename_apart_avoids_taken(self):
+        rule = parse_tgd("a(X, Y) -> b(Y)")
+        renamed = rule.rename_apart([X])
+        renamed_vars = {v.name for v in renamed.variables()}
+        assert "X" not in renamed_vars
+        assert renamed.body[0].relation == "a"
+
+    def test_rename_apart_without_clash_is_identity(self):
+        rule = parse_tgd("a(X) -> b(X)")
+        assert rule.rename_apart([Y]) is rule
+
+    def test_apply_substitution(self):
+        rule = parse_tgd("a(X) -> b(X, Y)")
+        applied = rule.apply(Substitution({X: Z}))
+        assert applied.body[0] == Atom("a", [Z])
+        assert applied.head[0] == Atom("b", [Z, Y])
+
+
+class TestNormalizeToSingleHead:
+    def test_splittable_head_is_split(self):
+        rule = parse_tgd("a(X) -> b(X), c(X, Y)")
+        normalized = normalize_to_single_head([rule])
+        assert len(normalized) == 2
+        assert all(len(r.head) == 1 for r in normalized)
+
+    def test_shared_existential_blocks_split(self):
+        rule = parse_tgd("a(X) -> b(X, Y), c(Y)")
+        normalized = normalize_to_single_head([rule])
+        assert normalized == (rule,)
+
+    def test_single_head_passthrough(self):
+        rule = parse_tgd("a(X) -> b(X)")
+        assert normalize_to_single_head([rule]) == (rule,)
+
+    def test_split_labels_are_derived(self):
+        rule = parse_tgd("r9: a(X) -> b(X), c(X)")
+        labels = [r.label for r in normalize_to_single_head([rule])]
+        assert labels == ["r9.1", "r9.2"]

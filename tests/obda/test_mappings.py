@@ -1,0 +1,90 @@
+"""Tests for repro.obda.mappings."""
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.csvio import facts_from_rows
+from repro.lang.errors import SafetyError
+from repro.lang.parser import parse_atom
+from repro.lang.terms import Constant
+from repro.obda.mappings import (
+    MappingAssertion,
+    apply_mappings,
+    identity_mappings,
+)
+
+
+class TestMappingAssertion:
+    def test_unsafe_target_rejected(self):
+        with pytest.raises(SafetyError):
+            MappingAssertion(
+                (parse_atom("src(X)"),), parse_atom("tgt(X, Y)")
+            )
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(SafetyError):
+            MappingAssertion((), parse_atom("tgt(X)"))
+
+    def test_constant_in_target_allowed(self):
+        mapping = MappingAssertion(
+            (parse_atom("src(X)"),), parse_atom('tgt(X, "tag")')
+        )
+        assert "tag" in str(mapping)
+
+
+class TestApplyMappings:
+    def test_projection_mapping(self):
+        source = Database(facts_from_rows("emp", [("a", "hr"), ("b", "it")]))
+        mapping = MappingAssertion(
+            (parse_atom("emp(P, D)"),), parse_atom("person(P)")
+        )
+        abox = apply_mappings([mapping], source)
+        assert abox.count("person") == 2
+
+    def test_selection_mapping(self):
+        source = Database(
+            facts_from_rows("emp", [("a", "boss"), ("b", "staff")])
+        )
+        mapping = MappingAssertion(
+            (parse_atom('emp(P, "boss")'),), parse_atom("manager(P)")
+        )
+        abox = apply_mappings([mapping], source)
+        assert abox.rows("manager") == frozenset({(Constant("a"),)})
+
+    def test_join_mapping(self):
+        source = Database(
+            facts_from_rows("emp", [("a", "hr")])
+            + facts_from_rows("dept", [("hr", "london")])
+        )
+        mapping = MappingAssertion(
+            (parse_atom("emp(P, D)"), parse_atom("dept(D, C)")),
+            parse_atom("worksIn(P, C)"),
+        )
+        abox = apply_mappings([mapping], source)
+        assert abox.rows("worksIn") == frozenset(
+            {(Constant("a"), Constant("london"))}
+        )
+
+    def test_constant_injection(self):
+        source = Database(facts_from_rows("emp", [("a", "hr")]))
+        mapping = MappingAssertion(
+            (parse_atom("emp(P, D)"),), parse_atom('status(P, "active")')
+        )
+        abox = apply_mappings([mapping], source)
+        assert (Constant("a"), Constant("active")) in abox.rows("status")
+
+    def test_duplicate_answers_deduplicated(self):
+        source = Database(
+            facts_from_rows("emp", [("a", "hr"), ("a", "it")])
+        )
+        mapping = MappingAssertion(
+            (parse_atom("emp(P, D)"),), parse_atom("person(P)")
+        )
+        assert apply_mappings([mapping], source).count("person") == 1
+
+
+class TestIdentityMappings:
+    def test_identity_roundtrip(self):
+        source = Database(facts_from_rows("r", [("a", "b")]))
+        mappings = identity_mappings([("r", 2)])
+        assert apply_mappings(mappings, source) == source

@@ -1,0 +1,105 @@
+"""Tests for repro.obda.strategy (the Section-7 decision procedure)."""
+
+from repro.chase.certain import certain_answers
+from repro.data.database import Database
+from repro.lang.parser import parse_database, parse_program, parse_query
+from repro.obda.strategy import Strategy, answer_with_best_strategy
+from repro.workloads.paper import EXAMPLE2_QUERY, example2, example3
+
+
+def db(text):
+    return Database(parse_database(text))
+
+
+class TestStrategySelection:
+    def test_swr_fragment_uses_rewriting(self, hierarchy_rules):
+        report = answer_with_best_strategy(
+            parse_query("q(X) :- d(X)"), hierarchy_rules, db("a(v).")
+        )
+        assert report.strategy is Strategy.REWRITING
+        assert report.exact
+        assert len(report.answers) == 1
+
+    def test_wr_fragment_uses_rewriting(self):
+        report = answer_with_best_strategy(
+            parse_query("q(X, Y) :- r(X, Y)"),
+            example3(),
+            db("s(a, b, c)."),
+        )
+        assert report.strategy is Strategy.REWRITING
+        assert "WR" in report.reason
+
+    def test_example2_weakly_acyclic_falls_back_to_chase(self):
+        # Example 2 is not WR and its chain query diverges, but the
+        # set IS weakly acyclic: the chase gives exact answers.
+        database = db("t(b, a). r(b, e).")
+        report = answer_with_best_strategy(
+            EXAMPLE2_QUERY, example2(), database
+        )
+        assert report.strategy is Strategy.CHASE
+        assert report.exact
+        assert report.answers == certain_answers(
+            EXAMPLE2_QUERY, example2(), database
+        )
+
+    def test_non_wa_non_wr_uses_approximation(self):
+        # Extend Example 2 with a rule that breaks weak acyclicity.
+        rules = parse_program(
+            """
+            t(Y1, Y2), r(Y3, Y4) -> s(Y1, Y3, Y2).
+            s(Y1, Y1, Y2) -> r(Y2, Y3).
+            r(X, Y) -> t(Y, Z).
+            """
+        )
+        from repro.chase.termination import is_weakly_acyclic
+
+        assert not is_weakly_acyclic(rules)
+        database = db("t(b, a). r(b, e).")
+        report = answer_with_best_strategy(
+            EXAMPLE2_QUERY, rules, database, probe_depth=8
+        )
+        assert report.strategy is Strategy.APPROXIMATION
+        # Sound: every reported answer is certain (chase would diverge,
+        # so validate soundness structurally: the approximation is a
+        # subset of a generously-bounded non-strict chase evaluation).
+        from repro.chase.certain import certain_answers_via_chase
+
+        lower_bound = certain_answers_via_chase(
+            EXAMPLE2_QUERY, rules, database, max_steps=5_000, strict=False
+        )
+        # Boolean query: if approximation says yes, the (sound) chase
+        # prefix must also have derived it.
+        if report.answers:
+            assert lower_bound.answers == report.answers
+
+    def test_probed_rewriting_branch(self):
+        # A per-query terminating case over the non-WR Example 2 where
+        # the static check cannot help: the t-query only reaches R1,
+        # whose fragment is... still classified; craft a fragment the
+        # static check rejects but the probe accepts: Example 2's full
+        # fragment with the s-query (s is produced by R1 only and its
+        # rewriting terminates).
+        report = answer_with_best_strategy(
+            parse_query("q() :- s(X, X, Y)"),
+            example2(),
+            db("t(b, a). r(b, e)."),
+            probe_depth=10,
+        )
+        assert report.strategy in (
+            Strategy.PROBED_REWRITING,
+            Strategy.REWRITING,
+            Strategy.CHASE,
+        )
+        assert report.exact
+        # Whatever branch ran, it must agree with the chase.
+        assert report.answers == certain_answers(
+            parse_query("q() :- s(X, X, Y)"),
+            example2(),
+            db("t(b, a). r(b, e)."),
+        )
+
+    def test_reason_is_informative(self, hierarchy_rules):
+        report = answer_with_best_strategy(
+            parse_query("q(X) :- b(X)"), hierarchy_rules, db("a(v).")
+        )
+        assert "rewriting" in report.reason

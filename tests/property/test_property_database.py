@@ -1,0 +1,100 @@
+"""Property-based tests for the database and evaluator."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.data.database import Database
+from repro.data.evaluation import evaluate_cq
+from repro.data.sql import SQLiteBackend
+from repro.lang.atoms import Atom
+from repro.lang.queries import ConjunctiveQuery
+from repro.lang.terms import Constant, Variable
+
+values = st.integers(min_value=0, max_value=4).map(lambda i: Constant(f"c{i}"))
+facts = st.builds(lambda a, b: Atom("e", [a, b]), values, values)
+fact_sets = st.lists(facts, max_size=25)
+
+variables = st.sampled_from([Variable("X"), Variable("Y"), Variable("Z")])
+query_terms = st.one_of(variables, values)
+
+
+@st.composite
+def queries(draw):
+    n_atoms = draw(st.integers(min_value=1, max_value=3))
+    body = [
+        Atom("e", [draw(query_terms), draw(query_terms)])
+        for _ in range(n_atoms)
+    ]
+    body_vars = sorted(
+        {v for a in body for v in a.variables()}, key=lambda v: v.name
+    )
+    answers = body_vars[: draw(st.integers(0, min(2, len(body_vars))))]
+    return ConjunctiveQuery(answers, body)
+
+
+class TestDatabaseInvariants:
+    @given(fact_sets)
+    def test_len_equals_distinct_facts(self, fact_list):
+        database = Database(fact_list)
+        assert len(database) == len(set(fact_list))
+
+    @given(fact_sets)
+    def test_iteration_roundtrip(self, fact_list):
+        database = Database(fact_list)
+        assert set(database) == set(fact_list)
+
+    @given(fact_sets, facts)
+    def test_add_then_discard_restores(self, fact_list, extra):
+        database = Database(fact_list)
+        before = set(database)
+        was_new = database.add(extra)
+        if was_new:
+            database.discard(extra)
+        assert set(database) == before
+
+    @given(fact_sets)
+    def test_lookup_consistent_with_rows(self, fact_list):
+        database = Database(fact_list)
+        for row in database.rows("e"):
+            assert row in database.lookup("e", 1, row[0])
+            assert row in database.lookup("e", 2, row[1])
+
+
+class TestEvaluatorInvariants:
+    @given(queries(), fact_sets)
+    @settings(max_examples=100)
+    def test_monotone_under_fact_addition(self, query, fact_list):
+        small = Database(fact_list[: len(fact_list) // 2])
+        large = Database(fact_list)
+        assert evaluate_cq(query, small) <= evaluate_cq(query, large)
+
+    @given(queries(), fact_sets)
+    @settings(max_examples=100)
+    def test_answers_use_active_domain(self, query, fact_list):
+        database = Database(fact_list)
+        domain = {t for row in database.rows("e") for t in row}
+        for row in evaluate_cq(query, database):
+            for value in row:
+                assert value in domain or any(
+                    value == t for t in query.answer_terms
+                )
+
+    @given(queries(), fact_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_sql_backend_agrees_with_evaluator(self, query, fact_list):
+        database = Database(fact_list)
+        if not fact_list:
+            return
+        with SQLiteBackend.from_database(database) as backend:
+            assert backend.execute_cq(query) == evaluate_cq(query, database)
+
+    @given(queries(), fact_sets)
+    @settings(max_examples=60)
+    def test_atom_order_irrelevant(self, query, fact_list):
+        database = Database(fact_list)
+        shuffled = ConjunctiveQuery(
+            query.answer_terms, tuple(reversed(query.body))
+        )
+        assert evaluate_cq(query, database) == evaluate_cq(
+            shuffled, database
+        )

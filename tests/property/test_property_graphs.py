@@ -1,0 +1,110 @@
+"""Property-based tests for the position graph and P-node graph."""
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.swr import is_swr
+from repro.core.wr import is_wr
+from repro.graphs.position_graph import build_position_graph
+from repro.graphs.pnode_graph import build_pnode_graph
+from repro.lang.signature import Signature
+from repro.lang.tgd import TGD
+from repro.workloads.generators import random_simple
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def rules_from_seed(seed: int) -> tuple[TGD, ...]:
+    return random_simple(
+        random.Random(seed), n_rules=4, n_relations=4, max_arity=3
+    )
+
+
+def _rename_rules(rules, suffix: str):
+    """Disjoint copy: every relation gets *suffix* appended."""
+    from repro.lang.atoms import Atom
+
+    renamed = []
+    for rule in rules:
+        body = [Atom(a.relation + suffix, a.terms) for a in rule.body]
+        head = [Atom(a.relation + suffix, a.terms) for a in rule.head]
+        renamed.append(TGD(body, head, label=rule.label))
+    return tuple(renamed)
+
+
+class TestPositionGraphProperties:
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic(self, seed):
+        rules = rules_from_seed(seed)
+        first = build_position_graph(rules)
+        second = build_position_graph(rules)
+        assert {str(e) for e in first.edges} == {
+            str(e) for e in second.edges
+        }
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_positions_respect_signature(self, seed):
+        rules = rules_from_seed(seed)
+        signature = Signature.from_rules(rules)
+        for position in build_position_graph(rules).positions:
+            assert position.relation in signature
+            if position.index is not None:
+                assert 1 <= position.index <= signature[position.relation]
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_disjoint_union_preserves_swr(self, seed):
+        rules = rules_from_seed(seed)
+        copy = _rename_rules(rules, "_dup")
+        combined = rules + copy
+        assert is_swr(combined).is_swr == is_swr(rules).is_swr
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_subgraph_of_union(self, seed):
+        rules = rules_from_seed(seed)
+        copy = _rename_rules(rules, "_dup")
+        single_edges = {str(e) for e in build_position_graph(rules).edges}
+        union_edges = {
+            str(e) for e in build_position_graph(rules + copy).edges
+        }
+        assert single_edges <= union_edges
+
+
+class TestPNodeGraphProperties:
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic(self, seed):
+        rules = rules_from_seed(seed)
+        first = build_pnode_graph(rules)
+        second = build_pnode_graph(rules)
+        assert {str(e) for e in first.edges} == {
+            str(e) for e in second.edges
+        }
+
+    @given(seeds)
+    @settings(max_examples=12, deadline=None)
+    def test_disjoint_union_preserves_wr(self, seed):
+        rules = rules_from_seed(seed)
+        copy = _rename_rules(rules, "_dup")
+        assert is_wr(rules + copy).is_wr == is_wr(rules).is_wr
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_sigma_always_in_context(self, seed):
+        rules = rules_from_seed(seed)
+        for node in build_pnode_graph(rules).pnodes:
+            assert node.atom in node.context
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_canonical_variable_names(self, seed):
+        rules = rules_from_seed(seed)
+        for node in build_pnode_graph(rules).pnodes:
+            for atom in node.context:
+                for var in atom.variables():
+                    assert var.name == "z" or var.name.startswith("x")

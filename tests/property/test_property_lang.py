@@ -1,0 +1,95 @@
+"""Property-based tests (hypothesis) for the language layer."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.lang.atoms import Atom
+from repro.lang.substitution import Substitution, rename_apart
+from repro.lang.terms import Constant, Variable
+from repro.lang.unify import mgu_atoms
+
+variables = st.integers(min_value=0, max_value=5).map(
+    lambda i: Variable(f"V{i}")
+)
+constants = st.sampled_from([Constant("a"), Constant("b"), Constant(1)])
+terms = st.one_of(variables, constants)
+
+
+def atoms(relation="r", min_arity=1, max_arity=4):
+    return st.lists(terms, min_size=min_arity, max_size=max_arity).map(
+        lambda ts: Atom(relation, ts)
+    )
+
+
+substitutions = st.dictionaries(variables, terms, max_size=5).map(Substitution)
+
+
+class TestUnification:
+    @given(atoms(), atoms())
+    def test_mgu_actually_unifies(self, first, second):
+        unifier = mgu_atoms(first, second)
+        if unifier is not None:
+            assert unifier.apply_atom(first) == unifier.apply_atom(second)
+
+    @given(atoms(), atoms())
+    def test_mgu_symmetric_in_success(self, first, second):
+        forward = mgu_atoms(first, second)
+        backward = mgu_atoms(second, first)
+        assert (forward is None) == (backward is None)
+
+    @given(atoms())
+    def test_self_unification_is_identity_modulo_renaming(self, atom):
+        unifier = mgu_atoms(atom, atom)
+        assert unifier is not None
+        assert unifier.apply_atom(atom) == atom
+
+    @given(atoms(), atoms())
+    @settings(max_examples=200)
+    def test_mgu_is_idempotent(self, first, second):
+        unifier = mgu_atoms(first, second)
+        if unifier is not None:
+            once = unifier.apply_atom(first)
+            assert unifier.apply_atom(once) == once
+
+
+class TestSubstitutionAlgebra:
+    @given(substitutions, substitutions, terms)
+    def test_compose_equation(self, first, second, term):
+        composed = first.compose(second)
+        assert composed.apply_term(term) == second.apply_term(
+            first.apply_term(term)
+        )
+
+    @given(substitutions, terms)
+    def test_identity_neutral(self, sub, term):
+        identity = Substitution.identity()
+        assert identity.compose(sub).apply_term(term) == sub.apply_term(term)
+        assert sub.compose(identity).apply_term(term) == sub.apply_term(term)
+
+    @given(substitutions, substitutions, substitutions, terms)
+    @settings(max_examples=100)
+    def test_compose_associative_on_application(self, f, g, h, term):
+        left = f.compose(g).compose(h)
+        right = f.compose(g.compose(h))
+        assert left.apply_term(term) == right.apply_term(term)
+
+
+class TestRenameApart:
+    @given(
+        st.lists(variables, max_size=6, unique=True),
+        st.lists(variables, max_size=6, unique=True),
+    )
+    def test_images_avoid_taken(self, to_rename, taken):
+        renaming = rename_apart(to_rename, taken)
+        taken_names = {v.name for v in taken}
+        for image in renaming.values():
+            assert image.name not in taken_names
+
+    @given(
+        st.lists(variables, max_size=6, unique=True),
+        st.lists(variables, max_size=6, unique=True),
+    )
+    def test_renaming_is_injective(self, to_rename, taken):
+        renaming = rename_apart(to_rename, taken)
+        images = list(renaming.values())
+        assert len(images) == len(set(images))

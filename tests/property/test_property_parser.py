@@ -1,0 +1,75 @@
+"""Property-based tests for the parser: robustness and round-trips."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.lang.errors import ReproError
+from repro.lang.parser import (
+    parse_atom,
+    parse_program,
+    parse_query,
+    parse_tgd,
+)
+from repro.lang.printer import format_program
+
+identifiers = st.from_regex(r"[a-z][a-zA-Z0-9_]{0,6}", fullmatch=True)
+upper_identifiers = st.from_regex(r"[A-Z][a-zA-Z0-9_]{0,6}", fullmatch=True)
+
+
+@st.composite
+def atom_texts(draw):
+    relation = draw(identifiers)
+    n_args = draw(st.integers(0, 3))
+    args = []
+    for _ in range(n_args):
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            args.append(draw(upper_identifiers))
+        elif kind == 1:
+            args.append(draw(identifiers))
+        else:
+            args.append(str(draw(st.integers(-99, 99))))
+    return f"{relation}({', '.join(args)})"
+
+
+class TestFuzzRobustness:
+    @given(st.text(max_size=60))
+    @settings(max_examples=300)
+    def test_arbitrary_text_never_crashes_unexpectedly(self, text):
+        """Any input either parses or raises a library error."""
+        for parser in (parse_atom, parse_tgd, parse_query, parse_program):
+            try:
+                parser(text)
+            except ReproError:
+                pass  # the expected failure mode
+
+    @given(st.text(alphabet="().,:->%XYZabc123\"' \n", max_size=80))
+    @settings(max_examples=300)
+    def test_syntaxish_text_never_crashes_unexpectedly(self, text):
+        for parser in (parse_tgd, parse_program):
+            try:
+                parser(text)
+            except ReproError:
+                pass
+
+
+class TestGeneratedRoundTrips:
+    @given(atom_texts())
+    @settings(max_examples=150)
+    def test_atom_roundtrip(self, text):
+        atom = parse_atom(text)
+        assert parse_atom(str(atom)) == atom
+
+    @given(st.lists(atom_texts(), min_size=1, max_size=3), atom_texts())
+    @settings(max_examples=150)
+    def test_tgd_roundtrip(self, body_texts, head_text):
+        text = f"{', '.join(body_texts)} -> {head_text}"
+        rule = parse_tgd(text)
+        assert parse_tgd(str(rule)) == rule
+
+    @given(st.lists(atom_texts(), min_size=1, max_size=4))
+    @settings(max_examples=100)
+    def test_program_roundtrip(self, atoms):
+        text = ". ".join(f"{a} -> {a}" for a in atoms)
+        program = parse_program(text)
+        assert parse_program(format_program(program)) == program

@@ -1,0 +1,103 @@
+"""Property-based tests for CQ canonical forms and subsumption."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.lang.atoms import Atom
+from repro.lang.queries import ConjunctiveQuery
+from repro.lang.substitution import Substitution
+from repro.lang.terms import Constant, Variable
+from repro.rewriting.minimize import is_subsumed, minimize_cq
+
+variables = st.integers(min_value=0, max_value=4).map(
+    lambda i: Variable(f"V{i}")
+)
+terms = st.one_of(variables, st.sampled_from([Constant("a"), Constant("b")]))
+relations = st.sampled_from(["r", "s", "t"])
+
+
+@st.composite
+def cqs(draw, max_atoms=4):
+    n_atoms = draw(st.integers(min_value=1, max_value=max_atoms))
+    body = []
+    for _ in range(n_atoms):
+        relation = draw(relations)
+        arity = {"r": 2, "s": 1, "t": 3}[relation]
+        body.append(Atom(relation, [draw(terms) for _ in range(arity)]))
+    body_vars = sorted(
+        {v for a in body for v in a.variables()}, key=lambda v: v.name
+    )
+    n_answers = draw(st.integers(min_value=0, max_value=min(2, len(body_vars))))
+    answers = body_vars[:n_answers]
+    return ConjunctiveQuery(answers, body)
+
+
+@st.composite
+def renamings(draw):
+    mapping = {
+        Variable(f"V{i}"): Variable(f"W{draw(st.integers(0, 9))}_{i}")
+        for i in range(5)
+    }
+    return Substitution(mapping)
+
+
+class TestCanonicalForm:
+    @given(cqs(), renamings())
+    @settings(max_examples=150)
+    def test_invariant_under_injective_renaming(self, query, renaming):
+        renamed = query.apply(renaming)
+        assert renamed.canonical() == query.canonical()
+
+    @given(cqs())
+    def test_invariant_under_body_reversal(self, query):
+        reversed_query = ConjunctiveQuery(
+            query.answer_terms, tuple(reversed(query.body))
+        )
+        assert reversed_query.canonical() == query.canonical()
+
+    @given(cqs())
+    def test_equal_keys_imply_mutual_subsumption(self, query):
+        # Soundness of the canonical key: same key -> isomorphic, and
+        # isomorphic queries subsume each other.
+        other = query.rename_apart(query.body_variables())
+        assert other.canonical() == query.canonical()
+        assert is_subsumed(query, other) and is_subsumed(other, query)
+
+
+class TestSubsumptionProperties:
+    @given(cqs())
+    def test_reflexive(self, query):
+        assert is_subsumed(query, query)
+
+    @given(cqs(), cqs(), cqs())
+    @settings(max_examples=75)
+    def test_transitive(self, a, b, c):
+        if is_subsumed(a, b) and is_subsumed(b, c):
+            assert is_subsumed(a, c)
+
+    @given(cqs())
+    def test_adding_an_atom_specialises(self, query):
+        extended = ConjunctiveQuery(
+            query.answer_terms,
+            query.body + (Atom("s", [Constant("a")]),),
+        )
+        assert is_subsumed(extended, query)
+
+
+class TestMinimization:
+    @given(cqs())
+    @settings(max_examples=100)
+    def test_minimize_preserves_equivalence(self, query):
+        minimized = minimize_cq(query)
+        assert is_subsumed(minimized, query)
+        assert is_subsumed(query, minimized)
+
+    @given(cqs())
+    def test_minimize_never_grows(self, query):
+        assert len(minimize_cq(query).body) <= len(set(query.body))
+
+    @given(cqs())
+    @settings(max_examples=75)
+    def test_minimize_idempotent(self, query):
+        once = minimize_cq(query)
+        assert minimize_cq(once).canonical() == once.canonical()

@@ -1,0 +1,189 @@
+"""Property-based tests for the rewriting engine and the chase.
+
+The key end-to-end invariants:
+
+* **soundness** -- every answer produced by a (possibly partial)
+  rewriting is a certain answer;
+* **completeness** -- when the rewriting finishes, it produces exactly
+  the certain answers (checked against the chase on weakly-acyclic
+  random inputs);
+* **chase universality** -- every certain answer is an answer over the
+  chase instance.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.chase.certain import certain_answers
+from repro.lang.errors import ChaseBudgetExceeded
+from repro.chase.chase import restricted_chase
+from repro.chase.termination import is_weakly_acyclic
+from repro.data.database import Database
+from repro.data.evaluation import evaluate_ucq
+from repro.lang.atoms import Atom
+from repro.lang.queries import ConjunctiveQuery
+from repro.lang.terms import Constant, Variable
+from repro.rewriting.budget import RewritingBudget
+from repro.rewriting.rewriter import rewrite
+
+# --------------------------------------------------------------------- #
+# Strategies: small rule sets over a fixed signature                     #
+#   a/1, r/2, s/2 -- enough to express hierarchies, role chains and      #
+#   joins while keeping the chase fast.                                  #
+# --------------------------------------------------------------------- #
+
+RELATIONS = {"a": 1, "b": 1, "r": 2, "s": 2}
+VARS = [Variable(f"V{i}") for i in range(4)]
+
+
+@st.composite
+def rule_atoms(draw):
+    relation = draw(st.sampled_from(sorted(RELATIONS)))
+    terms = [
+        draw(st.sampled_from(VARS)) for _ in range(RELATIONS[relation])
+    ]
+    return Atom(relation, terms)
+
+
+@st.composite
+def tgds(draw):
+    from repro.lang.tgd import TGD
+
+    body = [draw(rule_atoms()) for _ in range(draw(st.integers(1, 2)))]
+    head = [draw(rule_atoms())]
+    body_vars = {v for a in body for v in a.variables()}
+    # Ensure at least one frontier variable so the rule is connected.
+    if not (body_vars & set(head[0].variables())):
+        anchor = sorted(body_vars, key=lambda v: v.name)[0]
+        head = [Atom(head[0].relation, [anchor] + list(head[0].terms[1:]))]
+    return TGD(body, head)
+
+
+rule_sets = st.lists(tgds(), min_size=1, max_size=3)
+
+fact_values = [Constant(f"d{i}") for i in range(3)]
+
+
+@st.composite
+def databases(draw):
+    facts = []
+    for relation, arity in RELATIONS.items():
+        for _ in range(draw(st.integers(0, 3))):
+            facts.append(
+                Atom(
+                    relation,
+                    [draw(st.sampled_from(fact_values)) for _ in range(arity)],
+                )
+            )
+    return Database(facts)
+
+
+QUERY = ConjunctiveQuery([Variable("X")], [Atom("r", [Variable("X"), Variable("Y")])])
+BOOLEAN = ConjunctiveQuery([], [Atom("b", [Variable("X")])])
+
+
+class TestSoundnessAndCompleteness:
+    @given(rule_sets, databases())
+    @settings(max_examples=60, deadline=None)
+    def test_partial_rewriting_is_sound(self, rules, database):
+        if not is_weakly_acyclic(rules):
+            return
+        result = rewrite(
+            QUERY, rules, RewritingBudget(max_depth=3, max_cqs=2_000)
+        )
+        partial = evaluate_ucq(result.ucq, database)
+        try:
+            truth = certain_answers(QUERY, rules, database, max_steps=5_000)
+        except ChaseBudgetExceeded:
+            return  # combinatorially large chase; skip this example
+        assert partial <= truth
+
+    @given(rule_sets, databases())
+    @settings(max_examples=60, deadline=None)
+    def test_complete_rewriting_is_exact(self, rules, database):
+        if not is_weakly_acyclic(rules):
+            return
+        result = rewrite(
+            QUERY,
+            rules,
+            RewritingBudget(max_depth=15, max_cqs=5_000, max_seconds=10),
+        )
+        if not result.complete:
+            return
+        try:
+            truth = certain_answers(QUERY, rules, database, max_steps=5_000)
+        except ChaseBudgetExceeded:
+            return
+        assert evaluate_ucq(result.ucq, database) == truth
+
+    @given(rule_sets, databases())
+    @settings(max_examples=40, deadline=None)
+    def test_boolean_queries_exact(self, rules, database):
+        if not is_weakly_acyclic(rules):
+            return
+        result = rewrite(
+            BOOLEAN,
+            rules,
+            RewritingBudget(max_depth=15, max_cqs=5_000, max_seconds=10),
+        )
+        if not result.complete:
+            return
+        try:
+            truth = certain_answers(BOOLEAN, rules, database, max_steps=5_000)
+        except ChaseBudgetExceeded:
+            return
+        assert evaluate_ucq(result.ucq, database) == truth
+
+
+class TestChaseInvariants:
+    @given(rule_sets, databases())
+    @settings(max_examples=60, deadline=None)
+    def test_chase_contains_input(self, rules, database):
+        if not is_weakly_acyclic(rules):
+            return
+        result = restricted_chase(list(rules), database, max_steps=5_000)
+        assert set(database) <= set(result.instance)
+
+    @given(rule_sets, databases())
+    @settings(max_examples=40, deadline=None)
+    def test_chase_is_a_model(self, rules, database):
+        """Every rule is satisfied in the chase fixpoint."""
+        from repro.data.evaluation import all_homomorphisms, find_homomorphism
+
+        if not is_weakly_acyclic(rules):
+            return
+        result = restricted_chase(list(rules), database, max_steps=5_000)
+        if not result.fixpoint:
+            return
+        for rule in rules:
+            frontier = set(rule.distinguished_variables())
+            for hom in all_homomorphisms(rule.body, result.instance):
+                head_pattern = []
+                for atom in rule.head:
+                    head_pattern.append(
+                        Atom(
+                            atom.relation,
+                            [
+                                hom[t]
+                                if isinstance(t, Variable) and t in frontier
+                                else t
+                                for t in atom.terms
+                            ],
+                        )
+                    )
+                assert (
+                    find_homomorphism(head_pattern, result.instance)
+                    is not None
+                )
+
+    @given(rule_sets, databases())
+    @settings(max_examples=30, deadline=None)
+    def test_restricted_chase_smaller_than_oblivious(self, rules, database):
+        from repro.chase.chase import oblivious_chase
+
+        if not is_weakly_acyclic(rules):
+            return
+        restricted = restricted_chase(list(rules), database, max_steps=5_000)
+        oblivious = oblivious_chase(list(rules), database, max_steps=5_000)
+        if restricted.fixpoint and oblivious.fixpoint:
+            assert len(restricted.instance) <= len(oblivious.instance)

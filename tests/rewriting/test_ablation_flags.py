@@ -1,0 +1,78 @@
+"""Tests for the rewriter/P-node ablation switches (used by benches)."""
+
+from repro.chase.certain import certain_answers
+from repro.data.database import Database
+from repro.data.evaluation import evaluate_ucq
+from repro.graphs.pnode_graph import build_pnode_graph
+from repro.lang.parser import parse_database, parse_program, parse_query
+from repro.rewriting.budget import RewritingBudget
+from repro.rewriting.rewriter import rewrite
+from repro.workloads.generators import context_blocked_family
+from repro.workloads.paper import EXAMPLE1_QUERY, example1
+
+
+class TestRedundancyEliminationAblation:
+    def test_bare_mode_diverges_on_example1(self):
+        result = rewrite(
+            EXAMPLE1_QUERY,
+            example1(),
+            RewritingBudget(max_depth=10, max_cqs=3_000),
+            prune_subsumed=False,
+            minimize=False,
+        )
+        assert not result.complete
+
+    def test_bare_mode_still_sound(self):
+        rules = parse_program("a(X) -> b(X). b(X) -> c(X).")
+        database = Database(parse_database("a(v)."))
+        query = parse_query("q(X) :- c(X)")
+        result = rewrite(
+            query,
+            rules,
+            RewritingBudget(max_depth=5),
+            prune_subsumed=False,
+            minimize=False,
+        )
+        assert evaluate_ucq(result.ucq, database) == certain_answers(
+            query, rules, database
+        )
+
+    def test_minimize_alone_suffices_on_example1(self):
+        result = rewrite(
+            EXAMPLE1_QUERY,
+            example1(),
+            RewritingBudget(max_depth=10, max_cqs=3_000),
+            prune_subsumed=False,
+        )
+        assert result.complete
+
+
+class TestFactorizationAblation:
+    def test_forced_aggregation_covers_repeated_existential(self):
+        rules = parse_program("a(X) -> r(Z, Z).")
+        query = parse_query("q() :- r(U, V), r(V, U)")
+        database = Database(parse_database("a(c)."))
+        result = rewrite(query, rules, factorize=False)
+        assert result.complete
+        assert evaluate_ucq(result.ucq, database) == {()}
+
+
+class TestContextCheckAblation:
+    def test_family_is_wr_with_check(self):
+        graph = build_pnode_graph(context_blocked_family())
+        assert graph.dangerous_cycle() is None
+
+    def test_family_wrongly_rejected_without_check(self):
+        graph = build_pnode_graph(
+            context_blocked_family(), context_check=False
+        )
+        assert graph.dangerous_cycle() is not None
+
+    def test_family_really_is_fo_rewritable(self):
+        rules = context_blocked_family()
+        for text in (
+            "q(X, Y, Z) :- r(X, Y, Z)",
+            "q(X, Y) :- t(X, Y)",
+            "q() :- r(X, Y, Z), u(Z)",
+        ):
+            assert rewrite(parse_query(text), rules).complete

@@ -1,0 +1,69 @@
+"""Tests for repro.rewriting.approx (sound approximation, Section 7)."""
+
+from repro.data.database import Database
+from repro.chase.certain import certain_answers
+from repro.lang.parser import parse_database, parse_query
+from repro.rewriting.approx import approximate_answers
+from repro.workloads.paper import EXAMPLE2_QUERY, example2
+
+
+def db(text):
+    return Database(parse_database(text))
+
+
+class TestApproximation:
+    def test_exact_on_fo_rewritable_input(self, hierarchy_rules):
+        report = approximate_answers(
+            parse_query("q(X) :- d(X)"),
+            hierarchy_rules,
+            db("a(v)."),
+            max_depth=10,
+        )
+        assert report.exact
+        assert len(report.answers) == 1
+
+    def test_sound_on_divergent_input(self):
+        database = db("t(a, a). s(c, c, a).")
+        report = approximate_answers(
+            EXAMPLE2_QUERY, example2(), database, max_depth=6
+        )
+        assert not report.exact
+        # Soundness: every approximate answer is a certain answer
+        # (the chase terminates on this instance).
+        truth = certain_answers(EXAMPLE2_QUERY, example2(), database)
+        assert report.answers <= truth
+
+    def test_answer_counts_monotone_in_depth(self):
+        database = db("t(a, a). t(b, a). s(c, c, a). r(a, d).")
+        report = approximate_answers(
+            EXAMPLE2_QUERY, example2(), database, max_depth=6
+        )
+        counts = list(report.answer_counts)
+        assert counts == sorted(counts)
+
+    def test_per_depth_series_aligned(self):
+        database = db("t(a, a).")
+        report = approximate_answers(
+            EXAMPLE2_QUERY, example2(), database, max_depth=4
+        )
+        assert len(report.depths) == len(report.answer_counts)
+        assert len(report.depths) == len(report.ucq_sizes)
+
+    def test_converged_at_reported(self, hierarchy_rules):
+        report = approximate_answers(
+            parse_query("q(X) :- b(X)"),
+            hierarchy_rules,
+            db("a(v)."),
+            max_depth=10,
+        )
+        assert report.converged_at is not None
+
+    def test_stops_early_when_complete(self, hierarchy_rules):
+        report = approximate_answers(
+            parse_query("q(X) :- d(X)"),
+            hierarchy_rules,
+            db("a(v)."),
+            max_depth=50,
+        )
+        # The hierarchy saturates at depth 3; no 50 rounds needed.
+        assert report.depths[-1] <= 5

@@ -1,0 +1,129 @@
+"""Tests for repro.rewriting.minimize (subsumption and cores)."""
+
+from repro.lang.atoms import Atom
+from repro.lang.parser import parse_query
+from repro.lang.queries import ConjunctiveQuery
+from repro.lang.terms import Constant, Variable
+from repro.rewriting.minimize import (
+    equivalent,
+    is_subsumed,
+    minimize_cq,
+    remove_subsumed,
+)
+
+X, Y = Variable("X"), Variable("Y")
+
+
+class TestSubsumption:
+    def test_specialisation_is_subsumed(self):
+        general = parse_query("q(X) :- r(X, Y)")
+        specific = parse_query("q(X) :- r(X, X)")
+        assert is_subsumed(specific, general)
+        assert not is_subsumed(general, specific)
+
+    def test_longer_body_subsumed_by_shorter(self):
+        long = parse_query("q(X) :- r(X, Y), s(Y)")
+        short = parse_query("q(X) :- r(X, Y)")
+        assert is_subsumed(long, short)
+        assert not is_subsumed(short, long)
+
+    def test_constant_vs_variable(self):
+        grounded = parse_query('q(X) :- r(X, "a")')
+        general = parse_query("q(X) :- r(X, Y)")
+        assert is_subsumed(grounded, general)
+        assert not is_subsumed(general, grounded)
+
+    def test_answer_tuple_must_correspond(self):
+        first = parse_query("q(X) :- r(X, Y)")
+        second = parse_query("q(Y) :- r(X, Y)")
+        assert not is_subsumed(first, second)
+        assert not is_subsumed(second, first)
+
+    def test_different_arity_incomparable(self):
+        unary = parse_query("q(X) :- r(X, Y)")
+        binary = parse_query("q(X, Y) :- r(X, Y)")
+        assert not is_subsumed(unary, binary)
+
+    def test_renaming_equivalence(self):
+        first = parse_query("q(X) :- r(X, Y), s(Y)")
+        second = parse_query("q(X) :- r(X, Z), s(Z)")
+        assert equivalent(first, second)
+
+    def test_redundant_atom_equivalence(self):
+        redundant = parse_query("q(X) :- r(X, Y), r(X, Z)")
+        minimal = parse_query("q(X) :- r(X, Y)")
+        assert equivalent(redundant, minimal)
+
+    def test_boolean_queries(self):
+        first = parse_query("q() :- r(X, Y)")
+        second = parse_query("q() :- r(X, X)")
+        assert is_subsumed(second, first)
+        assert not is_subsumed(first, second)
+
+    def test_frozen_constants_do_not_clash_with_real(self):
+        # A body constant named like a variable must not be confused
+        # with a frozen variable of the other query.
+        q1 = parse_query('q() :- r("X")')
+        q2 = parse_query("q() :- r(X)")
+        assert is_subsumed(q1, q2)
+        assert not is_subsumed(q2, q1)
+
+    def test_repeated_answer_terms(self):
+        merged = ConjunctiveQuery([X, X], [Atom("r", [X])])
+        free = parse_query("q(X, Y) :- r(X), r(Y)")
+        assert is_subsumed(merged, free)
+        assert not is_subsumed(free, merged)
+
+
+class TestRemoveSubsumed:
+    def test_specialisations_removed(self):
+        general = parse_query("q(X) :- r(X, Y)")
+        specific = parse_query("q(X) :- r(X, X)")
+        longer = parse_query("q(X) :- r(X, Y), s(Y)")
+        kept = remove_subsumed([specific, general, longer])
+        assert kept == (general,)
+
+    def test_incomparable_all_kept(self):
+        a = parse_query("q(X) :- r(X, Y)")
+        b = parse_query("q(X) :- s(X)")
+        assert set(remove_subsumed([a, b])) == {a, b}
+
+    def test_equivalent_duplicates_collapse(self):
+        a = parse_query("q(X) :- r(X, Y)")
+        b = parse_query("q(X) :- r(X, Z)")
+        assert len(remove_subsumed([a, b])) == 1
+
+    def test_empty_input(self):
+        assert remove_subsumed([]) == ()
+
+
+class TestMinimizeCQ:
+    def test_redundant_atom_dropped(self):
+        query = parse_query("q(X) :- r(X, Y), r(X, Z)")
+        assert len(minimize_cq(query).body) == 1
+
+    def test_core_keeps_answer_variables(self):
+        query = parse_query("q(X, Y) :- r(X, Z), r(Y, Z)")
+        minimized = minimize_cq(query)
+        assert set(minimized.answer_variables) == {X, Y}
+        assert len(minimized.body) == 2  # nothing redundant here
+
+    def test_non_redundant_join_untouched(self):
+        query = parse_query("q(X) :- r(X, Y), s(Y)")
+        assert minimize_cq(query) == query
+
+    def test_duplicate_atoms_dropped(self):
+        query = ConjunctiveQuery([X], [Atom("r", [X]), Atom("r", [X])])
+        assert len(minimize_cq(query).body) == 1
+
+    def test_constant_specialisation_not_dropped(self):
+        query = parse_query('q(X) :- r(X, Y), r(X, "a")')
+        # r(X, "a") is NOT redundant (it constrains), r(X, Y) IS.
+        minimized = minimize_cq(query)
+        assert minimized.body == (
+            Atom("r", [X, Constant("a")]),
+        )
+
+    def test_minimized_query_is_equivalent(self):
+        query = parse_query("q(X) :- r(X, Y), r(X, Z), s(X)")
+        assert equivalent(minimize_cq(query), query)

@@ -1,0 +1,153 @@
+"""Tests for repro.rewriting.pieces (the rewriting operator)."""
+
+from repro.lang.parser import parse_query, parse_tgd
+from repro.lang.terms import Constant, Variable
+from repro.rewriting.pieces import factorizations, piece_rewritings
+
+
+def rewritings(query_text, rule_text):
+    query = parse_query(query_text)
+    rule = parse_tgd(rule_text)
+    return [step.query for step in piece_rewritings(query, rule)]
+
+
+class TestBasicSteps:
+    def test_atomic_rewriting(self):
+        results = rewritings("q(X) :- b(X)", "a(X) -> b(X)")
+        assert len(results) == 1
+        assert results[0].canonical() == parse_query("q(X) :- a(X)").canonical()
+
+    def test_relation_mismatch_gives_nothing(self):
+        assert rewritings("q(X) :- c(X)", "a(X) -> b(X)") == []
+
+    def test_body_carried_over(self):
+        results = rewritings("q(X) :- b(X), other(X)", "a(X) -> b(X)")
+        assert len(results) == 1
+        assert {a.relation for a in results[0].body} == {"a", "other"}
+
+    def test_multi_atom_body_introduced(self):
+        results = rewritings("q(X) :- r(X, Z)", "s(X, Y), t(Y) -> r(X, Y)")
+        assert len(results) == 1
+        assert {a.relation for a in results[0].body} == {"s", "t"}
+
+
+class TestExistentialConstraints:
+    def test_unshared_variable_may_meet_existential(self):
+        results = rewritings("q(X) :- r(X, Y)", "a(X) -> r(X, Z)")
+        assert len(results) == 1
+        assert results[0].body[0].relation == "a"
+
+    def test_answer_variable_blocks_existential(self):
+        # Y is an answer variable: it cannot be an invented null.
+        assert rewritings("q(X, Y) :- r(X, Y)", "a(X) -> r(X, Z)") == []
+
+    def test_constant_blocks_existential(self):
+        assert rewritings('q(X) :- r(X, "c")', "a(X) -> r(X, Z)") == []
+
+    def test_shared_variable_forces_aggregation_failure(self):
+        # Y is shared with s(Y); s does not unify with any head atom,
+        # so the piece cannot be closed.
+        assert (
+            rewritings("q(X) :- r(X, Y), s(Y)", "a(X) -> r(X, Z)") == []
+        )
+
+    def test_shared_variable_aggregates_across_head_atoms(self):
+        # Both query atoms must be rewritten together (the invented Z
+        # joins them); the multi-atom head supports the whole piece.
+        results = rewritings(
+            "q(X) :- r(X, Y), s(Y)", "a(X) -> r(X, Z), s(Z)"
+        )
+        assert len(results) == 1
+        assert [a.relation for a in results[0].body] == ["a"]
+
+    def test_partial_aggregation_keeps_rest(self):
+        results = rewritings(
+            "q(X) :- r(X, Y), s(Y), other(X)", "a(X) -> r(X, Z), s(Z)"
+        )
+        assert len(results) == 1
+        assert {a.relation for a in results[0].body} == {"a", "other"}
+
+    def test_repeated_existential_head_variable(self):
+        # Head r(Z, Z): query r(U, V) unifies by merging U and V.
+        results = rewritings("q() :- r(U, V)", "a(X) -> r(Z, Z)")
+        assert len(results) == 1
+        assert results[0].body[0].relation == "a"
+
+    def test_two_distinct_existentials_cannot_merge(self):
+        # Head r(Z1, Z2) cannot rewrite r(U, U): Z1 and Z2 are
+        # distinct nulls.
+        assert rewritings("q() :- r(U, U)", "a(X) -> r(Z1, Z2)") == []
+
+    def test_existential_cannot_meet_frontier(self):
+        # Head r(X, Z) with frontier X: query atom r(U, U) would force
+        # X = Z.
+        assert rewritings("q() :- r(U, U)", "a(X) -> r(X, Z)") == []
+
+
+class TestConstantsAndAnswers:
+    def test_head_constant_matches_query_constant(self):
+        results = rewritings('q(X) :- r(X, "v")', 'a(X) -> r(X, "v")')
+        assert len(results) == 1
+
+    def test_head_constant_clash(self):
+        assert rewritings('q(X) :- r(X, "v")', 'a(X) -> r(X, "w")') == []
+
+    def test_answer_variable_bound_to_constant(self):
+        results = rewritings("q(X) :- r(X)", 'a(Y) -> r("k")')
+        assert len(results) == 1
+        assert results[0].answer_terms == (Constant("k"),)
+
+    def test_two_answer_variables_merged_by_repeated_head(self):
+        results = rewritings("q(X, Y) :- r(X, Y)", "a(U) -> r(U, U)")
+        assert len(results) == 1
+        answers = results[0].answer_terms
+        assert answers[0] == answers[1]
+        assert isinstance(answers[0], Variable)
+
+
+class TestPieceMetadata:
+    def test_piece_indexes_reported(self):
+        query = parse_query("q(X) :- other(X), b(X)")
+        rule = parse_tgd("a(X) -> b(X)")
+        steps = list(piece_rewritings(query, rule))
+        assert len(steps) == 1
+        assert steps[0].piece == frozenset({1})
+
+    def test_rule_standardized_apart(self):
+        # The rule reuses the query's variable names; the step must not
+        # capture them.
+        results = rewritings("q(X) :- b(X, Y)", "a(Y, X) -> b(Y, X)")
+        assert len(results) == 1
+        body_atom = results[0].body[0]
+        assert body_atom.relation == "a"
+        # answers preserved
+        assert results[0].answer_terms == (Variable("X"),)
+
+
+class TestFactorizations:
+    def test_unifiable_atoms_merge(self):
+        query = parse_query("q() :- r(X, Y), r(Y, Z)")
+        factored = list(factorizations(query))
+        assert len(factored) == 1
+        assert len(factored[0].body) == 1
+
+    def test_constant_clash_blocks_factorization(self):
+        query = parse_query('q() :- r("a", X), r("b", Y)')
+        assert list(factorizations(query)) == []
+
+    def test_identical_shape_atoms(self):
+        query = parse_query("q(X) :- r(X, Y), r(X, Z)")
+        factored = list(factorizations(query))
+        assert len(factored) == 1
+        assert len(factored[0].body) == 1
+
+    def test_different_relations_not_factorized(self):
+        query = parse_query("q() :- r(X), s(X)")
+        assert list(factorizations(query)) == []
+
+    def test_answer_variables_survive_factorization(self):
+        query = parse_query("q(X, Y) :- r(X, Z), r(Y, Z)")
+        factored = list(factorizations(query))
+        assert len(factored) == 1
+        merged = factored[0]
+        assert merged.answer_terms[0] == merged.answer_terms[1]

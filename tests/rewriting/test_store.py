@@ -1,0 +1,89 @@
+"""Tests for repro.rewriting.store (persisted rewritings)."""
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.evaluation import evaluate_ucq
+from repro.lang.errors import ReproError
+from repro.lang.parser import parse_database, parse_query
+from repro.rewriting.rewriter import rewrite
+from repro.rewriting.store import RewritingStore, precompile_workload
+from repro.workloads.ontologies import university_ontology, university_queries
+
+
+class TestStoreBasics:
+    def test_put_get_by_canonical_form(self, hierarchy_rules):
+        store = RewritingStore()
+        query = parse_query("q(X) :- d(X)")
+        result = rewrite(query, hierarchy_rules)
+        store.put(query, result.ucq)
+        # Lookup with a renamed variant of the same query.
+        renamed = parse_query("q(U) :- d(U)")
+        entry = store.get(renamed)
+        assert entry is not None
+        assert entry.rewriting == result.ucq
+
+    def test_missing_query_returns_none(self):
+        store = RewritingStore()
+        assert store.get(parse_query("q(X) :- r(X)")) is None
+
+    def test_put_replaces(self, hierarchy_rules):
+        store = RewritingStore()
+        query = parse_query("q(X) :- d(X)")
+        result = rewrite(query, hierarchy_rules)
+        store.put(query, result.ucq, complete=False)
+        store.put(query, result.ucq, complete=True)
+        assert len(store) == 1
+        assert store.get(query).complete
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path, hierarchy_rules):
+        queries = [parse_query("q(X) :- d(X)"), parse_query("p(X) :- c(X)")]
+        store = precompile_workload(queries, hierarchy_rules)
+        path = store.save(tmp_path / "workload.rw")
+        loaded = RewritingStore.load(path)
+        assert len(loaded) == 2
+        for query in queries:
+            original = store.get(query)
+            restored = loaded.get(query)
+            assert restored is not None
+            assert restored.rewriting == original.rewriting
+            assert restored.complete == original.complete
+
+    def test_loaded_rewriting_answers_correctly(
+        self, tmp_path, hierarchy_rules
+    ):
+        query = parse_query("q(X) :- d(X)")
+        store = precompile_workload([query], hierarchy_rules)
+        path = store.save(tmp_path / "one.rw")
+        loaded = RewritingStore.load(path)
+        database = Database(parse_database("a(v). c(w)."))
+        answers = evaluate_ucq(loaded.get(query).rewriting, database)
+        expected = evaluate_ucq(
+            rewrite(query, hierarchy_rules).ucq, database
+        )
+        assert answers == expected
+
+    def test_incomplete_flag_persisted(self, tmp_path):
+        from repro.rewriting.budget import RewritingBudget
+        from repro.workloads.paper import EXAMPLE2_QUERY, example2
+
+        store = precompile_workload(
+            [EXAMPLE2_QUERY], example2(), RewritingBudget(max_depth=3)
+        )
+        loaded = RewritingStore.load(store.save(tmp_path / "partial.rw"))
+        assert not loaded.get(EXAMPLE2_QUERY).complete
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "junk.rw"
+        path.write_text("not a store\n")
+        with pytest.raises(ReproError):
+            RewritingStore.load(path)
+
+    def test_university_workload_roundtrip(self, tmp_path):
+        rules = university_ontology()
+        queries = [query for _, query in university_queries()]
+        store = precompile_workload(queries, rules)
+        loaded = RewritingStore.load(store.save(tmp_path / "uni.rw"))
+        assert len(loaded) == len(queries)

@@ -1,0 +1,61 @@
+"""The corpus regression net: every entry's pinned classifications."""
+
+import pytest
+
+from repro.core.classify import classify
+from repro.workloads.corpus import CORPUS, entry
+
+
+@pytest.mark.parametrize("corpus_entry", CORPUS, ids=lambda e: e.name)
+def test_expected_memberships(corpus_entry):
+    report = classify(corpus_entry.rules())
+    memberships = report.memberships()
+    for class_name, expected in corpus_entry.expected.items():
+        assert memberships[class_name] is expected, (
+            f"{corpus_entry.name}: {class_name} expected {expected}, "
+            f"got {memberships[class_name]}"
+        )
+
+
+@pytest.mark.parametrize("corpus_entry", CORPUS, ids=lambda e: e.name)
+def test_programs_parse_and_are_arity_consistent(corpus_entry):
+    from repro.lang.signature import Signature
+
+    rules = corpus_entry.rules()
+    assert rules
+    Signature.from_rules(rules)
+
+
+class TestCorpusStructure:
+    def test_names_unique(self):
+        names = [e.name for e in CORPUS]
+        assert len(names) == len(set(names))
+
+    def test_lookup(self):
+        assert entry("paper-example-3").expected["WR"] is True
+        with pytest.raises(KeyError):
+            entry("missing")
+
+    def test_corpus_covers_both_verdicts_for_core_classes(self):
+        """The corpus must exercise both outcomes of SWR and WR."""
+        for class_name in ("SWR", "WR"):
+            verdicts = {
+                e.expected.get(class_name)
+                for e in CORPUS
+                if class_name in e.expected
+            }
+            assert verdicts == {True, False}, class_name
+
+    def test_known_implications_hold_on_corpus(self):
+        """Cross-entry sanity: class containments on every entry."""
+        for corpus_entry in CORPUS:
+            report = classify(corpus_entry.rules())
+            m = report.memberships()
+            if m["inclusion-dependencies"]:
+                assert m["linear"]
+            if m["linear"]:
+                assert m["multilinear"] and m["sticky-join"]
+            if m["sticky"]:
+                assert m["sticky-join"]
+            if m["guarded"]:
+                assert m["frontier-guarded"]

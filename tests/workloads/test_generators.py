@@ -1,0 +1,102 @@
+"""Tests for repro.workloads.generators."""
+
+import random
+
+from repro.classes.linear import is_linear, is_multilinear
+from repro.core.swr import is_swr
+from repro.lang.signature import Signature
+from repro.workloads.generators import (
+    concept_hierarchy,
+    dangerous_family,
+    generate_database,
+    random_arbitrary,
+    random_linear,
+    random_multilinear,
+    random_simple,
+    role_chain,
+    swr_but_not_baselines,
+)
+
+
+class TestSeededDeterminism:
+    def test_same_seed_same_rules(self):
+        first = random_simple(random.Random(7), n_rules=4)
+        second = random_simple(random.Random(7), n_rules=4)
+        assert first == second
+
+    def test_different_seed_usually_differs(self):
+        first = random_simple(random.Random(1), n_rules=5)
+        second = random_simple(random.Random(2), n_rules=5)
+        assert first != second
+
+
+class TestClassTargets:
+    def test_random_simple_is_simple(self):
+        for seed in range(10):
+            rules = random_simple(random.Random(seed), n_rules=4)
+            assert all(r.is_simple() for r in rules), seed
+
+    def test_random_linear_is_linear(self):
+        for seed in range(10):
+            rules = random_linear(random.Random(seed), n_rules=5)
+            assert is_linear(rules), seed
+
+    def test_random_multilinear_is_multilinear(self):
+        for seed in range(10):
+            rules = random_multilinear(random.Random(seed), n_rules=4)
+            assert is_multilinear(rules), seed
+
+    def test_random_arbitrary_well_formed(self):
+        for seed in range(5):
+            rules = random_arbitrary(random.Random(seed), n_rules=4)
+            Signature.from_rules(rules)  # arity-consistent
+
+
+class TestHandCraftedFamilies:
+    def test_concept_hierarchy_shape(self):
+        rules = concept_hierarchy(5)
+        assert len(rules) == 5
+        assert is_linear(rules)
+        assert is_swr(rules).is_swr
+
+    def test_role_chain_swr(self):
+        rules = role_chain(4)
+        assert is_swr(rules).is_swr
+
+    def test_swr_but_not_baselines_property(self):
+        from repro.classes.sticky import is_sticky, is_sticky_join
+
+        rules = swr_but_not_baselines(copies=1)
+        assert is_swr(rules).is_swr
+        assert not is_linear(rules)
+        assert not is_multilinear(rules)
+        assert not is_sticky(rules)
+        assert not is_sticky_join(rules)
+
+    def test_swr_but_not_baselines_scales(self):
+        assert len(swr_but_not_baselines(copies=3)) == 9
+        assert is_swr(swr_but_not_baselines(copies=3)).is_swr
+
+    def test_dangerous_family_not_wr(self):
+        from repro.core.wr import is_wr
+
+        rules = dangerous_family(copies=1)
+        assert not is_wr(rules).is_wr
+
+    def test_dangerous_family_disjoint_copies(self):
+        rules = dangerous_family(copies=2)
+        signature = Signature.from_rules(rules)
+        assert "s0" in signature and "s1" in signature
+
+
+class TestGenerateDatabase:
+    def test_facts_cover_signature(self):
+        rules = concept_hierarchy(3)
+        facts = generate_database(random.Random(0), rules, facts_per_relation=2)
+        relations = {f.relation for f in facts}
+        assert relations == {"c0", "c1", "c2", "c3"}
+
+    def test_all_ground(self):
+        rules = role_chain(2)
+        facts = generate_database(random.Random(0), rules)
+        assert all(f.is_ground() for f in facts)

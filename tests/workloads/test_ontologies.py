@@ -1,0 +1,48 @@
+"""Tests for repro.workloads.ontologies."""
+
+from repro.core.classify import classify
+from repro.core.swr import is_swr
+from repro.workloads.ontologies import (
+    transport_data,
+    transport_ontology,
+    transport_queries,
+    university_data,
+    university_ontology,
+    university_queries,
+)
+
+
+class TestUniversity:
+    def test_ontology_is_swr(self):
+        assert is_swr(university_ontology()).is_swr
+
+    def test_ontology_outside_all_baselines(self):
+        # The showcase property: FO-rewritable via SWR only.
+        report = classify(university_ontology())
+        assert not report.in_any_baseline()
+
+    def test_data_generator_deterministic(self):
+        assert university_data(10, seed=4) == university_data(10, seed=4)
+
+    def test_data_scales_with_size(self):
+        assert len(university_data(40, seed=1)) > len(
+            university_data(10, seed=1)
+        )
+
+    def test_queries_parse_and_cover_hierarchy(self):
+        names = [name for name, _ in university_queries()]
+        assert len(names) == len(set(names))
+        assert len(names) >= 5
+
+
+class TestTransport:
+    def test_ontology_is_swr(self):
+        assert is_swr(transport_ontology()).is_swr
+
+    def test_data_nonempty(self):
+        assert len(transport_data(10)) > 0
+
+    def test_queries_well_formed(self):
+        for name, query in transport_queries():
+            assert query.arity >= 0
+            assert name.startswith("TQ")

@@ -1,0 +1,50 @@
+"""Tests for repro.workloads.paper (the verbatim example sets)."""
+
+from repro.workloads.paper import (
+    EXAMPLE1_QUERY,
+    EXAMPLE2_QUERY,
+    example1,
+    example2,
+    example3,
+)
+
+
+class TestExample1:
+    def test_three_labeled_rules(self):
+        rules = example1()
+        assert [r.label for r in rules] == ["R1", "R2", "R3"]
+
+    def test_all_simple(self):
+        assert all(r.is_simple() for r in example1())
+
+    def test_r1_structure(self):
+        r1 = example1()[0]
+        assert [a.relation for a in r1.body] == ["s", "t"]
+        assert r1.head[0].relation == "r"
+
+
+class TestExample2:
+    def test_r2_has_repeated_variable(self):
+        r2 = example2()[1]
+        assert r2.body[0].has_repeated_variable()
+
+    def test_r2_head_has_existential(self):
+        r2 = example2()[1]
+        assert len(r2.existential_head_variables()) == 1
+
+    def test_query_is_boolean_with_constant(self):
+        assert EXAMPLE2_QUERY.is_boolean()
+        assert EXAMPLE2_QUERY.constants()
+
+
+class TestExample3:
+    def test_rule_shapes_match_paper(self):
+        r1, r2, r3 = example3()
+        assert r1.head[0].relation == "t"
+        assert [a.relation for a in r3.body] == ["u", "t"]
+        # t(Y3, Y1, Y1): repeated frontier variable in the head.
+        assert r1.head[0].has_repeated_variable()
+
+    def test_example1_query_shape(self):
+        assert EXAMPLE1_QUERY.arity == 1
+        assert EXAMPLE1_QUERY.body[0].relation == "r"
