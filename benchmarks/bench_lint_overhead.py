@@ -1,0 +1,55 @@
+"""Lint preflight overhead vs. classification.
+
+``repro classify`` and ``repro rewrite`` run the error-level lint
+preflight before their real work; that safety net is only acceptable
+if it is nearly free.  This bench measures, over the curated corpus,
+the total time of (a) the preflight subset, (b) a full lint run and
+(c) ``classify``, and asserts the preflight costs <10% of
+classification.
+"""
+
+import time
+
+from _harness import write_artifact
+
+from repro.core.classify import classify
+from repro.lint.engine import lint_program, preflight
+from repro.workloads.corpus import CORPUS
+
+
+def _total_seconds(fn, programs, repeat=5):
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        for rules in programs:
+            fn(rules)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_lint_preflight_overhead(benchmark):
+    programs = [entry.rules() for entry in CORPUS]
+    benchmark(lambda: [preflight(rules) for rules in programs])
+
+    preflight_s = _total_seconds(preflight, programs)
+    full_lint_s = _total_seconds(lint_program, programs)
+    classify_s = _total_seconds(classify, programs)
+    overhead = preflight_s / classify_s
+
+    lines = [
+        "Lint preflight overhead over the curated corpus "
+        f"({len(programs)} rule sets)",
+        "",
+        "stage               seconds   vs classify",
+        f"preflight (RL001)   {preflight_s:.4f}    {overhead:6.1%}",
+        f"full lint           {full_lint_s:.4f}    {full_lint_s / classify_s:6.1%}",
+        f"classify            {classify_s:.4f}    100.0%",
+        "",
+        "The preflight that classify/rewrite run before real work "
+        f"costs {overhead:.1%} of classification.",
+    ]
+    write_artifact("lint_overhead.txt", "\n".join(lines))
+
+    assert overhead < 0.10, (
+        f"lint preflight costs {overhead:.1%} of classify (budget: <10%)"
+    )

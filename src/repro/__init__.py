@@ -37,6 +37,7 @@ from repro.lang import (
     parse_query,
     parse_ucq,
 )
+from repro.lint import LintReport, lint_program, lint_source
 from repro.obda import OBDASystem
 from repro.rewriting import FORewritingEngine, RewritingBudget, rewrite
 
@@ -48,6 +49,7 @@ __all__ = [
     "Constant",
     "Database",
     "FORewritingEngine",
+    "LintReport",
     "OBDASystem",
     "RewritingBudget",
     "Signature",
@@ -63,6 +65,8 @@ __all__ = [
     "evaluate_ucq",
     "is_swr",
     "is_wr",
+    "lint_program",
+    "lint_source",
     "parse_atom",
     "parse_database",
     "parse_program",

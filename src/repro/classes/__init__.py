@@ -22,12 +22,25 @@ from repro.classes.base import ClassCheck
 from repro.classes.domain_restricted import is_domain_restricted
 from repro.classes.inclusion import is_frontier_guarded, is_inclusion_dependencies
 from repro.classes.linear import is_datalog, is_guarded, is_linear, is_multilinear
-from repro.classes.registry import BASELINE_RECOGNIZERS, all_recognizers
+from repro.classes.registry import (
+    ALL_CLASS_NAMES,
+    BASELINE_CLASS_NAMES,
+    BASELINE_RECOGNIZERS,
+    PAPER_CLASS_NAMES,
+    REFERENCE_CLASS_NAMES,
+    REFERENCE_RECOGNIZERS,
+    all_recognizers,
+)
 from repro.classes.sticky import is_sticky, is_sticky_join, sticky_marking
 from repro.classes.weakly_acyclic import is_weakly_acyclic_check
 
 __all__ = [
+    "ALL_CLASS_NAMES",
+    "BASELINE_CLASS_NAMES",
     "BASELINE_RECOGNIZERS",
+    "PAPER_CLASS_NAMES",
+    "REFERENCE_CLASS_NAMES",
+    "REFERENCE_RECOGNIZERS",
     "ClassCheck",
     "all_recognizers",
     "is_agrd",

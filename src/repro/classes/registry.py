@@ -40,6 +40,28 @@ REFERENCE_RECOGNIZERS: tuple[tuple[str, Recognizer], ...] = (
     ("weakly-acyclic", is_weakly_acyclic_check),
 )
 
+#: Names of the FO-rewritable baseline classes, in reporting order.
+#: These strings are the stable identifiers used by classification
+#: tables, golden tests and the lint layer -- treat them as an
+#: enum-like constant set.
+BASELINE_CLASS_NAMES: tuple[str, ...] = tuple(
+    name for name, _ in BASELINE_RECOGNIZERS
+)
+
+#: Names of the non-FO-rewritable reference classes, reporting order.
+REFERENCE_CLASS_NAMES: tuple[str, ...] = tuple(
+    name for name, _ in REFERENCE_RECOGNIZERS
+)
+
+#: The graph-based classes of the paper itself, reported first.
+PAPER_CLASS_NAMES: tuple[str, ...] = ("SWR", "WR")
+
+#: Every class name a ClassificationReport mentions, in the exact
+#: deterministic order reports use.
+ALL_CLASS_NAMES: tuple[str, ...] = (
+    PAPER_CLASS_NAMES + BASELINE_CLASS_NAMES + REFERENCE_CLASS_NAMES
+)
+
 
 def all_recognizers() -> tuple[tuple[str, Recognizer], ...]:
     """Baselines followed by reference recognizers."""

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Four commands mirroring the library's workflow:
+Five commands mirroring the library's workflow:
 
 * ``classify``  -- read a TGD program, print the class-membership table
   and the SWR/WR explanations;
@@ -9,16 +9,23 @@ Four commands mirroring the library's workflow:
 * ``answer``    -- read a program, a query and a fact file, print the
   certain answers (rewriting-based; ``--via-chase`` for the oracle);
 * ``graph``     -- emit the position graph or P-node graph of a program
-  as a text summary or Graphviz DOT.
+  as a text summary or Graphviz DOT;
+* ``lint``      -- run the static analyzer, emitting span-annotated
+  diagnostics as text, JSON or SARIF (``--strict`` gates warnings for
+  CI).
 
 Programs, queries and facts use the textual syntax of
 :mod:`repro.lang.parser`; every input is a file path or ``-`` for
 stdin.
+
+Exit codes: 0 success; 1 findings (lint); 2 input error (unreadable
+file, parse error, ill-formed program); 3 incomplete rewriting.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -33,6 +40,9 @@ from repro.graphs.position_graph import build_position_graph
 from repro.lang.errors import ReproError
 from repro.lang.parser import parse_database, parse_program, parse_query
 from repro.lang.printer import format_answers, format_ucq
+from repro.lint.diagnostics import Diagnostic, LintReport
+from repro.lint.engine import LintConfig, lint_source, preflight
+from repro.lint.formats import render, render_text
 from repro.rewriting.budget import RewritingBudget
 from repro.rewriting.rewriter import rewrite
 
@@ -40,7 +50,20 @@ from repro.rewriting.rewriter import rewrite
 def _read(path: str) -> str:
     if path == "-":
         return sys.stdin.read()
-    return Path(path).read_text()
+    try:
+        return Path(path).read_text()
+    except OSError as error:
+        reason = error.strerror or error.__class__.__name__
+        raise ReproError(f"cannot read {path}: {reason}") from error
+
+
+def _preflight(rules, query=None, path="<string>") -> tuple[Diagnostic, ...]:
+    """Run the error-level lint passes; print any findings to stderr."""
+    findings = preflight(rules, query)
+    if findings:
+        report = LintReport.of(findings, path=path)
+        print(render_text(report), file=sys.stderr)
+    return findings
 
 
 def _budget(args: argparse.Namespace) -> RewritingBudget:
@@ -51,6 +74,8 @@ def _budget(args: argparse.Namespace) -> RewritingBudget:
 
 def cmd_classify(args: argparse.Namespace) -> int:
     rules = parse_program(_read(args.program))
+    if _preflight(rules, path=args.program):
+        return 2
     report = classify(rules)
     print(report.table())
     if args.explain:
@@ -67,6 +92,8 @@ def cmd_classify(args: argparse.Namespace) -> int:
 def cmd_rewrite(args: argparse.Namespace) -> int:
     rules = parse_program(_read(args.program))
     query = parse_query(args.query)
+    if _preflight(rules, query, path=args.program):
+        return 2
     result = rewrite(query, rules, _budget(args))
     if not result.complete:
         print(
@@ -126,6 +153,28 @@ def cmd_graph(args: argparse.Namespace) -> int:
         print()
         print(census(graph.graph).format())
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    path = "<stdin>" if args.program == "-" else args.program
+    config = LintConfig(
+        budget=_budget(args),
+        branching_threshold=args.branching_threshold,
+        disabled=frozenset(args.disable or ()),
+        stages=(
+            ("wellformed",)
+            if args.no_recursion
+            else ("wellformed", "recursion", "risk")
+        ),
+    )
+    report = lint_source(
+        _read(args.program),
+        query_text=args.query,
+        config=config,
+        path=path,
+    )
+    print(render(report, args.format))
+    return report.exit_code(strict=args.strict)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -190,6 +239,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_graph.set_defaults(func=cmd_graph)
 
+    p_lint = sub.add_parser(
+        "lint", help="static analysis: diagnostics with source spans"
+    )
+    p_lint.add_argument("program", help="TGD file ('-' for stdin)")
+    p_lint.add_argument(
+        "--query",
+        help="also lint this query against the program, "
+        'e.g. "q(X) :- r(X, Y)"',
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    p_lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings too (CI gating)",
+    )
+    p_lint.add_argument(
+        "--no-recursion",
+        action="store_true",
+        help="skip the graph-based recursion and risk passes",
+    )
+    p_lint.add_argument(
+        "--disable",
+        action="append",
+        metavar="CODE",
+        help="suppress a diagnostic code (repeatable), e.g. RL006",
+    )
+    p_lint.add_argument(
+        "--branching-threshold",
+        type=int,
+        default=8,
+        help="RL020 fires at this many rules deriving one relation",
+    )
+    add_budget(p_lint)
+    p_lint.set_defaults(func=cmd_lint)
+
     return parser
 
 
@@ -201,6 +290,12 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe early;
+        # suppress the traceback and die quietly like other CLIs.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -11,7 +11,11 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.classes.base import ClassCheck
-from repro.classes.registry import all_recognizers
+from repro.classes.registry import (
+    ALL_CLASS_NAMES,
+    BASELINE_CLASS_NAMES,
+    all_recognizers,
+)
 from repro.core.swr import SWRResult, is_swr
 from repro.core.wr import WRResult, is_wr
 from repro.graphs.pnode_graph import PNodeGraphBudgetExceeded
@@ -37,13 +41,21 @@ class ClassificationReport:
     baselines: Mapping[str, ClassCheck]
 
     def memberships(self) -> dict[str, bool | None]:
-        """Flat name -> verdict mapping (None = not decided)."""
+        """Flat name -> verdict mapping (None = not decided).
+
+        Keys follow :data:`repro.classes.registry.ALL_CLASS_NAMES`
+        order exactly, so tables and golden tests are stable.
+        """
         out: dict[str, bool | None] = {
             "SWR": self.swr.is_swr,
             "WR": self.wr.is_wr if self.wr is not None else None,
         }
+        for name in ALL_CLASS_NAMES:
+            if name in self.baselines:
+                out[name] = self.baselines[name].member
         for name, check in self.baselines.items():
-            out[name] = check.member
+            if name not in out:
+                out[name] = check.member
         return out
 
     def table(self) -> str:
@@ -60,18 +72,9 @@ class ClassificationReport:
         Only the FO-rewritable baselines count (guarded/datalog/
         weakly-acyclic are reference classes, not FO-rewritable ones).
         """
-        fo_baselines = (
-            "inclusion-dependencies",
-            "linear",
-            "multilinear",
-            "sticky",
-            "sticky-join",
-            "aGRD",
-            "domain-restricted",
-        )
         return any(
             self.baselines[name].member
-            for name in fo_baselines
+            for name in BASELINE_CLASS_NAMES
             if name in self.baselines
         )
 

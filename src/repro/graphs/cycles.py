@@ -38,11 +38,18 @@ class LabeledEdge:
 
 
 class LabeledGraph:
-    """A directed graph whose edges carry sets of string labels."""
+    """A directed graph whose edges carry sets of string labels.
+
+    Each edge additionally accumulates *rule provenance*: the labels of
+    the rules whose expansion produced it.  Provenance lives in a side
+    table so :class:`LabeledEdge` equality stays purely structural;
+    query it with :meth:`rules_of`.
+    """
 
     def __init__(self):
         self._nodes: dict[Hashable, None] = {}
         self._edges: dict[tuple[Hashable, Hashable], set[str]] = {}
+        self._edge_rules: dict[tuple[Hashable, Hashable], set[str]] = {}
 
     # ----------------------------------------------------------------- #
     # Construction                                                       #
@@ -56,12 +63,22 @@ class LabeledGraph:
         return True
 
     def add_edge(
-        self, source: Hashable, target: Hashable, labels: Iterable[str] = ()
+        self,
+        source: Hashable,
+        target: Hashable,
+        labels: Iterable[str] = (),
+        rules: Iterable[str] = (),
     ) -> None:
-        """Insert the edge, accumulating *labels* onto any existing ones."""
+        """Insert the edge, accumulating *labels* onto any existing ones.
+
+        *rules* names the rule(s) whose expansion produced this edge;
+        they accumulate the same way labels do.
+        """
         self.add_node(source)
         self.add_node(target)
         self._edges.setdefault((source, target), set()).update(labels)
+        if rules:
+            self._edge_rules.setdefault((source, target), set()).update(rules)
 
     def add_labels(
         self, source: Hashable, target: Hashable, labels: Iterable[str]
@@ -92,6 +109,10 @@ class LabeledGraph:
     def labels(self, source: Hashable, target: Hashable) -> frozenset[str]:
         """Label set of an edge (empty frozenset when absent)."""
         return frozenset(self._edges.get((source, target), ()))
+
+    def rules_of(self, source: Hashable, target: Hashable) -> frozenset[str]:
+        """Rule provenance of an edge (empty frozenset when unknown)."""
+        return frozenset(self._edge_rules.get((source, target), ()))
 
     def has_edge(self, source: Hashable, target: Hashable) -> bool:
         """True iff the directed edge is present."""
@@ -173,6 +194,67 @@ class LabeledGraph:
     ) -> bool:
         """True iff :meth:`find_labeled_cycle` would return a witness."""
         return self.find_labeled_cycle(required, forbidden) is not None
+
+    def find_minimal_labeled_cycle(
+        self,
+        required: Iterable[str],
+        forbidden: Iterable[str] = (),
+        max_candidates_per_label: int = 8,
+        max_combinations: int = 64,
+    ) -> tuple[LabeledEdge, ...] | None:
+        """The shortest witness cycle found, or None.
+
+        :meth:`find_labeled_cycle` returns the *first* witness it can
+        stitch; diagnostics want the *smallest* one so the offending
+        rules stand out.  This variant enumerates (a bounded number of)
+        covering-edge choices across every satisfying SCC and keeps the
+        shortest stitched closed walk.  The bound makes it a best-effort
+        minimization: the result is always a valid witness, and is never
+        longer than the default one.
+        """
+        required = list(dict.fromkeys(required))
+        forbidden_set = set(forbidden)
+        allowed = nx.DiGraph()
+        allowed.add_nodes_from(self._nodes)
+        for (source, target), labels in self._edges.items():
+            if labels & forbidden_set:
+                continue
+            allowed.add_edge(source, target, labels=frozenset(labels))
+
+        import itertools
+
+        best: tuple[LabeledEdge, ...] | None = None
+        for component in nx.strongly_connected_components(allowed):
+            internal = [
+                (s, t, allowed[s][t]["labels"])
+                for s, t in allowed.edges(component)
+                if t in component
+            ]
+            if not internal:
+                continue
+            per_label: list[list[tuple[Hashable, Hashable, frozenset[str]]]] = []
+            satisfied = True
+            for label in required:
+                candidates = [e for e in internal if label in e[2]]
+                if not candidates:
+                    satisfied = False
+                    break
+                per_label.append(candidates[:max_candidates_per_label])
+            if not satisfied:
+                continue
+            if not required:
+                per_label = [[internal[0]]]
+            combos = itertools.islice(
+                itertools.product(*per_label), max_combinations
+            )
+            for covering in combos:
+                try:
+                    walk = self._stitch_walk(allowed, list(covering))
+                except nx.NetworkXNoPath:  # pragma: no cover - same SCC
+                    continue
+                if best is None or len(walk) < len(best):
+                    best = walk
+        return best
 
     def _stitch_walk(
         self,

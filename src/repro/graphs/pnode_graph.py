@@ -447,11 +447,12 @@ def _expand(
                     )
                 )
 
+    provenance = (rule.label or str(rule),)
     for target, labels in edges:
         if split:
             labels = labels | {SPLITTING}
         discover(target)
-        graph.add_edge(node, target, labels)
+        graph.add_edge(node, target, labels, rules=provenance)
 
 
 def _target_node(

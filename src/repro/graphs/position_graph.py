@@ -167,9 +167,12 @@ def _expand(sigma: Position, rule: TGD, graph: LabeledGraph, discover) -> None:
         # (1d) m-label when β misses a distinguished variable of R.
         beta_vars = set(beta.variables())
         missing = not distinguished <= beta_vars
+        provenance = (rule.label or str(rule),)
         for source, dest in edges_for_beta:
             discover(dest)
-            graph.add_edge(source, dest, (MISSING,) if missing else ())
+            graph.add_edge(
+                source, dest, (MISSING,) if missing else (), rules=provenance
+            )
         edges_added.extend(edges_for_beta)
 
     # (2) s-label everywhere when an existential body variable occurs

@@ -25,6 +25,7 @@ from repro.lang.parser import (
 )
 from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
 from repro.lang.signature import Signature
+from repro.lang.spans import Span, offset_to_line_col
 from repro.lang.substitution import Substitution
 from repro.lang.terms import Constant, Null, Term, Variable, fresh_variable
 from repro.lang.tgd import TGD
@@ -41,6 +42,7 @@ __all__ = [
     "SafetyError",
     "Signature",
     "SignatureError",
+    "Span",
     "Substitution",
     "TGD",
     "Term",
@@ -49,6 +51,7 @@ __all__ = [
     "fresh_variable",
     "mgu",
     "mgu_atoms",
+    "offset_to_line_col",
     "parse_atom",
     "parse_database",
     "parse_program",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Iterator, Sequence
 
+from repro.lang.spans import Span
 from repro.lang.terms import (
     Constant,
     Null,
@@ -27,15 +28,26 @@ class Atom:
 
     Positions inside an atom are numbered from 1, following the paper's
     convention (``α[i]`` is the term at position ``i``).
+
+    The optional *span* records where the atom was parsed from; it is
+    provenance only and does not participate in equality or hashing
+    (two occurrences of ``r(X)`` at different source locations are the
+    same atom).
     """
 
-    __slots__ = ("relation", "terms", "_hash")
+    __slots__ = ("relation", "terms", "span", "_hash")
 
-    def __init__(self, relation: str, terms: Sequence[Term]):
+    def __init__(
+        self,
+        relation: str,
+        terms: Sequence[Term],
+        span: Span | None = None,
+    ):
         if not relation:
             raise ValueError("relation symbol must be non-empty")
         self.relation = relation
         self.terms = tuple(terms)
+        self.span = span
         self._hash = hash((self.relation, self.terms))
 
     @property

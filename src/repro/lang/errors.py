@@ -2,28 +2,56 @@
 
 Every exception raised intentionally by the library derives from
 :class:`ReproError`, so callers can catch library failures without
-accidentally swallowing programming errors.
+accidentally swallowing programming errors.  Errors that can point at
+a region of source text carry an optional
+:class:`~repro.lang.spans.Span` in their ``span`` attribute, which the
+diagnostics layer (:mod:`repro.lint`) uses to annotate findings.
 """
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.lang.spans import Span
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    The optional *span* locates the error in its source text when the
+    raiser knows it; it defaults to None and is ignored by ``str()``.
+    """
+
+    span: "Span | None"
+
+    def __init__(self, *args: object, span: "Span | None" = None):
+        self.span = span
+        super().__init__(*args)
 
 
 class ParseError(ReproError):
     """Raised when the textual Datalog±-style syntax cannot be parsed.
 
     Carries the offending text and, when available, the position at
-    which parsing failed, so error messages can point at the problem.
+    which parsing failed, so error messages can point at the problem;
+    ``span`` is derived from them (a one-character span at *pos*).
     """
 
     def __init__(self, message: str, text: str | None = None, pos: int | None = None):
         self.text = text
         self.pos = pos
+        span = None
         if text is not None and pos is not None:
+            from repro.lang.spans import Span
+
+            span = Span.from_offsets(text, pos, min(pos + 1, len(text)))
             snippet = text[max(0, pos - 20):pos + 20]
-            message = f"{message} (at offset {pos}: ...{snippet!r}...)"
-        super().__init__(message)
+            message = (
+                f"{message} (line {span.line}, column {span.column}, "
+                f"at offset {pos}: ...{snippet!r}...)"
+            )
+        super().__init__(message, span=span)
 
 
 class SignatureError(ReproError):

@@ -33,6 +33,7 @@ from typing import Iterator, NamedTuple
 from repro.lang.atoms import Atom
 from repro.lang.errors import ParseError
 from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.lang.spans import Span
 from repro.lang.terms import Constant, Term, Variable
 from repro.lang.tgd import TGD
 
@@ -59,6 +60,7 @@ class _Token(NamedTuple):
     kind: str
     value: str
     pos: int
+    end: int
 
 
 def _tokenize(text: str) -> Iterator[_Token]:
@@ -69,9 +71,9 @@ def _tokenize(text: str) -> Iterator[_Token]:
             raise ParseError(f"unexpected character {text[pos]!r}", text, pos)
         kind = match.lastgroup or ""
         if kind not in ("WS", "COMMENT"):
-            yield _Token(kind, match.group(), pos)
+            yield _Token(kind, match.group(), pos, match.end())
         pos = match.end()
-    yield _Token("EOF", "", pos)
+    yield _Token("EOF", "", pos, pos)
 
 
 class _Parser:
@@ -112,6 +114,11 @@ class _Parser:
     def at_end(self) -> bool:
         return self.peek().kind == "EOF"
 
+    def _span_from(self, start: _Token) -> Span:
+        """Span from *start* to the last token consumed so far."""
+        last = self.tokens[self.index - 1] if self.index else start
+        return Span.from_offsets(self.text, start.pos, max(last.end, start.pos))
+
     # -- grammar ------------------------------------------------------- #
 
     def term(self) -> Term:
@@ -131,7 +138,7 @@ class _Parser:
         )
 
     def atom(self) -> Atom:
-        relation = self.expect("IDENT").value
+        start = self.expect("IDENT")
         self.expect("LPAREN")
         terms: list[Term] = []
         if self.peek().kind != "RPAREN":
@@ -140,7 +147,7 @@ class _Parser:
                 self.advance()
                 terms.append(self.term())
         self.expect("RPAREN")
-        return Atom(relation, terms)
+        return Atom(start.value, terms, span=self._span_from(start))
 
     def atom_list(self) -> list[Atom]:
         atoms = [self.atom()]
@@ -150,6 +157,7 @@ class _Parser:
         return atoms
 
     def tgd(self) -> TGD:
+        start = self.peek()
         label = None
         # Lookahead for "label :" -- an IDENT followed by COLON.
         if (
@@ -161,7 +169,7 @@ class _Parser:
         body = self.atom_list()
         self.expect("ARROW")
         head = self.atom_list()
-        return TGD(body, head, label=label)
+        return TGD(body, head, label=label, span=self._span_from(start))
 
     def _next_significant(self, offset: int) -> int:
         """Index of the *offset*-th significant token after the cursor."""
@@ -175,7 +183,7 @@ class _Parser:
             i += 1
 
     def query(self) -> ConjunctiveQuery:
-        name = self.expect("IDENT").value
+        start = self.expect("IDENT")
         self.expect("LPAREN")
         answers: list[Variable] = []
         if self.peek().kind != "RPAREN":
@@ -186,7 +194,9 @@ class _Parser:
         self.expect("RPAREN")
         self.expect("IMPLIES")
         body = self.atom_list()
-        return ConjunctiveQuery(answers, body, name=name)
+        return ConjunctiveQuery(
+            answers, body, name=start.value, span=self._span_from(start)
+        )
 
     def _answer_variable(self) -> Variable:
         token = self.expect("IDENT")
@@ -241,7 +251,9 @@ def parse_program(text: str) -> tuple[TGD, ...]:
         parser.statement_separator()
         rules.append(rule)
     return tuple(
-        rule if rule.label else TGD(rule.body, rule.head, label=f"R{i}")
+        rule
+        if rule.label
+        else TGD(rule.body, rule.head, label=f"R{i}", span=rule.span)
         for i, rule in enumerate(rules, start=1)
     )
 

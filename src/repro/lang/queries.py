@@ -19,6 +19,7 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.lang.atoms import Atom
 from repro.lang.errors import SafetyError
+from repro.lang.spans import Span
 from repro.lang.substitution import Substitution, rename_apart
 from repro.lang.terms import Constant, Null, Term, Variable
 
@@ -28,22 +29,25 @@ class ConjunctiveQuery:
 
     Equality is structural over the answer tuple and the body treated
     as an ordered tuple of atoms; use :meth:`canonical` for an order-
-    and renaming-insensitive key.
+    and renaming-insensitive key.  The optional *span* is parse
+    provenance, ignored by equality and hashing.
     """
 
-    __slots__ = ("name", "answer_terms", "body", "_hash")
+    __slots__ = ("name", "answer_terms", "body", "span", "_hash")
 
     def __init__(
         self,
         answer_terms: Sequence[Term],
         body: Sequence[Atom],
         name: str = "q",
+        span: Span | None = None,
     ):
         if not body:
             raise SafetyError("a CQ must have a non-empty body")
         self.name = name
         self.answer_terms = tuple(answer_terms)
         self.body = tuple(body)
+        self.span = span
         body_vars = set(self.body_variables())
         for term in self.answer_terms:
             if isinstance(term, Null):
@@ -128,7 +132,10 @@ class ConjunctiveQuery:
         """Apply a substitution to the body and the answer tuple."""
         new_answers = [substitution.apply_term(t) for t in self.answer_terms]
         return ConjunctiveQuery(
-            new_answers, substitution.apply_atoms(self.body), name=self.name
+            new_answers,
+            substitution.apply_atoms(self.body),
+            name=self.name,
+            span=self.span,
         )
 
     def rename_apart(self, taken: Iterable[Variable]) -> "ConjunctiveQuery":
@@ -145,7 +152,9 @@ class ConjunctiveQuery:
             seen.setdefault(atom)
         if len(seen) == len(self.body):
             return self
-        return ConjunctiveQuery(self.answer_terms, tuple(seen), name=self.name)
+        return ConjunctiveQuery(
+            self.answer_terms, tuple(seen), name=self.name, span=self.span
+        )
 
     def canonical(self) -> tuple:
         """A renaming- and body-order-insensitive key for this CQ.

@@ -19,6 +19,7 @@ from typing import Iterable, Sequence
 
 from repro.lang.atoms import Atom
 from repro.lang.errors import SafetyError
+from repro.lang.spans import Span
 from repro.lang.substitution import Substitution, rename_apart
 from repro.lang.terms import Constant, Variable
 
@@ -28,13 +29,16 @@ class TGD:
 
     The optional *label* names the rule in printouts (``R1``, ``R2``,
     ...); it does not affect equality, which is structural over
-    body and head treated as ordered tuples.
+    body and head treated as ordered tuples.  The optional *span*
+    records where the rule was parsed from (provenance only, likewise
+    ignored by equality and hashing).
     """
 
     __slots__ = (
         "body",
         "head",
         "label",
+        "span",
         "_hash",
         "_body_vars",
         "_head_vars",
@@ -46,6 +50,7 @@ class TGD:
         body: Sequence[Atom],
         head: Sequence[Atom],
         label: str | None = None,
+        span: Span | None = None,
     ):
         if not body:
             raise SafetyError("a TGD must have a non-empty body")
@@ -54,6 +59,7 @@ class TGD:
         self.body = tuple(body)
         self.head = tuple(head)
         self.label = label
+        self.span = span
         self._hash = hash((self.body, self.head))
         self._body_vars = _ordered_variables(self.body)
         self._head_vars = _ordered_variables(self.head)
@@ -113,14 +119,30 @@ class TGD:
 
     def simplicity_violations(self) -> tuple[str, ...]:
         """Human-readable reasons why the rule is not simple (if any)."""
-        reasons: list[str] = []
+        return tuple(
+            reason for reason, _atom in self.simplicity_violation_atoms()
+        )
+
+    def simplicity_violation_atoms(
+        self,
+    ) -> tuple[tuple[str, Atom | None], ...]:
+        """Simplicity violations paired with the offending atom.
+
+        Each entry is ``(reason, atom)``; the multi-atom-head violation
+        carries ``None`` since it concerns the rule as a whole.  The
+        atom gives diagnostics a precise source span when the rule was
+        parsed from text.
+        """
+        reasons: list[tuple[str, Atom | None]] = []
         for atom in self.body + self.head:
             if atom.has_repeated_variable():
-                reasons.append(f"repeated variable in atom {atom}")
+                reasons.append((f"repeated variable in atom {atom}", atom))
             if atom.constants():
-                reasons.append(f"constant in atom {atom}")
+                reasons.append((f"constant in atom {atom}", atom))
         if len(self.head) > 1:
-            reasons.append(f"head has {len(self.head)} atoms (must be 1)")
+            reasons.append(
+                (f"head has {len(self.head)} atoms (must be 1)", None)
+            )
         return tuple(reasons)
 
     def single_head(self) -> Atom:
@@ -156,6 +178,7 @@ class TGD:
             substitution.apply_atoms(self.body),
             substitution.apply_atoms(self.head),
             label=self.label,
+            span=self.span,
         )
 
     # ----------------------------------------------------------------- #

@@ -1,0 +1,152 @@
+"""Diagnostic records and reports for the static-analysis layer.
+
+A :class:`Diagnostic` is one finding: a stable code (``RL001``), a
+severity, a human-readable message, an optional source span, the label
+of the rule it concerns, an optional fix hint and free-form notes
+(e.g. the edges of a witness cycle).  A :class:`LintReport` is an
+ordered collection with severity gating for CI.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.lang.spans import Span
+
+
+class Severity(enum.Enum):
+    """Severity of a diagnostic; orderable via :attr:`rank`."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """ERROR=2 > WARNING=1 > INFO=0."""
+        return {"error": 2, "warning": 1, "info": 0}[self.value]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    Attributes:
+        code: stable identifier (``RL001`` ... ); see ``docs/lint.md``.
+        severity: error / warning / info.
+        message: one-line human-readable description.
+        span: source location (None when the finding is program-wide or
+            the input was built programmatically without provenance).
+        rule: label of the rule the finding concerns, if any.
+        hint: optional suggested fix.
+        notes: additional detail lines (witness-cycle edges, conflicting
+            use sites, ...), rendered indented under the message.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    span: Span | None = None
+    rule: str | None = None
+    hint: str | None = None
+    notes: tuple[str, ...] = field(default_factory=tuple)
+
+    def sort_key(self) -> tuple[int, str, str]:
+        """Deterministic report order: position, then code, then text."""
+        start = self.span.start if self.span is not None else -1
+        return (start, self.code, self.message)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (used by ``--format json``)."""
+        out: dict[str, object] = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.span is not None:
+            out["span"] = {
+                "start": self.span.start,
+                "end": self.span.end,
+                "line": self.span.line,
+                "column": self.span.column,
+                "endLine": self.span.end_line,
+                "endColumn": self.span.end_column,
+            }
+        if self.rule is not None:
+            out["rule"] = self.rule
+        if self.hint is not None:
+            out["hint"] = self.hint
+        if self.notes:
+            out["notes"] = list(self.notes)
+        return out
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """All diagnostics of one lint run, in deterministic order.
+
+    Attributes:
+        diagnostics: the findings, sorted by source position and code.
+        path: the program file the run analyzed (``<stdin>``/``<string>``
+            for non-file input); used by the renderers.
+        source: the program text, when available (lets renderers quote
+            the offending line).
+    """
+
+    diagnostics: tuple[Diagnostic, ...]
+    path: str = "<string>"
+    source: str | None = None
+
+    @classmethod
+    def of(
+        cls,
+        diagnostics: Iterable[Diagnostic],
+        path: str = "<string>",
+        source: str | None = None,
+    ) -> "LintReport":
+        """Build a report with the canonical ordering applied."""
+        ordered = tuple(sorted(diagnostics, key=Diagnostic.sort_key))
+        return cls(diagnostics=ordered, path=path, source=source)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def by_severity(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        """All findings of exactly *severity*."""
+        return tuple(d for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.INFO)
+
+    def counts(self) -> dict[str, int]:
+        """``{"error": n, "warning": n, "info": n}``."""
+        return {
+            "error": len(self.errors),
+            "warning": len(self.warnings),
+            "info": len(self.infos),
+        }
+
+    def exit_code(self, strict: bool = False) -> int:
+        """CI gating: 1 on errors (also on warnings when *strict*)."""
+        if self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0

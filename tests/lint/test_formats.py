@@ -1,0 +1,135 @@
+"""Rendering: text, JSON and SARIF output of a lint report."""
+
+import json
+
+from repro.lint.diagnostics import Severity
+from repro.lint.engine import lint_source
+from repro.lint.formats import (
+    SARIF_VERSION,
+    render,
+    render_json,
+    render_sarif,
+    render_text,
+)
+
+PROGRAM = "R1: s(X, X) -> r(X).\nR2: base(X) -> s(X, X).\n"
+
+
+def report(path="prog.dlp"):
+    return lint_source(PROGRAM, path=path)
+
+
+class TestTextFormat:
+    def test_compiler_style_location(self):
+        out = render_text(report())
+        assert "prog.dlp:1:" in out
+        assert "warning[RL007]:" in out
+
+    def test_source_line_quoted_with_caret(self):
+        out = render_text(report())
+        assert "    | R1: s(X, X) -> r(X)." in out
+        caret_lines = [
+            line for line in out.splitlines() if set(line.strip()) <= {"|", "^", " "}
+            and "^" in line
+        ]
+        assert caret_lines
+
+    def test_hint_rendered(self):
+        out = render_text(report())
+        assert "hint:" in out
+
+    def test_summary_line(self):
+        out = render_text(report())
+        counts = report().counts()
+        assert f"{counts['warning']} warning" in out.splitlines()[-1]
+
+    def test_clean_report_says_no_findings(self):
+        clean = lint_source("R1: a(X) -> b(X).")
+        # a(X) EDB info remains; silence it for a truly clean report
+        from repro.lint.engine import LintConfig
+
+        clean = lint_source(
+            "R1: a(X) -> b(X).",
+            config=LintConfig(disabled=frozenset({"RL006"})),
+        )
+        assert render_text(clean).strip().endswith("no findings")
+
+
+class TestJsonFormat:
+    def test_parses_and_carries_summary(self):
+        doc = json.loads(render_json(report()))
+        assert doc["version"] == 1
+        assert doc["path"] == "prog.dlp"
+        assert set(doc["summary"]) == {"error", "warning", "info"}
+
+    def test_diagnostics_have_span_objects(self):
+        doc = json.loads(render_json(report()))
+        spanned = [d for d in doc["diagnostics"] if "span" in d]
+        assert spanned
+        span = spanned[0]["span"]
+        assert {"start", "end", "line", "column"} <= set(span)
+
+    def test_deterministic(self):
+        assert render_json(report()) == render_json(report())
+
+
+class TestSarifFormat:
+    def test_skeleton(self):
+        doc = json.loads(render_sarif(report()))
+        assert doc["version"] == SARIF_VERSION
+        assert "$schema" in doc
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+
+    def test_rules_cover_results(self):
+        doc = json.loads(render_sarif(report()))
+        (run,) = doc["runs"]
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        for result in run["results"]:
+            assert result["ruleId"] in rule_ids
+            assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+
+    def test_levels_mapped(self):
+        doc = json.loads(render_sarif(report()))
+        levels = {r["level"] for r in doc["runs"][0]["results"]}
+        assert levels <= {"error", "warning", "note"}
+
+    def test_region_present_for_spanned_findings(self):
+        doc = json.loads(render_sarif(report()))
+        located = [
+            r for r in doc["runs"][0]["results"] if "locations" in r
+        ]
+        assert located
+        region = located[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+    def test_hints_become_fixes(self):
+        doc = json.loads(render_sarif(report()))
+        assert any("fixes" in r for r in doc["runs"][0]["results"])
+
+
+class TestDispatch:
+    def test_render_dispatches(self):
+        rep = report()
+        assert render(rep, "text") == render_text(rep)
+        assert render(rep, "json") == render_json(rep)
+        assert render(rep, "sarif") == render_sarif(rep)
+
+    def test_unknown_format_rejected(self):
+        try:
+            render(report(), "xml")
+        except ValueError as error:
+            assert "xml" in str(error)
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestSeverityMapping:
+    def test_error_level_in_sarif(self):
+        rep = lint_source("R1: a(X) -> b(X).\nR2: b(X, Y) -> c(X).")
+        assert rep.by_severity(Severity.ERROR)
+        doc = json.loads(render_sarif(rep))
+        assert any(
+            r["level"] == "error" for r in doc["runs"][0]["results"]
+        )

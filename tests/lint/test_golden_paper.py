@@ -1,0 +1,107 @@
+"""Golden lint expectations for the paper's Examples 1, 2 and 3.
+
+These pin the linter's verdicts on the workloads of Figures 1-3: which
+codes fire, which rules they blame, and the witness-cycle edges.  The
+deterministic ordering of :class:`LintReport` makes the code sequences
+stable across runs.
+"""
+
+from repro.lint.diagnostics import Severity
+from repro.lint.engine import lint_program
+from repro.workloads.paper import (
+    EXAMPLE1_QUERY,
+    example1,
+    example2,
+    example3,
+)
+
+
+def codes(report):
+    return [d.code for d in report]
+
+
+class TestExample1:
+    """Figure 1: SWR, hence FO-rewritable -- only informational findings."""
+
+    def test_no_errors_or_warnings(self):
+        report = lint_program(example1(), EXAMPLE1_QUERY)
+        assert report.errors == ()
+        assert report.warnings == ()
+
+    def test_exact_codes(self):
+        report = lint_program(example1())
+        assert sorted(codes(report)) == ["RL002", "RL006", "RL006"]
+
+    def test_edb_relations_identified(self):
+        report = lint_program(example1())
+        edb = {
+            d.message.split()[1]
+            for d in report
+            if d.code == "RL006"
+        }
+        assert edb == {"t", "q0"}
+
+    def test_strict_gate_passes(self):
+        assert lint_program(example1()).exit_code(strict=True) == 0
+
+
+class TestExample2:
+    """Figures 2-3: not WR; the P-node graph exposes the recursion."""
+
+    def test_rl011_fires(self):
+        report = lint_program(example2())
+        (d,) = [d for d in report if d.code == "RL011"]
+        assert d.severity is Severity.WARNING
+        assert "not WR" in d.message
+
+    def test_witness_cycle_names_both_rules(self):
+        (d,) = [d for d in lint_program(example2()) if d.code == "RL011"]
+        assert "R1" in d.message and "R2" in d.message
+
+    def test_witness_cycle_edges_carry_d_m_s(self):
+        (d,) = [d for d in lint_program(example2()) if d.code == "RL011"]
+        rendered = "\n".join(d.notes)
+        assert "[d]" in rendered or "d," in rendered
+        assert "d,m,s" in rendered
+        assert "via R1" in rendered and "via R2" in rendered
+
+    def test_witness_cycle_is_minimal(self):
+        (d,) = [d for d in lint_program(example2()) if d.code == "RL011"]
+        assert len(d.notes) == 2  # the dangerous cycle has two edges
+
+    def test_position_graph_misses_it(self):
+        # The point of Example 2: AG(P) sees no dangerous cycle.
+        assert "RL010" not in codes(lint_program(example2()))
+
+    def test_r2_is_not_simple(self):
+        report = lint_program(example2())
+        (d,) = [d for d in report if d.code == "RL007"]
+        assert d.rule == "R2"
+        assert "s(Y1, Y1, Y2)" in d.message
+
+    def test_strict_gate_fails(self):
+        assert lint_program(example2()).exit_code(strict=True) == 1
+
+    def test_anchored_to_source_rule(self):
+        (d,) = [d for d in lint_program(example2()) if d.code == "RL011"]
+        assert d.span is not None
+        assert d.rule in {"R1", "R2"}
+
+
+class TestExample3:
+    """FO-rewritable but outside SWR: simplicity is the only complaint."""
+
+    def test_not_simple_three_times(self):
+        report = lint_program(example3())
+        violations = [d for d in report if d.code == "RL007"]
+        assert len(violations) == 3
+        assert {d.rule for d in violations} == {"R1", "R3"}
+
+    def test_no_witness_cycles(self):
+        report = lint_program(example3())
+        assert "RL010" not in codes(report)
+        assert "RL011" not in codes(report)
+
+    def test_no_fo_guarantee_does_not_fire(self):
+        # Example 3 is WR, so RL022 must stay silent.
+        assert "RL022" not in codes(lint_program(example3()))

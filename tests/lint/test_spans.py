@@ -1,0 +1,130 @@
+"""Span tracking: line/column provenance through the parser."""
+
+import pytest
+
+from repro.lang.atoms import Atom
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_atom, parse_program, parse_query
+from repro.lang.spans import Span, offset_to_line_col
+from repro.lang.terms import Variable
+
+TEXT = "ab\ncd\ne"
+
+
+class TestOffsetToLineCol:
+    def test_start_of_text(self):
+        assert offset_to_line_col(TEXT, 0) == (1, 1)
+
+    def test_same_line(self):
+        assert offset_to_line_col(TEXT, 1) == (1, 2)
+
+    def test_after_newline(self):
+        assert offset_to_line_col(TEXT, 3) == (2, 1)
+
+    def test_third_line(self):
+        assert offset_to_line_col(TEXT, 6) == (3, 1)
+
+    def test_clamped_past_end(self):
+        assert offset_to_line_col(TEXT, 999) == (3, 2)
+
+
+class TestSpan:
+    def test_from_offsets(self):
+        span = Span.from_offsets(TEXT, 3, 5)
+        assert (span.line, span.column) == (2, 1)
+        assert (span.end_line, span.end_column) == (2, 3)
+        assert span.snippet(TEXT) == "cd"
+
+    def test_str_single_line(self):
+        span = Span.from_offsets(TEXT, 3, 5)
+        assert str(span) == "2:1-3"
+
+    def test_str_multi_line(self):
+        span = Span.from_offsets(TEXT, 0, 5)
+        assert str(span) == "1:1-2:3"
+
+    def test_merge_covers_both(self):
+        left = Span.from_offsets(TEXT, 0, 2)
+        right = Span.from_offsets(TEXT, 3, 5)
+        merged = left.merge(right)
+        assert (merged.start, merged.end) == (0, 5)
+        assert merged == right.merge(left)
+
+    def test_invalid_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            Span(start=5, end=2, line=1, column=1, end_line=1, end_column=1)
+
+    def test_zero_based_line_rejected(self):
+        with pytest.raises(ValueError):
+            Span(start=0, end=1, line=0, column=1, end_line=1, end_column=2)
+
+
+class TestParserSpans:
+    def test_atom_has_span(self):
+        atom = parse_atom("edge(X, Y)")
+        assert atom.span is not None
+        assert (atom.span.line, atom.span.column) == (1, 1)
+
+    def test_rule_span_covers_rule(self):
+        text = "R1: a(X) -> b(X)."
+        (rule,) = parse_program(text)
+        assert rule.span is not None
+        assert rule.span.snippet(text).startswith("R1: a(X) -> b(X)")
+
+    def test_second_rule_on_second_line(self):
+        text = "R1: a(X) -> b(X).\nR2: b(X) -> c(X)."
+        rules = parse_program(text)
+        assert rules[1].span is not None
+        assert rules[1].span.line == 2
+
+    def test_body_atom_spans_distinct(self):
+        (rule,) = parse_program("R1: a(X), b(X) -> c(X).")
+        spans = [atom.span for atom in rule.body]
+        assert all(span is not None for span in spans)
+        assert spans[0].start < spans[1].start
+
+    def test_query_has_span(self):
+        query = parse_query("q(X) :- edge(X, Y)")
+        assert query.span is not None
+        assert query.span.line == 1
+
+    def test_relabeling_preserves_span(self):
+        # parse_program assigns R<i> labels to unlabeled rules; the
+        # span must survive that rebuild.
+        (rule,) = parse_program("a(X) -> b(X).")
+        assert rule.label == "R1"
+        assert rule.span is not None
+
+
+class TestSpansAreProvenanceOnly:
+    def test_atom_equality_ignores_span(self):
+        with_span = parse_atom("a(X)")
+        without = Atom("a", (Variable("X"),))
+        assert with_span == without
+        assert hash(with_span) == hash(without)
+
+    def test_rule_equality_ignores_span(self):
+        (parsed,) = parse_program("R1: a(X) -> b(X).")
+        (rebuilt,) = parse_program("R1: a(X) ->\n  b(X).")
+        assert parsed == rebuilt
+
+    def test_apply_keeps_rule_span(self):
+        from repro.lang.substitution import Substitution
+
+        (rule,) = parse_program("R1: a(X) -> b(X).")
+        renamed = rule.apply(Substitution({Variable("X"): Variable("Z")}))
+        assert renamed.span == rule.span
+
+
+class TestParseErrorSpans:
+    def test_error_carries_span(self):
+        with pytest.raises(ParseError) as exc:
+            parse_program("a(X) -> \nb(X")
+        assert exc.value.span is not None
+        assert exc.value.span.line == 2
+
+    def test_message_names_line_and_column(self):
+        with pytest.raises(ParseError) as exc:
+            parse_program("a(X -> b(X).")
+        assert "line 1" in str(exc.value)
+        assert "offset" in str(exc.value)

@@ -1,0 +1,48 @@
+"""Gated ruff/mypy checks over the lint subsystem.
+
+The container may not ship either tool; the checks skip cleanly when
+the module is absent and enforce the pyproject configuration when it
+is installed.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _has(module: str) -> bool:
+    return importlib.util.find_spec(module) is not None
+
+
+@pytest.mark.skipif(not _has("ruff"), reason="ruff not installed")
+def test_ruff_clean_on_lint_subsystem():
+    result = subprocess.run(
+        [sys.executable, "-m", "ruff", "check", "src/repro/lint", "src/repro/lang/spans.py"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+@pytest.mark.skipif(not _has("mypy"), reason="mypy not installed")
+def test_mypy_strict_on_lint_subsystem():
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_pyproject_configures_both_tools():
+    text = (REPO / "pyproject.toml").read_text()
+    assert "[tool.ruff" in text
+    assert "[tool.mypy]" in text
+    assert "strict = true" in text

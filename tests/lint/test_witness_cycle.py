@@ -1,0 +1,102 @@
+"""Edge provenance and minimal witness cycles in LabeledGraph."""
+
+from repro.graphs.cycles import LabeledGraph
+from repro.graphs.pnode_graph import build_pnode_graph
+from repro.graphs.position_graph import build_position_graph
+from repro.lang.parser import parse_program
+
+
+class TestEdgeRuleProvenance:
+    def test_rules_accumulate_per_edge(self):
+        graph = LabeledGraph()
+        graph.add_edge("a", "b", labels=("m",), rules=("R1",))
+        graph.add_edge("a", "b", labels=("s",), rules=("R2",))
+        assert graph.rules_of("a", "b") == frozenset({"R1", "R2"})
+
+    def test_unknown_edge_has_no_rules(self):
+        graph = LabeledGraph()
+        graph.add_edge("a", "b")
+        assert graph.rules_of("b", "a") == frozenset()
+
+    def test_position_graph_records_rule_labels(self):
+        rules = parse_program("R1: a(X) -> b(X).")
+        graph = build_position_graph(rules).graph
+        provenances = {
+            graph.rules_of(e.source, e.target) for e in graph.edges
+        }
+        assert frozenset({"R1"}) in provenances
+
+    def test_pnode_graph_records_rule_labels(self):
+        rules = parse_program("R1: a(X) -> b(X).")
+        graph = build_pnode_graph(rules).graph
+        assert any(
+            "R1" in graph.rules_of(e.source, e.target)
+            for e in graph.edges
+        )
+
+
+class TestMinimalLabeledCycle:
+    def _graph(self):
+        graph = LabeledGraph()
+        # A long cycle carrying m and s ...
+        graph.add_edge("a", "b", labels=("m",), rules=("R1",))
+        graph.add_edge("b", "c", labels=(), rules=("R2",))
+        graph.add_edge("c", "d", labels=("s",), rules=("R3",))
+        graph.add_edge("d", "a", labels=(), rules=("R4",))
+        # ... and a short one.
+        graph.add_edge("x", "y", labels=("m", "s"), rules=("R5",))
+        graph.add_edge("y", "x", labels=(), rules=("R5",))
+        return graph
+
+    def test_shortest_witness_wins(self):
+        cycle = self._graph().find_minimal_labeled_cycle(("m", "s"))
+        assert cycle is not None
+        assert len(cycle) == 2
+        assert {e.source for e in cycle} == {"x", "y"}
+
+    def test_labels_actually_covered(self):
+        cycle = self._graph().find_minimal_labeled_cycle(("m", "s"))
+        carried = set().union(*(e.labels for e in cycle))
+        assert {"m", "s"} <= carried
+
+    def test_forbidden_label_excludes_cycle(self):
+        graph = LabeledGraph()
+        graph.add_edge("x", "y", labels=("m", "s", "i"))
+        graph.add_edge("y", "x", labels=())
+        assert (
+            graph.find_minimal_labeled_cycle(("m", "s"), forbidden=("i",))
+            is None
+        )
+
+    def test_no_cycle_returns_none(self):
+        graph = LabeledGraph()
+        graph.add_edge("a", "b", labels=("m", "s"))
+        assert graph.find_minimal_labeled_cycle(("m", "s")) is None
+
+    def test_self_loop_is_minimal(self):
+        graph = LabeledGraph()
+        graph.add_edge("a", "a", labels=("m", "s"), rules=("R1",))
+        cycle = graph.find_minimal_labeled_cycle(("m", "s"))
+        assert cycle is not None and len(cycle) == 1
+
+    def test_labels_split_across_edges(self):
+        graph = LabeledGraph()
+        graph.add_edge("a", "b", labels=("m",))
+        graph.add_edge("b", "a", labels=("s",))
+        cycle = graph.find_minimal_labeled_cycle(("m", "s"))
+        assert cycle is not None and len(cycle) == 2
+
+    def test_not_shorter_than_default_witness(self):
+        # On the real Example-2 P-node graph the minimal witness must
+        # be at most as long as the one the WR check reports.
+        from repro.core.wr import is_wr
+        from repro.workloads.paper import example2
+
+        result = is_wr(example2())
+        assert result.dangerous_cycle is not None
+        graph = result.graph.graph
+        minimal = graph.find_minimal_labeled_cycle(
+            ("d", "m", "s"), forbidden=("i",)
+        )
+        assert minimal is not None
+        assert len(minimal) <= len(result.dangerous_cycle)
