@@ -5,11 +5,23 @@ series) as a text file under ``benchmarks/out/`` and prints it, so a
 ``pytest benchmarks/ --benchmark-only`` run leaves the full set of
 reproduced artifacts on disk for comparison with the paper (see
 EXPERIMENTS.md).
+
+Benches that want per-stage breakdowns run their workload through
+:func:`capture_stage_metrics`, which records the same span/counter
+records as ``repro --metrics`` (the JSONL schema of
+``docs/observability.md``) and returns them alongside the workload's
+result; :func:`write_json_artifact` then lands them next to the text
+artifact as ``<name>.json``.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+from typing import Any, Callable
+
+from repro import obs
+from repro.obs import InMemorySink
 
 OUT_DIR = Path(__file__).resolve().parent / "out"
 
@@ -22,3 +34,57 @@ def write_artifact(name: str, text: str) -> Path:
     print(f"\n===== {name} =====")
     print(text.rstrip())
     return path
+
+
+def write_json_artifact(name: str, payload: dict[str, Any]) -> Path:
+    """Write one JSON artifact (e.g. a per-stage metrics breakdown)."""
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = OUT_DIR / name
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def capture_stage_metrics(
+    workload: Callable[[], Any],
+) -> tuple[Any, dict[str, Any]]:
+    """Run *workload* under an isolated tracer; return (result, metrics).
+
+    The metrics dict carries the same records ``repro --metrics`` emits
+    -- ``{"schema": 1, "spans": [...], "counters": {...}}`` -- so BENCH
+    JSON artifacts share one vocabulary with the CLI's JSONL stream.
+    """
+    sink = InMemorySink()
+    with obs.use(sink, inherit=False):
+        result = workload()
+    return result, {
+        "schema": 1,
+        "spans": [
+            {
+                "name": r["name"],
+                "depth": r["depth"],
+                "dur_ms": r["dur_ms"],
+                "attrs": r["attrs"],
+            }
+            for r in sink.spans()
+        ],
+        "counters": sink.counters(),
+    }
+
+
+def stage_summary(metrics: dict[str, Any]) -> str:
+    """Render captured metrics as text lines for a BENCH artifact."""
+    lines = ["per-stage breakdown (span: total ms over all calls):"]
+    totals: dict[str, tuple[int, float]] = {}
+    for span in metrics["spans"]:
+        calls, duration = totals.get(span["name"], (0, 0.0))
+        totals[span["name"]] = (calls + 1, duration + span["dur_ms"])
+    for name in sorted(totals):
+        calls, duration = totals[name]
+        lines.append(f"  {name:<28} {duration:>10.3f} ms  ({calls} calls)")
+    if metrics["counters"]:
+        lines.append("counters:")
+        lines.extend(
+            f"  {name:<28} {metrics['counters'][name]}"
+            for name in sorted(metrics["counters"])
+        )
+    return "\n".join(lines)

@@ -8,7 +8,7 @@ query" of Definition 1.
 
 import random
 
-from _harness import write_artifact
+from _harness import capture_stage_metrics, stage_summary, write_artifact, write_json_artifact
 
 from repro.chase.certain import certain_answers
 from repro.data.database import Database
@@ -24,6 +24,10 @@ def test_example1_rewriting(benchmark):
 
     result = benchmark(lambda: rewrite(EXAMPLE1_QUERY, rules))
     assert result.complete
+
+    # One instrumented run for the per-stage breakdown artifact.
+    _, metrics = capture_stage_metrics(lambda: rewrite(EXAMPLE1_QUERY, rules))
+    write_json_artifact("example1_rewriting.json", metrics)
 
     checks = []
     for seed in range(5):
@@ -50,4 +54,6 @@ def test_example1_rewriting(benchmark):
     lines.extend(
         f"{seed:>4}  {size:>3}  {count:>9}  yes" for seed, size, count in checks
     )
+    lines.append("")
+    lines.append(stage_summary(metrics))
     write_artifact("example1_rewriting.txt", "\n".join(lines))

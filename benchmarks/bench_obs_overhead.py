@@ -1,0 +1,122 @@
+"""OBS -- disabled-instrumentation overhead of the observability layer.
+
+The instrumentation wired through the rewriting pipeline must be
+near-free when no sink is installed (the default).  This bench times
+the Example 1 rewriting in three modes:
+
+* **bypass**  -- ``repro.obs``'s entry points monkeypatched to bare
+  stubs, approximating the library with no instrumentation at all;
+* **disabled** -- the shipped default (null tracer installed);
+* **enabled**  -- an :class:`InMemorySink` collecting every record.
+
+The acceptance gate is ``disabled <= 1.05 x bypass`` (under 5%
+overhead).  Wall-clock noise easily exceeds 5% on shared runners, so
+the modes are measured in *interleaved* batches (clock drift and
+thermal effects hit all modes equally) and each mode is scored by its
+minimum batch -- the standard estimator for a lower-bound cost.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import nullcontext
+
+from _harness import write_artifact, write_json_artifact
+
+from repro import obs
+from repro.obs import InMemorySink
+from repro.obs.tracer import NOOP_SPAN
+from repro.rewriting.rewriter import rewrite
+from repro.workloads.paper import EXAMPLE1_QUERY, example1
+
+BATCHES = 9
+RUNS_PER_BATCH = 25
+MAX_DISABLED_OVERHEAD = 1.05
+
+
+def _batch_seconds(workload) -> float:
+    """The fastest single run of a batch (scaled to batch length).
+
+    Scoring by the per-run minimum discards scheduler preemptions and
+    GC pauses that land inside a batch, which otherwise dominate the
+    few-percent effect this bench gates on.
+    """
+    best = float("inf")
+    for _ in range(RUNS_PER_BATCH):
+        start = time.perf_counter()
+        workload()
+        best = min(best, time.perf_counter() - start)
+    return best * RUNS_PER_BATCH
+
+
+def _bypass_obs(monkeypatch) -> None:
+    """Stub the obs entry points: the no-instrumentation baseline."""
+    monkeypatch.setattr(obs, "span", lambda name, **attrs: NOOP_SPAN)
+    monkeypatch.setattr(obs, "count", lambda name, value=1: None)
+    monkeypatch.setattr(obs, "observe", lambda name, value: None)
+    monkeypatch.setattr(obs, "event", lambda name, **attrs: None)
+
+
+def test_disabled_instrumentation_overhead(monkeypatch):
+    rules = example1()
+    workload = lambda: rewrite(EXAMPLE1_QUERY, rules)  # noqa: E731
+    workload()  # warm parser caches etc. before timing anything
+
+    sink = InMemorySink()
+    best = {"bypass": float("inf"), "disabled": float("inf"),
+            "enabled": float("inf")}
+    for _ in range(BATCHES):
+        for mode in best:
+            if mode == "bypass":
+                _bypass_obs(monkeypatch)
+                context = nullcontext()
+            elif mode == "enabled":
+                context = obs.use(sink)
+            else:
+                context = nullcontext()
+            with context:
+                if mode == "disabled":
+                    assert not obs.enabled()
+                best[mode] = min(best[mode], _batch_seconds(workload))
+            if mode == "bypass":
+                monkeypatch.undo()
+    bypass, disabled, enabled = (
+        best["bypass"], best["disabled"], best["enabled"]
+    )
+    assert sink.records  # enabled mode really recorded spans
+
+    ratio = disabled / bypass
+    payload = {
+        "schema": 1,
+        "workload": "rewrite(EXAMPLE1_QUERY, example1())",
+        "runs_per_batch": RUNS_PER_BATCH,
+        "batches": BATCHES,
+        "bypass_s": round(bypass, 6),
+        "disabled_s": round(disabled, 6),
+        "enabled_s": round(enabled, 6),
+        "disabled_over_bypass": round(ratio, 4),
+        "enabled_over_bypass": round(enabled / bypass, 4),
+        "gate": MAX_DISABLED_OVERHEAD,
+    }
+    write_json_artifact("obs_overhead.json", payload)
+    per_run = 1e3 / RUNS_PER_BATCH
+    write_artifact(
+        "obs_overhead.txt",
+        "\n".join(
+            [
+                "OBS -- observability overhead on the Example 1 rewriting",
+                "",
+                f"min over {BATCHES} batches of {RUNS_PER_BATCH} runs:",
+                f"  bypass   (no instrumentation)  {bypass * per_run:.3f} ms/run",
+                f"  disabled (default null tracer) {disabled * per_run:.3f} ms/run",
+                f"  enabled  (in-memory sink)      {enabled * per_run:.3f} ms/run",
+                "",
+                f"disabled/bypass ratio: {ratio:.4f} "
+                f"(gate: < {MAX_DISABLED_OVERHEAD})",
+            ]
+        ),
+    )
+    assert ratio < MAX_DISABLED_OVERHEAD, (
+        f"disabled instrumentation costs {(ratio - 1) * 100:.1f}% "
+        f"(gate {MAX_DISABLED_OVERHEAD})"
+    )

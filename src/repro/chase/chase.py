@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro import obs
 from repro.chase.nulls import NullFactory
 from repro.data.database import Database
 from repro.data.evaluation import all_homomorphisms, find_homomorphism
@@ -82,36 +83,65 @@ def _chase(
     instance = database.copy()
     nulls = NullFactory()
     steps = 0
+    rounds = 0
+    triggers_checked = 0
+    suppressed = 0
     fired: set[tuple[int, tuple[Term, ...]]] = set()
-    # Round-based saturation: recompute triggers until a full round adds
-    # nothing.  Rules iterate in input order, homomorphisms in the
-    # evaluator's deterministic order, so runs are reproducible.
-    changed = True
-    while changed:
-        changed = False
-        for rule_index, rule in enumerate(rules):
-            body_vars = rule.body_variables()
-            for hom in list(all_homomorphisms(rule.body, instance)):
-                trigger_key = (
-                    rule_index,
-                    tuple(hom[v] for v in body_vars),
-                )
-                if trigger_key in fired:
-                    continue
-                if restricted and _head_satisfied(rule, hom, instance):
-                    fired.add(trigger_key)
-                    continue
-                if steps >= max_steps:
-                    if strict:
-                        raise ChaseBudgetExceeded(
-                            f"chase exceeded {max_steps} steps"
+    with obs.span(
+        "chase",
+        mode="restricted" if restricted else "oblivious",
+        rules=len(rules),
+        facts=len(instance),
+    ) as span:
+
+        def finish(fixpoint: bool) -> ChaseResult:
+            span.set(
+                fixpoint=fixpoint, steps=steps, rounds=rounds,
+                size=len(instance), nulls=nulls.created,
+            )
+            obs.count("chase.rounds", rounds)
+            obs.count("chase.firings", steps)
+            obs.count("chase.nulls_created", nulls.created)
+            obs.count("chase.triggers_checked", triggers_checked)
+            obs.count("chase.triggers_suppressed", suppressed)
+            return ChaseResult(instance, steps, fixpoint, nulls.created)
+
+        # Round-based saturation: recompute triggers until a full round adds
+        # nothing.  Rules iterate in input order, homomorphisms in the
+        # evaluator's deterministic order, so runs are reproducible.
+        changed = True
+        while changed:
+            changed = False
+            rounds += 1
+            with obs.span("chase.round", round=rounds) as round_span:
+                fired_before = steps
+                for rule_index, rule in enumerate(rules):
+                    body_vars = rule.body_variables()
+                    for hom in list(all_homomorphisms(rule.body, instance)):
+                        triggers_checked += 1
+                        trigger_key = (
+                            rule_index,
+                            tuple(hom[v] for v in body_vars),
                         )
-                    return ChaseResult(instance, steps, False, nulls.created)
-                _fire(rule, hom, instance, nulls)
-                fired.add(trigger_key)
-                steps += 1
-                changed = True
-    return ChaseResult(instance, steps, True, nulls.created)
+                        if trigger_key in fired:
+                            continue
+                        if restricted and _head_satisfied(rule, hom, instance):
+                            suppressed += 1
+                            fired.add(trigger_key)
+                            continue
+                        if steps >= max_steps:
+                            if strict:
+                                raise ChaseBudgetExceeded(
+                                    f"chase exceeded {max_steps} steps"
+                                )
+                            round_span.set(fired=steps - fired_before)
+                            return finish(False)
+                        _fire(rule, hom, instance, nulls)
+                        fired.add(trigger_key)
+                        steps += 1
+                        changed = True
+                round_span.set(fired=steps - fired_before)
+        return finish(True)
 
 
 def _head_satisfied(

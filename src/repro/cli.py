@@ -12,7 +12,15 @@ Five commands mirroring the library's workflow:
   as a text summary or Graphviz DOT;
 * ``lint``      -- run the static analyzer, emitting span-annotated
   diagnostics as text, JSON or SARIF (``--strict`` gates warnings for
-  CI).
+  CI);
+* ``trace``     -- run the rewriting (and optionally answering)
+  pipeline under the observability layer and print the span tree with
+  per-stage timings and counters.
+
+The global ``--metrics PATH`` flag (before the subcommand) streams
+every instrumentation record of the run as JSON lines to *PATH*; it
+composes with any subcommand, e.g.
+``repro --metrics out.jsonl answer prog.dlp "q(X) :- a(X)" facts.dlp``.
 
 Programs, queries and facts use the textual syntax of
 :mod:`repro.lang.parser`; every input is a file path or ``-`` for
@@ -29,7 +37,8 @@ import os
 import sys
 from pathlib import Path
 
-from repro.chase.certain import certain_answers
+from repro import obs
+from repro.chase.certain import certain_answers, certain_answers_via_chase
 from repro.core.classify import classify
 from repro.data.database import Database
 from repro.data.evaluation import evaluate_ucq
@@ -155,6 +164,101 @@ def cmd_graph(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_query(rules):
+    """An atomic query over the first rule's head relation.
+
+    ``repro trace program.dlp`` without an explicit query traces the
+    rewriting of ``q(X1, ..., Xk) :- rel(X1, ..., Xk)`` for the first
+    derived relation -- the canonical "what does this ontology say
+    about rel?" probe.
+    """
+    from repro.lang.atoms import Atom
+    from repro.lang.queries import ConjunctiveQuery
+    from repro.lang.terms import Variable
+
+    head = rules[0].head[0]
+    variables = [Variable(f"X{i + 1}") for i in range(head.arity)]
+    return ConjunctiveQuery(variables, [Atom(head.relation, variables)])
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.data.sql import SQLiteBackend
+    from repro.lang.signature import Signature
+    from repro.obs import TreeSink
+    from repro.rewriting.engine import FORewritingEngine
+
+    tree = TreeSink()
+    complete = True
+    summary: list[str] = []
+    with obs.use(tree):
+        with obs.span("trace", program=args.program) as trace_span:
+            with obs.span("parse.program"):
+                rules = parse_program(_read(args.program))
+            if _preflight(rules, path=args.program):
+                return 2
+            with obs.span("parse.query"):
+                query = (
+                    parse_query(args.query)
+                    if args.query
+                    else _default_query(rules)
+                )
+            engine = FORewritingEngine(rules, budget=_budget(args))
+            result = engine.rewrite(query)
+            complete = result.complete
+            trace_span.set(query=str(query), complete=complete)
+            summary.append(f"query:     {query}")
+            summary.append(
+                f"rewriting: {result.size} disjunct(s), "
+                f"depth {result.depth_reached}, complete={result.complete}"
+            )
+            sql_text = ucq_to_sql(result.ucq)
+            summary.append(f"sql:       {len(sql_text)} chars")
+            if args.data:
+                with obs.span("parse.data"):
+                    database = Database(parse_database(_read(args.data)))
+                answers = engine.answer(
+                    query, database, require_complete=False
+                )
+                signature = Signature(dict(database.signature))
+                for rule in rules:
+                    signature.observe_tgd(rule)
+                signature.observe_query(query)
+                with SQLiteBackend(signature) as backend:
+                    backend.load(database.facts())
+                    sql_answers = engine.answer_sql(
+                        query, backend, require_complete=False
+                    )
+                chase = certain_answers_via_chase(
+                    query, rules, database, strict=False
+                )
+                agree = answers == sql_answers
+                if result.complete and chase.complete:
+                    agree = agree and answers == chase.answers
+                obs.event(
+                    "trace.differential",
+                    memory=len(answers),
+                    sql=len(sql_answers),
+                    chase=len(chase.answers),
+                    agree=agree,
+                )
+                summary.append(
+                    f"answers:   memory={len(answers)} "
+                    f"sql={len(sql_answers)} chase={len(chase.answers)} "
+                    f"agree={agree}"
+                )
+    print(tree.render())
+    print()
+    print("\n".join(summary))
+    if not complete:
+        print(
+            "warning: rewriting incomplete within budget; "
+            "trace shows the partial run",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     path = "<stdin>" if args.program == "-" else args.program
     config = LintConfig(
@@ -182,6 +286,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Weakly Recursive TGDs: classification, FO rewriting "
         "and certain-answer query answering",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="stream instrumentation records (spans, counters, events) "
+        "of this run as JSON lines to PATH; works with every subcommand",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -239,6 +349,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_graph.set_defaults(func=cmd_graph)
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="run the rewriting pipeline and print a span tree with "
+        "per-stage timings",
+    )
+    p_trace.add_argument("program", help="TGD file ('-' for stdin)")
+    p_trace.add_argument(
+        "query",
+        nargs="?",
+        help="query to trace (default: atomic query over the first "
+        "rule's head relation)",
+    )
+    p_trace.add_argument(
+        "--data",
+        help="fact file: also trace in-memory, SQL and chase answering "
+        "plus their differential comparison",
+    )
+    add_budget(p_trace)
+    p_trace.set_defaults(func=cmd_trace)
+
     p_lint = sub.add_parser(
         "lint", help="static analysis: diagnostics with source spans"
     )
@@ -286,6 +416,11 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if args.metrics:
+            from repro.obs import JSONLSink
+
+            with obs.use(JSONLSink(args.metrics)):
+                return args.func(args)
         return args.func(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -21,12 +21,19 @@ from __future__ import annotations
 import sqlite3
 from typing import Iterable, Sequence
 
+from repro import obs
 from repro.data.database import Database
 from repro.lang.atoms import Atom
 from repro.lang.errors import ReproError
 from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
 from repro.lang.signature import Signature
 from repro.lang.terms import Constant, Null, Term, Variable
+
+
+# Virtual-machine instructions between progress-handler callbacks when
+# instrumentation is on; small enough to resolve per-query work, large
+# enough to keep the callback itself off the profile.
+_PROGRESS_GRANULARITY = 256
 
 
 def _encode(term: Term) -> str:
@@ -105,7 +112,8 @@ def cq_to_sql(query: ConjunctiveQuery) -> str:
 def ucq_to_sql(query: UnionOfConjunctiveQueries | ConjunctiveQuery) -> str:
     """Compile a UCQ into a ``UNION`` of per-disjunct ``SELECT`` blocks."""
     ucq = UnionOfConjunctiveQueries.of(query)
-    return "\nUNION\n".join(cq_to_sql(cq) for cq in ucq)
+    with obs.span("sql.compile", disjuncts=len(ucq)):
+        return "\nUNION\n".join(cq_to_sql(cq) for cq in ucq)
 
 
 class SQLiteBackend:
@@ -147,22 +155,59 @@ class SQLiteBackend:
 
     def load(self, facts: Iterable[Atom]) -> int:
         """Bulk-insert facts; returns the number of rows inserted."""
-        count = 0
-        for fact in facts:
-            placeholders = ", ".join("?" for _ in fact.terms) or "''"
-            self._connection.execute(
-                f"INSERT INTO {_quote_ident(fact.relation)} VALUES ({placeholders})",
-                tuple(_encode(t) for t in fact.terms),
-            )
-            count += 1
-        self._connection.commit()
+        with obs.span("sql.load") as span:
+            count = 0
+            for fact in facts:
+                placeholders = ", ".join("?" for _ in fact.terms) or "''"
+                self._connection.execute(
+                    f"INSERT INTO {_quote_ident(fact.relation)} VALUES ({placeholders})",
+                    tuple(_encode(t) for t in fact.terms),
+                )
+                count += 1
+            self._connection.commit()
+            span.set(rows=count)
+            obs.count("sql.rows_loaded", count)
         return count
+
+    def _run(self, sql: str) -> list:
+        """Execute *sql*, tracking statement/row/VM-progress counters.
+
+        The SQLite progress handler fires every ``_PROGRESS_GRANULARITY``
+        virtual-machine instructions, so ``sql.vdbe_ticks`` approximates
+        the rows/index entries scanned by the query -- it is only
+        installed while instrumentation is enabled, keeping the
+        disabled path handler-free.
+        """
+        ticks = 0
+        instrumented = obs.enabled()
+        if instrumented:
+
+            def on_progress() -> int:
+                nonlocal ticks
+                ticks += 1
+                return 0
+
+            self._connection.set_progress_handler(
+                on_progress, _PROGRESS_GRANULARITY
+            )
+        try:
+            rows = self._connection.execute(sql).fetchall()
+        finally:
+            if instrumented:
+                self._connection.set_progress_handler(None, 0)
+        if instrumented:
+            obs.count("sql.statements")
+            obs.count("sql.rows_fetched", len(rows))
+            obs.count("sql.vdbe_ticks", ticks)
+        return rows
 
     def execute_sql(self, sql: str) -> frozenset[tuple[Term, ...]]:
         """Run raw compiled SQL, decoding rows back into terms."""
-        cursor = self._connection.execute(sql)
+        with obs.span("sql.execute", kind="raw") as span:
+            rows = self._run(sql)
+            span.set(rows=len(rows))
         out: set[tuple[Term, ...]] = set()
-        for row in cursor.fetchall():
+        for row in rows:
             decoded = tuple(
                 _decode(cell) for cell in row if isinstance(cell, str)
             )
@@ -171,7 +216,9 @@ class SQLiteBackend:
 
     def execute_cq(self, query: ConjunctiveQuery) -> frozenset[tuple[Term, ...]]:
         """Compile and run one CQ; boolean queries return {()} or {}."""
-        rows = self._connection.execute(cq_to_sql(query)).fetchall()
+        with obs.span("sql.execute", kind="cq") as span:
+            rows = self._run(cq_to_sql(query))
+            span.set(rows=len(rows))
         return _decode_rows(rows, query.arity)
 
     def execute_ucq(
@@ -179,7 +226,11 @@ class SQLiteBackend:
     ) -> frozenset[tuple[Term, ...]]:
         """Compile and run a UCQ; boolean queries return {()} or {}."""
         ucq = UnionOfConjunctiveQueries.of(query)
-        rows = self._connection.execute(ucq_to_sql(ucq)).fetchall()
+        with obs.span(
+            "sql.execute", kind="ucq", disjuncts=len(ucq)
+        ) as span:
+            rows = self._run(ucq_to_sql(ucq))
+            span.set(rows=len(rows))
         return _decode_rows(rows, ucq.arity)
 
     def close(self) -> None:

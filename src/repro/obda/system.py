@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro import obs
 from repro.chase.certain import certain_answers_via_chase
 from repro.core.classify import ClassificationReport, classify
 from repro.data.database import Database
@@ -77,7 +78,11 @@ class OBDASystem:
             if self._mappings is None:
                 self._abox = self._source
             else:
-                self._abox = apply_mappings(self._mappings, self._source)
+                with obs.span(
+                    "obda.materialize_abox", mappings=len(self._mappings)
+                ) as span:
+                    self._abox = apply_mappings(self._mappings, self._source)
+                    span.set(facts=len(self._abox))
         return self._abox
 
     def classification(self) -> ClassificationReport:
@@ -96,9 +101,12 @@ class OBDASystem:
         require_complete: bool = True,
     ) -> frozenset[tuple[Term, ...]]:
         """Certain answers via FO rewriting over the virtual ABox."""
-        return self._engine.answer(
-            query, self.abox(), require_complete=require_complete
-        )
+        with obs.span("obda.answer", backend="memory") as span:
+            answers = self._engine.answer(
+                query, self.abox(), require_complete=require_complete
+            )
+            span.set(answers=len(answers))
+        return answers
 
     def certain_answers_sql(
         self, query: ConjunctiveQuery | UnionOfConjunctiveQueries
@@ -108,14 +116,21 @@ class OBDASystem:
             # The rewriting may mention ontology relations with no
             # stored facts, so the schema covers the whole ontology
             # signature, not just the ABox's.
-            abox = self.abox()
-            signature = Signature(dict(abox.signature))
-            for rule in self._ontology:
-                signature.observe_tgd(rule)
-            backend = SQLiteBackend(signature)
-            backend.load(abox.facts())
+            with obs.span("obda.sql_backend_init") as init_span:
+                abox = self.abox()
+                signature = Signature(dict(abox.signature))
+                for rule in self._ontology:
+                    signature.observe_tgd(rule)
+                backend = SQLiteBackend(signature)
+                backend.load(abox.facts())
+                init_span.set(
+                    relations=len(signature), facts=len(abox)
+                )
             self._sql_backend = backend
-        return self._engine.answer_sql(query, self._sql_backend)
+        with obs.span("obda.answer", backend="sqlite") as span:
+            answers = self._engine.answer_sql(query, self._sql_backend)
+            span.set(answers=len(answers))
+        return answers
 
     def certain_answers_chase(
         self,
@@ -128,9 +143,14 @@ class OBDASystem:
         rewriting pipeline (and by the E10 bench to show the rewriting
         side's data-complexity advantage).
         """
-        return certain_answers_via_chase(
-            query, self._ontology, self.abox(), max_steps=max_steps
-        ).answers
+        with obs.span("obda.chase_oracle") as span:
+            result = certain_answers_via_chase(
+                query, self._ontology, self.abox(), max_steps=max_steps
+            )
+            span.set(
+                answers=len(result.answers), chase_steps=result.chase_steps
+            )
+        return result.answers
 
     def sql_for(
         self, query: ConjunctiveQuery | UnionOfConjunctiveQueries

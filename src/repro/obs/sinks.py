@@ -1,0 +1,211 @@
+"""Sinks: pluggable destinations for instrumentation records.
+
+A sink is any object with ``emit(record: dict) -> None`` plus a
+``close()`` and an ``is_null`` class attribute; records follow the
+JSONL schema of :mod:`repro.obs.tracer` (``docs/observability.md``).
+Provided sinks:
+
+* :class:`NullSink` -- discards everything; a tracer whose only sinks
+  are null is *disabled* and its instrumentation is near-free;
+* :class:`InMemorySink` -- keeps records in a list with small query
+  helpers; the sink tests assert against;
+* :class:`TreeSink` -- accumulates spans and renders a human-readable
+  tree with per-stage timings (the ``repro trace`` output);
+* :class:`JSONLSink` -- serialises each record as one JSON line to a
+  file path or file-like object.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Any
+
+
+class NullSink:
+    """Discards every record; marks the owning tracer as disabled."""
+
+    is_null = True
+
+    def emit(self, record: dict[str, Any]) -> None:
+        """Discard *record*."""
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class InMemorySink:
+    """Buffers records in memory; the sink of choice for tests."""
+
+    is_null = False
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, Any]] = []
+
+    def emit(self, record: dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        """Nothing to release (records stay readable)."""
+
+    # Query helpers ---------------------------------------------------- #
+
+    def spans(self, name: str | None = None) -> list[dict[str, Any]]:
+        """All span records, optionally filtered by span name."""
+        return [
+            r
+            for r in self.records
+            if r["type"] == "span" and (name is None or r["name"] == name)
+        ]
+
+    def span(self, name: str) -> dict[str, Any]:
+        """The first span record with *name*; raises KeyError if absent."""
+        for record in self.records:
+            if record["type"] == "span" and record["name"] == name:
+                return record
+        raise KeyError(f"no span named {name!r} was recorded")
+
+    def events(self, name: str | None = None) -> list[dict[str, Any]]:
+        """All event records, optionally filtered by name."""
+        return [
+            r
+            for r in self.records
+            if r["type"] == "event" and (name is None or r["name"] == name)
+        ]
+
+    def counters(self) -> dict[str, int | float]:
+        """Counter records (present after the tracer flushed) as a dict."""
+        return {
+            r["name"]: r["value"]
+            for r in self.records
+            if r["type"] == "counter"
+        }
+
+    def clear(self) -> None:
+        """Drop every buffered record."""
+        self.records.clear()
+
+
+class TreeSink:
+    """Collects spans/counters and renders an indented timing tree."""
+
+    is_null = False
+
+    def __init__(self) -> None:
+        self._spans: list[dict[str, Any]] = []
+        self._counters: list[dict[str, Any]] = []
+        self._events: list[dict[str, Any]] = []
+
+    def emit(self, record: dict[str, Any]) -> None:
+        kind = record["type"]
+        if kind == "span":
+            self._spans.append(record)
+        elif kind in ("counter", "histogram"):
+            self._counters.append(record)
+        elif kind == "event":
+            self._events.append(record)
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+    def render(self) -> str:
+        """The span tree (per-stage timings) plus a counter summary."""
+        lines: list[str] = []
+        children: dict[int | None, list[dict[str, Any]]] = {}
+        for record in self._spans:
+            children.setdefault(record["parent"], []).append(record)
+        for group in children.values():
+            group.sort(key=lambda r: r["start_ms"])
+        # Spans are emitted on close, so a recorded parent id always
+        # refers to a recorded span -- except when the root never closed;
+        # treat spans with unknown parents as roots too.
+        known = {record["id"] for record in self._spans}
+        roots = [
+            record
+            for parent, group in children.items()
+            if parent is None or parent not in known
+            for record in group
+        ]
+        roots.sort(key=lambda r: r["start_ms"])
+
+        def attr_text(record: dict[str, Any]) -> str:
+            attrs = record.get("attrs") or {}
+            return " ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+
+        def walk(
+            record: dict[str, Any], prefix: str, tail: bool, root: bool
+        ) -> None:
+            if root:
+                label = record["name"]
+                child_prefix = ""
+            else:
+                connector = "└─ " if tail else "├─ "
+                label = f"{prefix}{connector}{record['name']}"
+                child_prefix = prefix + ("   " if tail else "│  ")
+            timing = f"{record['dur_ms']:.3f} ms"
+            attrs = attr_text(record)
+            lines.append(
+                f"{label:<44} {timing:>12}" + (f"  {attrs}" if attrs else "")
+            )
+            kids = children.get(record["id"], [])
+            for i, kid in enumerate(kids):
+                walk(kid, child_prefix, i == len(kids) - 1, False)
+
+        for root in roots:
+            walk(root, "", True, True)
+        if self._events:
+            lines.append("")
+            lines.append("events:")
+            for record in self._events:
+                attrs = attr_text(record)
+                lines.append(
+                    f"  {record['name']:<40} @{record['at_ms']:.3f} ms"
+                    + (f"  {attrs}" if attrs else "")
+                )
+        if self._counters:
+            lines.append("")
+            lines.append("counters:")
+            for record in self._counters:
+                if record["type"] == "counter":
+                    lines.append(f"  {record['name']:<40} {record['value']}")
+                else:
+                    lines.append(
+                        f"  {record['name']:<40} count={record['count']} "
+                        f"mean={record['mean']:.3f} max={record['max']:.3f}"
+                    )
+        return "\n".join(lines)
+
+
+class JSONLSink:
+    """Writes each record as one JSON object per line.
+
+    Accepts a file path (opened lazily, so constructing the sink never
+    touches the filesystem) or any text file-like object.
+    """
+
+    is_null = False
+
+    def __init__(self, target: str | Path | io.TextIOBase):
+        self._path: Path | None
+        self._handle: Any
+        if isinstance(target, (str, Path)):
+            self._path = Path(target)
+            self._handle = None
+        else:
+            self._path = None
+            self._handle = target
+
+    def emit(self, record: dict[str, Any]) -> None:
+        if self._handle is None:
+            assert self._path is not None
+            self._handle = self._path.open("w")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        """Flush and close the file (only if this sink opened it)."""
+        if self._handle is not None:
+            self._handle.flush()
+            if self._path is not None:
+                self._handle.close()
+                self._handle = None

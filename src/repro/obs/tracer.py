@@ -1,0 +1,231 @@
+"""Hierarchical tracing spans and aggregated metrics.
+
+A :class:`Tracer` is the single collection point for three kinds of
+telemetry:
+
+* **spans** -- nested timed regions (``span("rewrite") >
+  span("rewrite.round")``) carrying structured attributes; emitted to
+  the tracer's sinks when they close;
+* **counters / histograms** -- named aggregates (cache hits, CQs
+  generated, chase firings, SQL rows); accumulated in the tracer and
+  emitted as summary records by :meth:`Tracer.flush`;
+* **events** -- point-in-time records, emitted immediately.
+
+Every emission is a plain ``dict`` following the JSONL schema
+documented in ``docs/observability.md`` (``{"v": 1, "type": ...}``),
+so sinks never need schema knowledge of their own.
+
+The tracer is deliberately zero-dependency and cheap when disabled: a
+tracer constructed without sinks never allocates span state --
+``span()`` returns a shared no-op handle and ``count()`` is a single
+attribute check.  The module-level API in :mod:`repro.obs` keeps a
+disabled tracer installed by default, so instrumented library code
+pays (almost) nothing unless a caller opts in.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator
+
+SCHEMA_VERSION = 1
+"""Version stamped into every emitted record (the ``"v"`` field)."""
+
+
+def _round_ms(value: float) -> float:
+    return round(value, 3)
+
+
+class _NoopSpan:
+    """The shared do-nothing span handle returned when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        """Ignore attribute updates (tracing is disabled)."""
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """A live span handle: a timed region with structured attributes.
+
+    Use as a context manager; attributes passed at creation or added
+    via :meth:`set` end up in the emitted record's ``attrs`` mapping.
+    """
+
+    __slots__ = (
+        "tracer", "name", "attrs", "span_id", "parent_id", "depth",
+        "_start",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id: int | None = None
+        self.depth = 0
+        self._start = 0.0
+
+    def set(self, **attrs: Any) -> None:
+        """Attach or overwrite attributes on this span."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        tracer = self.tracer
+        tracer._last_id += 1
+        self.span_id = tracer._last_id
+        stack = tracer._stack
+        if stack:
+            self.parent_id = stack[-1].span_id
+            self.depth = stack[-1].depth + 1
+        stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        end = time.perf_counter()
+        tracer = self.tracer
+        # Tolerate mis-nesting from exception unwinding: pop through us.
+        stack = tracer._stack
+        while stack:
+            if stack.pop() is self:
+                break
+        tracer._emit(
+            {
+                "v": SCHEMA_VERSION,
+                "type": "span",
+                "name": self.name,
+                "id": self.span_id,
+                "parent": self.parent_id,
+                "depth": self.depth,
+                "start_ms": _round_ms((self._start - tracer._origin) * 1e3),
+                "dur_ms": _round_ms((end - self._start) * 1e3),
+                "attrs": dict(self.attrs),
+            }
+        )
+        return False
+
+
+class Tracer:
+    """Collects spans, counters, histograms and events into sinks.
+
+    Args:
+        *sinks: objects with an ``emit(record: dict)`` method (see
+            :mod:`repro.obs.sinks`).  A tracer with no sinks -- or only
+            null sinks -- is *disabled*: its instrumentation entry
+            points degrade to near-free no-ops.
+    """
+
+    __slots__ = (
+        "sinks", "enabled", "_counters", "_histograms", "_stack",
+        "_last_id", "_origin",
+    )
+
+    def __init__(self, *sinks: Any):
+        self.sinks = tuple(s for s in sinks if s is not None and not s.is_null)
+        self.enabled = bool(self.sinks)
+        self._counters: dict[str, int | float] = {}
+        self._histograms: dict[str, list[float]] = {}
+        self._stack: list[Span] = []
+        self._last_id = 0
+        self._origin = time.perf_counter()
+
+    # ----------------------------------------------------------------- #
+    # Recording                                                           #
+    # ----------------------------------------------------------------- #
+
+    def span(self, name: str, **attrs: Any) -> Span | _NoopSpan:
+        """Open a timed span; use as a context manager."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return Span(self, name, attrs)
+
+    def count(self, name: str, value: int | float = 1) -> None:
+        """Add *value* (default 1) to the named counter."""
+        if self.enabled:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the named histogram."""
+        if self.enabled:
+            self._histograms.setdefault(name, []).append(value)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Emit a point-in-time event record immediately."""
+        if not self.enabled:
+            return
+        self._emit(
+            {
+                "v": SCHEMA_VERSION,
+                "type": "event",
+                "name": name,
+                "at_ms": _round_ms(
+                    (time.perf_counter() - self._origin) * 1e3
+                ),
+                "attrs": dict(attrs),
+            }
+        )
+
+    # ----------------------------------------------------------------- #
+    # Reading / flushing                                                  #
+    # ----------------------------------------------------------------- #
+
+    def counter(self, name: str) -> int | float:
+        """Current value of a counter (0 if never bumped)."""
+        return self._counters.get(name, 0)
+
+    def counters(self) -> dict[str, int | float]:
+        """Snapshot of every counter."""
+        return dict(self._counters)
+
+    def histogram(self, name: str) -> tuple[float, ...]:
+        """The raw observations of a histogram (empty if absent)."""
+        return tuple(self._histograms.get(name, ()))
+
+    def flush(self) -> None:
+        """Emit one summary record per counter and histogram.
+
+        Idempotent in the sense that aggregates are kept (not reset);
+        callers normally flush once, at the end of the traced activity.
+        """
+        if not self.enabled:
+            return
+        for name in sorted(self._counters):
+            self._emit(
+                {
+                    "v": SCHEMA_VERSION,
+                    "type": "counter",
+                    "name": name,
+                    "value": self._counters[name],
+                }
+            )
+        for name in sorted(self._histograms):
+            values = self._histograms[name]
+            self._emit(
+                {
+                    "v": SCHEMA_VERSION,
+                    "type": "histogram",
+                    "name": name,
+                    "count": len(values),
+                    "sum": sum(values),
+                    "min": min(values),
+                    "max": max(values),
+                    "mean": sum(values) / len(values),
+                }
+            )
+
+    def _emit(self, record: dict[str, Any]) -> None:
+        for sink in self.sinks:
+            sink.emit(record)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.sinks)

@@ -12,7 +12,7 @@ classes are designed to recognise, so every run takes an explicit
 
 from repro.rewriting.approx import ApproximationReport, approximate_answers
 from repro.rewriting.budget import RewritingBudget
-from repro.rewriting.engine import FORewritingEngine
+from repro.rewriting.engine import CacheInfo, FORewritingEngine
 from repro.rewriting.minimize import (
     is_subsumed,
     minimize_cq,
@@ -35,6 +35,7 @@ from repro.rewriting.store import (
 
 __all__ = [
     "ApproximationReport",
+    "CacheInfo",
     "FORewritingEngine",
     "PieceRewriting",
     "ProbeReport",

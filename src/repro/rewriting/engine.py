@@ -11,8 +11,9 @@ which is the whole point of FO-rewritability (Definition 1).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import NamedTuple, Sequence
 
+from repro import obs
 from repro.data.database import Database
 from repro.data.evaluation import evaluate_ucq
 from repro.data.sql import SQLiteBackend, ucq_to_sql
@@ -24,12 +25,24 @@ from repro.rewriting.budget import RewritingBudget
 from repro.rewriting.rewriter import RewritingResult, rewrite
 
 
+class CacheInfo(NamedTuple):
+    """Hit/miss statistics of the engine's rewriting cache."""
+
+    hits: int
+    misses: int
+    size: int
+
+
 class FORewritingEngine:
     """Answers UCQs over a TGD ontology by query rewriting.
 
     Rewritings are cached per query (keyed by the UCQ's canonical
-    form), so answering the same query over many databases pays the
-    rewriting cost once -- the usage pattern OBDA is designed around.
+    form, so alpha-renamed or atom-reordered variants of a query share
+    one entry), and answering the same query over many databases pays
+    the rewriting cost once -- the usage pattern OBDA is designed
+    around.  Cache effectiveness is observable via :meth:`cache_info`
+    and the ``engine.cache_hits`` / ``engine.cache_misses`` counters
+    of :mod:`repro.obs`.
     """
 
     def __init__(
@@ -42,11 +55,17 @@ class FORewritingEngine:
         self._budget = budget or RewritingBudget.default()
         self._filter_relevant = filter_relevant
         self._cache: dict[UnionOfConjunctiveQueries, RewritingResult] = {}
+        self._hits = 0
+        self._misses = 0
 
     @property
     def rules(self) -> tuple[TGD, ...]:
         """The ontology this engine answers queries over."""
         return self._rules
+
+    def cache_info(self) -> CacheInfo:
+        """Hits, misses and current size of the rewriting cache."""
+        return CacheInfo(self._hits, self._misses, len(self._cache))
 
     def rewrite(
         self, query: ConjunctiveQuery | UnionOfConjunctiveQueries
@@ -55,13 +74,21 @@ class FORewritingEngine:
         ucq = UnionOfConjunctiveQueries.of(query)
         result = self._cache.get(ucq)
         if result is None:
-            rules: Sequence[TGD] = self._rules
-            if self._filter_relevant:
-                from repro.rewriting.relevance import relevant_rules
+            self._misses += 1
+            obs.count("engine.cache_misses")
+            with obs.span("engine.rewrite", cached=False) as span:
+                rules: Sequence[TGD] = self._rules
+                if self._filter_relevant:
+                    from repro.rewriting.relevance import relevant_rules
 
-                rules = relevant_rules(ucq, rules).relevant
-            result = rewrite(ucq, rules, self._budget)
+                    rules = relevant_rules(ucq, rules).relevant
+                    span.set(relevant_rules=len(rules))
+                result = rewrite(ucq, rules, self._budget)
+                span.set(complete=result.complete, size=result.size)
             self._cache[ucq] = result
+        else:
+            self._hits += 1
+            obs.count("engine.cache_hits")
         return result
 
     def answer(
@@ -84,7 +111,12 @@ class FORewritingEngine:
                 partial_cqs=result.generated,
                 depth_reached=result.depth_reached,
             )
-        return evaluate_ucq(result.ucq, database)
+        with obs.span(
+            "engine.answer", backend="memory", complete=result.complete
+        ) as span:
+            answers = evaluate_ucq(result.ucq, database)
+            span.set(answers=len(answers))
+        return answers
 
     def answer_sql(
         self,
@@ -101,7 +133,12 @@ class FORewritingEngine:
                 partial_cqs=result.generated,
                 depth_reached=result.depth_reached,
             )
-        return backend.execute_ucq(result.ucq)
+        with obs.span(
+            "engine.answer", backend="sqlite", complete=result.complete
+        ) as span:
+            answers = backend.execute_ucq(result.ucq)
+            span.set(answers=len(answers))
+        return answers
 
     def sql_for(
         self, query: ConjunctiveQuery | UnionOfConjunctiveQueries

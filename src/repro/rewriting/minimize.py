@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro import obs
 from repro.data.database import Database
 from repro.data.evaluation import all_homomorphisms
 from repro.lang.atoms import Atom
@@ -98,28 +99,37 @@ def remove_subsumed(
     (earliest on ties) survives, so output is deterministic.
     """
     queries = list(queries)
-    rank = {
-        i: (len(query.body), i) for i, query in enumerate(queries)
-    }
-    kept: list[ConjunctiveQuery] = []
-    for i, query in enumerate(queries):
-        dominated = False
-        for j, other in enumerate(queries):
-            if i == j:
-                continue
-            if not is_subsumed(query, other):
-                continue
-            if is_subsumed(other, query):
-                # Equivalent pair: keep the better-ranked one only.
-                if rank[j] < rank[i]:
+    with obs.span("minimize.remove_subsumed", disjuncts=len(queries)) as span:
+        rank = {
+            i: (len(query.body), i) for i, query in enumerate(queries)
+        }
+        # Subsumption checks are tallied locally and emitted once, so
+        # the O(n^2) loop stays free of instrumentation calls.
+        checks = 0
+        kept: list[ConjunctiveQuery] = []
+        for i, query in enumerate(queries):
+            dominated = False
+            for j, other in enumerate(queries):
+                if i == j:
+                    continue
+                checks += 1
+                if not is_subsumed(query, other):
+                    continue
+                checks += 1
+                if is_subsumed(other, query):
+                    # Equivalent pair: keep the better-ranked one only.
+                    if rank[j] < rank[i]:
+                        dominated = True
+                        break
+                else:
                     dominated = True
                     break
-            else:
-                dominated = True
-                break
-        if not dominated:
-            kept.append(query)
-    return tuple(kept)
+            if not dominated:
+                kept.append(query)
+        span.set(kept=len(kept))
+        obs.count("minimize.subsumption_checks", checks)
+        obs.count("minimize.disjuncts_removed", len(queries) - len(kept))
+        return tuple(kept)
 
 
 def minimize_cq(query: ConjunctiveQuery) -> ConjunctiveQuery:
@@ -130,6 +140,7 @@ def minimize_cq(query: ConjunctiveQuery) -> ConjunctiveQuery:
     the shortened query is equivalent to the original.
     """
     body = list(dict.fromkeys(query.body))
+    checks = 0
     changed = True
     while changed and len(body) > 1:
         changed = False
@@ -144,8 +155,14 @@ def minimize_cq(query: ConjunctiveQuery) -> ConjunctiveQuery:
             candidate = ConjunctiveQuery(
                 query.answer_terms, candidate_body, name=query.name
             )
+            checks += 1
             if is_subsumed(candidate, query):
                 body = candidate_body
                 changed = True
                 break
+    if checks:
+        obs.count("minimize.subsumption_checks", checks)
+    dropped = len(query.body) - len(body)
+    if dropped:
+        obs.count("minimize.atoms_dropped", dropped)
     return ConjunctiveQuery(query.answer_terms, body, name=query.name)

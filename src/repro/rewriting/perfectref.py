@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro import obs
 from repro.lang.atoms import Atom
 from repro.lang.errors import NotSupportedError
 from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
@@ -57,54 +58,62 @@ def perfectref_rewrite(
                 f"got {rule.label or rule}"
             )
 
-    seen: dict[tuple, ConjunctiveQuery] = {}
-    frontier: list[ConjunctiveQuery] = []
-    for cq in UnionOfConjunctiveQueries.of(query):
-        cq = cq.dedupe_body()
-        key = cq.canonical()
-        if key not in seen:
-            seen[key] = cq
-            frontier.append(cq)
+    with obs.span("perfectref", rules=len(rules)) as span:
+        seen: dict[tuple, ConjunctiveQuery] = {}
+        frontier: list[ConjunctiveQuery] = []
+        for cq in UnionOfConjunctiveQueries.of(query):
+            cq = cq.dedupe_body()
+            key = cq.canonical()
+            if key not in seen:
+                seen[key] = cq
+                frontier.append(cq)
 
-    per_depth = [len(frontier)]
-    depth = 0
-    explored = 0
-    complete = True
-    while frontier:
-        if budget.max_depth is not None and depth >= budget.max_depth:
-            complete = False
-            break
-        depth += 1
-        next_frontier: list[ConjunctiveQuery] = []
-        for cq in frontier:
-            explored += 1
-            candidates = list(_atom_rewritings(cq, rules))
-            candidates.extend(factorizations(cq))
-            for candidate in candidates:
-                candidate = candidate.dedupe_body()
-                key = candidate.canonical()
-                if key in seen:
-                    continue
-                seen[key] = candidate
-                next_frontier.append(candidate)
-            if len(seen) > budget.max_cqs:
+        per_depth = [len(frontier)]
+        depth = 0
+        explored = 0
+        complete = True
+        while frontier:
+            if budget.max_depth is not None and depth >= budget.max_depth:
                 complete = False
-                next_frontier = []
                 break
-        per_depth.append(len(next_frontier))
-        frontier = next_frontier
-        if not complete:
-            break
+            depth += 1
+            with obs.span(
+                "perfectref.step", depth=depth, frontier=len(frontier)
+            ) as step_span:
+                next_frontier: list[ConjunctiveQuery] = []
+                for cq in frontier:
+                    explored += 1
+                    candidates = list(_atom_rewritings(cq, rules))
+                    candidates.extend(factorizations(cq))
+                    for candidate in candidates:
+                        candidate = candidate.dedupe_body()
+                        key = candidate.canonical()
+                        if key in seen:
+                            continue
+                        seen[key] = candidate
+                        next_frontier.append(candidate)
+                    if len(seen) > budget.max_cqs:
+                        complete = False
+                        next_frontier = []
+                        break
+                step_span.set(new=len(next_frontier))
+            per_depth.append(len(next_frontier))
+            frontier = next_frontier
+            if not complete:
+                break
 
-    final = remove_subsumed(list(seen.values()))
-    return RewritingResult(
-        ucq=UnionOfConjunctiveQueries(list(final)),
-        complete=complete,
-        depth_reached=depth,
-        generated=len(seen),
-        explored=explored,
-        per_depth=tuple(per_depth),
-    )
+        obs.count("perfectref.cqs_generated", len(seen))
+        obs.count("perfectref.cqs_explored", explored)
+        final = remove_subsumed(list(seen.values()))
+        span.set(complete=complete, depth=depth, size=len(final))
+        return RewritingResult(
+            ucq=UnionOfConjunctiveQueries(list(final)),
+            complete=complete,
+            depth_reached=depth,
+            generated=len(seen),
+            explored=explored,
+            per_depth=tuple(per_depth),
+        )
 
 
 def _atom_rewritings(cq: ConjunctiveQuery, rules: Sequence[TGD]):

@@ -21,9 +21,11 @@ budgets turn it into an anytime procedure whose partial output is still
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro import obs
 from repro.lang.errors import RewritingBudgetExceeded
 from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
 from repro.lang.tgd import TGD
@@ -141,8 +143,6 @@ def rewrite(
     (the A2 ablation bench documents this redundancy), so the step is
     kept as a safety net at negligible cost.
     """
-    import time as _time
-
     budget = budget or RewritingBudget.default()
     deadline = (
         _time.monotonic() + budget.max_seconds
@@ -155,96 +155,142 @@ def rewrite(
         cq = cq.dedupe_body()
         return minimize_cq(cq) if minimize else cq
 
-    initial = [
-        normalize(cq) for cq in UnionOfConjunctiveQueries.of(query)
-    ]
+    with obs.span("rewrite", rules=len(rules)) as span:
+        initial = [
+            normalize(cq) for cq in UnionOfConjunctiveQueries.of(query)
+        ]
+        span.set(disjuncts=len(initial))
 
-    seen: dict[tuple, ConjunctiveQuery] = {}
-    lineage: dict[tuple, tuple] = {}
-    kept: list[ConjunctiveQuery] = []  # subsumption representatives
-    frontier: list[ConjunctiveQuery] = []
-    for cq in initial:
-        key = cq.canonical()
-        if key not in seen:
-            seen[key] = cq
-            lineage[key] = (None, "input")
-            kept.append(cq)
-            frontier.append(cq)
+        seen: dict[tuple, ConjunctiveQuery] = {}
+        lineage: dict[tuple, tuple] = {}
+        kept: list[ConjunctiveQuery] = []  # subsumption representatives
+        frontier: list[ConjunctiveQuery] = []
+        for cq in initial:
+            key = cq.canonical()
+            if key not in seen:
+                seen[key] = cq
+                lineage[key] = (None, "input")
+                kept.append(cq)
+                frontier.append(cq)
 
-    per_depth = [len(frontier)]
-    depth = 0
-    explored = 0
-    complete = True
 
-    while frontier:
-        if budget.max_depth is not None and depth >= budget.max_depth:
-            complete = False
+        per_depth = [len(frontier)]
+        depth = 0
+        explored = 0
+        complete = True
+        tallies = {"explored": 0, "candidates": 0, "duplicates": 0, "pruned": 0}
+
+        while frontier:
+            if budget.max_depth is not None and depth >= budget.max_depth:
+                complete = False
+                break
+            depth += 1
+            with obs.span(
+                "rewrite.round", depth=depth, frontier=len(frontier)
+            ) as round_span:
+                next_frontier, overflow = _expand_round(
+                    frontier, rules, budget, deadline, normalize,
+                    factorize, prune_subsumed, seen, lineage, kept, tallies,
+                )
+                round_span.set(new=len(next_frontier))
+            per_depth.append(len(next_frontier))
+            frontier = next_frontier
+            if overflow:
+                complete = False
+                break
+
+        explored = tallies["explored"]
+        obs.count("rewrite.candidates", tallies["candidates"])
+        obs.count("rewrite.duplicates", tallies["duplicates"])
+        obs.count("rewrite.subsumption_pruned", tallies["pruned"])
+        obs.count("rewrite.cqs_generated", len(seen))
+        obs.count("rewrite.cqs_explored", explored)
+        span.set(complete=complete, depth=depth, generated=len(seen))
+
+        if not complete and budget.strict:
+            raise RewritingBudgetExceeded(
+                f"rewriting exceeded budget (depth={depth}, cqs={len(seen)})",
+                partial_cqs=len(seen),
+                depth_reached=depth,
+            )
+
+        with obs.span("rewrite.finalize", kept=len(kept)) as fin:
+            final = [_parser_safe_names(cq) for cq in remove_subsumed(kept)]
+            fin.set(size=len(final))
+        span.set(size=len(final))
+        return RewritingResult(
+            ucq=UnionOfConjunctiveQueries(list(final)),
+            complete=complete,
+            depth_reached=depth,
+            generated=len(seen),
+            explored=explored,
+            per_depth=tuple(per_depth),
+            lineage=lineage,
+        )
+
+
+def _expand_round(
+    frontier: list[ConjunctiveQuery],
+    rules: Sequence[TGD],
+    budget: RewritingBudget,
+    deadline: float | None,
+    normalize,
+    factorize: bool,
+    prune_subsumed: bool,
+    seen: dict,
+    lineage: dict,
+    kept: list[ConjunctiveQuery],
+    tallies: dict[str, int],
+) -> tuple[list[ConjunctiveQuery], bool]:
+    """One breadth-first saturation round: expand every frontier CQ.
+
+    Mutates *seen*, *lineage*, *kept* and *tallies* in place; returns
+    ``(next_frontier, overflow)`` where *overflow* signals a tripped
+    time or CQ-count budget.
+    """
+    next_frontier: list[ConjunctiveQuery] = []
+    overflow = False
+    for cq in frontier:
+        if deadline is not None and _time.monotonic() > deadline:
+            overflow = True
             break
-        depth += 1
-        next_frontier: list[ConjunctiveQuery] = []
-        overflow = False
-        for cq in frontier:
+        tallies["explored"] += 1
+        parent_key = cq.canonical()
+        candidates: list[tuple[ConjunctiveQuery, bool, str]] = []
+        for rule in rules:
+            for step in piece_rewritings(cq, rule):
+                label = rule.label or str(rule)
+                candidates.append((step.query, False, f"apply {label}"))
+        if factorize:
+            for factored in factorizations(cq):
+                candidates.append((factored, True, "factorize"))
+        tallies["candidates"] += len(candidates)
+        for candidate, is_factorization, step_name in candidates:
             if deadline is not None and _time.monotonic() > deadline:
                 overflow = True
                 break
-            explored += 1
-            parent_key = cq.canonical()
-            candidates: list[tuple[ConjunctiveQuery, bool, str]] = []
-            for rule in rules:
-                for step in piece_rewritings(cq, rule):
-                    label = rule.label or str(rule)
-                    candidates.append(
-                        (step.query, False, f"apply {label}")
-                    )
-            if factorize:
-                for factored in factorizations(cq):
-                    candidates.append((factored, True, "factorize"))
-            for candidate, is_factorization, step_name in candidates:
-                if deadline is not None and _time.monotonic() > deadline:
-                    overflow = True
-                    break
-                candidate = normalize(candidate)
-                key = candidate.canonical()
-                if key in seen:
-                    continue
-                if prune_subsumed and not is_factorization and any(
-                    is_subsumed(candidate, other) for other in kept
-                ):
-                    # Subsumed by an explored (or to-be-explored) more
-                    # general CQ; its rewritings are covered.
-                    seen[key] = candidate
-                    lineage[key] = (parent_key, step_name)
-                    continue
+            candidate = normalize(candidate)
+            key = candidate.canonical()
+            if key in seen:
+                tallies["duplicates"] += 1
+                continue
+            if prune_subsumed and not is_factorization and any(
+                is_subsumed(candidate, other) for other in kept
+            ):
+                # Subsumed by an explored (or to-be-explored) more
+                # general CQ; its rewritings are covered.
+                tallies["pruned"] += 1
                 seen[key] = candidate
                 lineage[key] = (parent_key, step_name)
-                if not is_factorization:
-                    kept.append(candidate)
-                next_frontier.append(candidate)
-                if len(seen) > budget.max_cqs:
-                    overflow = True
-                    break
-            if overflow:
+                continue
+            seen[key] = candidate
+            lineage[key] = (parent_key, step_name)
+            if not is_factorization:
+                kept.append(candidate)
+            next_frontier.append(candidate)
+            if len(seen) > budget.max_cqs:
+                overflow = True
                 break
-        per_depth.append(len(next_frontier))
-        frontier = next_frontier
         if overflow:
-            complete = False
             break
-
-    if not complete and budget.strict:
-        raise RewritingBudgetExceeded(
-            f"rewriting exceeded budget (depth={depth}, cqs={len(seen)})",
-            partial_cqs=len(seen),
-            depth_reached=depth,
-        )
-
-    final = [_parser_safe_names(cq) for cq in remove_subsumed(kept)]
-    return RewritingResult(
-        ucq=UnionOfConjunctiveQueries(list(final)),
-        complete=complete,
-        depth_reached=depth,
-        generated=len(seen),
-        explored=explored,
-        per_depth=tuple(per_depth),
-        lineage=lineage,
-    )
+    return next_frontier, overflow

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Mapping
 
+from repro import obs
 from repro.lang.errors import ReproError
 from repro.lang.parser import parse_query, parse_ucq
 from repro.lang.printer import format_ucq
@@ -62,7 +63,9 @@ class RewritingStore:
 
     def get(self, query: ConjunctiveQuery) -> StoredRewriting | None:
         """The stored rewriting for *query* (up to renaming), or None."""
-        return self._entries.get(query.canonical())
+        entry = self._entries.get(query.canonical())
+        obs.count("store.hits" if entry is not None else "store.misses")
+        return entry
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -81,6 +84,7 @@ class RewritingStore:
     def save(self, path: str | Path) -> Path:
         """Write every entry to *path*; returns the path."""
         path = Path(path)
+        obs.count("store.entries_saved", len(self._entries))
         blocks = [_HEADER]
         for entry in sorted(
             self._entries.values(), key=lambda e: str(e.query)
@@ -125,6 +129,7 @@ class RewritingStore:
                 index += 1
             rewriting = parse_ucq("\n".join(body))
             store.put(query, rewriting, complete=complete)
+        obs.count("store.entries_loaded", len(store))
         return store
 
 

@@ -1,11 +1,35 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures, hypothesis profiles and helpers for the test suite."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.data.database import Database
 from repro.lang.parser import parse_database, parse_program, parse_query
+
+# Deterministic hypothesis profiles.  ``ci`` derandomizes every
+# property test (fixed seed, no example database) so CI runs are
+# reproducible; ``dev`` keeps random exploration for local runs.
+# Select with HYPOTHESIS_PROFILE=ci or pytest --hypothesis-profile=ci.
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=60,
+    deadline=None,
+    database=None,
+    print_blob=False,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

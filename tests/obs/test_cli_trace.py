@@ -1,0 +1,61 @@
+"""End-to-end tests for ``repro trace`` and the global ``--metrics`` flag."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro import cli
+
+EXAMPLE = str(Path(__file__).resolve().parents[2] / "examples" / "example1.dlp")
+
+
+def test_trace_prints_span_tree(capsys):
+    assert cli.main(["trace", EXAMPLE]) == 0
+    out = capsys.readouterr().out
+    assert "trace" in out
+    assert "engine.rewrite" in out
+    assert "rewrite.round" in out
+    assert "ms" in out
+    assert "counters:" in out
+    assert "rewrite.cqs_generated" in out
+
+
+def test_trace_with_explicit_query(capsys):
+    assert cli.main(["trace", EXAMPLE, "q(X) :- s2(X, Y)"]) == 0
+    out = capsys.readouterr().out
+    assert "sql.compile" in out
+
+
+def test_trace_metrics_emits_valid_jsonl(tmp_path, capsys):
+    metrics = tmp_path / "out.jsonl"
+    assert cli.main(["--metrics", str(metrics), "trace", EXAMPLE]) == 0
+    capsys.readouterr()
+    records = [
+        json.loads(line) for line in metrics.read_text().splitlines()
+    ]
+    assert records
+    assert all(record["v"] == 1 for record in records)
+    kinds = {record["type"] for record in records}
+    assert "span" in kinds
+    assert "counter" in kinds
+    names = {r["name"] for r in records if r["type"] == "span"}
+    assert {"trace", "rewrite", "engine.rewrite"} <= names
+
+
+def test_metrics_flag_works_with_other_commands(tmp_path, capsys):
+    metrics = tmp_path / "answer.jsonl"
+    code = cli.main(
+        ["--metrics", str(metrics), "rewrite", EXAMPLE, "q(X) :- s2(X, Y)"]
+    )
+    capsys.readouterr()
+    assert code == 0
+    records = [
+        json.loads(line) for line in metrics.read_text().splitlines()
+    ]
+    assert any(r["type"] == "span" and r["name"] == "rewrite" for r in records)
+
+
+def test_trace_missing_file_fails_cleanly(capsys, tmp_path):
+    code = cli.main(["trace", str(tmp_path / "nope.dlp")])
+    assert code != 0

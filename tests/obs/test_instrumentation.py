@@ -1,0 +1,118 @@
+"""The pipeline emits the counters and spans the ISSUE promises.
+
+These tests pin the *names* and basic semantics of the instrumentation
+wired through rewriting, chase, SQL and OBDA layers -- renaming a
+counter is a breaking change for dashboards and the BENCH artifacts.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.chase import restricted_chase
+from repro.data.database import Database
+from repro.data.sql import SQLiteBackend
+from repro.lang.parser import parse_database, parse_program, parse_query
+from repro.lang.signature import Signature
+from repro.obda.system import OBDASystem
+from repro.rewriting.engine import FORewritingEngine
+from repro.rewriting.store import RewritingStore, precompile_workload
+
+RULES = parse_program(
+    """
+    r1: person(X) -> worksAt(X, Y).
+    r2: worksAt(X, Y) -> org(Y).
+    r3: professor(X) -> person(X).
+    """
+)
+DATABASE = Database(
+    parse_database("person(ada). professor(alan). worksAt(ada, lab).")
+)
+
+
+def test_rewriting_counters():
+    query = parse_query("q(X) :- org(X)")
+    with obs.capture() as cap:
+        FORewritingEngine(RULES).rewrite(query)
+    counters = cap.counters()
+    assert counters["rewrite.cqs_generated"] >= 1
+    assert counters["rewrite.cqs_explored"] >= 1
+    assert counters["rewrite.candidates"] >= 1
+    assert "minimize.subsumption_checks" in counters
+    assert cap.span("rewrite")["attrs"]["complete"] is True
+    assert cap.spans("rewrite.round")
+
+
+def test_chase_counters_match_result():
+    with obs.capture() as cap:
+        result = restricted_chase(RULES, DATABASE)
+    counters = cap.counters()
+    assert counters["chase.firings"] == result.steps
+    assert counters["chase.rounds"] == len(cap.spans("chase.round"))
+    assert counters["chase.nulls_created"] >= 1  # r1 invents workplaces
+    assert counters["chase.triggers_checked"] >= result.steps
+    span = cap.span("chase")
+    assert span["attrs"]["mode"] == "restricted"
+    assert span["attrs"]["fixpoint"] is True
+    assert span["attrs"]["nulls"] == counters["chase.nulls_created"]
+
+
+def test_sql_counters(tmp_path):
+    query = parse_query("q(X) :- person(X)")
+    signature = Signature(dict(DATABASE.signature))
+    for rule in RULES:
+        signature.observe_tgd(rule)
+    with obs.capture() as cap:
+        with SQLiteBackend(signature) as backend:
+            backend.load(DATABASE.facts())
+            FORewritingEngine(RULES).answer_sql(query, backend)
+    counters = cap.counters()
+    assert counters["sql.rows_loaded"] == len(DATABASE)
+    assert counters["sql.statements"] >= 1
+    assert counters["sql.rows_fetched"] >= 2  # ada and alan
+    assert cap.span("sql.execute")["attrs"]["kind"] in ("cq", "ucq")
+    assert cap.spans("sql.compile")
+
+
+def test_store_hit_and_miss_counters(tmp_path):
+    queries = [parse_query("q(X) :- org(X)")]
+    store = precompile_workload(queries, RULES)
+    path = tmp_path / "workload.store"
+    with obs.capture() as cap:
+        store.save(path)
+        loaded = RewritingStore.load(path)
+        assert loaded.get(queries[0]) is not None  # hit
+        assert loaded.get(parse_query("q(X) :- person(X)")) is None  # miss
+    counters = cap.counters()
+    assert counters["store.entries_saved"] == 1
+    assert counters["store.entries_loaded"] == 1
+    assert counters["store.hits"] == 1
+    assert counters["store.misses"] == 1
+
+
+def test_obda_spans_cover_both_backends():
+    query = parse_query("q(X) :- person(X)")
+    with obs.capture() as cap, OBDASystem(RULES, DATABASE) as system:
+        memory = system.certain_answers(query)
+        sql = system.certain_answers_sql(query)
+        chase = system.certain_answers_chase(query)
+    assert memory == sql == chase
+    backends = {
+        span["attrs"]["backend"] for span in cap.spans("obda.answer")
+    }
+    assert backends == {"memory", "sqlite"}
+    assert cap.span("obda.sql_backend_init")["attrs"]["facts"] == len(
+        DATABASE
+    )
+    oracle_span = cap.span("obda.chase_oracle")
+    assert oracle_span["attrs"]["answers"] == len(chase)
+    assert oracle_span["attrs"]["chase_steps"] >= 1
+
+
+def test_disabled_instrumentation_leaves_results_unchanged():
+    """With the default null tracer the pipeline behaves identically."""
+    query = parse_query("q(X) :- org(X)")
+    baseline = FORewritingEngine(RULES).answer(query, DATABASE)
+    with obs.capture() as cap:
+        traced = FORewritingEngine(RULES).answer(query, DATABASE)
+    assert traced == baseline
+    assert cap.spans("rewrite")

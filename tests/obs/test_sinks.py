@@ -1,0 +1,120 @@
+"""Unit tests for the provided sinks."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import InMemorySink, JSONLSink, NullSink, TreeSink, Tracer
+
+
+def test_null_sink_is_null():
+    sink = NullSink()
+    assert sink.is_null
+    sink.emit({"type": "span"})  # swallowed
+    sink.close()
+
+
+def test_in_memory_sink_helpers():
+    sink = InMemorySink()
+    tracer = Tracer(sink)
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    tracer.event("hit", key=1)
+    tracer.count("n", 2)
+    tracer.flush()
+
+    assert [r["name"] for r in sink.spans()] == ["inner", "outer"]
+    assert len(sink.spans("inner")) == 1
+    assert sink.span("outer")["name"] == "outer"
+    with pytest.raises(KeyError):
+        sink.span("absent")
+    assert sink.events("hit")[0]["attrs"] == {"key": 1}
+    assert sink.events() == sink.events("hit")
+    assert sink.counters() == {"n": 2}
+    sink.clear()
+    assert sink.records == []
+
+
+def test_jsonl_sink_writes_one_json_object_per_line(tmp_path):
+    path = tmp_path / "metrics.jsonl"
+    sink = JSONLSink(path)
+    tracer = Tracer(sink)
+    with tracer.span("work", items=3):
+        tracer.event("checkpoint")
+    tracer.count("total", 7)
+    tracer.flush()
+    sink.close()
+
+    lines = path.read_text().splitlines()
+    records = [json.loads(line) for line in lines]
+    assert [r["type"] for r in records] == ["event", "span", "counter"]
+    assert all(r["v"] == 1 for r in records)
+    # Keys are sorted for stable diffs.
+    assert lines[2] == json.dumps(records[2], sort_keys=True)
+
+
+def test_jsonl_sink_path_opened_lazily(tmp_path):
+    path = tmp_path / "never.jsonl"
+    sink = JSONLSink(path)
+    sink.close()
+    assert not path.exists()
+
+
+def test_jsonl_sink_accepts_file_like():
+    buffer = io.StringIO()
+    sink = JSONLSink(buffer)
+    sink.emit({"v": 1, "type": "event", "name": "x", "at_ms": 0, "attrs": {}})
+    sink.close()  # must not close a handle it did not open
+    assert not buffer.closed
+    assert json.loads(buffer.getvalue())["name"] == "x"
+
+
+def test_tree_sink_renders_nested_spans():
+    sink = TreeSink()
+    tracer = Tracer(sink)
+    with tracer.span("root", stage="all"):
+        with tracer.span("child.a"):
+            with tracer.span("leaf"):
+                pass
+        with tracer.span("child.b"):
+            pass
+    tracer.count("widgets", 4)
+    tracer.flush()
+
+    text = sink.render()
+    lines = text.splitlines()
+    assert lines[0].startswith("root")
+    assert "stage=all" in lines[0]
+    assert "ms" in lines[0]
+    assert any(line.startswith("├─ child.a") for line in lines)
+    assert any(line.startswith("│  └─ leaf") for line in lines)
+    assert any(line.startswith("└─ child.b") for line in lines)
+    assert "counters:" in text
+    assert "widgets" in text
+
+
+def test_tree_sink_renders_multiple_roots_without_connectors():
+    sink = TreeSink()
+    tracer = Tracer(sink)
+    with tracer.span("first"):
+        pass
+    with tracer.span("second"):
+        pass
+    lines = sink.render().splitlines()
+    assert lines[0].startswith("first")
+    assert lines[1].startswith("second")
+
+
+def test_tree_sink_renders_events_section():
+    sink = TreeSink()
+    tracer = Tracer(sink)
+    with tracer.span("root"):
+        tracer.event("trace.differential", agree=True)
+    text = sink.render()
+    assert "events:" in text
+    assert "trace.differential" in text
+    assert "agree=True" in text

@@ -1,0 +1,142 @@
+"""Unit tests for the tracer: spans, counters, installation."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.obs import InMemorySink, NullSink, Tracer
+from repro.obs.tracer import NOOP_SPAN
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer()
+    assert not tracer.enabled
+    handle = tracer.span("anything", key="value")
+    assert handle is NOOP_SPAN
+    with handle as span:
+        span.set(more="attrs")
+    tracer.count("counter", 5)
+    tracer.observe("histogram", 1.0)
+    tracer.event("event")
+    tracer.flush()
+    assert tracer.counters() == {}
+
+
+def test_null_sink_keeps_tracer_disabled():
+    tracer = Tracer(NullSink())
+    assert not tracer.enabled
+    assert tracer.span("x") is NOOP_SPAN
+
+
+def test_span_nesting_parent_and_depth():
+    sink = InMemorySink()
+    tracer = Tracer(sink)
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            assert inner.parent_id == outer.span_id
+            assert inner.depth == 1
+    inner_rec, outer_rec = sink.records
+    assert inner_rec["name"] == "inner"  # children close first
+    assert outer_rec["name"] == "outer"
+    assert inner_rec["parent"] == outer_rec["id"]
+    assert outer_rec["parent"] is None
+    assert inner_rec["depth"] == 1 and outer_rec["depth"] == 0
+    assert inner_rec["dur_ms"] <= outer_rec["dur_ms"] + 1e-6
+
+
+def test_span_attrs_merge_creation_and_set():
+    sink = InMemorySink()
+    tracer = Tracer(sink)
+    with tracer.span("s", a=1) as span:
+        span.set(b=2, a=3)
+    assert sink.span("s")["attrs"] == {"a": 3, "b": 2}
+
+
+def test_span_closes_on_exception():
+    sink = InMemorySink()
+    tracer = Tracer(sink)
+    try:
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert [r["name"] for r in sink.spans()] == ["inner", "outer"]
+    assert not tracer._stack
+
+
+def test_counters_aggregate_and_flush():
+    sink = InMemorySink()
+    tracer = Tracer(sink)
+    tracer.count("hits")
+    tracer.count("hits", 2)
+    tracer.observe("latency", 1.0)
+    tracer.observe("latency", 3.0)
+    assert tracer.counter("hits") == 3
+    assert tracer.counter("absent") == 0
+    tracer.flush()
+    assert sink.counters() == {"hits": 3}
+    histogram = [r for r in sink.records if r["type"] == "histogram"]
+    assert len(histogram) == 1
+    assert histogram[0]["count"] == 2
+    assert histogram[0]["mean"] == 2.0
+    assert histogram[0]["min"] == 1.0
+    assert histogram[0]["max"] == 3.0
+
+
+def test_events_emit_immediately():
+    sink = InMemorySink()
+    tracer = Tracer(sink)
+    tracer.event("lookup", status="hit")
+    assert sink.events("lookup")[0]["attrs"] == {"status": "hit"}
+
+
+def test_use_installs_and_restores():
+    before = obs.get_tracer()
+    assert not obs.enabled()
+    with obs.use(InMemorySink()) as tracer:
+        assert obs.get_tracer() is tracer
+        assert obs.enabled()
+    assert obs.get_tracer() is before
+    assert not obs.enabled()
+
+
+def test_use_inherit_stacks_sinks():
+    outer_sink = InMemorySink()
+    inner_sink = InMemorySink()
+    with obs.use(outer_sink):
+        with obs.use(inner_sink) as inner:
+            with obs.span("shared"):
+                pass
+            assert inner.sinks == (outer_sink, inner_sink)
+    assert [r["name"] for r in inner_sink.spans()] == ["shared"]
+    assert [r["name"] for r in outer_sink.spans()] == ["shared"]
+
+
+def test_capture_is_isolated_from_outer_tracer():
+    outer_sink = InMemorySink()
+    with obs.use(outer_sink):
+        with obs.capture() as cap:
+            obs.count("only.inner")
+            with obs.span("inner.span"):
+                pass
+        assert cap.counter("only.inner") == 1
+        assert cap.spans("inner.span")
+    assert outer_sink.spans() == []
+
+
+def test_module_functions_are_noops_when_disabled():
+    assert obs.span("x") is NOOP_SPAN
+    obs.count("x")
+    obs.observe("x", 1.0)
+    obs.event("x")
+    assert obs.get_tracer().counters() == {}
+
+
+def test_capture_counters_live_snapshot():
+    with obs.capture() as cap:
+        obs.count("a", 2)
+        assert cap.counters() == {"a": 2}
+        obs.count("a")
+        assert cap.counter("a") == 3
+    # After exit the counter records were flushed into the sink too.
+    assert cap.sink.counters() == {"a": 3}
