@@ -1,0 +1,179 @@
+"""BATCH -- compile-once/serve-many speedups of the session layer.
+
+The api_redesign acceptance bench: >= 50 generated SWR queries answered
+four ways over one ontology --
+
+* **seed**      -- the pre-Session path: one fresh ``rewrite()`` +
+  in-memory evaluation per query, nothing shared (what every caller
+  paid before the API redesign);
+* **cold**      -- one :class:`repro.api.Session` with an empty
+  persistent cache, sequential answering: pays every compilation once,
+  writes each to disk;
+* **parallel**  -- ``Session.answer_many`` over a multi-worker pool
+  against the same (now warm) cache directory;
+* **warm**      -- a *fresh* Session over the same cache directory,
+  sequential: every compilation served from disk.
+
+Hard gates are on the cache *counters* (deterministic), not on
+wall-clock: the warm run must hit the disk cache for every query and
+generate zero rewriting CQs -- "warm-run rewriting time near zero" by
+construction, and the JSON artifact records the measured times to show
+it.  Answers must be identical across all four paths.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+import time
+
+from _harness import write_artifact, write_json_artifact
+
+from repro import obs
+from repro.api import Session, resolve_workers
+from repro.data.database import Database
+from repro.lang.parser import parse_query
+from repro.rewriting.budget import RewritingBudget
+from repro.rewriting.rewriter import rewrite
+from repro.workloads.generators import (
+    concept_hierarchy,
+    generate_database,
+    swr_but_not_baselines,
+)
+
+QUERY_COUNT = 60
+
+
+def _workload():
+    depth = QUERY_COUNT - 4
+    rules = concept_hierarchy(depth) + swr_but_not_baselines(2)
+    queries = [parse_query(f"q(X) :- c{i}(X)") for i in range(1, depth + 1)]
+    queries += [parse_query(f"q(X) :- u{c}(X)") for c in range(2)]
+    queries += [parse_query(f"q(X) :- r{c}(X)") for c in range(2)]
+    assert len(queries) >= 50
+    facts = generate_database(random.Random(23), rules, facts_per_relation=4)
+    return rules, queries, Database(facts)
+
+
+def _timed(workload):
+    start = time.perf_counter()
+    result = workload()
+    return result, time.perf_counter() - start
+
+
+def test_batch_answering_speedups():
+    rules, queries, database = _workload()
+    budget = RewritingBudget.default()
+    report: dict[str, dict] = {}
+
+    # -- seed: per-query rewrite + evaluate, nothing shared ----------- #
+    from repro.data.evaluation import evaluate_ucq
+
+    def seed_run():
+        return [
+            evaluate_ucq(rewrite(q, rules, budget).ucq, database)
+            for q in queries
+        ]
+
+    seed_answers, seed_seconds = _timed(seed_run)
+    report["seed"] = {"seconds": seed_seconds}
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+        # -- cold: one session, empty persistent cache ---------------- #
+        with obs.capture() as cold_trace:
+            with Session(rules, database, cache_dir=cache_dir) as session:
+                (cold_answers, cold_seconds) = _timed(
+                    lambda: [session.answer(q) for q in queries]
+                )
+                cold_stats = session.cache_stats()
+        report["cold"] = {
+            "seconds": cold_seconds,
+            "disk_hits": cold_trace.counter("engine.disk_hits"),
+            "disk_misses": cold_trace.counter("engine.disk_misses"),
+            "cqs_generated": cold_trace.counter("rewrite.cqs_generated"),
+            "cache_writes": cold_stats["persistent"]["writes"],
+        }
+
+        # -- parallel: answer_many over the warm cache ---------------- #
+        workers = min(4, resolve_workers(None, len(queries)))
+        with obs.capture() as par_trace:
+            with Session(rules, database, cache_dir=cache_dir) as session:
+                (batch, parallel_seconds) = _timed(
+                    lambda: session.answer_all(queries, max_workers=workers)
+                )
+        parallel_answers = [item.answers for item in batch]
+        report["parallel"] = {
+            "seconds": parallel_seconds,
+            "workers": workers,
+            "disk_hits": par_trace.counter("engine.disk_hits"),
+            "cqs_generated": par_trace.counter("rewrite.cqs_generated"),
+        }
+
+        # -- warm: fresh session, every compilation from disk --------- #
+        with obs.capture() as warm_trace:
+            with Session(rules, database, cache_dir=cache_dir) as session:
+                (warm_answers, warm_seconds) = _timed(
+                    lambda: [session.answer(q) for q in queries]
+                )
+                warm_stats = session.cache_stats()
+        rewrite_ms = sum(
+            s["dur_ms"] for s in warm_trace.spans("engine.rewrite")
+        )
+        report["warm"] = {
+            "seconds": warm_seconds,
+            "rewriting_ms": rewrite_ms,
+            "disk_hits": warm_trace.counter("engine.disk_hits"),
+            "cqs_generated": warm_trace.counter("rewrite.cqs_generated"),
+        }
+
+    # -- identical answers on every path ------------------------------ #
+    assert cold_answers == seed_answers
+    assert parallel_answers == seed_answers
+    assert warm_answers == seed_answers
+
+    # -- deterministic cache gates ------------------------------------ #
+    n = len(queries)
+    assert report["cold"]["disk_misses"] == n
+    assert report["cold"]["cache_writes"] == n
+    assert report["cold"]["cqs_generated"] > 0
+    assert report["parallel"]["disk_hits"] == n
+    assert report["parallel"]["cqs_generated"] == 0
+    assert report["warm"]["disk_hits"] == n
+    assert report["warm"]["cqs_generated"] == 0
+    assert warm_stats["persistent"]["hits"] == n
+    assert warm_stats["persistent"]["misses"] == 0
+    # No rewriting ran warm, so its measured time is (near) zero.
+    assert report["warm"]["rewriting_ms"] == 0.0
+
+    lines = [
+        "BATCH: compile-once/serve-many over "
+        f"{n} SWR queries ({len(rules)} rules)",
+        "",
+        f"{'path':<10} {'seconds':>9}  notes",
+        f"{'seed':<10} {seed_seconds:>9.3f}  rewrite+evaluate per query, no sharing",
+        f"{'cold':<10} {report['cold']['seconds']:>9.3f}  "
+        f"session, {report['cold']['cache_writes']} cache writes",
+        f"{'parallel':<10} {report['parallel']['seconds']:>9.3f}  "
+        f"answer_many, {report['parallel']['workers']} workers, "
+        f"{report['parallel']['disk_hits']} disk hits",
+        f"{'warm':<10} {report['warm']['seconds']:>9.3f}  "
+        f"fresh session, {report['warm']['disk_hits']} disk hits, "
+        f"rewriting {report['warm']['rewriting_ms']:.3f} ms",
+        "",
+        f"warm speedup over seed: {seed_seconds / max(report['warm']['seconds'], 1e-9):.1f}x",
+    ]
+    write_artifact("BATCH_answering.txt", "\n".join(lines))
+    write_json_artifact(
+        "BATCH_answering.json",
+        {
+            "schema": 1,
+            "queries": n,
+            "rules": len(rules),
+            "paths": report,
+            "warm_speedup_over_seed": seed_seconds
+            / max(report["warm"]["seconds"], 1e-9),
+        },
+    )
+
+    # Soft wall-clock sanity (generous: shared CI runners are noisy).
+    assert report["warm"]["seconds"] < seed_seconds * 2.0

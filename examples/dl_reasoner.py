@@ -16,7 +16,7 @@ from repro.dlite import (
     parse_extended_tbox,
 )
 from repro.lang import parse_query
-from repro.obda import OBDASystem
+from repro.api import Session
 
 TBOX = """
 Doctor <= Clinician
@@ -65,7 +65,7 @@ def main() -> None:
     satisfiable, violated = is_satisfiable(tbox, abox, rules=rules)
     print(f"\nABox satisfiable: {satisfiable} {list(violated)}")
 
-    with OBDASystem(rules, abox) as system:
+    with Session(rules, abox) as session:
         for title, text in (
             ("all clinicians", "q(X) :- Clinician(X)"),
             ("all patients", "q(X) :- Patient(X)"),
@@ -73,8 +73,8 @@ def main() -> None:
             ("is anyone in some ward?", "q() :- worksIn(X, W), Ward(W)"),
         ):
             query = parse_query(text)
-            answers = system.certain_answers(query)
-            oracle = system.certain_answers_chase(query)
+            answers = session.answer(query)
+            oracle = session.answer_chase(query)
             assert answers == oracle
             if query.is_boolean():
                 rendered = "yes" if answers else "no"

@@ -14,7 +14,7 @@ ontology:
 
 from repro import (
     Database,
-    OBDASystem,
+    Session,
     classify,
     parse_database,
     parse_program,
@@ -60,16 +60,17 @@ def main() -> None:
         print(f"  {cq}")
 
     print("\n== certain answers ==")
-    with OBDASystem(ontology, database) as system:
-        answers = system.certain_answers(query)
-        oracle = system.certain_answers_chase(query)
+    with Session(ontology, database) as session:
+        prepared = session.prepare(query)
+        answers = prepared.answer()
+        oracle = session.answer_chase(query)
         print("rewriting :", sorted(str(row[0]) for row in answers))
         print("chase     :", sorted(str(row[0]) for row in oracle))
         assert answers == oracle, "rewriting must agree with the chase"
 
         print("\n== the same rewriting as SQL ==")
-        print(system.sql_for(query))
-        sql_answers = system.certain_answers_sql(query)
+        print(prepared.sql)
+        sql_answers = prepared.answer(backend="sql")
         assert sql_answers == answers, "SQL execution must agree too"
     print("\nall three answering paths agree ✓")
 

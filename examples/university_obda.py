@@ -11,7 +11,7 @@ Demonstrates the three-layer architecture of the paper's Section 1:
   FO-rewritable), answering queries the raw data never stated.
 """
 
-from repro import OBDASystem, parse_atom, parse_query
+from repro import Session, parse_atom, parse_query
 from repro.data import Database
 from repro.data.csvio import facts_from_rows
 from repro.obda import MappingAssertion
@@ -103,23 +103,23 @@ def main() -> None:
     source = build_source()
     mappings = build_mappings()
 
-    with OBDASystem(ontology, source, mappings=mappings) as system:
+    with Session(ontology, source, mappings=mappings) as session:
         print("== classification of the ontology ==")
-        print(system.classification().table())
-        print(f"\nvirtual ABox: {len(system.abox())} facts "
+        print(session.classification().table())
+        print(f"\nvirtual ABox: {len(session.abox())} facts "
               f"(from {len(source)} source rows)")
 
         for title, text in QUERIES:
             query = parse_query(text)
-            answers = system.certain_answers(query)
-            oracle = system.certain_answers_chase(query)
+            prepared = session.prepare(query)
+            answers = prepared.answer()
+            oracle = session.answer_chase(query)
             assert answers == oracle, f"mismatch on {title}"
             rendered = sorted(
                 "(" + ", ".join(str(t) for t in row) + ")" for row in answers
             )
-            rewriting = system.engine.rewrite(query)
             print(f"\n== {title}: {query}")
-            print(f"   rewriting: {rewriting.size} disjunct(s)")
+            print(f"   rewriting: {prepared.result.size} disjunct(s)")
             for row in rendered:
                 print(f"   {row}")
 

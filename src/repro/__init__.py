@@ -10,15 +10,20 @@ a DL-Lite translation and an OBDA facade.
 
 Typical usage::
 
-    from repro import parse_program, parse_query, classify, OBDASystem
+    from repro import parse_program, parse_query, classify, Session
     from repro.data import Database
 
     ontology = parse_program("professor(X) -> teaches(X, C). ...")
     report = classify(ontology)          # SWR? WR? linear? sticky? ...
-    system = OBDASystem(ontology, Database(facts))
-    answers = system.certain_answers(parse_query("q(X) :- teaches(X, C)"))
+    with Session(ontology, Database(facts), cache_dir=".repro-cache") as s:
+        prepared = s.prepare("q(X) :- teaches(X, C)")   # compiled once
+        answers = prepared.answer()
+
+(:class:`OBDASystem` remains available as a deprecated shim over
+:class:`Session`; see ``docs/api.md`` for the migration guide.)
 """
 
+from repro.api import BatchResult, PreparedQuery, RewritingCache, Session
 from repro.chase import certain_answers, restricted_chase
 from repro.core import classify, is_swr, is_wr
 from repro.data import Database, evaluate_cq, evaluate_ucq
@@ -45,13 +50,17 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Atom",
+    "BatchResult",
     "ConjunctiveQuery",
     "Constant",
     "Database",
     "FORewritingEngine",
     "LintReport",
     "OBDASystem",
+    "PreparedQuery",
     "RewritingBudget",
+    "RewritingCache",
+    "Session",
     "Signature",
     "TGD",
     "UnionOfConjunctiveQueries",

@@ -1,0 +1,429 @@
+"""Persistent on-disk cache of compiled query rewritings.
+
+OBDA deployments compile a query once and serve it for the lifetime of
+the ontology; the compilation (UCQ rewriting) is the expensive step and
+depends only on the (ontology, query, budget, rewriter-version)
+quadruple -- never on the data.  :class:`RewritingCache` persists that
+mapping in a single SQLite file so every later process (another CLI
+invocation, a pool worker, tomorrow's server restart) skips the
+rewriting entirely.
+
+Keying and invalidation
+-----------------------
+
+Every entry is addressed by a :class:`CacheKey` combining four content
+digests (see :mod:`repro.rewriting.store`):
+
+* ``ontology_digest`` -- SHA-256 over the sorted rule texts.  Editing,
+  adding or removing any rule changes the digest, so a changed ontology
+  can never serve stale rewritings; old entries are simply unreachable
+  (and can be vacuumed with :meth:`RewritingCache.evict_ontologies`).
+* ``query_digest``    -- SHA-256 over the sorted canonical forms of the
+  UCQ's disjuncts; alpha-renamed / atom-reordered / disjunct-permuted
+  variants of a query share one entry.
+* ``budget_digest``   -- the budget's limit fields (``strict`` excluded:
+  it affects error reporting, not the computed UCQ).
+* ``engine_version``  -- :data:`repro.rewriting.engine.ENGINE_VERSION`;
+  bumping it invalidates every previously compiled rewriting at once.
+
+Robustness
+----------
+
+A cache must never take answering down with it.  All read/write paths
+swallow storage and decode errors (counted on the
+``api.cache.errors`` obs counter) and degrade to recomputation; a
+corrupt cache file is moved aside to ``<name>.corrupt`` and a fresh
+cache is started in its place.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro import obs
+from repro.lang.parser import parse_ucq
+from repro.lang.printer import format_ucq
+from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.rewriting.budget import RewritingBudget
+from repro.rewriting.rewriter import RewritingResult
+from repro.rewriting.store import budget_digest, ontology_digest, query_digest
+
+CACHE_SCHEMA_VERSION = 1
+"""On-disk layout version; a mismatch resets the cache file."""
+
+DEFAULT_CACHE_FILENAME = "rewritings.sqlite"
+
+
+def _engine_version() -> str:
+    # Read dynamically (not at import time) so a monkeypatched version
+    # bump in tests -- or a hot-reloaded engine -- is honoured per call.
+    from repro.rewriting import engine
+
+    return str(engine.ENGINE_VERSION)
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """The full address of one compiled rewriting."""
+
+    ontology_digest: str
+    query_digest: str
+    budget_digest: str
+    engine_version: str
+
+    @classmethod
+    def of(
+        cls,
+        rules,
+        query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+        budget: RewritingBudget,
+    ) -> "CacheKey":
+        """Build the key for (ontology, query, budget) at the current
+        engine version."""
+        return cls(
+            ontology_digest=ontology_digest(rules),
+            query_digest=query_digest(query),
+            budget_digest=budget_digest(budget),
+            engine_version=_engine_version(),
+        )
+
+    @property
+    def combined(self) -> str:
+        """The single string primary key used in the SQLite table."""
+        return "/".join(
+            (
+                self.engine_version,
+                self.ontology_digest,
+                self.budget_digest,
+                self.query_digest,
+            )
+        )
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Lifetime statistics of one :class:`RewritingCache` handle."""
+
+    hits: int
+    misses: int
+    writes: int
+    errors: int
+
+
+class RewritingCache:
+    """SQLite-backed persistent map ``CacheKey -> RewritingResult``.
+
+    One cache file serves any number of ontologies, budgets and engine
+    versions concurrently (the key embeds all of them), from any number
+    of threads or processes (SQLite's file locking plus a generous busy
+    timeout).  Construction never raises on a broken file -- see the
+    module docstring.
+    """
+
+    def __init__(self, directory: str | Path, filename: str = DEFAULT_CACHE_FILENAME):
+        self._directory = Path(directory)
+        self._path = self._directory / filename
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._writes = 0
+        self._errors = 0
+        self._connection: sqlite3.Connection | None = None
+        self._open()
+
+    # ----------------------------------------------------------------- #
+    # Lifecycle                                                           #
+    # ----------------------------------------------------------------- #
+
+    @property
+    def path(self) -> Path:
+        """The cache file (``<cache-dir>/rewritings.sqlite``)."""
+        return self._path
+
+    @property
+    def available(self) -> bool:
+        """False when the cache is closed or could not be opened."""
+        return self._connection is not None
+
+    def _open(self) -> None:
+        try:
+            self._directory.mkdir(parents=True, exist_ok=True)
+            self._connection = self._connect()
+        except (sqlite3.Error, OSError):
+            self._quarantine()
+
+    def _connect(self) -> sqlite3.Connection:
+        connection = sqlite3.connect(
+            self._path, check_same_thread=False, timeout=30.0
+        )
+        connection.execute(
+            "CREATE TABLE IF NOT EXISTS meta "
+            "(key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+        )
+        row = connection.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is not None and row[0] != str(CACHE_SCHEMA_VERSION):
+            connection.executescript(
+                "DROP TABLE IF EXISTS rewritings; DELETE FROM meta;"
+            )
+            row = None
+        if row is None:
+            connection.execute(
+                "INSERT OR REPLACE INTO meta VALUES "
+                "('schema_version', ?)",
+                (str(CACHE_SCHEMA_VERSION),),
+            )
+        connection.execute(
+            """
+            CREATE TABLE IF NOT EXISTS rewritings (
+                cache_key       TEXT PRIMARY KEY,
+                ontology_digest TEXT NOT NULL,
+                query_digest    TEXT NOT NULL,
+                budget_digest   TEXT NOT NULL,
+                engine_version  TEXT NOT NULL,
+                complete        INTEGER NOT NULL,
+                depth_reached   INTEGER NOT NULL,
+                generated       INTEGER NOT NULL,
+                explored        INTEGER NOT NULL,
+                per_depth       TEXT NOT NULL,
+                ucq             TEXT NOT NULL,
+                created_at      TEXT NOT NULL DEFAULT (datetime('now'))
+            )
+            """
+        )
+        connection.execute(
+            "CREATE INDEX IF NOT EXISTS ix_rewritings_ontology "
+            "ON rewritings (ontology_digest)"
+        )
+        connection.commit()
+        return connection
+
+    def _quarantine(self) -> None:
+        """Move a broken cache file aside and start a fresh one."""
+        self._record_error("open")
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except sqlite3.Error:
+                pass
+            self._connection = None
+        try:
+            if self._path.exists():
+                self._path.replace(self._path.with_suffix(".corrupt"))
+            self._connection = self._connect()
+            obs.event("api.cache.reset", path=str(self._path))
+        except (sqlite3.Error, OSError):
+            # Even the fresh file failed (unwritable directory, ...):
+            # stay disabled; every lookup is a miss, every put a no-op.
+            self._connection = None
+
+    def close(self) -> None:
+        """Release the SQLite handle (idempotent)."""
+        with self._lock:
+            if self._connection is not None:
+                try:
+                    self._connection.close()
+                finally:
+                    self._connection = None
+
+    def __enter__(self) -> "RewritingCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ----------------------------------------------------------------- #
+    # Lookup / store                                                      #
+    # ----------------------------------------------------------------- #
+
+    def get(self, key: CacheKey) -> RewritingResult | None:
+        """The stored rewriting under *key*, or None.  Never raises."""
+        with self._lock:
+            if self._connection is None:
+                self._misses += 1
+                obs.count("api.cache.misses")
+                return None
+            try:
+                row = self._connection.execute(
+                    "SELECT complete, depth_reached, generated, explored, "
+                    "per_depth, ucq FROM rewritings WHERE cache_key = ?",
+                    (key.combined,),
+                ).fetchone()
+            except sqlite3.DatabaseError:
+                self._quarantine()
+                row = None
+            if row is None:
+                self._misses += 1
+                obs.count("api.cache.misses")
+                return None
+            try:
+                result = _decode_result(row)
+            except Exception:
+                # Undecodable entry (torn write, hand-edited file):
+                # drop it and recompute.
+                self._record_error("decode")
+                self._delete(key)
+                self._misses += 1
+                obs.count("api.cache.misses")
+                return None
+            self._hits += 1
+            obs.count("api.cache.hits")
+            return result
+
+    def put(self, key: CacheKey, result: RewritingResult) -> None:
+        """Persist *result* under *key*.  Never raises."""
+        with self._lock:
+            if self._connection is None:
+                return
+            try:
+                self._connection.execute(
+                    "INSERT OR REPLACE INTO rewritings "
+                    "(cache_key, ontology_digest, query_digest, "
+                    " budget_digest, engine_version, complete, "
+                    " depth_reached, generated, explored, per_depth, ucq) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        key.combined,
+                        key.ontology_digest,
+                        key.query_digest,
+                        key.budget_digest,
+                        key.engine_version,
+                        int(result.complete),
+                        result.depth_reached,
+                        result.generated,
+                        result.explored,
+                        json.dumps(list(result.per_depth)),
+                        format_ucq(result.ucq),
+                    ),
+                )
+                self._connection.commit()
+                self._writes += 1
+                obs.count("api.cache.writes")
+            except sqlite3.DatabaseError:
+                self._quarantine()
+
+    def _delete(self, key: CacheKey) -> None:
+        if self._connection is None:
+            return
+        try:
+            self._connection.execute(
+                "DELETE FROM rewritings WHERE cache_key = ?", (key.combined,)
+            )
+            self._connection.commit()
+        except sqlite3.DatabaseError:
+            self._quarantine()
+
+    def _record_error(self, kind: str) -> None:
+        self._errors += 1
+        obs.count("api.cache.errors")
+        obs.event("api.cache.error", kind=kind, path=str(self._path))
+
+    # ----------------------------------------------------------------- #
+    # Maintenance / introspection                                         #
+    # ----------------------------------------------------------------- #
+
+    def stats(self) -> CacheStats:
+        """Hit/miss/write/error totals of this handle's lifetime."""
+        with self._lock:
+            return CacheStats(self._hits, self._misses, self._writes, self._errors)
+
+    def __len__(self) -> int:
+        with self._lock:
+            if self._connection is None:
+                return 0
+            try:
+                row = self._connection.execute(
+                    "SELECT COUNT(*) FROM rewritings"
+                ).fetchone()
+                return int(row[0])
+            except sqlite3.DatabaseError:
+                self._quarantine()
+                return 0
+
+    def ontologies(self) -> Iterator[tuple[str, int]]:
+        """(ontology digest, entry count) pairs currently stored."""
+        with self._lock:
+            if self._connection is None:
+                return iter(())
+            try:
+                rows = self._connection.execute(
+                    "SELECT ontology_digest, COUNT(*) FROM rewritings "
+                    "GROUP BY ontology_digest ORDER BY ontology_digest"
+                ).fetchall()
+            except sqlite3.DatabaseError:
+                self._quarantine()
+                return iter(())
+        return iter([(str(d), int(n)) for d, n in rows])
+
+    def evict_ontologies(self, keep: set[str] | frozenset[str]) -> int:
+        """Drop entries whose ontology digest is not in *keep*.
+
+        Stale entries are unreachable anyway (the digest is part of the
+        key); this reclaims their disk space.  Returns rows deleted.
+        """
+        with self._lock:
+            if self._connection is None:
+                return 0
+            try:
+                before = len(self)
+                placeholders = ",".join("?" for _ in keep) or "''"
+                self._connection.execute(
+                    "DELETE FROM rewritings WHERE ontology_digest "
+                    f"NOT IN ({placeholders})",
+                    tuple(sorted(keep)),
+                )
+                self._connection.commit()
+                return before - len(self)
+            except sqlite3.DatabaseError:
+                self._quarantine()
+                return 0
+
+
+class EngineTier:
+    """Adapter binding a :class:`RewritingCache` to one engine's context.
+
+    Implements the :class:`repro.rewriting.engine.PersistentTier`
+    protocol: the ontology/budget digests are fixed at construction
+    (they are per-session), the query digest is computed per call, and
+    the engine version is read at call time.
+    """
+
+    def __init__(self, cache: RewritingCache, rules, budget: RewritingBudget):
+        self._cache = cache
+        self._ontology_digest = ontology_digest(rules)
+        self._budget_digest = budget_digest(budget)
+
+    def _key(self, ucq: UnionOfConjunctiveQueries) -> CacheKey:
+        return CacheKey(
+            ontology_digest=self._ontology_digest,
+            query_digest=query_digest(ucq),
+            budget_digest=self._budget_digest,
+            engine_version=_engine_version(),
+        )
+
+    def get(self, ucq: UnionOfConjunctiveQueries) -> RewritingResult | None:
+        return self._cache.get(self._key(ucq))
+
+    def put(self, ucq: UnionOfConjunctiveQueries, result: RewritingResult) -> None:
+        self._cache.put(self._key(ucq), result)
+
+
+def _decode_result(row) -> RewritingResult:
+    complete, depth_reached, generated, explored, per_depth, ucq_text = row
+    return RewritingResult(
+        ucq=parse_ucq(ucq_text),
+        complete=bool(complete),
+        depth_reached=int(depth_reached),
+        generated=int(generated),
+        explored=int(explored),
+        per_depth=tuple(json.loads(per_depth)),
+        # Derivation lineage is not persisted; disk-served results
+        # answer queries identically but cannot explain disjuncts.
+        lineage={},
+    )

@@ -1,0 +1,145 @@
+"""Prepared (compile-once, execute-many) queries.
+
+A :class:`PreparedQuery` is the session-API analogue of a prepared
+statement in a classical DBMS: the conjunctive query is canonicalized
+and bound to a session at construction, the expensive compilation (UCQ
+rewriting w.r.t. the session's ontology) happens at most once -- served
+from the session's in-memory or persistent cache whenever possible --
+and the compiled artifacts (the UCQ, the SQL text) are reusable against
+any database with the right signature.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any
+
+from repro.data.database import Database
+from repro.data.sql import ucq_to_sql
+from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.lang.terms import Term
+from repro.rewriting.rewriter import RewritingResult
+from repro.rewriting.store import query_digest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api.session import Session
+
+
+class PreparedQuery:
+    """A query bound to a :class:`~repro.api.Session`, compiled lazily.
+
+    Obtained from :meth:`Session.prepare`; two prepares of queries that
+    are equal up to variable renaming / atom reordering / disjunct
+    permutation return the *same* object.  Compilation is deferred to
+    the first use of :attr:`result` / :attr:`ucq` / :attr:`sql` /
+    :meth:`answer` and is thread-safe.
+    """
+
+    __slots__ = ("_session", "_query", "_digest", "_result", "_sql", "_lock")
+
+    def __init__(self, session: "Session", query: ConjunctiveQuery | UnionOfConjunctiveQueries):
+        self._session = session
+        self._query = UnionOfConjunctiveQueries.of(query)
+        self._digest = query_digest(self._query)
+        self._result: RewritingResult | None = None
+        self._sql: str | None = None
+        self._lock = threading.Lock()
+
+    @property
+    def query(self) -> UnionOfConjunctiveQueries:
+        """The input query (as a UCQ)."""
+        return self._query
+
+    @property
+    def digest(self) -> str:
+        """The canonical content digest keying this query in caches."""
+        return self._digest
+
+    @property
+    def session(self) -> "Session":
+        """The session this query is bound to."""
+        return self._session
+
+    # ----------------------------------------------------------------- #
+    # Compiled artifacts                                                  #
+    # ----------------------------------------------------------------- #
+
+    @property
+    def result(self) -> RewritingResult:
+        """The full rewriting result (compiles on first access)."""
+        result = self._result
+        if result is None:
+            # The engine single-flights concurrent compilations of the
+            # same canonical query, so racing threads here do no
+            # duplicate work.
+            result = self._session.engine._rewrite(self._query)
+            with self._lock:
+                if self._result is None:
+                    self._result = result
+                result = self._result
+        return result
+
+    @property
+    def ucq(self) -> UnionOfConjunctiveQueries:
+        """The compiled UCQ rewriting."""
+        return self.result.ucq
+
+    @property
+    def complete(self) -> bool:
+        """True iff the rewriting finished within the session budget."""
+        return self.result.complete
+
+    @property
+    def sql(self) -> str:
+        """The SQL text the rewriting compiles to (cached)."""
+        with self._lock:
+            sql = self._sql
+        if sql is None:
+            sql = ucq_to_sql(self.ucq)
+            with self._lock:
+                if self._sql is None:
+                    self._sql = sql
+        return sql
+
+    def explain(self) -> dict[str, Any]:
+        """A plain-dict summary of the compilation, for logs and CLIs."""
+        result = self.result
+        return {
+            "query": str(self._query),
+            "digest": self._digest,
+            "disjuncts": result.size,
+            "complete": result.complete,
+            "depth_reached": result.depth_reached,
+            "generated": result.generated,
+            "max_body_atoms": result.max_body_atoms,
+        }
+
+    # ----------------------------------------------------------------- #
+    # Execution                                                           #
+    # ----------------------------------------------------------------- #
+
+    def answer(
+        self,
+        database: Database | None = None,
+        *,
+        backend: str = "memory",
+        require_complete: bool = True,
+    ) -> frozenset[tuple[Term, ...]]:
+        """Certain answers over *database* (default: the session's data).
+
+        ``backend="memory"`` evaluates the UCQ in-process;
+        ``backend="sql"`` executes the compiled SQL on the session's
+        SQLite backend (only for the session's own data).  With
+        ``require_complete=True`` (default) an incomplete rewriting
+        raises :class:`~repro.lang.errors.RewritingBudgetExceeded`.
+        """
+        return self._session._execute(
+            self,
+            database=database,
+            backend=backend,
+            require_complete=require_complete,
+        )
+
+    def __repr__(self) -> str:
+        state = "compiled" if self._result is not None else "pending"
+        return f"PreparedQuery({str(self._query)!r}, {state})"

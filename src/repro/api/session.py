@@ -1,0 +1,420 @@
+"""The session layer: compile-once / serve-many query answering.
+
+A :class:`Session` owns everything that is fixed for the lifetime of an
+ontology -- the classification, the rewriting engine with its in-memory
+cache, the optional persistent rewriting cache, the virtual ABox and
+the SQLite evaluation backend -- and hands out
+:class:`~repro.api.prepared.PreparedQuery` objects whose compilation is
+shared across all of them.  It is the public surface the paper's OBDA
+architecture maps onto::
+
+    from repro.api import Session
+
+    with Session(rules, data, cache_dir="~/.cache/repro") as session:
+        prepared = session.prepare(query)      # compiled at most once
+        prepared.answer()                      # in-memory evaluation
+        prepared.answer(backend="sql")         # compiled SQL on SQLite
+        prepared.sql                           # the SQL text itself
+
+    # batch: independent queries fan out over a worker pool
+    for item in session.answer_many(queries, max_workers=4):
+        print(item.index, len(item.answers))
+
+The legacy :class:`repro.obda.OBDASystem` facade is now a deprecated
+shim over this class.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro import obs
+from repro.api.cache import CacheStats, EngineTier, RewritingCache
+from repro.api.prepared import PreparedQuery
+from repro.chase.certain import certain_answers_via_chase
+from repro.core.classify import ClassificationReport, classify
+from repro.data.database import Database
+from repro.data.sql import SQLiteBackend
+from repro.lang.errors import ReproError
+from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.lang.signature import Signature
+from repro.lang.terms import Term
+from repro.lang.tgd import TGD
+from repro.obda.mappings import MappingAssertion, apply_mappings
+from repro.rewriting.budget import RewritingBudget
+from repro.rewriting.engine import FORewritingEngine
+from repro.rewriting.store import ontology_digest
+
+_BACKENDS = ("memory", "sql")
+
+
+class Session:
+    """Ontology + optional mappings/data, with all compilation shared.
+
+    Args:
+        ontology: the TGD set (intensional layer).
+        data: the source database (extensional layer); optional --
+            a data-less session can still prepare queries, emit SQL
+            and answer over explicitly passed databases.
+        mappings: GAV assertions source -> ontology vocabulary; when
+            None the source is taken to be stated directly in the
+            ontology's vocabulary (identity mapping).
+        budget: rewriting budget for the engine (default:
+            :meth:`RewritingBudget.default`).
+        cache_dir: directory for the persistent rewriting cache; when
+            None only the in-memory cache is used.  The cache file is
+            keyed by content digests, so any number of sessions (and
+            processes) may share one directory -- see
+            :mod:`repro.api.cache` for the invalidation rules.
+        filter_relevant: forward to the engine's backward-reachability
+            rule filtering.
+    """
+
+    def __init__(
+        self,
+        ontology: Sequence[TGD],
+        data: Database | None = None,
+        *,
+        mappings: Sequence[MappingAssertion] | None = None,
+        budget: RewritingBudget | None = None,
+        cache_dir: str | Path | None = None,
+        filter_relevant: bool = True,
+    ):
+        self._ontology = tuple(ontology)
+        self._source = data
+        self._mappings = tuple(mappings) if mappings is not None else None
+        self._budget = budget or RewritingBudget.default()
+        self._filter_relevant = filter_relevant
+        self._cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._cache = (
+            RewritingCache(self._cache_dir)
+            if self._cache_dir is not None
+            else None
+        )
+        tier = (
+            EngineTier(self._cache, self._ontology, self._budget)
+            if self._cache is not None
+            else None
+        )
+        self._engine = FORewritingEngine(
+            self._ontology,
+            budget=self._budget,
+            filter_relevant=filter_relevant,
+            persistent=tier,
+        )
+        self._lock = threading.RLock()
+        self._prepared: dict[str, PreparedQuery] = {}
+        self._abox: Database | None = None
+        self._sql_backend: SQLiteBackend | None = None
+        self._classification: ClassificationReport | None = None
+        self._closed = False
+
+    # ----------------------------------------------------------------- #
+    # Layers                                                              #
+    # ----------------------------------------------------------------- #
+
+    @property
+    def ontology(self) -> tuple[TGD, ...]:
+        """The intensional layer (TGDs)."""
+        return self._ontology
+
+    @property
+    def ontology_digest(self) -> str:
+        """Content digest of the ontology (the persistent-cache key part)."""
+        return ontology_digest(self._ontology)
+
+    @property
+    def budget(self) -> RewritingBudget:
+        """The rewriting budget every compilation runs under."""
+        return self._budget
+
+    @property
+    def engine(self) -> FORewritingEngine:
+        """The underlying rewriting engine (compilation tier)."""
+        return self._engine
+
+    @property
+    def cache(self) -> RewritingCache | None:
+        """The persistent rewriting cache, or None when not configured."""
+        return self._cache
+
+    @property
+    def cache_dir(self) -> Path | None:
+        """The persistent cache directory, or None."""
+        return self._cache_dir
+
+    @property
+    def data(self) -> Database | None:
+        """The source database this session was opened over (if any)."""
+        return self._source
+
+    def classification(self) -> ClassificationReport:
+        """Where the ontology sits among the implemented classes."""
+        with self._lock:
+            if self._classification is None:
+                self._classification = classify(self._ontology)
+            return self._classification
+
+    def abox(self) -> Database:
+        """The virtual ABox: source data seen through the mappings."""
+        with self._lock:
+            if self._abox is None:
+                if self._source is None:
+                    raise ReproError(
+                        "session has no data; pass a database to "
+                        "answer()/answer_many() or open the session "
+                        "with one"
+                    )
+                if self._mappings is None:
+                    self._abox = self._source
+                else:
+                    with obs.span(
+                        "obda.materialize_abox", mappings=len(self._mappings)
+                    ) as span:
+                        self._abox = apply_mappings(
+                            self._mappings, self._source
+                        )
+                        span.set(facts=len(self._abox))
+            return self._abox
+
+    def sql_backend(self) -> SQLiteBackend:
+        """The lazily created SQLite backend over the virtual ABox.
+
+        The schema covers the whole ontology signature (the rewriting
+        may mention relations with no stored facts), and the backend is
+        shared -- and safe to share -- across batch worker threads.
+        """
+        with self._lock:
+            if self._sql_backend is None:
+                with obs.span("obda.sql_backend_init") as init_span:
+                    abox = self.abox()
+                    signature = Signature(dict(abox.signature))
+                    for rule in self._ontology:
+                        signature.observe_tgd(rule)
+                    backend = SQLiteBackend(signature)
+                    backend.load(abox.facts())
+                    init_span.set(relations=len(signature), facts=len(abox))
+                self._sql_backend = backend
+            return self._sql_backend
+
+    # ----------------------------------------------------------------- #
+    # Compilation                                                         #
+    # ----------------------------------------------------------------- #
+
+    def prepare(
+        self, query: ConjunctiveQuery | UnionOfConjunctiveQueries | str
+    ) -> PreparedQuery:
+        """The session's prepared handle for *query* (memoized).
+
+        Accepts a parsed (U)CQ or query text.  Queries equal up to
+        renaming / reordering share one handle, hence one compilation.
+        """
+        prepared = PreparedQuery(self, self._coerce(query))
+        with self._lock:
+            existing = self._prepared.get(prepared.digest)
+            if existing is not None:
+                return existing
+            self._prepared[prepared.digest] = prepared
+            return prepared
+
+    def prepared_queries(self) -> tuple[PreparedQuery, ...]:
+        """Every handle this session has prepared so far."""
+        with self._lock:
+            return tuple(self._prepared.values())
+
+    @staticmethod
+    def _coerce(
+        query: ConjunctiveQuery | UnionOfConjunctiveQueries | str,
+    ) -> ConjunctiveQuery | UnionOfConjunctiveQueries:
+        if isinstance(query, str):
+            from repro.lang.parser import parse_query
+
+            return parse_query(query)
+        return query
+
+    # ----------------------------------------------------------------- #
+    # Answering                                                           #
+    # ----------------------------------------------------------------- #
+
+    def answer(
+        self,
+        query: ConjunctiveQuery | UnionOfConjunctiveQueries | str,
+        database: Database | None = None,
+        *,
+        backend: str = "memory",
+        require_complete: bool = True,
+    ) -> frozenset[tuple[Term, ...]]:
+        """Certain answers of *query* (prepared implicitly).
+
+        Shorthand for ``session.prepare(query).answer(...)``.
+        """
+        return self.prepare(query).answer(
+            database, backend=backend, require_complete=require_complete
+        )
+
+    def answer_chase(
+        self,
+        query: ConjunctiveQuery | UnionOfConjunctiveQueries | str,
+        max_steps: int = 100_000,
+    ) -> frozenset[tuple[Term, ...]]:
+        """Oracle: certain answers via the restricted chase.
+
+        Exponentially more expensive in the data; used to validate the
+        rewriting pipeline.
+        """
+        with obs.span("obda.chase_oracle") as span:
+            result = certain_answers_via_chase(
+                self._coerce(query),
+                self._ontology,
+                self.abox(),
+                max_steps=max_steps,
+            )
+            span.set(
+                answers=len(result.answers), chase_steps=result.chase_steps
+            )
+        return result.answers
+
+    def answer_many(
+        self,
+        queries: Iterable[ConjunctiveQuery | UnionOfConjunctiveQueries | str],
+        database: Database | None = None,
+        *,
+        max_workers: int | None = None,
+        mode: str = "thread",
+        backend: str = "memory",
+        require_complete: bool = True,
+        ordered: bool = False,
+    ) -> "Iterator":
+        """Answer many independent queries on a worker pool, streaming.
+
+        Yields one :class:`~repro.api.pool.BatchResult` per query *as it
+        completes* (set ``ordered=True`` to stream in input order
+        instead).  ``mode="thread"`` shares this session's engine and
+        caches across a thread pool -- ideal when most compilations hit
+        a cache; ``mode="process"`` fans out over a process pool for
+        real multi-core speedup on cold compilations (each worker
+        builds its own session, sharing only the persistent cache
+        file).  Answers are identical to the sequential path either
+        way.
+        """
+        from repro.api.pool import run_batch
+
+        return run_batch(
+            self,
+            list(queries),
+            database=database,
+            max_workers=max_workers,
+            mode=mode,
+            backend=backend,
+            require_complete=require_complete,
+            ordered=ordered,
+        )
+
+    def answer_all(
+        self,
+        queries: Iterable[ConjunctiveQuery | UnionOfConjunctiveQueries | str],
+        database: Database | None = None,
+        **kwargs,
+    ) -> list:
+        """:meth:`answer_many`, collected into an input-ordered list."""
+        kwargs["ordered"] = True
+        return list(self.answer_many(queries, database, **kwargs))
+
+    def sql_for(
+        self, query: ConjunctiveQuery | UnionOfConjunctiveQueries | str
+    ) -> str:
+        """The SQL text the rewriting of *query* compiles to."""
+        return self.prepare(query).sql
+
+    def _execute(
+        self,
+        prepared: PreparedQuery,
+        *,
+        database: Database | None,
+        backend: str,
+        require_complete: bool,
+    ) -> frozenset[tuple[Term, ...]]:
+        """Evaluation entry point shared by PreparedQuery and the pool."""
+        if backend not in _BACKENDS:
+            raise ReproError(
+                f"unknown backend {backend!r}; expected one of {_BACKENDS}"
+            )
+        if backend == "sql":
+            if database is not None:
+                raise ReproError(
+                    "backend='sql' evaluates over the session's own "
+                    "data; pass databases only with backend='memory'"
+                )
+            result = prepared.result
+            FORewritingEngine._check_complete(result, require_complete)
+            sql_backend = self.sql_backend()
+            sql_backend.ensure_ucq(result.ucq)
+            with obs.span(
+                "obda.answer", backend="sqlite"
+            ) as span:
+                answers = sql_backend.execute_ucq(result.ucq)
+                span.set(answers=len(answers))
+            return answers
+        result = prepared.result
+        FORewritingEngine._check_complete(result, require_complete)
+        target = database if database is not None else self.abox()
+        with obs.span("obda.answer", backend="memory") as span:
+            from repro.data.evaluation import evaluate_ucq
+
+            answers = evaluate_ucq(result.ucq, target)
+            span.set(answers=len(answers))
+        return answers
+
+    # ----------------------------------------------------------------- #
+    # Introspection / lifecycle                                           #
+    # ----------------------------------------------------------------- #
+
+    def cache_stats(self) -> dict[str, object]:
+        """Combined statistics of the in-memory and persistent tiers."""
+        info = self._engine.cache_info()
+        stats: dict[str, object] = {
+            "memory": {
+                "hits": info.hits,
+                "misses": info.misses,
+                "size": info.size,
+            },
+            "persistent": None,
+        }
+        if self._cache is not None:
+            disk: CacheStats = self._cache.stats()
+            stats["persistent"] = {
+                "hits": disk.hits,
+                "misses": disk.misses,
+                "writes": disk.writes,
+                "errors": disk.errors,
+                "entries": len(self._cache),
+                "path": str(self._cache.path),
+            }
+        return stats
+
+    def close(self) -> None:
+        """Release the SQLite backend and cache handle (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._sql_backend is not None:
+                self._sql_backend.close()
+                self._sql_backend = None
+            if self._cache is not None:
+                self._cache.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        cached = f", cache_dir={str(self._cache_dir)!r}" if self._cache_dir else ""
+        return (
+            f"Session({len(self._ontology)} rules, "
+            f"data={'yes' if self._source is not None else 'no'}{cached})"
+        )

@@ -1,13 +1,17 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Five commands mirroring the library's workflow:
+Commands mirroring the library's workflow:
 
 * ``classify``  -- read a TGD program, print the class-membership table
   and the SWR/WR explanations;
 * ``rewrite``   -- read a program and a query, print the UCQ rewriting
   (or, with ``--sql``, the compiled SQL);
 * ``answer``    -- read a program, a query and a fact file, print the
-  certain answers (rewriting-based; ``--via-chase`` for the oracle);
+  certain answers (``--backend sql`` runs the compiled SQL on SQLite;
+  ``--via-chase`` uses the chase oracle);
+* ``batch``     -- read a program and a file of queries (one per
+  line), compile and answer them all on a worker pool, streaming
+  per-query results as they complete;
 * ``graph``     -- emit the position graph or P-node graph of a program
   as a text summary or Graphviz DOT;
 * ``lint``      -- run the static analyzer, emitting span-annotated
@@ -17,17 +21,25 @@ Five commands mirroring the library's workflow:
   pipeline under the observability layer and print the span tree with
   per-stage timings and counters.
 
-The global ``--metrics PATH`` flag (before the subcommand) streams
-every instrumentation record of the run as JSON lines to *PATH*; it
-composes with any subcommand, e.g.
-``repro --metrics out.jsonl answer prog.dlp "q(X) :- a(X)" facts.dlp``.
+Two global flags (before the subcommand) compose with every
+subcommand: ``--metrics PATH`` streams every instrumentation record of
+the run as JSON lines to *PATH*, and ``--cache-dir DIR`` persists
+compiled rewritings to ``DIR/rewritings.sqlite`` so later invocations
+(of ``rewrite``, ``answer``, ``batch`` or ``trace``, over the same
+ontology and budget) skip the rewriting step entirely.
+
+``answer``, ``trace`` and ``batch`` share one *engine options* group
+(``--max-depth``, ``--max-cqs``, ``--max-seconds``; plus
+``--backend`` where evaluation happens) instead of per-command flag
+spellings.
 
 Programs, queries and facts use the textual syntax of
 :mod:`repro.lang.parser`; every input is a file path or ``-`` for
 stdin.
 
-Exit codes: 0 success; 1 findings (lint); 2 input error (unreadable
-file, parse error, ill-formed program); 3 incomplete rewriting.
+Exit codes: 0 success; 1 findings (lint) / failed batch queries;
+2 input error (unreadable file, parse error, ill-formed program);
+3 incomplete rewriting.
 """
 
 from __future__ import annotations
@@ -41,7 +53,6 @@ from repro import obs
 from repro.chase.certain import certain_answers, certain_answers_via_chase
 from repro.core.classify import classify
 from repro.data.database import Database
-from repro.data.evaluation import evaluate_ucq
 from repro.data.sql import ucq_to_sql
 from repro.graphs.dot import pnode_graph_to_dot, position_graph_to_dot
 from repro.graphs.pnode_graph import build_pnode_graph
@@ -77,8 +88,53 @@ def _preflight(rules, query=None, path="<string>") -> tuple[Diagnostic, ...]:
 
 def _budget(args: argparse.Namespace) -> RewritingBudget:
     return RewritingBudget(
-        max_depth=args.max_depth, max_cqs=args.max_cqs, strict=False
+        max_depth=args.max_depth,
+        max_cqs=args.max_cqs,
+        max_seconds=getattr(args, "max_seconds", None),
+        strict=False,
     )
+
+
+def _add_engine_options(
+    parser: argparse.ArgumentParser, backend: bool = False
+) -> None:
+    """The budget/backend option group shared by answer/trace/batch.
+
+    (``rewrite`` and ``lint`` reuse the budget subset.)  Keeping one
+    definition guarantees the subcommands never drift apart in flag
+    names, defaults or help text.
+    """
+    group = parser.add_argument_group(
+        "engine options",
+        "rewriting budget and evaluation backend (shared across "
+        "subcommands; the persistent cache is the global --cache-dir)",
+    )
+    group.add_argument(
+        "--max-depth",
+        type=int,
+        default=50,
+        help="max breadth-first rewriting rounds (default: 50)",
+    )
+    group.add_argument(
+        "--max-cqs",
+        type=int,
+        default=100_000,
+        help="max CQs generated per rewriting (default: 100000)",
+    )
+    group.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="wall-clock ceiling per rewriting (default: unlimited)",
+    )
+    if backend:
+        group.add_argument(
+            "--backend",
+            choices=("memory", "sql"),
+            default="memory",
+            help="evaluate rewritings in-process or as SQL on SQLite "
+            "(default: memory)",
+        )
 
 
 def cmd_classify(args: argparse.Namespace) -> int:
@@ -103,7 +159,17 @@ def cmd_rewrite(args: argparse.Namespace) -> int:
     query = parse_query(args.query)
     if _preflight(rules, query, path=args.program):
         return 2
-    result = rewrite(query, rules, _budget(args))
+    if args.explain or args.cache_dir is None:
+        # --explain needs derivation lineage, which the persistent
+        # cache does not store; compile directly.
+        result = rewrite(query, rules, _budget(args))
+    else:
+        from repro.api import Session
+
+        with Session(
+            rules, budget=_budget(args), cache_dir=args.cache_dir
+        ) as session:
+            result = session.prepare(query).result
     if not result.complete:
         print(
             f"warning: rewriting incomplete within budget "
@@ -124,24 +190,127 @@ def cmd_rewrite(args: argparse.Namespace) -> int:
 
 
 def cmd_answer(args: argparse.Namespace) -> int:
+    from repro.api import Session
+
     rules = parse_program(_read(args.program))
     query = parse_query(args.query)
     database = Database(parse_database(_read(args.data)))
     if args.via_chase:
         answers = certain_answers(query, rules, database)
     else:
-        result = rewrite(query, rules, _budget(args))
-        if not result.complete:
-            print(
-                "warning: rewriting incomplete; answers are a sound "
-                "under-approximation",
-                file=sys.stderr,
+        with Session(
+            rules,
+            database,
+            budget=_budget(args),
+            cache_dir=args.cache_dir,
+        ) as session:
+            prepared = session.prepare(query)
+            if not prepared.complete:
+                print(
+                    "warning: rewriting incomplete; answers are a sound "
+                    "under-approximation",
+                    file=sys.stderr,
+                )
+            answers = prepared.answer(
+                backend=args.backend, require_complete=False
             )
-        answers = evaluate_ucq(result.ucq, database)
     if query.is_boolean():
         print("true" if answers else "false")
     else:
         print(format_answers(answers))
+    return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    import json as _json
+    import time as _time
+
+    from repro.api import Session, resolve_workers
+
+    rules = parse_program(_read(args.program))
+    if _preflight(rules, path=args.program):
+        return 2
+    lines = [
+        line.strip()
+        for line in _read(args.queries).splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    ]
+    if not lines:
+        raise ReproError(f"no queries found in {args.queries}")
+    # Query text is parsed inside the pool tasks, so one malformed
+    # line is a per-item failure (exit 1), not a dead batch.
+    queries = lines
+    database = (
+        Database(parse_database(_read(args.data))) if args.data else None
+    )
+    workers = resolve_workers(args.workers, len(queries))
+    failed = incomplete = 0
+    started = _time.perf_counter()
+    with Session(
+        rules, database, budget=_budget(args), cache_dir=args.cache_dir
+    ) as session:
+        stream = session.answer_many(
+            queries,
+            max_workers=workers,
+            mode=args.mode,
+            backend=args.backend,
+            require_complete=False,
+            ordered=args.ordered,
+        )
+        for item in stream:
+            failed += 0 if item.ok else 1
+            incomplete += 0 if item.complete else 1
+            if args.json:
+                payload = {
+                    "index": item.index,
+                    "query": item.query,
+                    "complete": item.complete,
+                    "disjuncts": item.disjuncts,
+                    "seconds": round(item.seconds, 6),
+                    "error": item.error,
+                    "answers": None
+                    if item.answers is None
+                    else sorted(
+                        [str(term) for term in row] for row in item.answers
+                    ),
+                }
+                print(_json.dumps(payload, sort_keys=True), flush=True)
+            else:
+                if item.error is not None:
+                    status = f"error: {item.error}"
+                elif item.answers is None:
+                    status = f"compiled disjuncts={item.disjuncts}"
+                else:
+                    status = (
+                        f"answers={len(item.answers)} "
+                        f"disjuncts={item.disjuncts}"
+                    )
+                flag = "" if item.complete else " [incomplete]"
+                print(
+                    f"[{item.index + 1}/{len(queries)}] {item.query}  "
+                    f"{status}{flag} ({item.seconds * 1000:.1f}ms)",
+                    flush=True,
+                )
+        stats = session.cache_stats()
+    elapsed = _time.perf_counter() - started
+    memory = stats["memory"]
+    summary = (
+        f"batch: {len(queries)} queries in {elapsed:.2f}s "
+        f"({workers} {args.mode} worker(s)); "
+        f"{failed} failed, {incomplete} incomplete; "
+        f"memory cache {memory['hits']}h/{memory['misses']}m"
+    )
+    persistent = stats["persistent"]
+    if persistent is not None:
+        summary += (
+            f", persistent cache {persistent['hits']}h/"
+            f"{persistent['misses']}m ({persistent['entries']} entries)"
+        )
+    print(summary, file=sys.stderr)
+    if failed:
+        return 1
+    if incomplete:
+        return 3
     return 0
 
 
@@ -182,10 +351,8 @@ def _default_query(rules):
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    from repro.data.sql import SQLiteBackend
-    from repro.lang.signature import Signature
+    from repro.api import Session
     from repro.obs import TreeSink
-    from repro.rewriting.engine import FORewritingEngine
 
     tree = TreeSink()
     complete = True
@@ -202,50 +369,50 @@ def cmd_trace(args: argparse.Namespace) -> int:
                     if args.query
                     else _default_query(rules)
                 )
-            engine = FORewritingEngine(rules, budget=_budget(args))
-            result = engine.rewrite(query)
-            complete = result.complete
-            trace_span.set(query=str(query), complete=complete)
-            summary.append(f"query:     {query}")
-            summary.append(
-                f"rewriting: {result.size} disjunct(s), "
-                f"depth {result.depth_reached}, complete={result.complete}"
-            )
-            sql_text = ucq_to_sql(result.ucq)
-            summary.append(f"sql:       {len(sql_text)} chars")
             if args.data:
                 with obs.span("parse.data"):
                     database = Database(parse_database(_read(args.data)))
-                answers = engine.answer(
-                    query, database, require_complete=False
-                )
-                signature = Signature(dict(database.signature))
-                for rule in rules:
-                    signature.observe_tgd(rule)
-                signature.observe_query(query)
-                with SQLiteBackend(signature) as backend:
-                    backend.load(database.facts())
-                    sql_answers = engine.answer_sql(
-                        query, backend, require_complete=False
-                    )
-                chase = certain_answers_via_chase(
-                    query, rules, database, strict=False
-                )
-                agree = answers == sql_answers
-                if result.complete and chase.complete:
-                    agree = agree and answers == chase.answers
-                obs.event(
-                    "trace.differential",
-                    memory=len(answers),
-                    sql=len(sql_answers),
-                    chase=len(chase.answers),
-                    agree=agree,
-                )
+            else:
+                database = None
+            with Session(
+                rules,
+                database,
+                budget=_budget(args),
+                cache_dir=args.cache_dir,
+            ) as session:
+                prepared = session.prepare(query)
+                result = prepared.result
+                complete = result.complete
+                trace_span.set(query=str(query), complete=complete)
+                summary.append(f"query:     {query}")
                 summary.append(
-                    f"answers:   memory={len(answers)} "
-                    f"sql={len(sql_answers)} chase={len(chase.answers)} "
-                    f"agree={agree}"
+                    f"rewriting: {result.size} disjunct(s), "
+                    f"depth {result.depth_reached}, complete={result.complete}"
                 )
+                summary.append(f"sql:       {len(prepared.sql)} chars")
+                if database is not None:
+                    answers = prepared.answer(require_complete=False)
+                    sql_answers = prepared.answer(
+                        backend="sql", require_complete=False
+                    )
+                    chase = certain_answers_via_chase(
+                        query, rules, database, strict=False
+                    )
+                    agree = answers == sql_answers
+                    if result.complete and chase.complete:
+                        agree = agree and answers == chase.answers
+                    obs.event(
+                        "trace.differential",
+                        memory=len(answers),
+                        sql=len(sql_answers),
+                        chase=len(chase.answers),
+                        agree=agree,
+                    )
+                    summary.append(
+                        f"answers:   memory={len(answers)} "
+                        f"sql={len(sql_answers)} chase={len(chase.answers)} "
+                        f"agree={agree}"
+                    )
     print(tree.render())
     print()
     print("\n".join(summary))
@@ -293,6 +460,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream instrumentation records (spans, counters, events) "
         "of this run as JSON lines to PATH; works with every subcommand",
     )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persist compiled rewritings to DIR/rewritings.sqlite; "
+        "later runs over the same ontology+budget reuse them "
+        "(works with rewrite, answer, batch and trace)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_classify = sub.add_parser(
@@ -303,10 +478,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain", action="store_true", help="print per-class reasons"
     )
     p_classify.set_defaults(func=cmd_classify)
-
-    def add_budget(p):
-        p.add_argument("--max-depth", type=int, default=50)
-        p.add_argument("--max-cqs", type=int, default=100_000)
 
     p_rewrite = sub.add_parser("rewrite", help="UCQ rewriting of a query")
     p_rewrite.add_argument("program")
@@ -319,7 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="annotate each disjunct with its rule derivation",
     )
-    add_budget(p_rewrite)
+    _add_engine_options(p_rewrite)
     p_rewrite.set_defaults(func=cmd_rewrite)
 
     p_answer = sub.add_parser("answer", help="certain answers over facts")
@@ -331,8 +502,50 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the chase oracle instead of rewriting",
     )
-    add_budget(p_answer)
+    _add_engine_options(p_answer, backend=True)
     p_answer.set_defaults(func=cmd_answer)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="compile and answer a file of queries on a worker pool, "
+        "streaming per-query results",
+    )
+    p_batch.add_argument("program", help="TGD file ('-' for stdin)")
+    p_batch.add_argument(
+        "queries",
+        help="query file: one CQ per line, '#' comments and blank "
+        "lines ignored",
+    )
+    p_batch.add_argument(
+        "data",
+        nargs="?",
+        help="fact file; omit to compile (and cache) without answering",
+    )
+    p_batch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count (default: min(cpu count, batch size))",
+    )
+    p_batch.add_argument(
+        "--mode",
+        choices=("thread", "process"),
+        default="thread",
+        help="thread pool sharing one engine/cache (default) or a "
+        "process pool for multi-core cold compilation",
+    )
+    p_batch.add_argument(
+        "--ordered",
+        action="store_true",
+        help="stream results in input order instead of completion order",
+    )
+    p_batch.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON object per query instead of text lines",
+    )
+    _add_engine_options(p_batch, backend=True)
+    p_batch.set_defaults(func=cmd_batch)
 
     p_graph = sub.add_parser(
         "graph", help="position graph / P-node graph of a program"
@@ -366,7 +579,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fact file: also trace in-memory, SQL and chase answering "
         "plus their differential comparison",
     )
-    add_budget(p_trace)
+    _add_engine_options(p_trace)
     p_trace.set_defaults(func=cmd_trace)
 
     p_lint = sub.add_parser(
@@ -406,7 +619,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=8,
         help="RL020 fires at this many rules deriving one relation",
     )
-    add_budget(p_lint)
+    _add_engine_options(p_lint)
     p_lint.set_defaults(func=cmd_lint)
 
     return parser

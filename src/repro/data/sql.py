@@ -19,6 +19,7 @@ SQL equality.
 from __future__ import annotations
 
 import sqlite3
+import threading
 from typing import Iterable, Sequence
 
 from repro import obs
@@ -127,24 +128,54 @@ class SQLiteBackend:
     The backend creates one table per relation with columns
     ``c1 ... ck`` and a covering index per column, then evaluates
     compiled SQL with ordinary SQLite query processing.
+
+    The backend is safe to share across the worker threads of
+    :meth:`repro.api.Session.answer_many`: one connection is opened with
+    ``check_same_thread=False`` and every statement runs under an
+    internal lock (SQLite serialises at the C level anyway; the lock
+    also keeps the progress-handler tick accounting exact).  ``close``
+    is idempotent, and using a closed backend raises
+    :class:`~repro.lang.errors.ReproError` rather than leaking a stale
+    handle.
     """
 
     def __init__(self, signature: Signature):
         self._signature = signature
-        self._connection = sqlite3.connect(":memory:")
+        self._lock = threading.RLock()
+        self._connection: sqlite3.Connection | None = sqlite3.connect(
+            ":memory:", check_same_thread=False
+        )
         for relation in signature.relations():
-            arity = signature[relation]
-            columns = ", ".join(f"c{i} TEXT NOT NULL" for i in range(1, arity + 1))
-            if arity == 0:
-                columns = "c0 TEXT NOT NULL DEFAULT ''"
-            self._connection.execute(
-                f"CREATE TABLE {_quote_ident(relation)} ({columns})"
+            self._create_relation(relation, signature[relation])
+
+    def _create_relation(self, relation: str, arity: int) -> None:
+        columns = ", ".join(f"c{i} TEXT NOT NULL" for i in range(1, arity + 1))
+        if arity == 0:
+            columns = "c0 TEXT NOT NULL DEFAULT ''"
+        connection = self._conn()
+        connection.execute(
+            f"CREATE TABLE {_quote_ident(relation)} ({columns})"
+        )
+        for i in range(1, arity + 1):
+            connection.execute(
+                f"CREATE INDEX {_quote_ident(f'ix_{relation}_{i}')} "
+                f"ON {_quote_ident(relation)} (c{i})"
             )
-            for i in range(1, arity + 1):
-                self._connection.execute(
-                    f"CREATE INDEX {_quote_ident(f'ix_{relation}_{i}')} "
-                    f"ON {_quote_ident(relation)} (c{i})"
-                )
+
+    def ensure_ucq(
+        self, query: UnionOfConjunctiveQueries | ConjunctiveQuery
+    ) -> None:
+        """Create (empty) tables for relations the query mentions but
+        the loaded signature lacks, so compiled SQL never hits a
+        missing table -- rewritings may reference ontology relations
+        with no stored facts."""
+        ucq = UnionOfConjunctiveQueries.of(query)
+        with self._lock:
+            for cq in ucq:
+                for atom in cq.body:
+                    if atom.relation not in self._signature.relations():
+                        self._signature.declare(atom.relation, atom.arity)
+                        self._create_relation(atom.relation, atom.arity)
 
     @classmethod
     def from_database(cls, database: Database) -> "SQLiteBackend":
@@ -153,18 +184,29 @@ class SQLiteBackend:
         backend.load(database.facts())
         return backend
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has released the connection."""
+        return self._connection is None
+
+    def _conn(self) -> sqlite3.Connection:
+        if self._connection is None:
+            raise ReproError("SQLiteBackend is closed")
+        return self._connection
+
     def load(self, facts: Iterable[Atom]) -> int:
         """Bulk-insert facts; returns the number of rows inserted."""
-        with obs.span("sql.load") as span:
+        with obs.span("sql.load") as span, self._lock:
+            connection = self._conn()
             count = 0
             for fact in facts:
                 placeholders = ", ".join("?" for _ in fact.terms) or "''"
-                self._connection.execute(
+                connection.execute(
                     f"INSERT INTO {_quote_ident(fact.relation)} VALUES ({placeholders})",
                     tuple(_encode(t) for t in fact.terms),
                 )
                 count += 1
-            self._connection.commit()
+            connection.commit()
             span.set(rows=count)
             obs.count("sql.rows_loaded", count)
         return count
@@ -180,21 +222,23 @@ class SQLiteBackend:
         """
         ticks = 0
         instrumented = obs.enabled()
-        if instrumented:
-
-            def on_progress() -> int:
-                nonlocal ticks
-                ticks += 1
-                return 0
-
-            self._connection.set_progress_handler(
-                on_progress, _PROGRESS_GRANULARITY
-            )
-        try:
-            rows = self._connection.execute(sql).fetchall()
-        finally:
+        with self._lock:
+            connection = self._conn()
             if instrumented:
-                self._connection.set_progress_handler(None, 0)
+
+                def on_progress() -> int:
+                    nonlocal ticks
+                    ticks += 1
+                    return 0
+
+                connection.set_progress_handler(
+                    on_progress, _PROGRESS_GRANULARITY
+                )
+            try:
+                rows = connection.execute(sql).fetchall()
+            finally:
+                if instrumented:
+                    connection.set_progress_handler(None, 0)
         if instrumented:
             obs.count("sql.statements")
             obs.count("sql.rows_fetched", len(rows))
@@ -234,8 +278,11 @@ class SQLiteBackend:
         return _decode_rows(rows, ucq.arity)
 
     def close(self) -> None:
-        """Close the underlying SQLite connection."""
-        self._connection.close()
+        """Close the underlying SQLite connection (idempotent)."""
+        with self._lock:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None
 
     def __enter__(self) -> "SQLiteBackend":
         return self

@@ -180,6 +180,6 @@ def is_satisfiable(
     engine = FORewritingEngine(rules)
     violated: list[str] = []
     for axiom, query in zip(tbox.negative_axioms(), violation_queries(tbox)):
-        if engine.answer(query, abox):
+        if engine._answer(query, abox):
             violated.append(str(axiom))
     return (not violated, tuple(violated))

@@ -1,38 +1,46 @@
-"""The OBDA system facade.
+"""The legacy OBDA system facade (deprecated shim).
 
-:class:`OBDASystem` assembles the three layers of Section 1 of the
-paper: a TGD ontology, an optional GAV mapping layer, and a source
-database.  Query answering runs the FO-rewriting pipeline by default
-(rewrite once, evaluate over the virtual ABox -- either in memory or
-compiled to SQL), with a chase-based oracle for validation.
+:class:`OBDASystem` was the original public entry point assembling the
+three layers of Section 1 of the paper: a TGD ontology, an optional GAV
+mapping layer, and a source database.  It is now a thin delegating shim
+over :class:`repro.api.Session`, kept for backward compatibility; new
+code should open a session directly::
 
-Before answering, :meth:`OBDASystem.classification` reports where the
-ontology sits among the library's classes (the paper's Section 7
-scenarios: WR / undetermined / not WR), so callers can decide between
-exact rewriting and the sound approximation of
-:mod:`repro.rewriting.approx`.
+    from repro.api import Session
+
+    with Session(ontology, database, mappings=mappings) as session:
+        session.answer(query)                  # was certain_answers
+        session.answer(query, backend="sql")   # was certain_answers_sql
+        session.answer_chase(query)            # was certain_answers_chase
+
+Constructing an :class:`OBDASystem` emits a :class:`DeprecationWarning`;
+``docs/api.md`` has the full migration table.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import warnings
+from typing import TYPE_CHECKING, Sequence
 
-from repro import obs
-from repro.chase.certain import certain_answers_via_chase
-from repro.core.classify import ClassificationReport, classify
+from repro.core.classify import ClassificationReport
 from repro.data.database import Database
-from repro.data.sql import SQLiteBackend
 from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
-from repro.lang.signature import Signature
 from repro.lang.terms import Term
 from repro.lang.tgd import TGD
-from repro.obda.mappings import MappingAssertion, apply_mappings
+from repro.obda.mappings import MappingAssertion
 from repro.rewriting.budget import RewritingBudget
 from repro.rewriting.engine import FORewritingEngine
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api.session import Session
+
 
 class OBDASystem:
-    """Ontology + mappings + data: certain-answer query answering.
+    """Deprecated: use :class:`repro.api.Session` instead.
+
+    Every method delegates to an internal session; behaviour (including
+    the three answering paths and the context-manager protocol) is
+    unchanged.
 
     Args:
         ontology: the TGD set (intensional layer).
@@ -50,46 +58,46 @@ class OBDASystem:
         mappings: Sequence[MappingAssertion] | None = None,
         budget: RewritingBudget | None = None,
     ):
-        self._ontology = tuple(ontology)
-        self._source = source
-        self._mappings = tuple(mappings) if mappings is not None else None
-        self._engine = FORewritingEngine(self._ontology, budget=budget)
-        self._abox: Database | None = None
-        self._sql_backend: SQLiteBackend | None = None
-        self._classification: ClassificationReport | None = None
+        warnings.warn(
+            "OBDASystem is deprecated; use repro.api.Session instead "
+            "(see docs/api.md for the migration guide)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        # Imported lazily: repro.api.session itself imports the obda
+        # mapping layer, so a module-level import here would be a cycle.
+        from repro.api.session import Session
+
+        self._session = Session(
+            ontology, source, mappings=mappings, budget=budget
+        )
 
     # ----------------------------------------------------------------- #
     # Layers                                                              #
     # ----------------------------------------------------------------- #
 
     @property
+    def session(self) -> "Session":
+        """The underlying session (the non-deprecated API)."""
+        return self._session
+
+    @property
     def ontology(self) -> tuple[TGD, ...]:
         """The intensional layer (TGDs)."""
-        return self._ontology
+        return self._session.ontology
 
     @property
     def engine(self) -> FORewritingEngine:
         """The underlying rewriting engine (rewritings are cached)."""
-        return self._engine
+        return self._session.engine
 
     def abox(self) -> Database:
         """The virtual ABox: source data seen through the mappings."""
-        if self._abox is None:
-            if self._mappings is None:
-                self._abox = self._source
-            else:
-                with obs.span(
-                    "obda.materialize_abox", mappings=len(self._mappings)
-                ) as span:
-                    self._abox = apply_mappings(self._mappings, self._source)
-                    span.set(facts=len(self._abox))
-        return self._abox
+        return self._session.abox()
 
     def classification(self) -> ClassificationReport:
         """Where the ontology sits among the implemented classes."""
-        if self._classification is None:
-            self._classification = classify(self._ontology)
-        return self._classification
+        return self._session.classification()
 
     # ----------------------------------------------------------------- #
     # Query answering                                                     #
@@ -101,68 +109,33 @@ class OBDASystem:
         require_complete: bool = True,
     ) -> frozenset[tuple[Term, ...]]:
         """Certain answers via FO rewriting over the virtual ABox."""
-        with obs.span("obda.answer", backend="memory") as span:
-            answers = self._engine.answer(
-                query, self.abox(), require_complete=require_complete
-            )
-            span.set(answers=len(answers))
-        return answers
+        return self._session.answer(
+            query, require_complete=require_complete
+        )
 
     def certain_answers_sql(
         self, query: ConjunctiveQuery | UnionOfConjunctiveQueries
     ) -> frozenset[tuple[Term, ...]]:
         """Certain answers with the rewriting executed as SQLite SQL."""
-        if self._sql_backend is None:
-            # The rewriting may mention ontology relations with no
-            # stored facts, so the schema covers the whole ontology
-            # signature, not just the ABox's.
-            with obs.span("obda.sql_backend_init") as init_span:
-                abox = self.abox()
-                signature = Signature(dict(abox.signature))
-                for rule in self._ontology:
-                    signature.observe_tgd(rule)
-                backend = SQLiteBackend(signature)
-                backend.load(abox.facts())
-                init_span.set(
-                    relations=len(signature), facts=len(abox)
-                )
-            self._sql_backend = backend
-        with obs.span("obda.answer", backend="sqlite") as span:
-            answers = self._engine.answer_sql(query, self._sql_backend)
-            span.set(answers=len(answers))
-        return answers
+        return self._session.answer(query, backend="sql")
 
     def certain_answers_chase(
         self,
         query: ConjunctiveQuery | UnionOfConjunctiveQueries,
         max_steps: int = 100_000,
     ) -> frozenset[tuple[Term, ...]]:
-        """Oracle: certain answers via the restricted chase.
-
-        Exponentially more expensive in the data; used to validate the
-        rewriting pipeline (and by the E10 bench to show the rewriting
-        side's data-complexity advantage).
-        """
-        with obs.span("obda.chase_oracle") as span:
-            result = certain_answers_via_chase(
-                query, self._ontology, self.abox(), max_steps=max_steps
-            )
-            span.set(
-                answers=len(result.answers), chase_steps=result.chase_steps
-            )
-        return result.answers
+        """Oracle: certain answers via the restricted chase."""
+        return self._session.answer_chase(query, max_steps=max_steps)
 
     def sql_for(
         self, query: ConjunctiveQuery | UnionOfConjunctiveQueries
     ) -> str:
         """The SQL text the rewriting compiles to."""
-        return self._engine.sql_for(query)
+        return self._session.sql_for(query)
 
     def close(self) -> None:
         """Release the SQLite backend, if one was created."""
-        if self._sql_backend is not None:
-            self._sql_backend.close()
-            self._sql_backend = None
+        self._session.close()
 
     def __enter__(self) -> "OBDASystem":
         return self

@@ -7,11 +7,19 @@ by (1) computing the FO-rewriting of the query w.r.t. the TGDs and
 in-memory evaluator or compiled to SQL on a SQLite backend.  Data
 complexity is therefore that of evaluating a fixed FO query (AC0),
 which is the whole point of FO-rewritability (Definition 1).
+
+The engine is the compilation tier of the public session API
+(:mod:`repro.api`): :class:`~repro.api.Session` owns one engine per
+ontology and adds a persistent on-disk tier behind the engine's
+in-memory cache.  Calling the engine directly still works but is
+deprecated in favour of ``Session.prepare`` / ``PreparedQuery``.
 """
 
 from __future__ import annotations
 
-from typing import NamedTuple, Sequence
+import threading
+import warnings
+from typing import NamedTuple, Protocol, Sequence
 
 from repro import obs
 from repro.data.database import Database
@@ -24,13 +32,55 @@ from repro.lang.tgd import TGD
 from repro.rewriting.budget import RewritingBudget
 from repro.rewriting.rewriter import RewritingResult, rewrite
 
+ENGINE_VERSION = "2"
+"""Version tag of the rewriting algorithm + cache entry format.
+
+Bumped whenever a change to the rewriter could alter the UCQ produced
+for the same (ontology, query, budget) triple.  The persistent cache
+of :mod:`repro.api.cache` embeds this tag in every cache key, so a
+version bump automatically invalidates all previously compiled
+rewritings without any migration logic.
+"""
+
 
 class CacheInfo(NamedTuple):
-    """Hit/miss statistics of the engine's rewriting cache."""
+    """Hit/miss statistics of the engine's in-memory rewriting cache.
+
+    ``misses`` counts queries the in-memory tier did not hold -- they
+    were served either by the persistent tier (when one is attached;
+    see the ``engine.disk_hits`` counter) or by a fresh rewriting run.
+    """
 
     hits: int
     misses: int
     size: int
+
+
+class PersistentTier(Protocol):
+    """Second-level rewriting cache the engine consults on memory miss.
+
+    Implemented by :class:`repro.api.cache.EngineTier`; any object with
+    the same two methods works.  Both methods must be safe to call from
+    multiple threads and must *never raise* -- a broken persistent tier
+    degrades to recomputation, it does not break answering.
+    """
+
+    def get(self, ucq: UnionOfConjunctiveQueries) -> RewritingResult | None:
+        """The stored rewriting of *ucq*, or None."""
+        ...
+
+    def put(self, ucq: UnionOfConjunctiveQueries, result: RewritingResult) -> None:
+        """Persist the rewriting of *ucq*."""
+        ...
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead (see docs/api.md for "
+        "the migration guide)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class FORewritingEngine:
@@ -40,9 +90,17 @@ class FORewritingEngine:
     form, so alpha-renamed or atom-reordered variants of a query share
     one entry), and answering the same query over many databases pays
     the rewriting cost once -- the usage pattern OBDA is designed
-    around.  Cache effectiveness is observable via :meth:`cache_info`
-    and the ``engine.cache_hits`` / ``engine.cache_misses`` counters
-    of :mod:`repro.obs`.
+    around.  An optional *persistent* second tier (attached by
+    :class:`repro.api.Session` when it has a cache directory) is
+    consulted on in-memory miss before any rewriting runs.  Cache
+    effectiveness is observable via :meth:`cache_info` and the
+    ``engine.cache_hits`` / ``engine.cache_misses`` /
+    ``engine.disk_hits`` counters of :mod:`repro.obs`.
+
+    The engine is thread-safe: concurrent lookups of the same query
+    are single-flighted (one thread rewrites, the others wait for the
+    entry), which keeps both the work and the hit/miss accounting
+    exact under the batch worker pool of :meth:`repro.api.Session.answer_many`.
     """
 
     def __init__(
@@ -50,67 +108,105 @@ class FORewritingEngine:
         rules: Sequence[TGD],
         budget: RewritingBudget | None = None,
         filter_relevant: bool = True,
+        persistent: PersistentTier | None = None,
     ):
         self._rules = tuple(rules)
         self._budget = budget or RewritingBudget.default()
         self._filter_relevant = filter_relevant
+        self._persistent = persistent
         self._cache: dict[UnionOfConjunctiveQueries, RewritingResult] = {}
         self._hits = 0
         self._misses = 0
+        self._lock = threading.Lock()
+        self._inflight: dict[UnionOfConjunctiveQueries, threading.Event] = {}
 
     @property
     def rules(self) -> tuple[TGD, ...]:
         """The ontology this engine answers queries over."""
         return self._rules
 
-    def cache_info(self) -> CacheInfo:
-        """Hits, misses and current size of the rewriting cache."""
-        return CacheInfo(self._hits, self._misses, len(self._cache))
+    @property
+    def budget(self) -> RewritingBudget:
+        """The rewriting budget every compilation runs under."""
+        return self._budget
 
-    def rewrite(
+    def cache_info(self) -> CacheInfo:
+        """Hits, misses and current size of the in-memory cache."""
+        with self._lock:
+            return CacheInfo(self._hits, self._misses, len(self._cache))
+
+    # ----------------------------------------------------------------- #
+    # Compilation (tiered cache)                                          #
+    # ----------------------------------------------------------------- #
+
+    def _rewrite(
         self, query: ConjunctiveQuery | UnionOfConjunctiveQueries
     ) -> RewritingResult:
-        """The (cached) rewriting of *query* w.r.t. the engine's rules."""
-        ucq = UnionOfConjunctiveQueries.of(query)
-        result = self._cache.get(ucq)
-        if result is None:
-            self._misses += 1
-            obs.count("engine.cache_misses")
-            with obs.span("engine.rewrite", cached=False) as span:
-                rules: Sequence[TGD] = self._rules
-                if self._filter_relevant:
-                    from repro.rewriting.relevance import relevant_rules
+        """The (cached) rewriting of *query* w.r.t. the engine's rules.
 
-                    rules = relevant_rules(ucq, rules).relevant
-                    span.set(relevant_rules=len(rules))
-                result = rewrite(ucq, rules, self._budget)
-                span.set(complete=result.complete, size=result.size)
-            self._cache[ucq] = result
-        else:
-            self._hits += 1
-            obs.count("engine.cache_hits")
+        Lookup order: in-memory cache, persistent tier (if attached),
+        fresh rewriting run.  Internal entry point -- the public
+        :meth:`rewrite` delegates here after its deprecation notice,
+        and :class:`repro.api.PreparedQuery` calls it directly.
+        """
+        ucq = UnionOfConjunctiveQueries.of(query)
+        while True:
+            with self._lock:
+                result = self._cache.get(ucq)
+                if result is not None:
+                    self._hits += 1
+                    obs.count("engine.cache_hits")
+                    return result
+                waiter = self._inflight.get(ucq)
+                if waiter is None:
+                    self._inflight[ucq] = threading.Event()
+                    break
+            # Another thread is compiling this query; wait for its
+            # entry and retry the lookup (counted as a hit: no work).
+            waiter.wait()
+        result = None
+        try:
+            result = self._compile(ucq)
+        finally:
+            with self._lock:
+                if result is not None:
+                    self._cache[ucq] = result
+                self._inflight.pop(ucq).set()
         return result
 
-    def answer(
+    def _compile(self, ucq: UnionOfConjunctiveQueries) -> RewritingResult:
+        """Persistent-tier lookup, falling back to a rewriting run."""
+        with self._lock:
+            self._misses += 1
+        obs.count("engine.cache_misses")
+        if self._persistent is not None:
+            stored = self._persistent.get(ucq)
+            if stored is not None:
+                obs.count("engine.disk_hits")
+                return stored
+            obs.count("engine.disk_misses")
+        with obs.span("engine.rewrite", cached=False) as span:
+            rules: Sequence[TGD] = self._rules
+            if self._filter_relevant:
+                from repro.rewriting.relevance import relevant_rules
+
+                rules = relevant_rules(ucq, rules).relevant
+                span.set(relevant_rules=len(rules))
+            result = rewrite(ucq, rules, self._budget)
+            span.set(complete=result.complete, size=result.size)
+        if self._persistent is not None:
+            self._persistent.put(ucq, result)
+        return result
+
+    def _answer(
         self,
         query: ConjunctiveQuery | UnionOfConjunctiveQueries,
         database: Database,
         require_complete: bool = True,
     ) -> frozenset[tuple[Term, ...]]:
-        """Certain answers of *query* over (rules, database).
-
-        With ``require_complete=True`` (default) an incomplete rewriting
-        (budget exhausted) raises; with False the sound partial answer
-        set is returned.
-        """
-        result = self.rewrite(query)
-        if require_complete and not result.complete:
-            raise RewritingBudgetExceeded(
-                "rewriting incomplete within budget; pass "
-                "require_complete=False for a sound approximation",
-                partial_cqs=result.generated,
-                depth_reached=result.depth_reached,
-            )
+        """Certain answers of *query* over (rules, database)."""
+        result = self._rewrite(query)
+        self._check_complete(result, require_complete)
         with obs.span(
             "engine.answer", backend="memory", complete=result.complete
         ) as span:
@@ -118,21 +214,15 @@ class FORewritingEngine:
             span.set(answers=len(answers))
         return answers
 
-    def answer_sql(
+    def _answer_sql(
         self,
         query: ConjunctiveQuery | UnionOfConjunctiveQueries,
         backend: SQLiteBackend,
         require_complete: bool = True,
     ) -> frozenset[tuple[Term, ...]]:
-        """Like :meth:`answer` but evaluated as SQL on a SQLite backend."""
-        result = self.rewrite(query)
-        if require_complete and not result.complete:
-            raise RewritingBudgetExceeded(
-                "rewriting incomplete within budget; pass "
-                "require_complete=False for a sound approximation",
-                partial_cqs=result.generated,
-                depth_reached=result.depth_reached,
-            )
+        """Like :meth:`_answer` but evaluated as SQL on a SQLite backend."""
+        result = self._rewrite(query)
+        self._check_complete(result, require_complete)
         with obs.span(
             "engine.answer", backend="sqlite", complete=result.complete
         ) as span:
@@ -140,8 +230,56 @@ class FORewritingEngine:
             span.set(answers=len(answers))
         return answers
 
+    @staticmethod
+    def _check_complete(result: RewritingResult, require_complete: bool) -> None:
+        if require_complete and not result.complete:
+            raise RewritingBudgetExceeded(
+                "rewriting incomplete within budget; pass "
+                "require_complete=False for a sound approximation",
+                partial_cqs=result.generated,
+                depth_reached=result.depth_reached,
+            )
+
+    # ----------------------------------------------------------------- #
+    # Deprecated direct entry points                                      #
+    # ----------------------------------------------------------------- #
+
+    def rewrite(
+        self, query: ConjunctiveQuery | UnionOfConjunctiveQueries
+    ) -> RewritingResult:
+        """Deprecated: use ``Session.prepare(query).result`` instead."""
+        _deprecated("FORewritingEngine.rewrite", "repro.api.Session.prepare")
+        return self._rewrite(query)
+
+    def answer(
+        self,
+        query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+        database: Database,
+        require_complete: bool = True,
+    ) -> frozenset[tuple[Term, ...]]:
+        """Deprecated: use ``Session.answer`` / ``PreparedQuery.answer``.
+
+        With ``require_complete=True`` (default) an incomplete rewriting
+        (budget exhausted) raises; with False the sound partial answer
+        set is returned.
+        """
+        _deprecated("FORewritingEngine.answer", "repro.api.Session.answer")
+        return self._answer(query, database, require_complete)
+
+    def answer_sql(
+        self,
+        query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+        backend: SQLiteBackend,
+        require_complete: bool = True,
+    ) -> frozenset[tuple[Term, ...]]:
+        """Deprecated: use ``Session.answer(query, backend="sql")``."""
+        _deprecated(
+            "FORewritingEngine.answer_sql", 'repro.api.Session.answer(backend="sql")'
+        )
+        return self._answer_sql(query, backend, require_complete)
+
     def sql_for(
         self, query: ConjunctiveQuery | UnionOfConjunctiveQueries
     ) -> str:
         """The SQL text of the rewriting (the "equivalent SQL query")."""
-        return ucq_to_sql(self.rewrite(query).ucq)
+        return ucq_to_sql(self._rewrite(query).ucq)

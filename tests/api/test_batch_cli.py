@@ -1,0 +1,155 @@
+"""The ``repro batch`` subcommand end to end."""
+
+import json
+
+import pytest
+
+from repro import cli
+
+PROGRAM = """
+R1: s(Y1, Y2, Y3), t(Y4) -> r(Y1, Y3).
+R2: v(Y1, Y2), q0(Y2) -> s(Y1, Y3, Y2).
+R3: r(Y1, Y2) -> v(Y1, Y2).
+"""
+
+QUERIES = """
+# three queries, one comment, one blank line
+
+q(X) :- r(X, Y)
+q(X, Y) :- v(X, Y)
+q() :- s(X, Y, Z)
+"""
+
+DATA = "v(a, b). q0(b). t(c)."
+
+
+@pytest.fixture
+def files(tmp_path):
+    program = tmp_path / "program.dlp"
+    queries = tmp_path / "queries.txt"
+    data = tmp_path / "facts.txt"
+    program.write_text(PROGRAM)
+    queries.write_text(QUERIES)
+    data.write_text(DATA)
+    return program, queries, data
+
+
+def test_batch_text_output(files, capsys):
+    program, queries, data = files
+    code = cli.main(
+        ["batch", str(program), str(queries), str(data), "--ordered"]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    lines = captured.out.strip().splitlines()
+    assert len(lines) == 3
+    assert lines[0].startswith("[1/3] q(X) :- r(X, Y)")
+    assert "answers=1" in lines[0]
+    assert "batch: 3 queries" in captured.err
+    assert "0 failed, 0 incomplete" in captured.err
+
+
+def test_batch_json_output(files, capsys):
+    program, queries, data = files
+    code = cli.main(
+        ["batch", str(program), str(queries), str(data), "--json", "--ordered"]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    rows = [json.loads(line) for line in captured.out.strip().splitlines()]
+    assert [row["index"] for row in rows] == [0, 1, 2]
+    assert all(row["error"] is None for row in rows)
+    assert rows[1]["answers"] == [['"a"', '"b"']]
+
+
+def test_batch_compile_only_without_data(files, capsys):
+    program, queries, _ = files
+    code = cli.main(["batch", str(program), str(queries), "--ordered"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "compiled disjuncts=" in captured.out
+    assert "answers=" not in captured.out
+
+
+def test_batch_warm_cache_across_invocations(files, tmp_path, capsys):
+    program, queries, data = files
+    cache_dir = tmp_path / "cache"
+    argv = [
+        "--cache-dir",
+        str(cache_dir),
+        "batch",
+        str(program),
+        str(queries),
+        str(data),
+    ]
+    assert cli.main(argv) == 0
+    capsys.readouterr()
+    assert cli.main(argv) == 0
+    captured = capsys.readouterr()
+    # Second invocation served every compilation from the cache file.
+    assert "persistent cache 3h/0m (3 entries)" in captured.err
+
+
+def test_batch_failed_query_exits_one(files, capsys):
+    program, queries, data = files
+    queries.write_text("q(X) :- r(X, Y)\nq(X) :- \n")
+    code = cli.main(["batch", str(program), str(queries), str(data), "--ordered"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "error:" in captured.out
+    assert "1 failed" in captured.err
+
+
+def test_batch_incomplete_rewriting_exits_three(files, capsys):
+    program, queries, data = files
+    code = cli.main(
+        [
+            "batch",
+            str(program),
+            str(queries),
+            str(data),
+            "--max-depth",
+            "1",
+            "--max-cqs",
+            "1",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 3
+    assert "[incomplete]" in captured.out
+
+
+def test_batch_rejects_ill_formed_program(files, capsys):
+    program, queries, data = files
+    program.write_text("R1: r(X, Y) -> r(X).\n")  # arity clash
+    code = cli.main(["batch", str(program), str(queries), str(data)])
+    assert code == 2
+
+
+def test_batch_empty_query_file_is_an_input_error(files, capsys):
+    program, queries, data = files
+    queries.write_text("# only comments\n")
+    code = cli.main(["batch", str(program), str(queries), str(data)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "no queries" in captured.err
+
+
+def test_batch_process_mode(files, capsys):
+    program, queries, data = files
+    code = cli.main(
+        [
+            "batch",
+            str(program),
+            str(queries),
+            str(data),
+            "--mode",
+            "process",
+            "--workers",
+            "2",
+            "--ordered",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "2 process worker(s)" in captured.err

@@ -1,0 +1,94 @@
+"""The public API surface, pinned.
+
+``repro.api.__all__`` is a compatibility contract: additions are fine
+(update the snapshot deliberately), removals and renames are breaking
+changes this test makes loud.  The legacy entry points must keep
+working but must say they are legacy.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+import repro.api
+from repro.data.database import Database
+from repro.lang.parser import parse_database, parse_program, parse_query
+
+PROGRAM = "R1: professor(X) -> teaches(X, Y)."
+DATA = "professor(ada)."
+
+API_SURFACE = [
+    "BatchResult",
+    "CACHE_SCHEMA_VERSION",
+    "CacheKey",
+    "CacheStats",
+    "PreparedQuery",
+    "RewritingCache",
+    "Session",
+    "resolve_workers",
+]
+
+
+def test_api_all_snapshot():
+    assert list(repro.api.__all__) == API_SURFACE
+
+
+def test_api_all_resolves():
+    for name in repro.api.__all__:
+        assert getattr(repro.api, name) is not None
+
+
+def test_top_level_reexports():
+    for name in ("Session", "PreparedQuery", "RewritingCache", "BatchResult"):
+        assert getattr(repro, name) is getattr(repro.api, name)
+        assert name in repro.__all__
+
+
+class TestDeprecatedShims:
+    def test_obdasystem_warns_and_still_answers(self):
+        rules = parse_program(PROGRAM)
+        data = Database(parse_database(DATA))
+        with pytest.warns(DeprecationWarning, match="Session"):
+            system = repro.OBDASystem(rules, data)
+        with system:
+            answers = system.certain_answers(
+                parse_query("q(X) :- teaches(X, Y)")
+            )
+        assert answers
+
+    def test_obdasystem_matches_session(self):
+        rules = parse_program(PROGRAM)
+        data = Database(parse_database(DATA))
+        query = parse_query("q(X) :- teaches(X, Y)")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with repro.OBDASystem(rules, data) as system:
+                legacy = system.certain_answers(query)
+        with repro.Session(rules, data) as session:
+            modern = session.answer(query)
+        assert legacy == modern
+
+    def test_engine_rewrite_warns(self):
+        engine = repro.FORewritingEngine(parse_program(PROGRAM))
+        with pytest.warns(DeprecationWarning, match="Session.prepare"):
+            result = engine.rewrite(parse_query("q(X) :- teaches(X, Y)"))
+        assert result.complete
+
+    def test_engine_answer_warns(self):
+        engine = repro.FORewritingEngine(parse_program(PROGRAM))
+        data = Database(parse_database(DATA))
+        with pytest.warns(DeprecationWarning):
+            answers = engine.answer(
+                parse_query("q(X) :- teaches(X, Y)"), data
+            )
+        assert answers
+
+    def test_session_itself_never_warns(self):
+        rules = parse_program(PROGRAM)
+        data = Database(parse_database(DATA))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with repro.Session(rules, data) as session:
+                session.answer("q(X) :- teaches(X, Y)")
+                session.sql_for("q(X) :- teaches(X, Y)")
