@@ -23,6 +23,7 @@ from repro.rewriting.store import query_digest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.api.session import Session
+    from repro.checkers.pruning import PruneResult
 
 
 class PreparedQuery:
@@ -35,13 +36,22 @@ class PreparedQuery:
     :meth:`answer` and is thread-safe.
     """
 
-    __slots__ = ("_session", "_query", "_digest", "_result", "_sql", "_lock")
+    __slots__ = (
+        "_session",
+        "_query",
+        "_digest",
+        "_result",
+        "_pruned",
+        "_sql",
+        "_lock",
+    )
 
     def __init__(self, session: "Session", query: ConjunctiveQuery | UnionOfConjunctiveQueries):
         self._session = session
         self._query = UnionOfConjunctiveQueries.of(query)
         self._digest = query_digest(self._query)
         self._result: RewritingResult | None = None
+        self._pruned: "PruneResult | None" = None
         self._sql: str | None = None
         self._lock = threading.Lock()
 
@@ -90,12 +100,46 @@ class PreparedQuery:
         return self.result.complete
 
     @property
+    def pruned(self) -> "PruneResult | None":
+        """The rewriting after the session's static pruning (cached).
+
+        None when the session was opened without ``prune_empty=True``
+        (or has neither mappings nor data to prune against); the
+        unpruned :attr:`ucq` is then what every backend evaluates.
+        """
+        supported = self._session.pruning_relations()
+        if supported is None:
+            return None
+        with self._lock:
+            pruned = self._pruned
+        if pruned is None:
+            from repro.checkers.pruning import prune_statically_empty
+
+            pruned = prune_statically_empty(self.ucq, supported)
+            with self._lock:
+                if self._pruned is None:
+                    self._pruned = pruned
+                pruned = self._pruned
+        return pruned
+
+    @property
     def sql(self) -> str:
-        """The SQL text the rewriting compiles to (cached)."""
+        """The SQL text the (pruned) rewriting compiles to (cached)."""
         with self._lock:
             sql = self._sql
         if sql is None:
-            sql = ucq_to_sql(self.ucq)
+            pruned = self.pruned
+            if pruned is None:
+                sql = ucq_to_sql(self.ucq)
+            elif pruned.ucq is None:
+                # Every disjunct is statically empty: an arity-correct
+                # SELECT that yields no rows.
+                columns = ", ".join(
+                    f"NULL AS a{i}" for i in range(self._query.arity)
+                ) or "1 AS a0"
+                sql = f"SELECT {columns} WHERE 1 = 0"
+            else:
+                sql = ucq_to_sql(pruned.ucq)
             with self._lock:
                 if self._sql is None:
                     self._sql = sql
@@ -104,6 +148,7 @@ class PreparedQuery:
     def explain(self) -> dict[str, Any]:
         """A plain-dict summary of the compilation, for logs and CLIs."""
         result = self.result
+        pruned = self.pruned
         return {
             "query": str(self._query),
             "digest": self._digest,
@@ -112,6 +157,10 @@ class PreparedQuery:
             "depth_reached": result.depth_reached,
             "generated": result.generated,
             "max_body_atoms": result.max_body_atoms,
+            "pruned_disjuncts": pruned.dropped if pruned is not None else 0,
+            "effective_disjuncts": (
+                pruned.kept if pruned is not None else result.size
+            ),
         }
 
     # ----------------------------------------------------------------- #

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import threading
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro import obs
 from repro.api.cache import CacheStats, EngineTier, RewritingCache
@@ -46,6 +46,10 @@ from repro.obda.mappings import MappingAssertion, apply_mappings
 from repro.rewriting.budget import RewritingBudget
 from repro.rewriting.engine import FORewritingEngine
 from repro.rewriting.store import ontology_digest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.checkers import CheckConfig
+    from repro.lint.diagnostics import LintReport
 
 _BACKENDS = ("memory", "sql")
 
@@ -70,6 +74,17 @@ class Session:
             :mod:`repro.api.cache` for the invalidation rules.
         filter_relevant: forward to the engine's backward-reachability
             rule filtering.
+        prune_empty: drop statically-empty disjuncts from compiled
+            rewritings before evaluation.  A disjunct over a relation
+            the mappings/source data can never populate has no matches
+            in any reachable ABox, so pruning it cannot change the
+            certain answers (see :mod:`repro.checkers.pruning`).  Off
+            by default; ``repro check`` reports what it would prune
+            as ``RL106``.
+        preflight_estimate: have the engine run the static
+            rewriting-size estimator before each cold compilation and
+            emit a :class:`~repro.checkers.estimator.
+            RewritingBlowupWarning` when the bound exceeds the budget.
     """
 
     def __init__(
@@ -81,12 +96,15 @@ class Session:
         budget: RewritingBudget | None = None,
         cache_dir: str | Path | None = None,
         filter_relevant: bool = True,
+        prune_empty: bool = False,
+        preflight_estimate: bool = False,
     ):
         self._ontology = tuple(ontology)
         self._source = data
         self._mappings = tuple(mappings) if mappings is not None else None
         self._budget = budget or RewritingBudget.default()
         self._filter_relevant = filter_relevant
+        self._prune_empty = prune_empty
         self._cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._cache = (
             RewritingCache(self._cache_dir)
@@ -103,9 +121,12 @@ class Session:
             budget=self._budget,
             filter_relevant=filter_relevant,
             persistent=tier,
+            preflight_estimate=preflight_estimate,
         )
         self._lock = threading.RLock()
         self._prepared: dict[str, PreparedQuery] = {}
+        self._pruning: frozenset[str] | None = None
+        self._pruning_ready = False
         self._abox: Database | None = None
         self._sql_backend: SQLiteBackend | None = None
         self._classification: ClassificationReport | None = None
@@ -156,6 +177,71 @@ class Session:
             if self._classification is None:
                 self._classification = classify(self._ontology)
             return self._classification
+
+    @property
+    def prune_empty(self) -> bool:
+        """Whether statically-empty disjuncts are pruned at evaluation."""
+        return self._prune_empty
+
+    def pruning_relations(self) -> frozenset[str] | None:
+        """The relations pruning keeps (the ABox's possible vocabulary).
+
+        None when pruning is off or the session has neither mappings
+        nor data (nothing is statically known about the ABox, so every
+        disjunct must be kept).
+        """
+        if not self._prune_empty:
+            return None
+        with self._lock:
+            if not self._pruning_ready:
+                if self._mappings is None and self._source is None:
+                    self._pruning = None
+                else:
+                    from repro.checkers.pruning import supported_relations
+
+                    self._pruning = supported_relations(
+                        self._mappings, self._source
+                    )
+                self._pruning_ready = True
+            return self._pruning
+
+    def check(
+        self,
+        queries: Iterable[
+            ConjunctiveQuery | UnionOfConjunctiveQueries | str
+        ] | None = None,
+        config: "CheckConfig | None" = None,
+    ) -> "LintReport":
+        """Static cross-artifact analysis of this session's project.
+
+        Runs the ``repro check`` passes (:mod:`repro.checkers`) over
+        the session's ontology, mappings and data, with *queries* as
+        the workload (default: every query prepared so far).  Returns
+        the :class:`~repro.lint.diagnostics.LintReport`; render it
+        with :func:`repro.checkers.render_check`.
+        """
+        from repro.checkers import CheckConfig, Project, check_project
+
+        if config is None:
+            config = CheckConfig(budget=self._budget)
+        if queries is None:
+            workload = [p.query for p in self.prepared_queries()]
+        else:
+            workload = [
+                UnionOfConjunctiveQueries.of(self._coerce(query))
+                for query in queries
+            ]
+        # The checkers take a *set of CQs* (a workload), so UCQs are
+        # flattened into their disjuncts.
+        cqs = tuple(cq for ucq in workload for cq in ucq)
+        project = Project(
+            rules=self._ontology,
+            queries=cqs,
+            mappings=self._mappings,
+            data=self._source,
+            path="<session>",
+        )
+        return check_project(project, config)
 
     def abox(self) -> Database:
         """The virtual ABox: source data seen through the mappings."""
@@ -349,21 +435,54 @@ class Session:
                 )
             result = prepared.result
             FORewritingEngine._check_complete(result, require_complete)
+            ucq = result.ucq
+            pruned = prepared.pruned
+            if pruned is not None:
+                if pruned.ucq is None:
+                    # Every disjunct was statically empty: no database
+                    # reachable through the mappings satisfies any of
+                    # them, so the certain answers are empty.
+                    return frozenset()
+                ucq = pruned.ucq
             sql_backend = self.sql_backend()
-            sql_backend.ensure_ucq(result.ucq)
+            sql_backend.ensure_ucq(ucq)
             with obs.span(
                 "obda.answer", backend="sqlite"
             ) as span:
-                answers = sql_backend.execute_ucq(result.ucq)
+                answers = sql_backend.execute_ucq(ucq)
                 span.set(answers=len(answers))
             return answers
         result = prepared.result
         FORewritingEngine._check_complete(result, require_complete)
-        target = database if database is not None else self.abox()
+        ucq = result.ucq
+        if database is not None:
+            # An explicitly passed database bypasses the mappings, so
+            # the session-level supported set does not apply; prune
+            # against *that* database's own (non-empty) relations.
+            target = database
+            if self._prune_empty:
+                from repro.checkers.pruning import (
+                    prune_statically_empty,
+                    supported_relations,
+                )
+
+                pruned = prune_statically_empty(
+                    ucq, supported_relations(None, database)
+                )
+                if pruned.ucq is None:
+                    return frozenset()
+                ucq = pruned.ucq
+        else:
+            target = self.abox()
+            pruned = prepared.pruned
+            if pruned is not None:
+                if pruned.ucq is None:
+                    return frozenset()
+                ucq = pruned.ucq
         with obs.span("obda.answer", backend="memory") as span:
             from repro.data.evaluation import evaluate_ucq
 
-            answers = evaluate_ucq(result.ucq, target)
+            answers = evaluate_ucq(ucq, target)
             span.set(answers=len(answers))
         return answers
 

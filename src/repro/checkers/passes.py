@@ -1,0 +1,499 @@
+"""The cross-artifact analysis passes behind ``repro check``.
+
+Where ``repro lint`` (RL0xx) validates one TGD program in isolation,
+these passes (RL1xx) validate a whole :class:`~repro.checkers.project.
+Project` -- ontology, query workload, mappings and source data --
+*against each other*:
+
+* **workload** (``RL100``/``RL101``/``RL107``): rules unreachable from
+  any workload query via position-graph reachability (dead rules) and
+  relations produced but never consumed;
+* **coverage** (``RL102``-``RL104``, ``RL106``): relations with no
+  mapping and no backing facts (statically-empty disjuncts), arity
+  mismatches between mapping assertions and the ontology / source
+  schema, mappings whose source relations do not exist;
+* **estimate** (``RL105``): the static rewriting-size bound of
+  :mod:`repro.checkers.estimator`, flagged when it exceeds the budget.
+
+Diagnostics, reports, severities and renderers are shared with the
+lint subsystem (:mod:`repro.lint`); the code catalogue lives in
+``docs/lint.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.checkers.estimator import estimate_disjunct_bound
+from repro.checkers.project import Project
+from repro.checkers.pruning import supported_relations
+from repro.graphs.analysis import reachable
+from repro.graphs.position_graph import build_position_graph
+from repro.lang.atoms import Position
+from repro.lang.errors import NotSupportedError
+from repro.lang.spans import Span
+from repro.lang.tgd import TGD
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+from repro.lint.formats import render
+from repro.rewriting.budget import RewritingBudget
+from repro.rewriting.relevance import relevant_rules
+
+
+@dataclass
+class CheckContext:
+    """Shared (memoized) state of one ``repro check`` run."""
+
+    project: Project
+    budget: RewritingBudget = field(default_factory=RewritingBudget.default)
+    default_depth: int = 10
+    _reachable: frozenset[str] | None = field(default=None, repr=False)
+    _supported: frozenset[str] | None = field(default=None, repr=False)
+
+    def rule_label(self, rule: TGD, index: int) -> str:
+        return rule.label or f"#{index}"
+
+    def derivers(self) -> dict[str, list[str]]:
+        """relation -> labels of the rules deriving it."""
+        out: dict[str, list[str]] = {}
+        for index, rule in enumerate(self.project.rules, start=1):
+            label = self.rule_label(rule, index)
+            for atom in rule.head:
+                entries = out.setdefault(atom.relation, [])
+                if label not in entries:
+                    entries.append(label)
+        return out
+
+    def consumed_relations(self) -> frozenset[str]:
+        """Relations read by rule bodies or workload queries."""
+        out: set[str] = set()
+        for rule in self.project.rules:
+            out.update(atom.relation for atom in rule.body)
+        for query in self.project.queries:
+            out.update(atom.relation for atom in query.body)
+        return frozenset(out)
+
+    def queried_relations(self) -> frozenset[str]:
+        return frozenset(
+            atom.relation
+            for query in self.project.queries
+            for atom in query.body
+        )
+
+    def ontology_arities(self) -> dict[str, int]:
+        """relation -> arity at first use in the ontology/workload."""
+        out: dict[str, int] = {}
+        for rule in self.project.rules:
+            for atom in rule.body + rule.head:
+                out.setdefault(atom.relation, atom.arity)
+        for query in self.project.queries:
+            for atom in query.body:
+                out.setdefault(atom.relation, atom.arity)
+        return out
+
+    def reachable_relations(self) -> frozenset[str] | None:
+        """Relations a rewriting of the workload can mention.
+
+        Computed by forward reachability in the position graph
+        ``AG(P)`` from the workload's (generic) query positions; on
+        ontologies outside the position graph's fragment (multi-atom
+        heads) it falls back to per-query backward-reachability
+        filtering.  None when the project has no workload.
+        """
+        if not self.project.queries:
+            return None
+        if self._reachable is None:
+            roots = self.queried_relations()
+            try:
+                pg = build_position_graph(self.project.rules)
+            except NotSupportedError:
+                relations = set(roots)
+                for query in self.project.queries:
+                    relations |= relevant_rules(
+                        query, self.project.rules
+                    ).reachable_relations
+                self._reachable = frozenset(relations)
+            else:
+                nodes = reachable(
+                    pg.graph, [Position(r) for r in sorted(roots)]
+                )
+                self._reachable = frozenset(
+                    node.relation
+                    for node in nodes
+                    if isinstance(node, Position)
+                ) | roots
+        return self._reachable
+
+    def supported(self) -> frozenset[str] | None:
+        """Relations the virtual ABox can hold facts over, or None
+        when the project declares neither mappings nor data."""
+        if self.project.mappings is None and self.project.data is None:
+            return None
+        if self._supported is None:
+            self._supported = supported_relations(
+                self.project.mappings, self.project.data
+            )
+        return self._supported
+
+
+CheckPass = Callable[[CheckContext], Iterator[Diagnostic]]
+
+
+def _rule_span(rule: TGD) -> Span | None:
+    return rule.span
+
+
+# --------------------------------------------------------------------- #
+# Workload passes (RL100, RL101, RL107)                                  #
+# --------------------------------------------------------------------- #
+
+
+def pass_no_workload(ctx: CheckContext) -> Iterator[Diagnostic]:
+    """RL107: the project declares no queries; workload passes skip."""
+    if ctx.project.queries:
+        return
+    yield Diagnostic(
+        code="RL107",
+        severity=Severity.INFO,
+        message=(
+            "project declares no query workload; dead-rule and "
+            "blowup analysis are skipped"
+        ),
+        hint='add a "queries" entry to project.json',
+    )
+
+
+def pass_dead_rules(ctx: CheckContext) -> Iterator[Diagnostic]:
+    """RL100: a rule unreachable from every workload query is dead.
+
+    A rewriting step can only apply a rule whose head relation the
+    (rewritten) query mentions; if no position reachable from the
+    workload's query positions carries the head relation, the rule can
+    never fire for this workload.
+    """
+    relations = ctx.reachable_relations()
+    if relations is None:
+        return
+    for index, rule in enumerate(ctx.project.rules, start=1):
+        head_relations = {atom.relation for atom in rule.head}
+        if head_relations & relations:
+            continue
+        label = ctx.rule_label(rule, index)
+        heads = ", ".join(sorted(head_relations))
+        yield Diagnostic(
+            code="RL100",
+            severity=Severity.WARNING,
+            message=(
+                f"rule {label} is dead for this workload: head "
+                f"relation(s) {heads} unreachable from any query"
+            ),
+            span=_rule_span(rule),
+            rule=label,
+            hint="drop the rule or add the query that needs it",
+        )
+
+
+def pass_unconsumed_relations(ctx: CheckContext) -> Iterator[Diagnostic]:
+    """RL101: a relation produced by rules but consumed by nothing."""
+    if not ctx.project.queries:
+        return
+    consumed = ctx.consumed_relations()
+    seen: set[str] = set()
+    for index, rule in enumerate(ctx.project.rules, start=1):
+        label = ctx.rule_label(rule, index)
+        for atom in rule.head:
+            relation = atom.relation
+            if relation in consumed or relation in seen:
+                continue
+            seen.add(relation)
+            yield Diagnostic(
+                code="RL101",
+                severity=Severity.WARNING,
+                message=(
+                    f"relation {relation} is produced (by {label}) but "
+                    "never consumed by any rule body or workload query"
+                ),
+                span=_rule_span(rule),
+                rule=label,
+                hint="dead derivation output; drop it or query it",
+            )
+
+
+# --------------------------------------------------------------------- #
+# Coverage passes (RL102-RL104, RL106)                                   #
+# --------------------------------------------------------------------- #
+
+
+def pass_unmapped_relations(ctx: CheckContext) -> Iterator[Diagnostic]:
+    """RL102: an underivable relation with no mapping and no facts.
+
+    Atoms over such a relation can match nothing: the ABox cannot hold
+    facts for it and no rule can rewrite it away.  Every rewritten
+    disjunct mentioning it is statically empty.
+    """
+    supported = ctx.supported()
+    if supported is None:
+        return
+    derivers = ctx.derivers()
+    for relation in sorted(ctx.consumed_relations()):
+        if relation in derivers or relation in supported:
+            continue
+        yield Diagnostic(
+            code="RL102",
+            severity=Severity.WARNING,
+            message=(
+                f"relation {relation} has no deriving rule, no mapping "
+                "and no source facts; disjuncts mentioning it are "
+                "statically empty"
+            ),
+            hint=f"add a mapping with target {relation} or load facts",
+        )
+
+
+def pass_mapping_arity(ctx: CheckContext) -> Iterator[Diagnostic]:
+    """RL103: a mapping's arities disagree with the schemas around it.
+
+    Checked on both sides of each assertion: the target atom against
+    the ontology's use of the relation, and the source atoms against
+    the source database's columns.
+    """
+    mappings = ctx.project.mappings
+    if mappings is None:
+        return
+    arities = ctx.ontology_arities()
+    data = ctx.project.data
+    target_arity: dict[str, tuple[int, str]] = {}
+    for mapping in mappings:
+        target = mapping.target
+        declared = arities.get(target.relation)
+        if declared is not None and declared != target.arity:
+            yield Diagnostic(
+                code="RL103",
+                severity=Severity.ERROR,
+                message=(
+                    f"mapping target {target} has arity {target.arity} "
+                    f"but the ontology uses {target.relation}/{declared}"
+                ),
+                notes=(f"mapping: {mapping}",),
+                hint="align the mapping target with the ontology arity",
+            )
+        previous = target_arity.setdefault(
+            target.relation, (target.arity, str(mapping))
+        )
+        if previous[0] != target.arity:
+            yield Diagnostic(
+                code="RL103",
+                severity=Severity.ERROR,
+                message=(
+                    f"mappings disagree on the arity of "
+                    f"{target.relation}: {previous[0]} vs {target.arity}"
+                ),
+                notes=(f"first: {previous[1]}", f"then: {mapping}"),
+            )
+        if data is None:
+            continue
+        for atom in mapping.source_body:
+            if atom.relation not in data.relations():
+                continue  # RL104's finding
+            declared_source = data.signature[atom.relation]
+            if declared_source != atom.arity:
+                yield Diagnostic(
+                    code="RL103",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"mapping source atom {atom} has arity "
+                        f"{atom.arity} but source relation "
+                        f"{atom.relation} has {declared_source} columns"
+                    ),
+                    notes=(f"mapping: {mapping}",),
+                )
+
+
+def pass_mapping_sources(ctx: CheckContext) -> Iterator[Diagnostic]:
+    """RL104: a mapping over a source relation that does not exist."""
+    mappings = ctx.project.mappings
+    data = ctx.project.data
+    if mappings is None or data is None:
+        return
+    present = set(data.relations())
+    for mapping in mappings:
+        missing = sorted(
+            {
+                atom.relation
+                for atom in mapping.source_body
+                if atom.relation not in present
+            }
+        )
+        if not missing:
+            continue
+        yield Diagnostic(
+            code="RL104",
+            severity=Severity.WARNING,
+            message=(
+                f"mapping for {mapping.target.relation} can never fire: "
+                f"source relation(s) {', '.join(missing)} absent from "
+                "the source database"
+            ),
+            notes=(f"mapping: {mapping}",),
+            hint="fix the source relation name or load the table",
+        )
+
+
+def pass_statically_empty(ctx: CheckContext) -> Iterator[Diagnostic]:
+    """RL106: derivable relations whose own atoms are statically empty.
+
+    Unlike RL102 these relations *are* rewritten away by rules, so the
+    query still has answers -- but every rewritten disjunct that keeps
+    an atom over them evaluates to nothing.  They are exactly what
+    ``Session(prune_empty=True)`` prunes.
+    """
+    supported = ctx.supported()
+    if supported is None:
+        return
+    derivers = ctx.derivers()
+    interesting = ctx.reachable_relations()
+    candidates = (
+        interesting
+        if interesting is not None
+        else ctx.consumed_relations() | frozenset(derivers)
+    )
+    for relation in sorted(candidates):
+        if relation in supported or relation not in derivers:
+            continue
+        rules = ", ".join(derivers[relation])
+        yield Diagnostic(
+            code="RL106",
+            severity=Severity.INFO,
+            message=(
+                f"relation {relation} has no mapping and no source "
+                "facts; rewritten disjuncts keeping an atom over it "
+                "are statically empty (prunable)"
+            ),
+            notes=(f"derived by: {rules}",),
+            hint="Session(prune_empty=True) drops such disjuncts",
+        )
+
+
+# --------------------------------------------------------------------- #
+# Estimate pass (RL105)                                                  #
+# --------------------------------------------------------------------- #
+
+
+def pass_rewriting_blowup(ctx: CheckContext) -> Iterator[Diagnostic]:
+    """RL105: the static disjunct bound exceeds the rewriting budget."""
+    for query in ctx.project.queries:
+        estimate = estimate_disjunct_bound(
+            query,
+            ctx.project.rules,
+            budget=ctx.budget,
+            default_depth=ctx.default_depth,
+        )
+        if estimate.bound <= ctx.budget.max_cqs:
+            continue
+        chain = " -> ".join(estimate.chain) if estimate.chain else "(none)"
+        depth_kind = "assumed" if estimate.cyclic else "derivation"
+        yield Diagnostic(
+            code="RL105",
+            severity=Severity.WARNING,
+            message=(
+                f"rewriting of query {query.name} may blow up: "
+                f"estimated {estimate.render_bound()} disjuncts "
+                f"exceeds the budget of {ctx.budget.max_cqs}"
+            ),
+            rule=f"query {query.name}",
+            notes=(
+                f"per-round fan-out: x{estimate.per_round}, "
+                f"{depth_kind} depth: {estimate.depth}",
+                f"offending rule chain: {chain}",
+            ),
+            hint=(
+                "restructure the chain, shrink the workload query, or "
+                "raise the budget"
+            ),
+        )
+
+
+# --------------------------------------------------------------------- #
+# Registry and drivers                                                   #
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class CheckSpec:
+    """One registered check pass: its primary code, stage and callable."""
+
+    code: str
+    name: str
+    stage: str  # "workload" | "coverage" | "estimate"
+    run: CheckPass
+
+
+#: Every check pass, in pipeline order.  Codes are stable public API.
+CHECK_REGISTRY: tuple[CheckSpec, ...] = (
+    CheckSpec("RL100", "dead-rule", "workload", pass_dead_rules),
+    CheckSpec("RL101", "unconsumed-relation", "workload", pass_unconsumed_relations),
+    CheckSpec("RL102", "unmapped-relation", "coverage", pass_unmapped_relations),
+    CheckSpec("RL103", "mapping-arity-mismatch", "coverage", pass_mapping_arity),
+    CheckSpec("RL104", "mapping-source-missing", "coverage", pass_mapping_sources),
+    CheckSpec("RL105", "rewriting-blowup", "estimate", pass_rewriting_blowup),
+    CheckSpec("RL106", "statically-empty-relation", "coverage", pass_statically_empty),
+    CheckSpec("RL107", "no-workload", "workload", pass_no_workload),
+)
+
+
+def all_check_codes() -> tuple[str, ...]:
+    """Every diagnostic code ``repro check`` can emit, sorted."""
+    return tuple(sorted(spec.code for spec in CHECK_REGISTRY))
+
+
+def check_code_names() -> dict[str, str]:
+    """code -> short kebab-case name, for SARIF rule metadata."""
+    return dict(
+        sorted((spec.code, spec.name) for spec in CHECK_REGISTRY)
+    )
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Knobs of one check run.
+
+    Attributes:
+        budget: the rewriting budget RL105 estimates against.
+        default_depth: assumed rounds for RL105 on cyclic programs.
+        stages: which pass stages run.
+        disabled: diagnostic codes to suppress.
+    """
+
+    budget: RewritingBudget = field(default_factory=RewritingBudget.default)
+    default_depth: int = 10
+    stages: tuple[str, ...] = ("workload", "coverage", "estimate")
+    disabled: frozenset[str] = frozenset()
+
+
+def check_project(
+    project: Project, config: CheckConfig | None = None
+) -> LintReport:
+    """Run every registered check pass over *project*."""
+    config = config or CheckConfig()
+    ctx = CheckContext(
+        project=project,
+        budget=config.budget,
+        default_depth=config.default_depth,
+    )
+    diagnostics: list[Diagnostic] = []
+    for spec in CHECK_REGISTRY:
+        if spec.stage not in config.stages:
+            continue
+        diagnostics.extend(
+            d for d in spec.run(ctx) if d.code not in config.disabled
+        )
+    return LintReport.of(
+        diagnostics, path=project.path, source=project.source_text
+    )
+
+
+def render_check(report: LintReport, fmt: str) -> str:
+    """Render a check report (text/json/sarif) with the RL1xx catalogue."""
+    return render(
+        report, fmt, names=check_code_names(), tool="repro-check"
+    )

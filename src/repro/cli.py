@@ -17,6 +17,10 @@ Commands mirroring the library's workflow:
 * ``lint``      -- run the static analyzer, emitting span-annotated
   diagnostics as text, JSON or SARIF (``--strict`` gates warnings for
   CI);
+* ``check``     -- whole-project static analysis over a
+  ``project.json`` manifest (ontology + queries + mappings + data):
+  dead rules, mapping coverage and rewriting-size bounds, with the
+  same formats and exit-code contract as ``lint``;
 * ``trace``     -- run the rewriting (and optionally answering)
   pipeline under the observability layer and print the span tree with
   per-stage timings and counters.
@@ -37,7 +41,7 @@ Programs, queries and facts use the textual syntax of
 :mod:`repro.lang.parser`; every input is a file path or ``-`` for
 stdin.
 
-Exit codes: 0 success; 1 findings (lint) / failed batch queries;
+Exit codes: 0 success; 1 findings (lint/check) / failed batch queries;
 2 input error (unreadable file, parse error, ill-formed program);
 3 incomplete rewriting.
 """
@@ -448,6 +452,24 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.checkers import (
+        CheckConfig,
+        check_project,
+        load_project,
+        render_check,
+    )
+
+    config = CheckConfig(
+        budget=_budget(args),
+        default_depth=args.assumed_depth,
+        disabled=frozenset(args.disable or ()),
+    )
+    report = check_project(load_project(args.project), config)
+    print(render_check(report, args.format))
+    return report.exit_code(strict=args.strict)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -621,6 +643,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_options(p_lint)
     p_lint.set_defaults(func=cmd_lint)
+
+    p_check = sub.add_parser(
+        "check",
+        help="whole-project static analysis: dead rules, mapping "
+        "coverage, rewriting-size bounds (RL1xx)",
+    )
+    p_check.add_argument(
+        "project",
+        help="project.json manifest (or a directory containing one) "
+        "naming the ontology and optional queries/mappings/data files",
+    )
+    p_check.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    p_check.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings too (CI gating)",
+    )
+    p_check.add_argument(
+        "--disable",
+        action="append",
+        metavar="CODE",
+        help="suppress a diagnostic code (repeatable), e.g. RL106",
+    )
+    p_check.add_argument(
+        "--assumed-depth",
+        type=int,
+        default=10,
+        help="rounds RL105 assumes for cyclic programs (default: 10)",
+    )
+    _add_engine_options(p_check)
+    p_check.set_defaults(func=cmd_check)
 
     return parser
 

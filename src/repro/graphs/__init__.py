@@ -17,7 +17,7 @@ conditions, and can be rendered to Graphviz DOT
 (:mod:`repro.graphs.dot`).
 """
 
-from repro.graphs.analysis import GraphCensus, census
+from repro.graphs.analysis import GraphCensus, census, reachable
 from repro.graphs.cycles import LabeledEdge, LabeledGraph
 from repro.graphs.dot import pnode_graph_to_dot, position_graph_to_dot
 from repro.graphs.pnode_graph import PNode, PNodeGraph, build_pnode_graph
@@ -32,6 +32,7 @@ __all__ = [
     "PositionGraph",
     "build_pnode_graph",
     "census",
+    "reachable",
     "build_position_graph",
     "pnode_graph_to_dot",
     "position_graph_to_dot",

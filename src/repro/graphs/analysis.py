@@ -9,8 +9,9 @@ conditions actually read).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Hashable, Iterable, Mapping
 
 import networkx as nx
 
@@ -61,6 +62,34 @@ class GraphCensus:
         else:
             lines.append("labels realised on cycles: (acyclic)")
         return "\n".join(lines)
+
+
+def reachable(
+    graph: LabeledGraph, roots: Iterable[Hashable]
+) -> frozenset[Hashable]:
+    """Nodes reachable from *roots* by directed edges (roots included).
+
+    Roots absent from the graph are kept in the result (reachability
+    from a node is reflexive) but contribute no edges.  Used by
+    ``repro check``'s dead-rule analysis: positions reachable in
+    ``AG(P)`` from the workload's query positions are exactly the ones
+    a rewriting step can ever visit.
+    """
+    seen: set[Hashable] = set()
+    queue: deque[Hashable] = deque()
+    for root in roots:
+        if root not in seen:
+            seen.add(root)
+            queue.append(root)
+    while queue:
+        node = queue.popleft()
+        if node not in graph:
+            continue
+        for successor in graph.successors(node):
+            if successor not in seen:
+                seen.add(successor)
+                queue.append(successor)
+    return frozenset(seen)
 
 
 def census(graph: LabeledGraph) -> GraphCensus:

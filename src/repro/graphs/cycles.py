@@ -14,6 +14,14 @@ when an edge is derived several ways, matching ``L : E -> 2^{m,s}`` of
 Definition 4) and implements the SCC-based check together with witness
 extraction (an explicit closed walk through one edge per required
 label).
+
+Witness extraction is deterministic: SCCs and their internal edges are
+visited in sorted order (by node/edge string keys, never by hash order)
+and the stitched closed walk is normalised to its lexicographically
+smallest rotation, so the same graph always yields the same witness —
+regardless of ``PYTHONHASHSEED``.  Rendered artifacts built on top of
+the witness (``examples/figure3_pnode_graph.dot``) are therefore
+byte-stable across regenerations.
 """
 
 from __future__ import annotations
@@ -22,6 +30,59 @@ from dataclasses import dataclass
 from typing import Hashable, Iterable, Sequence
 
 import networkx as nx
+
+
+def _edge_sort_key(
+    edge: tuple[Hashable, Hashable, frozenset[str]],
+) -> tuple[str, str, tuple[str, ...]]:
+    """A hash-seed-independent total order on (source, target, labels)."""
+    source, target, labels = edge
+    return (str(source), str(target), tuple(sorted(labels)))
+
+
+def _sorted_components(
+    graph: nx.DiGraph,
+) -> list[set[Hashable]]:
+    """SCCs ordered by their smallest member's string key."""
+    return sorted(
+        nx.strongly_connected_components(graph),
+        key=lambda component: min(str(node) for node in component),
+    )
+
+
+def _internal_edges(
+    graph: nx.DiGraph, component: set[Hashable]
+) -> list[tuple[Hashable, Hashable, frozenset[str]]]:
+    """Edges with both endpoints in *component*, deterministically sorted."""
+    internal = [
+        (s, t, graph[s][t]["labels"])
+        for s, t in graph.edges(component)
+        if t in component
+    ]
+    internal.sort(key=_edge_sort_key)
+    return internal
+
+
+def _smallest_rotation(
+    walk: tuple["LabeledEdge", ...],
+) -> tuple["LabeledEdge", ...]:
+    """Rotate a closed walk to its lexicographically smallest form.
+
+    A closed walk has no distinguished start; pinning the rotation makes
+    the witness a canonical representative of its cycle.
+    """
+    if len(walk) <= 1:
+        return walk
+
+    def key(rotated: tuple[LabeledEdge, ...]) -> tuple:
+        return tuple(
+            _edge_sort_key((e.source, e.target, e.labels)) for e in rotated
+        )
+
+    rotations = (
+        walk[i:] + walk[:i] for i in range(len(walk))
+    )
+    return min(rotations, key=key)
 
 
 @dataclass(frozen=True)
@@ -165,12 +226,8 @@ class LabeledGraph:
                 continue
             allowed.add_edge(source, target, labels=frozenset(labels))
 
-        for component in nx.strongly_connected_components(allowed):
-            internal = [
-                (s, t, allowed[s][t]["labels"])
-                for s, t in allowed.edges(component)
-                if t in component
-            ]
+        for component in _sorted_components(allowed):
+            internal = _internal_edges(allowed, component)
             if not internal:
                 continue
             covering: list[tuple[Hashable, Hashable, frozenset[str]]] = []
@@ -224,12 +281,9 @@ class LabeledGraph:
         import itertools
 
         best: tuple[LabeledEdge, ...] | None = None
-        for component in nx.strongly_connected_components(allowed):
-            internal = [
-                (s, t, allowed[s][t]["labels"])
-                for s, t in allowed.edges(component)
-                if t in component
-            ]
+        best_key: tuple | None = None
+        for component in _sorted_components(allowed):
+            internal = _internal_edges(allowed, component)
             if not internal:
                 continue
             per_label: list[list[tuple[Hashable, Hashable, frozenset[str]]]] = []
@@ -252,8 +306,16 @@ class LabeledGraph:
                     walk = self._stitch_walk(allowed, list(covering))
                 except nx.NetworkXNoPath:  # pragma: no cover - same SCC
                     continue
-                if best is None or len(walk) < len(best):
+                walk_key = (
+                    len(walk),
+                    tuple(
+                        _edge_sort_key((e.source, e.target, e.labels))
+                        for e in walk
+                    ),
+                )
+                if best_key is None or walk_key < best_key:
                     best = walk
+                    best_key = walk_key
         return best
 
     def _stitch_walk(
@@ -273,4 +335,4 @@ class LabeledGraph:
             path = nx.shortest_path(graph, target, next_source)
             for a, b in zip(path, path[1:]):
                 walk.append(LabeledEdge(a, b, graph[a][b]["labels"]))
-        return tuple(walk)
+        return _smallest_rotation(tuple(walk))

@@ -17,6 +17,9 @@ existential-rule tools:
 * **Programs** are sequences of TGDs separated by periods or newlines;
   ``%`` starts a comment running to end of line.
 * **Databases** are sequences of ground atoms with the same separators.
+* **Mappings** (GAV assertions, parsed by
+  :func:`repro.obda.mappings.parse_mappings`) are
+  ``source_body ~> target_atom``, e.g. ``person_row(X, N) ~> person(X)``.
 
 Example::
 
@@ -41,6 +44,7 @@ _TOKEN_SPEC = [
     ("WS", r"[ \t\r]+"),
     ("COMMENT", r"%[^\n]*"),
     ("NEWLINE", r"\n"),
+    ("MAPSTO", r"~>"),
     ("ARROW", r"->"),
     ("IMPLIES", r":-"),
     ("LPAREN", r"\("),
@@ -197,6 +201,13 @@ class _Parser:
         return ConjunctiveQuery(
             answers, body, name=start.value, span=self._span_from(start)
         )
+
+    def mapping(self) -> tuple[list[Atom], Atom]:
+        """One GAV mapping line: ``source_body ~> target_atom``."""
+        body = self.atom_list()
+        self.expect("MAPSTO")
+        target = self.atom()
+        return body, target
 
     def _answer_variable(self) -> Variable:
         token = self.expect("IDENT")

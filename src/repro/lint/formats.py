@@ -88,11 +88,21 @@ def render_json(report: LintReport) -> str:
     return json.dumps(document, indent=2, sort_keys=True)
 
 
-def render_sarif(report: LintReport) -> str:
-    """SARIF 2.1.0 document for CI code-scanning upload."""
-    from repro.lint.engine import code_names
+def render_sarif(
+    report: LintReport,
+    names: dict[str, str] | None = None,
+    tool: str = "repro-lint",
+) -> str:
+    """SARIF 2.1.0 document for CI code-scanning upload.
 
-    names = code_names()
+    *names* maps diagnostic codes to rule names; it defaults to the lint
+    registry.  Other producers sharing this renderer (``repro check``)
+    pass their own code catalogue and *tool* driver name.
+    """
+    if names is None:
+        from repro.lint.engine import code_names
+
+        names = code_names()
     seen_codes = sorted({d.code for d in report})
     rules = [
         {
@@ -112,7 +122,7 @@ def render_sarif(report: LintReport) -> str:
             {
                 "tool": {
                     "driver": {
-                        "name": "repro-lint",
+                        "name": tool,
                         "informationUri": (
                             "https://example.invalid/repro/docs/lint.md"
                         ),
@@ -159,12 +169,17 @@ def _sarif_result(
     return result
 
 
-def render(report: LintReport, fmt: str) -> str:
+def render(
+    report: LintReport,
+    fmt: str,
+    names: dict[str, str] | None = None,
+    tool: str = "repro-lint",
+) -> str:
     """Dispatch on ``text`` / ``json`` / ``sarif``."""
     if fmt == "text":
         return render_text(report)
     if fmt == "json":
         return render_json(report)
     if fmt == "sarif":
-        return render_sarif(report)
+        return render_sarif(report, names=names, tool=tool)
     raise ValueError(f"unknown lint output format: {fmt!r}")

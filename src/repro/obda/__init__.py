@@ -8,7 +8,12 @@ library's pieces into that three-layer architecture, answering UCQs by
 FO-rewriting (with a chase-based oracle available for validation).
 """
 
-from repro.obda.mappings import MappingAssertion, apply_mappings
+from repro.obda.mappings import (
+    MappingAssertion,
+    apply_mappings,
+    identity_mappings,
+    parse_mappings,
+)
 from repro.obda.strategy import Strategy, StrategyReport, answer_with_best_strategy
 from repro.obda.system import OBDASystem
 
@@ -19,4 +24,6 @@ __all__ = [
     "StrategyReport",
     "answer_with_best_strategy",
     "apply_mappings",
+    "identity_mappings",
+    "parse_mappings",
 ]

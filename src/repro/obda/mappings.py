@@ -66,6 +66,27 @@ def apply_mappings(
     return abox
 
 
+def parse_mappings(text: str) -> tuple[MappingAssertion, ...]:
+    """Parse a mapping file: one ``source_body ~> target_atom`` per
+    statement, separated by periods/newlines, ``%`` comments allowed.
+
+    Example::
+
+        % people come from two source tables
+        person_row(Id, Name) ~> person(Id).
+        staff_row(Id, Dept)  ~> person(Id).
+    """
+    from repro.lang.parser import _Parser
+
+    parser = _Parser(text)
+    out: list[MappingAssertion] = []
+    while not parser.at_end():
+        body, target = parser.mapping()
+        parser.statement_separator()
+        out.append(MappingAssertion(source_body=tuple(body), target=target))
+    return tuple(out)
+
+
 def identity_mappings(
     relations: Iterable[tuple[str, int]]
 ) -> tuple[MappingAssertion, ...]:

@@ -109,11 +109,13 @@ class FORewritingEngine:
         budget: RewritingBudget | None = None,
         filter_relevant: bool = True,
         persistent: PersistentTier | None = None,
+        preflight_estimate: bool = False,
     ):
         self._rules = tuple(rules)
         self._budget = budget or RewritingBudget.default()
         self._filter_relevant = filter_relevant
         self._persistent = persistent
+        self._preflight_estimate = preflight_estimate
         self._cache: dict[UnionOfConjunctiveQueries, RewritingResult] = {}
         self._hits = 0
         self._misses = 0
@@ -192,11 +194,47 @@ class FORewritingEngine:
 
                 rules = relevant_rules(ucq, rules).relevant
                 span.set(relevant_rules=len(rules))
+            if self._preflight_estimate:
+                self._preflight(ucq, rules)
             result = rewrite(ucq, rules, self._budget)
             span.set(complete=result.complete, size=result.size)
         if self._persistent is not None:
             self._persistent.put(ucq, result)
         return result
+
+    def _preflight(
+        self, ucq: UnionOfConjunctiveQueries, rules: Sequence[TGD]
+    ) -> None:
+        """Warn before rewriting when the static size estimate blows up.
+
+        The estimate is the AG(P) fan-out bound of
+        :func:`repro.checkers.estimator.estimate_disjunct_bound`; it
+        costs one pass over the (relevance-filtered) rules, so the
+        pre-flight stays cheap relative to the rewriting it guards.
+        """
+        from repro.checkers.estimator import (
+            RewritingBlowupWarning,
+            estimate_disjunct_bound,
+        )
+
+        estimate = estimate_disjunct_bound(ucq, rules, budget=self._budget)
+        obs.event(
+            "engine.preflight_estimate",
+            bound=estimate.bound,
+            per_round=estimate.per_round,
+            depth=estimate.depth,
+            cyclic=estimate.cyclic,
+        )
+        if estimate.bound > self._budget.max_cqs:
+            chain = " -> ".join(estimate.chain) or "<none>"
+            warnings.warn(
+                RewritingBlowupWarning(
+                    f"estimated rewriting size {estimate.render_bound()} "
+                    f"exceeds the budget's max_cqs={self._budget.max_cqs}; "
+                    f"offending rule chain: {chain}"
+                ),
+                stacklevel=2,
+            )
 
     def _answer(
         self,

@@ -92,3 +92,68 @@ class TestDeprecatedShims:
             with repro.Session(rules, data) as session:
                 session.answer("q(X) :- teaches(X, Y)")
                 session.sql_for("q(X) :- teaches(X, Y)")
+
+
+class TestDeprecationExactlyOnce:
+    """Each deprecated call emits exactly one DeprecationWarning.
+
+    Doubled (or swallowed) warnings mean a shim calls another shim, or
+    a wrong ``stacklevel`` re-attributes the warning; both regress the
+    migration experience, so the count is pinned.
+    """
+
+    @staticmethod
+    def _deprecations(action):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            action()
+        return [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def _backend(self):
+        from repro.data.sql import SQLiteBackend
+        from repro.lang.signature import Signature
+
+        data = Database(parse_database(DATA))
+        signature = Signature(dict(data.signature))
+        for rule in parse_program(PROGRAM):
+            signature.observe_tgd(rule)
+        backend = SQLiteBackend(signature)
+        backend.load(data.facts())
+        return backend
+
+    def test_obdasystem_constructor_warns_once(self):
+        rules = parse_program(PROGRAM)
+        data = Database(parse_database(DATA))
+        caught = self._deprecations(lambda: repro.OBDASystem(rules, data))
+        assert len(caught) == 1
+
+    def test_engine_rewrite_warns_once(self):
+        engine = repro.FORewritingEngine(parse_program(PROGRAM))
+        query = parse_query("q(X) :- teaches(X, Y)")
+        caught = self._deprecations(lambda: engine.rewrite(query))
+        assert len(caught) == 1
+
+    def test_engine_answer_warns_once(self):
+        engine = repro.FORewritingEngine(parse_program(PROGRAM))
+        data = Database(parse_database(DATA))
+        query = parse_query("q(X) :- teaches(X, Y)")
+        caught = self._deprecations(lambda: engine.answer(query, data))
+        assert len(caught) == 1
+
+    def test_engine_answer_sql_warns_once(self):
+        engine = repro.FORewritingEngine(parse_program(PROGRAM))
+        query = parse_query("q(X) :- teaches(X, Y)")
+        with self._backend() as backend:
+            caught = self._deprecations(
+                lambda: engine.answer_sql(query, backend)
+            )
+        assert len(caught) == 1
+
+    def test_warnings_name_the_replacement(self):
+        engine = repro.FORewritingEngine(parse_program(PROGRAM))
+        query = parse_query("q(X) :- teaches(X, Y)")
+        (warning,) = self._deprecations(lambda: engine.rewrite(query))
+        assert "Session.prepare" in str(warning.message)
+        assert "docs/api.md" in str(warning.message)

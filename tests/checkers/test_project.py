@@ -1,0 +1,126 @@
+"""Project manifests: loading, member parsing and failure modes."""
+
+import json
+
+import pytest
+
+from repro.checkers import Project, load_project, parse_queries
+from repro.lang.errors import ReproError
+from repro.lang.parser import parse_program
+
+ONTOLOGY = "R1: professor(X) -> person(X).\n"
+QUERIES = "q1(X) :- person(X).\nq2(X, Y) :- advises(X, Y).\n"
+MAPPINGS = "prof_row(X, D) ~> professor(X).\n"
+DATA = "prof_row(ada, cs).\n"
+
+
+@pytest.fixture
+def project_dir(tmp_path):
+    def _build(manifest: dict, **files: str):
+        for name, text in files.items():
+            (tmp_path / name).write_text(text)
+        (tmp_path / "project.json").write_text(json.dumps(manifest))
+        return tmp_path
+
+    return _build
+
+
+class TestLoadProject:
+    def test_full_project(self, project_dir):
+        path = project_dir(
+            {
+                "ontology": "o.dlp",
+                "queries": "q.dlp",
+                "mappings": "m.dlp",
+                "data": "d.dlp",
+            },
+            **{"o.dlp": ONTOLOGY, "q.dlp": QUERIES, "m.dlp": MAPPINGS, "d.dlp": DATA},
+        )
+        project = load_project(path)
+        assert len(project.rules) == 1
+        assert len(project.queries) == 2
+        assert project.mappings is not None and len(project.mappings) == 1
+        assert project.data is not None and project.data.count("prof_row") == 1
+        assert project.source_text == ONTOLOGY
+
+    def test_ontology_only(self, project_dir):
+        path = project_dir({"ontology": "o.dlp"}, **{"o.dlp": ONTOLOGY})
+        project = load_project(path)
+        assert project.queries == ()
+        assert project.mappings is None
+        assert project.data is None
+
+    def test_directory_and_manifest_path_equivalent(self, project_dir):
+        path = project_dir({"ontology": "o.dlp"}, **{"o.dlp": ONTOLOGY})
+        by_dir = load_project(path)
+        by_file = load_project(path / "project.json")
+        assert by_dir.rules == by_file.rules
+
+    def test_report_path_is_the_ontology_member(self, project_dir):
+        path = project_dir({"ontology": "o.dlp"}, **{"o.dlp": ONTOLOGY})
+        assert load_project(path).path.endswith("o.dlp")
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ReproError, match="manifest"):
+            load_project(tmp_path)
+
+    def test_malformed_json(self, tmp_path):
+        (tmp_path / "project.json").write_text("{not json")
+        with pytest.raises(ReproError, match="malformed"):
+            load_project(tmp_path)
+
+    def test_non_object_manifest(self, tmp_path):
+        (tmp_path / "project.json").write_text('["ontology"]')
+        with pytest.raises(ReproError, match="JSON object"):
+            load_project(tmp_path)
+
+    def test_unknown_keys_rejected(self, project_dir):
+        path = project_dir(
+            {"ontology": "o.dlp", "rules": "o.dlp"}, **{"o.dlp": ONTOLOGY}
+        )
+        with pytest.raises(ReproError, match="unknown project manifest keys"):
+            load_project(path)
+
+    def test_missing_ontology_key(self, tmp_path):
+        (tmp_path / "project.json").write_text("{}")
+        with pytest.raises(ReproError, match="ontology"):
+            load_project(tmp_path)
+
+    def test_missing_member_file(self, project_dir):
+        path = project_dir({"ontology": "nope.dlp"})
+        with pytest.raises(ReproError, match="cannot read project ontology"):
+            load_project(path)
+
+    def test_non_string_member_path(self, project_dir):
+        path = project_dir({"ontology": 3})
+        with pytest.raises(ReproError, match="path string"):
+            load_project(path)
+
+    def test_parse_error_in_member(self, project_dir):
+        path = project_dir(
+            {"ontology": "o.dlp", "queries": "q.dlp"},
+            **{"o.dlp": ONTOLOGY, "q.dlp": "q1(X :- person(X).\n"},
+        )
+        with pytest.raises(ReproError, match="q.dlp"):
+            load_project(path)
+
+
+class TestParseQueries:
+    def test_mixed_arities_allowed(self):
+        queries = parse_queries(QUERIES)
+        assert [q.arity for q in queries] == [1, 2]
+        assert [q.name for q in queries] == ["q1", "q2"]
+
+    def test_comments_and_blank_lines(self):
+        queries = parse_queries("% workload\n\nq(X) :- r(X).\n")
+        assert len(queries) == 1
+
+    def test_empty_workload(self):
+        assert parse_queries("% nothing here\n") == ()
+
+
+class TestProjectValue:
+    def test_frozen(self):
+        project = Project(rules=parse_program(ONTOLOGY), queries=())
+        with pytest.raises(AttributeError):
+            project.path = "elsewhere"

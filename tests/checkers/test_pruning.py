@@ -1,0 +1,155 @@
+"""Safe disjunct pruning: unit behaviour and the soundness differential.
+
+The soundness contract: for every backend (in-memory, SQL, chase
+oracle) a pruned session returns *exactly* the answers of an unpruned
+one, while evaluating strictly fewer disjuncts.
+"""
+
+import pytest
+
+from repro import obs
+from repro.api import Session
+from repro.checkers import prune_statically_empty, supported_relations
+from repro.data.database import Database
+from repro.lang.parser import (
+    parse_database,
+    parse_program,
+    parse_query,
+    parse_ucq,
+)
+from repro.obda.mappings import parse_mappings
+
+ONTOLOGY = parse_program(
+    "r_prof: professor(X) -> person(X).\n"
+    "r_stud: student(X) -> person(X).\n"
+    "r_ghost: phantom(X), ledger(X) -> person(X).\n"
+)
+MAPPINGS = parse_mappings(
+    "prof_row(X, D) ~> professor(X).\n"
+    "stud_row(X) ~> student(X).\n"
+)
+DATA = Database(
+    parse_database(
+        "prof_row(ada, cs).\nprof_row(bob, math).\nstud_row(eve).\n"
+    )
+)
+QUERY = parse_query("q(X) :- person(X)")
+
+
+class TestSupportedRelations:
+    def test_mapping_targets(self):
+        assert supported_relations(MAPPINGS, DATA) == {"professor", "student"}
+
+    def test_mappings_filtered_by_empty_sources(self):
+        sparse = Database(parse_database("prof_row(ada, cs).\n"))
+        assert supported_relations(MAPPINGS, sparse) == {"professor"}
+
+    def test_mappings_without_source_keep_all_targets(self):
+        assert supported_relations(MAPPINGS, None) == {"professor", "student"}
+
+    def test_identity_uses_nonempty_relations(self):
+        db = Database(parse_database("person(ada).\n"))
+        assert supported_relations(None, db) == {"person"}
+
+    def test_neither_is_an_error(self):
+        with pytest.raises(ValueError):
+            supported_relations(None, None)
+
+
+class TestPruneStaticallyEmpty:
+    UCQ = parse_ucq(
+        "q(X) :- professor(X)\n"
+        "q(X) :- student(X)\n"
+        "q(X) :- phantom(X), ledger(X)"
+    )
+
+    def test_drops_unsupported_disjuncts(self):
+        result = prune_statically_empty(
+            self.UCQ, frozenset({"professor", "student"})
+        )
+        assert result.kept == 2
+        assert result.dropped == 1
+        assert result.empty_relations == {"phantom", "ledger"}
+        assert len(result.ucq) == 2
+
+    def test_all_pruned_yields_none(self):
+        result = prune_statically_empty(self.UCQ, frozenset())
+        assert result.ucq is None
+        assert result.kept == 0
+        assert result.dropped == 3
+
+    def test_nothing_to_prune(self):
+        result = prune_statically_empty(
+            self.UCQ, frozenset({"professor", "student", "phantom", "ledger"})
+        )
+        assert result.dropped == 0
+        assert result.ucq == self.UCQ
+
+    def test_counter_emitted_on_drop(self):
+        with obs.capture() as captured:
+            prune_statically_empty(self.UCQ, frozenset({"professor"}))
+        assert captured.counter("session.pruned_disjuncts") == 2
+
+
+class TestDifferentialSoundness:
+    """memory == SQL == chase, pruned vs unpruned, fewer disjuncts."""
+
+    @pytest.fixture
+    def sessions(self):
+        with Session(ONTOLOGY, DATA, mappings=MAPPINGS) as plain, Session(
+            ONTOLOGY, DATA, mappings=MAPPINGS, prune_empty=True
+        ) as pruning:
+            yield plain, pruning
+
+    def test_strictly_fewer_disjuncts(self, sessions):
+        plain, pruning = sessions
+        unpruned = plain.prepare(QUERY)
+        pruned = pruning.prepare(QUERY).pruned
+        assert pruned is not None
+        assert pruned.kept < unpruned.result.size
+        assert pruned.dropped >= 1
+
+    def test_all_three_paths_agree(self, sessions):
+        plain, pruning = sessions
+        expected = plain.prepare(QUERY).answer()
+        prepared = pruning.prepare(QUERY)
+        assert prepared.answer() == expected
+        assert prepared.answer(backend="sql") == expected
+        assert pruning.answer_chase(QUERY) == expected
+        assert plain.prepare(QUERY).answer(backend="sql") == expected
+        assert expected  # non-vacuous: the query has answers
+
+    def test_all_pruned_query_is_empty_everywhere(self, sessions):
+        plain, pruning = sessions
+        ghost = parse_query("g(X) :- phantom(X)")
+        assert plain.prepare(ghost).answer() == frozenset()
+        prepared = pruning.prepare(ghost)
+        assert prepared.pruned is not None and prepared.pruned.ucq is None
+        assert prepared.answer() == frozenset()
+        assert prepared.answer(backend="sql") == frozenset()
+        assert pruning.answer_chase(ghost) == frozenset()
+
+    def test_all_pruned_sql_text_is_arity_correct(self, sessions):
+        _, pruning = sessions
+        sql = pruning.prepare(parse_query("g(X) :- phantom(X)")).sql
+        assert "WHERE 1 = 0" in sql
+        assert "a0" in sql
+
+    def test_explicit_database_pruned_against_itself(self, sessions):
+        plain, pruning = sessions
+        # Bypasses the mappings: supported = the passed database's own
+        # non-empty relations.
+        db = Database(parse_database("student(zoe).\n"))
+        expected = plain.prepare(QUERY).answer(db)
+        assert pruning.prepare(QUERY).answer(db) == expected
+        assert expected
+
+    def test_pruning_disabled_without_static_knowledge(self):
+        with Session(ONTOLOGY, prune_empty=True) as session:
+            assert session.pruning_relations() is None
+            assert session.prepare(QUERY).pruned is None
+
+    def test_prune_empty_off_by_default(self, sessions):
+        plain, _ = sessions
+        assert plain.prune_empty is False
+        assert plain.pruning_relations() is None

@@ -1,9 +1,16 @@
 """Tests for repro.graphs.dot (Graphviz rendering)."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 from repro.graphs.dot import pnode_graph_to_dot, position_graph_to_dot
 from repro.graphs.pnode_graph import build_pnode_graph
 from repro.graphs.position_graph import build_position_graph
 from repro.workloads.paper import example1, example2
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
 class TestPositionGraphDot:
@@ -50,3 +57,51 @@ class TestPNodeGraphDot:
         rules = parse_program('a(X, "k") -> r(X). r(X) -> p(X).')
         dot = pnode_graph_to_dot(build_pnode_graph(rules))
         assert '\\"k\\"' in dot
+
+
+class TestDeterministicWitness:
+    """The highlighted witness cycle must not flip across regenerations.
+
+    ``examples/figure3_pnode_graph.dot`` used to change its ``color=red``
+    edges on every run because witness extraction iterated SCC node sets
+    in hash order.  Regenerating must now be byte-stable, including
+    across interpreter processes with different ``PYTHONHASHSEED``.
+    """
+
+    def _render_fig3(self) -> str:
+        return pnode_graph_to_dot(build_pnode_graph(example2()), name="Fig3")
+
+    def test_run_twice_identical(self):
+        assert self._render_fig3() == self._render_fig3()
+
+    def test_witness_cycle_stable_in_process(self):
+        graph = build_pnode_graph(example2())
+        assert graph.dangerous_cycle() == graph.dangerous_cycle()
+
+    def _render_in_subprocess(self, hash_seed: str) -> str:
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hash_seed
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        script = (
+            "from repro.graphs.pnode_graph import build_pnode_graph\n"
+            "from repro.graphs.dot import pnode_graph_to_dot\n"
+            "from repro.workloads.paper import example2\n"
+            "import sys\n"
+            "sys.stdout.write("
+            "pnode_graph_to_dot(build_pnode_graph(example2()), 'Fig3'))\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        return result.stdout
+
+    def test_byte_identical_across_hash_seeds(self):
+        first = self._render_in_subprocess("1")
+        second = self._render_in_subprocess("31337")
+        assert first == second
+        golden = REPO_ROOT / "examples" / "figure3_pnode_graph.dot"
+        assert first + "\n" == golden.read_text()

@@ -22,7 +22,10 @@ def _has(module: str) -> bool:
 @pytest.mark.skipif(not _has("ruff"), reason="ruff not installed")
 def test_ruff_clean_on_lint_subsystem():
     result = subprocess.run(
-        [sys.executable, "-m", "ruff", "check", "src/repro/lint", "src/repro/lang/spans.py"],
+        [
+            sys.executable, "-m", "ruff", "check",
+            "src/repro/lint", "src/repro/checkers", "src/repro/lang/spans.py",
+        ],
         cwd=REPO,
         capture_output=True,
         text=True,
