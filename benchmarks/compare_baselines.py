@@ -1,0 +1,195 @@
+"""Perf-regression gate: diff benchmark JSON artifacts against baselines.
+
+The benchmark suite lands machine-readable artifacts under
+``benchmarks/out/*.json``; this script compares them against the
+committed reference snapshots in ``benchmarks/baselines/`` and exits
+non-zero when a tracked metric drifts beyond the tolerance.  CI runs it
+as a blocking step right after the bench suite.
+
+What is compared:
+
+* **Deterministic metrics always** -- kernel/engine counters
+  (``minimize.*``, ``rewrite.*``, ...), disjunct counts, corpus sizes,
+  cache hit/miss tallies, and boolean flags such as ``same_ucq``.
+  These are reproducible bit-for-bit, so any drift is a real behaviour
+  change: either a regression, or an intentional change that should be
+  re-baselined with ``--update-baselines``.
+* **Timings only under ``--check-timings``** -- wall-clock fields
+  (``*_ms``, ``*_s``, ``seconds``, speedups and overhead ratios) are
+  noisy on shared runners, so by default they are reported but never
+  fail the gate.  Nightly runs on quieter hardware can opt in.
+* **Machine-dependent fields never** -- e.g. auto-resolved ``workers``
+  counts, which track the runner's CPU count.
+
+Updating baselines after an intentional change::
+
+    PYTHONPATH=src:benchmarks python -m pytest benchmarks/ -q
+    python benchmarks/compare_baselines.py --update-baselines
+
+and commit the refreshed ``benchmarks/baselines/*.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+from typing import Any, Iterator
+
+BENCH_DIR = Path(__file__).resolve().parent
+DEFAULT_OUT = BENCH_DIR / "out"
+DEFAULT_BASELINES = BENCH_DIR / "baselines"
+
+# Wall-clock-derived leaves: compared only under --check-timings.
+TIMING_SUFFIXES = ("_ms", "_s", "_seconds")
+TIMING_KEYS = {"seconds", "dur_ms"}
+TIMING_SUBSTRINGS = ("speedup", "over_bypass")
+
+# Machine-dependent leaves: never compared (track the runner, not the code).
+MACHINE_KEYS = {"workers"}
+
+
+def is_timing_key(key: str) -> bool:
+    if key in TIMING_KEYS:
+        return True
+    if key.endswith(TIMING_SUFFIXES):
+        return True
+    return any(piece in key for piece in TIMING_SUBSTRINGS)
+
+
+def flatten(obj: Any, prefix: str = "") -> Iterator[tuple[str, str, Any]]:
+    """Yield ``(path, leaf_key, value)`` for every scalar leaf."""
+    if isinstance(obj, dict):
+        for key in sorted(obj):
+            yield from flatten(obj[key], f"{prefix}/{key}")
+    elif isinstance(obj, list):
+        for index, value in enumerate(obj):
+            yield from flatten(value, f"{prefix}/{index}")
+    else:
+        parts = [p for p in prefix.split("/") if p and not p.isdigit()]
+        yield prefix, (parts[-1] if parts else prefix), obj
+
+
+def compare_file(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    *,
+    tolerance: float,
+    check_timings: bool,
+) -> tuple[list[str], list[str]]:
+    """Return ``(regressions, warnings)`` for one artifact pair."""
+    regressions: list[str] = []
+    warnings: list[str] = []
+    base_leaves = {path: (key, value) for path, key, value in flatten(baseline)}
+    cur_leaves = {path: (key, value) for path, key, value in flatten(current)}
+
+    for path, (key, base_value) in base_leaves.items():
+        if key in MACHINE_KEYS:
+            continue
+        if path not in cur_leaves:
+            regressions.append(f"{path}: present in baseline, missing now")
+            continue
+        cur_value = cur_leaves[path][1]
+        numeric = isinstance(base_value, (int, float)) and not isinstance(
+            base_value, bool
+        )
+        if numeric and isinstance(cur_value, (int, float)):
+            if is_timing_key(key) and not check_timings:
+                continue
+            drift = abs(cur_value - base_value) / max(abs(base_value), 1.0)
+            if drift > tolerance:
+                regressions.append(
+                    f"{path}: {base_value} -> {cur_value} "
+                    f"({drift:+.0%} drift, tolerance {tolerance:.0%})"
+                )
+        elif cur_value != base_value:
+            regressions.append(f"{path}: {base_value!r} -> {cur_value!r}")
+
+    for path in cur_leaves.keys() - base_leaves.keys():
+        warnings.append(f"{path}: new metric, not in baseline")
+    return regressions, warnings
+
+
+def run(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare benchmark JSON artifacts against baselines."
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="max relative drift for numeric metrics (default: 0.25)",
+    )
+    parser.add_argument(
+        "--check-timings",
+        action="store_true",
+        help="also gate wall-clock fields (off by default: runner noise)",
+    )
+    parser.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="copy benchmarks/out/*.json over the committed baselines",
+    )
+    parser.add_argument("--out-dir", type=Path, default=DEFAULT_OUT)
+    parser.add_argument("--baseline-dir", type=Path, default=DEFAULT_BASELINES)
+    args = parser.parse_args(argv)
+
+    artifacts = sorted(args.out_dir.glob("*.json"))
+    if args.update_baselines:
+        if not artifacts:
+            print(f"no JSON artifacts in {args.out_dir}; run the benches first")
+            return 2
+        args.baseline_dir.mkdir(parents=True, exist_ok=True)
+        for artifact in artifacts:
+            shutil.copy(artifact, args.baseline_dir / artifact.name)
+            print(f"baseline updated: {artifact.name}")
+        return 0
+
+    baselines = sorted(args.baseline_dir.glob("*.json"))
+    if not baselines:
+        print(f"no baselines in {args.baseline_dir}; nothing to gate")
+        return 0
+
+    failed = False
+    current_names = {a.name for a in artifacts}
+    for baseline_path in baselines:
+        name = baseline_path.name
+        if name not in current_names:
+            print(f"FAIL {name}: baseline committed but artifact not produced")
+            failed = True
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        current = json.loads((args.out_dir / name).read_text())
+        regressions, warnings = compare_file(
+            baseline,
+            current,
+            tolerance=args.tolerance,
+            check_timings=args.check_timings,
+        )
+        status = "FAIL" if regressions else "ok"
+        print(f"{status:>4} {name}")
+        for line in regressions:
+            print(f"       {line}")
+        for line in warnings:
+            print(f"       note: {line}")
+        failed = failed or bool(regressions)
+
+    for name in sorted(current_names - {b.name for b in baselines}):
+        print(
+            f"note {name}: no committed baseline "
+            "(add one with --update-baselines)"
+        )
+
+    if failed:
+        print(
+            "\nregression detected.  If the change is intentional, refresh "
+            "with:\n  python benchmarks/compare_baselines.py --update-baselines"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

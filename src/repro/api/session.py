@@ -85,6 +85,13 @@ class Session:
             rewriting-size estimator before each cold compilation and
             emit a :class:`~repro.checkers.estimator.
             RewritingBlowupWarning` when the bound exceeds the budget.
+        minimize_workers: opt-in parallel UCQ minimization -- worker
+            count for the final subsumption pass of each cold
+            compilation (None = sequential; 0 = one worker per CPU,
+            as in :meth:`answer_many`).  The compiled rewriting is
+            identical in every mode, so this never invalidates caches.
+        minimize_mode: ``"thread"`` (default) or ``"process"`` --
+            which pool the parallel minimization fans out over.
     """
 
     def __init__(
@@ -98,6 +105,8 @@ class Session:
         filter_relevant: bool = True,
         prune_empty: bool = False,
         preflight_estimate: bool = False,
+        minimize_workers: int | None = None,
+        minimize_mode: str = "thread",
     ):
         self._ontology = tuple(ontology)
         self._source = data
@@ -122,6 +131,8 @@ class Session:
             filter_relevant=filter_relevant,
             persistent=tier,
             preflight_estimate=preflight_estimate,
+            minimize_workers=minimize_workers,
+            minimize_mode=minimize_mode,
         )
         self._lock = threading.RLock()
         self._prepared: dict[str, PreparedQuery] = {}

@@ -99,6 +99,14 @@ def _budget(args: argparse.Namespace) -> RewritingBudget:
     )
 
 
+def _minimize_kwargs(args: argparse.Namespace) -> dict:
+    """Session kwargs for the opt-in parallel-minimization options."""
+    return {
+        "minimize_workers": getattr(args, "minimize_workers", None),
+        "minimize_mode": getattr(args, "minimize_mode", "thread"),
+    }
+
+
 def _add_engine_options(
     parser: argparse.ArgumentParser, backend: bool = False
 ) -> None:
@@ -130,6 +138,20 @@ def _add_engine_options(
         type=float,
         default=None,
         help="wall-clock ceiling per rewriting (default: unlimited)",
+    )
+    group.add_argument(
+        "--minimize-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallelize UCQ minimization over N workers (0 = one "
+        "per CPU; default: sequential; output is identical)",
+    )
+    group.add_argument(
+        "--minimize-mode",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker pool for --minimize-workers (default: thread)",
     )
     if backend:
         group.add_argument(
@@ -166,12 +188,15 @@ def cmd_rewrite(args: argparse.Namespace) -> int:
     if args.explain or args.cache_dir is None:
         # --explain needs derivation lineage, which the persistent
         # cache does not store; compile directly.
-        result = rewrite(query, rules, _budget(args))
+        result = rewrite(query, rules, _budget(args), **_minimize_kwargs(args))
     else:
         from repro.api import Session
 
         with Session(
-            rules, budget=_budget(args), cache_dir=args.cache_dir
+            rules,
+            budget=_budget(args),
+            cache_dir=args.cache_dir,
+            **_minimize_kwargs(args),
         ) as session:
             result = session.prepare(query).result
     if not result.complete:
@@ -207,6 +232,7 @@ def cmd_answer(args: argparse.Namespace) -> int:
             database,
             budget=_budget(args),
             cache_dir=args.cache_dir,
+            **_minimize_kwargs(args),
         ) as session:
             prepared = session.prepare(query)
             if not prepared.complete:
@@ -251,7 +277,11 @@ def cmd_batch(args: argparse.Namespace) -> int:
     failed = incomplete = 0
     started = _time.perf_counter()
     with Session(
-        rules, database, budget=_budget(args), cache_dir=args.cache_dir
+        rules,
+        database,
+        budget=_budget(args),
+        cache_dir=args.cache_dir,
+        **_minimize_kwargs(args),
     ) as session:
         stream = session.answer_many(
             queries,
@@ -383,6 +413,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
                 database,
                 budget=_budget(args),
                 cache_dir=args.cache_dir,
+                **_minimize_kwargs(args),
             ) as session:
                 prepared = session.prepare(query)
                 result = prepared.result

@@ -110,12 +110,20 @@ class FORewritingEngine:
         filter_relevant: bool = True,
         persistent: PersistentTier | None = None,
         preflight_estimate: bool = False,
+        minimize_workers: int | None = None,
+        minimize_mode: str = "thread",
     ):
         self._rules = tuple(rules)
         self._budget = budget or RewritingBudget.default()
         self._filter_relevant = filter_relevant
         self._persistent = persistent
         self._preflight_estimate = preflight_estimate
+        # Opt-in parallel final minimization; None keeps the
+        # sequential path.  The produced rewriting is identical either
+        # way (see repro.rewriting.subsume), so this deliberately does
+        # NOT participate in cache keys or ENGINE_VERSION.
+        self._minimize_workers = minimize_workers
+        self._minimize_mode = minimize_mode
         self._cache: dict[UnionOfConjunctiveQueries, RewritingResult] = {}
         self._hits = 0
         self._misses = 0
@@ -196,7 +204,13 @@ class FORewritingEngine:
                 span.set(relevant_rules=len(rules))
             if self._preflight_estimate:
                 self._preflight(ucq, rules)
-            result = rewrite(ucq, rules, self._budget)
+            result = rewrite(
+                ucq,
+                rules,
+                self._budget,
+                minimize_workers=self._minimize_workers,
+                minimize_mode=self._minimize_mode,
+            )
             span.set(complete=result.complete, size=result.size)
         if self._persistent is not None:
             self._persistent.put(ucq, result)

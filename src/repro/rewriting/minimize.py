@@ -10,6 +10,11 @@ The check is implemented with the canonical-database ("freezing")
 method: the variables of ``q1`` are frozen into private constants, the
 frozen body becomes a database, and the evaluator searches for a
 homomorphic match of ``q2``'s body.
+
+This module is the stable public API; the heavy lifting -- the
+necessary-condition filters, per-CQ profile/freeze cache, bucketed
+candidate index and the parallel all-pairs path -- lives in
+:mod:`repro.rewriting.subsume`.
 """
 
 from __future__ import annotations
@@ -17,71 +22,42 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro import obs
-from repro.data.database import Database
-from repro.data.evaluation import all_homomorphisms
-from repro.lang.atoms import Atom
 from repro.lang.queries import ConjunctiveQuery
-from repro.lang.terms import Constant, Term, Variable
+from repro.rewriting.subsume import (
+    SubsumptionKernel,
+    _Frozen,
+    freeze_body,
+    freeze_term,
+    kernel_remove_subsumed,
+    parallel_remove_subsumed,
+    shared_is_subsumed,
+)
 
+__all__ = [
+    "equivalent",
+    "is_subsumed",
+    "minimize_cq",
+    "remove_subsumed",
+]
 
-class _Frozen:
-    """Private payload wrapping a frozen variable name.
-
-    Wrapping guarantees frozen constants can never collide with real
-    constants appearing in queries.
-    """
-
-    __slots__ = ("name",)
-
-    def __init__(self, name: str):
-        self.name = name
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _Frozen) and self.name == other.name
-
-    def __hash__(self) -> int:
-        return hash(("_Frozen", self.name))
-
-    def __repr__(self) -> str:
-        return f"_Frozen({self.name!r})"
-
-    def __str__(self) -> str:
-        return f"«{self.name}»"
-
-    def __lt__(self, other: "_Frozen") -> bool:
-        return self.name < other.name
-
-
-def _freeze_term(term: Term) -> Term:
-    if isinstance(term, Variable):
-        return Constant(_Frozen(term.name))
-    return term
-
-
-def _freeze_body(body: Sequence[Atom]) -> Database:
-    database = Database()
-    for atom in body:
-        database.add(Atom(atom.relation, [_freeze_term(t) for t in atom.terms]))
-    return database
+# Backwards-compatible aliases for the pre-kernel private helpers.
+_freeze_term = freeze_term
+_freeze_body = freeze_body
+assert _Frozen is not None  # re-exported for existing callers
 
 
 def is_subsumed(subsumee: ConjunctiveQuery, subsumer: ConjunctiveQuery) -> bool:
     """True iff ``subsumee ⊑ subsumer`` (the subsumer is more general).
 
     Queries of different arity are never comparable.
+
+    Served by the process-wide shared :class:`SubsumptionKernel`, so a
+    caller looping over a fixed subsumee (lint passes, the checkers
+    estimator) reuses its cached canonical database instead of
+    re-freezing it on every call, and pairs rejected by the
+    necessary-condition filters never pay for a homomorphism search.
     """
-    if subsumee.arity != subsumer.arity:
-        return False
-    canonical = _freeze_body(subsumee.body)
-    frozen_answers = tuple(_freeze_term(t) for t in subsumee.answer_terms)
-    for hom in all_homomorphisms(list(subsumer.body), canonical):
-        image = tuple(
-            hom[t] if isinstance(t, Variable) else t
-            for t in subsumer.answer_terms
-        )
-        if image == frozen_answers:
-            return True
-    return False
+    return shared_is_subsumed(subsumee, subsumer)
 
 
 def equivalent(first: ConjunctiveQuery, second: ConjunctiveQuery) -> bool:
@@ -91,45 +67,38 @@ def equivalent(first: ConjunctiveQuery, second: ConjunctiveQuery) -> bool:
 
 def remove_subsumed(
     queries: Sequence[ConjunctiveQuery],
+    *,
+    max_workers: int | None = None,
+    mode: str = "thread",
+    kernel: SubsumptionKernel | None = None,
 ) -> tuple[ConjunctiveQuery, ...]:
     """Keep only subsumption-maximal CQs (the minimal equivalent UCQ).
 
     A query is dropped when another input query strictly subsumes it;
     among mutually equivalent queries the one with the smallest body
     (earliest on ties) survives, so output is deterministic.
+
+    ``max_workers`` opts in to parallel minimization for large UCQs
+    (``mode`` selects ``"thread"`` or ``"process"``; see
+    :func:`repro.rewriting.subsume.parallel_remove_subsumed`).  The
+    result is identical in every mode.  Callers that already hold a
+    :class:`SubsumptionKernel` (the rewriting loops) pass it via
+    *kernel* so the profile/freeze cache carries over; its tallies are
+    flushed here.
     """
     queries = list(queries)
     with obs.span("minimize.remove_subsumed", disjuncts=len(queries)) as span:
-        rank = {
-            i: (len(query.body), i) for i, query in enumerate(queries)
-        }
-        # Subsumption checks are tallied locally and emitted once, so
-        # the O(n^2) loop stays free of instrumentation calls.
-        checks = 0
-        kept: list[ConjunctiveQuery] = []
-        for i, query in enumerate(queries):
-            dominated = False
-            for j, other in enumerate(queries):
-                if i == j:
-                    continue
-                checks += 1
-                if not is_subsumed(query, other):
-                    continue
-                checks += 1
-                if is_subsumed(other, query):
-                    # Equivalent pair: keep the better-ranked one only.
-                    if rank[j] < rank[i]:
-                        dominated = True
-                        break
-                else:
-                    dominated = True
-                    break
-            if not dominated:
-                kept.append(query)
+        kernel = kernel or SubsumptionKernel()
+        if max_workers is not None and len(queries) > 1:
+            kept = parallel_remove_subsumed(
+                queries, max_workers=max_workers, mode=mode, kernel=kernel
+            )
+        else:
+            kept = kernel_remove_subsumed(queries, kernel)
         span.set(kept=len(kept))
-        obs.count("minimize.subsumption_checks", checks)
+        kernel.flush_counters()
         obs.count("minimize.disjuncts_removed", len(queries) - len(kept))
-        return tuple(kept)
+        return kept
 
 
 def minimize_cq(query: ConjunctiveQuery) -> ConjunctiveQuery:
@@ -140,7 +109,7 @@ def minimize_cq(query: ConjunctiveQuery) -> ConjunctiveQuery:
     the shortened query is equivalent to the original.
     """
     body = list(dict.fromkeys(query.body))
-    checks = 0
+    kernel = SubsumptionKernel()
     changed = True
     while changed and len(body) > 1:
         changed = False
@@ -155,13 +124,11 @@ def minimize_cq(query: ConjunctiveQuery) -> ConjunctiveQuery:
             candidate = ConjunctiveQuery(
                 query.answer_terms, candidate_body, name=query.name
             )
-            checks += 1
-            if is_subsumed(candidate, query):
+            if kernel.is_subsumed(candidate, query):
                 body = candidate_body
                 changed = True
                 break
-    if checks:
-        obs.count("minimize.subsumption_checks", checks)
+    kernel.flush_counters()
     dropped = len(query.body) - len(body)
     if dropped:
         obs.count("minimize.atoms_dropped", dropped)

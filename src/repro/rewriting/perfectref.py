@@ -35,6 +35,7 @@ from repro.lang.tgd import TGD
 from repro.rewriting.budget import RewritingBudget
 from repro.rewriting.minimize import remove_subsumed
 from repro.rewriting.pieces import factorizations
+from repro.rewriting.subsume import SubsumptionFrontier
 from repro.rewriting.rewriter import RewritingResult
 
 
@@ -60,12 +61,20 @@ def perfectref_rewrite(
 
     with obs.span("perfectref", rules=len(rules)) as span:
         seen: dict[tuple, ConjunctiveQuery] = {}
+        # Incrementally minimal result set: every new CQ is admitted
+        # against the current antichain (exact batch remove_subsumed
+        # semantics: strictly subsumed CQs are rejected, equivalents
+        # keep the smaller-body/earlier one), so the final pass only
+        # revisits the survivors.  Exploration still covers every
+        # generated CQ, as in the original algorithm.
+        minimal = SubsumptionFrontier()
         frontier: list[ConjunctiveQuery] = []
         for cq in UnionOfConjunctiveQueries.of(query):
             cq = cq.dedupe_body()
             key = cq.canonical()
             if key not in seen:
                 seen[key] = cq
+                minimal.admit(cq)
                 frontier.append(cq)
 
         per_depth = [len(frontier)]
@@ -91,6 +100,7 @@ def perfectref_rewrite(
                         if key in seen:
                             continue
                         seen[key] = candidate
+                        minimal.admit(candidate)
                         next_frontier.append(candidate)
                     if len(seen) > budget.max_cqs:
                         complete = False
@@ -104,7 +114,11 @@ def perfectref_rewrite(
 
         obs.count("perfectref.cqs_generated", len(seen))
         obs.count("perfectref.cqs_explored", explored)
-        final = remove_subsumed(list(seen.values()))
+        # The frontier is already an antichain equal to batch
+        # remove_subsumed over every generated CQ; the final pass is a
+        # cheap safety net over the survivors (and flushes the
+        # kernel's counters).
+        final = remove_subsumed(minimal.queries(), kernel=minimal.kernel)
         span.set(complete=complete, depth=depth, size=len(final))
         return RewritingResult(
             ucq=UnionOfConjunctiveQueries(list(final)),

@@ -30,8 +30,9 @@ from repro.lang.errors import RewritingBudgetExceeded
 from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
 from repro.lang.tgd import TGD
 from repro.rewriting.budget import RewritingBudget
-from repro.rewriting.minimize import is_subsumed, minimize_cq, remove_subsumed
+from repro.rewriting.minimize import minimize_cq, remove_subsumed
 from repro.rewriting.pieces import factorizations, piece_rewritings
+from repro.rewriting.subsume import SubsumptionFrontier
 
 
 @dataclass(frozen=True)
@@ -127,11 +128,17 @@ def rewrite(
     prune_subsumed: bool = True,
     factorize: bool = True,
     minimize: bool = True,
+    minimize_workers: int | None = None,
+    minimize_mode: str = "thread",
 ) -> RewritingResult:
     """Compute the UCQ rewriting of *query* with respect to *rules*.
 
     Raises :class:`RewritingBudgetExceeded` only when ``budget.strict``;
     otherwise budget exhaustion is reported via ``complete=False``.
+
+    *minimize_workers* opts the final minimization pass into the
+    parallel path (*minimize_mode* picks ``"thread"`` or
+    ``"process"``); the result is identical either way.
 
     The ablation switches exist for the ablation benches and should
     stay at their defaults in normal use.  Redundancy elimination
@@ -163,14 +170,18 @@ def rewrite(
 
         seen: dict[tuple, ConjunctiveQuery] = {}
         lineage: dict[tuple, tuple] = {}
-        kept: list[ConjunctiveQuery] = []  # subsumption representatives
+        # The incrementally minimal set of subsumption representatives:
+        # new CQs are checked against it (covers) and evict members
+        # they strictly subsume (add), so the final pass starts from an
+        # already-near-minimal antichain instead of every kept CQ.
+        kept = SubsumptionFrontier()
         frontier: list[ConjunctiveQuery] = []
         for cq in initial:
             key = cq.canonical()
             if key not in seen:
                 seen[key] = cq
                 lineage[key] = (None, "input")
-                kept.append(cq)
+                kept.add(cq)
                 frontier.append(cq)
 
 
@@ -215,7 +226,15 @@ def rewrite(
             )
 
         with obs.span("rewrite.finalize", kept=len(kept)) as fin:
-            final = [_parser_safe_names(cq) for cq in remove_subsumed(kept)]
+            final = [
+                _parser_safe_names(cq)
+                for cq in remove_subsumed(
+                    kept.queries(),
+                    max_workers=minimize_workers,
+                    mode=minimize_mode,
+                    kernel=kept.kernel,
+                )
+            ]
             fin.set(size=len(final))
         span.set(size=len(final))
         return RewritingResult(
@@ -239,7 +258,7 @@ def _expand_round(
     prune_subsumed: bool,
     seen: dict,
     lineage: dict,
-    kept: list[ConjunctiveQuery],
+    kept: SubsumptionFrontier,
     tallies: dict[str, int],
 ) -> tuple[list[ConjunctiveQuery], bool]:
     """One breadth-first saturation round: expand every frontier CQ.
@@ -274,8 +293,8 @@ def _expand_round(
             if key in seen:
                 tallies["duplicates"] += 1
                 continue
-            if prune_subsumed and not is_factorization and any(
-                is_subsumed(candidate, other) for other in kept
+            if prune_subsumed and not is_factorization and kept.covers(
+                candidate
             ):
                 # Subsumed by an explored (or to-be-explored) more
                 # general CQ; its rewritings are covered.
@@ -286,7 +305,7 @@ def _expand_round(
             seen[key] = candidate
             lineage[key] = (parent_key, step_name)
             if not is_factorization:
-                kept.append(candidate)
+                kept.add(candidate)
             next_frontier.append(candidate)
             if len(seen) > budget.max_cqs:
                 overflow = True
