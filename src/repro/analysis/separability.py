@@ -1,0 +1,189 @@
+"""Separability: partition a TGD set into a chase-safe core + residual.
+
+Following the separability idea of Calì/Console/Frosini ("Deep
+Separability of Ontological Constraints"), a non-terminating TGD set
+can often be split into a *core* ``S`` whose chase terminates and a
+*residual* ``R`` handled by rewriting, such that
+
+    cert(q, S ∪ R, D)  =  cert(q, R, chase_S(D))        (*)
+
+The partition computed here guarantees (*) by *stratification*: no
+relation derived by a residual rule occurs in the body of any core
+rule.  Then core firings never depend on residual facts, so the chase
+factorises as ``chase(S ∪ R, D) = chase_R(chase_S(D))`` and the
+residual consequences can equivalently be compiled into the query by
+FO rewriting.
+
+The partition is found iteratively: start with everything in the core;
+while the core's termination certificate fails, evict the rules
+implicated in the most general failing criterion's witness cycle, then
+close under stratification (any core rule reading a residual-derived
+relation follows it into the residual).  Each partition carries static
+cost estimates from the rewriting-size estimator so callers (and the
+RL2xx diagnostics) can see what the split buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro import obs
+from repro.analysis.depgraph import rules_by_name
+from repro.analysis.termination import (
+    TerminationCertificate,
+    termination_certificate,
+)
+from repro.lang.queries import ConjunctiveQuery
+from repro.lang.tgd import TGD
+from repro.rewriting.budget import RewritingBudget
+
+
+@dataclass(frozen=True)
+class SeparabilityReport:
+    """A stratified partition of one TGD set.
+
+    Attributes:
+        rules: the full input rule set.
+        core: the chase-safe separable core ``S`` (possibly empty).
+        residual: the rewriting fragment ``R`` (empty iff the whole
+            set already terminates).
+        core_certificate: termination certificate of the core.
+        full_certificate: certificate of the full set, for reference.
+        residual_bound: max static disjunct bound of the workload
+            queries rewritten over the residual only (None without a
+            workload or when the estimator cannot bound it).
+        full_bound: the same bound over the full rule set.
+    """
+
+    rules: tuple[TGD, ...]
+    core: tuple[TGD, ...]
+    residual: tuple[TGD, ...]
+    core_certificate: TerminationCertificate
+    full_certificate: TerminationCertificate
+    residual_bound: int | None = None
+    full_bound: int | None = None
+
+    @property
+    def separable(self) -> bool:
+        """True iff the core is chase-safe (trivially so when total)."""
+        return bool(self.core) and self.core_certificate.terminating
+
+    @property
+    def proper(self) -> bool:
+        """True iff the split is non-trivial: both sides non-empty."""
+        return self.separable and bool(self.residual)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "separable": self.separable,
+            "proper": self.proper,
+            "core": [str(rule) for rule in self.core],
+            "residual": [str(rule) for rule in self.residual],
+            "core_level": (
+                self.core_certificate.level.value
+                if self.core_certificate.level
+                else None
+            ),
+            "residual_bound": self.residual_bound,
+            "full_bound": self.full_bound,
+        }
+
+
+def _head_relations(rules: Sequence[TGD]) -> frozenset[str]:
+    return frozenset(
+        atom.relation for rule in rules for atom in rule.head
+    )
+
+
+def _stratify(
+    core: list[TGD], residual: list[TGD]
+) -> tuple[list[TGD], list[TGD]]:
+    """Move core rules reading residual-derived relations downstream."""
+    changed = True
+    while changed:
+        changed = False
+        blocked = _head_relations(residual)
+        for rule in list(core):
+            if any(atom.relation in blocked for atom in rule.body):
+                core.remove(rule)
+                residual.append(rule)
+                changed = True
+    return core, residual
+
+
+def _estimate(
+    queries: Sequence[ConjunctiveQuery],
+    rules: Sequence[TGD],
+    budget: RewritingBudget,
+    default_depth: int,
+) -> int | None:
+    if not queries:
+        return None
+    # Local import: repro.checkers imports repro.analysis for the
+    # RL2xx passes, so the estimator must be pulled in lazily.
+    from repro.checkers.estimator import estimate_disjunct_bound
+
+    bounds = [
+        estimate_disjunct_bound(
+            query, rules, budget=budget, default_depth=default_depth
+        ).bound
+        for query in queries
+    ]
+    return max(bounds) if bounds else None
+
+
+def separate(
+    rules: Sequence[TGD],
+    queries: Sequence[ConjunctiveQuery] = (),
+    budget: RewritingBudget | None = None,
+    default_depth: int = 10,
+    certificate: TerminationCertificate | None = None,
+) -> SeparabilityReport:
+    """Partition *rules* into a chase-safe core and a residual.
+
+    The residual is empty when the full set already terminates; the
+    core is empty when no chase-safe stratified core exists (the set
+    is inseparable as far as this analysis can tell).  Callers that
+    already hold the full set's :func:`termination_certificate` can
+    pass it as *certificate* to skip the (digest-keyed) lookup.
+    """
+    rules = tuple(rules)
+    budget = budget or RewritingBudget.default()
+    full_certificate = certificate or termination_certificate(rules)
+    core: list[TGD] = list(rules)
+    residual: list[TGD] = []
+    with obs.span("analysis.separate", rules=len(rules)):
+        # The first iteration's certificate IS the full set's, so the
+        # loop recomputes only after an actual eviction.
+        core_certificate = full_certificate
+        while core and not core_certificate.terminating:
+            by_name = rules_by_name(core)
+            implicated = [
+                by_name[name]
+                for name in core_certificate.implicated_rules
+                if name in by_name
+            ]
+            if not implicated:
+                # No witness to act on: declare the set inseparable.
+                residual.extend(core)
+                core = []
+            else:
+                for rule in implicated:
+                    core.remove(rule)
+                    residual.append(rule)
+                core, residual = _stratify(core, residual)
+            core_certificate = termination_certificate(tuple(core))
+    report = SeparabilityReport(
+        rules=rules,
+        core=tuple(core),
+        residual=tuple(residual),
+        core_certificate=core_certificate,
+        full_certificate=full_certificate,
+        residual_bound=_estimate(queries, tuple(residual), budget, default_depth),
+        full_bound=_estimate(queries, rules, budget, default_depth),
+    )
+    obs.count("analysis.separations")
+    if report.proper:
+        obs.count("analysis.proper_separations")
+    return report

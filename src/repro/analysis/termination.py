@@ -1,0 +1,517 @@
+"""The chase-termination lattice: WA ⊊ JA ⊊ SWA, with certificates.
+
+:func:`repro.chase.termination.is_weakly_acyclic` answers a yes/no
+question; the Section-7 decision procedure needs more.  This module
+arranges three acyclicity criteria of increasing generality into a
+lattice and reports, for a given TGD set, the *weakest* criterion that
+certifies chase termination -- together with a machine-readable
+witness (the offending cycle, each edge carrying rule provenance) for
+every criterion that fails:
+
+* **Weak acyclicity** (Fagin et al., data exchange): no cycle through
+  a special edge of the position dependency graph.
+* **Joint acyclicity** (Krötzsch & Rudolph): per existential variable
+  ``y``, the *movement* ``Mov(y)`` closes the positions its nulls can
+  reach (a frontier variable propagates only when *all* of its body
+  positions are covered); ``y -> y'`` when the rule of ``y'`` can fire
+  on moved values.  Termination iff the dependency graph over
+  existential variables is acyclic.
+* **Super-weak acyclicity** (in the spirit of Marnette): the same
+  movement computed at *place* granularity (one node per atom
+  occurrence, not per position) and filtered by atom unification, so
+  constants and repeated variables can block propagation that the
+  position-level analysis over-approximates.
+
+Each criterion soundly certifies termination of the Skolem chase (and
+hence of the restricted chase this library runs).  Containment holds
+by construction: the SWA movement projects into the JA movement, whose
+cycles project into position-graph cycles, so every set accepted by a
+weaker criterion is accepted by the stronger ones.  The certificate is
+computed once per rule set and cached under the ontology digest.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro import obs
+from repro.analysis.depgraph import (
+    DependencyGraph,
+    dependency_graph,
+    rule_name,
+)
+from repro.graphs.cycles import LabeledEdge, LabeledGraph
+from repro.lang.atoms import Atom, Position
+from repro.lang.terms import Variable
+from repro.lang.tgd import TGD
+
+_CACHE_LIMIT = 64
+
+
+class TerminationCriterion(enum.Enum):
+    """One member of the termination lattice, weakest first."""
+
+    WEAK_ACYCLICITY = "weak-acyclicity"
+    JOINT_ACYCLICITY = "joint-acyclicity"
+    SUPER_WEAK_ACYCLICITY = "super-weak-acyclicity"
+
+    @property
+    def order(self) -> int:
+        """Position in the lattice (0 = most restrictive criterion)."""
+        return LATTICE.index(self)
+
+
+#: The lattice in containment order: WA ⊊ JA ⊊ SWA.
+LATTICE: tuple[TerminationCriterion, ...] = (
+    TerminationCriterion.WEAK_ACYCLICITY,
+    TerminationCriterion.JOINT_ACYCLICITY,
+    TerminationCriterion.SUPER_WEAK_ACYCLICITY,
+)
+
+
+@dataclass(frozen=True)
+class CriterionVerdict:
+    """One criterion's outcome on one rule set.
+
+    Attributes:
+        criterion: which lattice member was checked.
+        holds: True iff the criterion certifies termination.
+        witness: rendered cycle edges (with rule provenance) proving
+            the criterion fails; empty when it holds.
+        implicated_rules: provenance keys of the rules on the witness.
+        implied_by: when the verdict was not computed directly but
+            follows from a weaker criterion holding, that criterion.
+    """
+
+    criterion: TerminationCriterion
+    holds: bool
+    witness: tuple[str, ...] = ()
+    implicated_rules: tuple[str, ...] = ()
+    implied_by: TerminationCriterion | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "criterion": self.criterion.value,
+            "holds": self.holds,
+        }
+        if self.witness:
+            out["witness"] = list(self.witness)
+        if self.implicated_rules:
+            out["implicated_rules"] = list(self.implicated_rules)
+        if self.implied_by is not None:
+            out["implied_by"] = self.implied_by.value
+        return out
+
+
+@dataclass(frozen=True)
+class TerminationCertificate:
+    """The lattice verdicts for one rule set, weakest criterion first.
+
+    ``level`` is the weakest criterion that holds (None when none does)
+    and ``witness`` the proof that the *most general* criterion fails
+    -- the strongest evidence of genuine non-termination risk this
+    analyzer can produce.
+    """
+
+    digest: str
+    verdicts: tuple[CriterionVerdict, ...]
+
+    @property
+    def terminating(self) -> bool:
+        """True iff some lattice member certifies chase termination."""
+        return any(v.holds for v in self.verdicts)
+
+    @property
+    def level(self) -> TerminationCriterion | None:
+        """The weakest criterion that holds, or None."""
+        for verdict in self.verdicts:
+            if verdict.holds:
+                return verdict.criterion
+        return None
+
+    @property
+    def witness(self) -> tuple[str, ...]:
+        """Witness of the most general failing criterion (may be empty)."""
+        for verdict in reversed(self.verdicts):
+            if not verdict.holds:
+                return verdict.witness
+        return ()
+
+    @property
+    def implicated_rules(self) -> tuple[str, ...]:
+        """Rules on the most general failing criterion's witness."""
+        for verdict in reversed(self.verdicts):
+            if not verdict.holds:
+                return verdict.implicated_rules
+        return ()
+
+    def verdict(self, criterion: TerminationCriterion) -> CriterionVerdict:
+        for verdict in self.verdicts:
+            if verdict.criterion is criterion:
+                return verdict
+        raise KeyError(criterion)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "digest": self.digest,
+            "terminating": self.terminating,
+            "level": self.level.value if self.level else None,
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
+
+
+# --------------------------------------------------------------------- #
+# Witness rendering                                                      #
+# --------------------------------------------------------------------- #
+
+
+def _cycle_lines(
+    cycle: Sequence[LabeledEdge], graph: LabeledGraph
+) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """(rendered edge lines, rule provenance in first-seen order)."""
+    lines: list[str] = []
+    names: list[str] = []
+    for edge in cycle:
+        rules = sorted(graph.rules_of(edge.source, edge.target))
+        via = f" (via {', '.join(rules)})" if rules else ""
+        lines.append(f"{edge}{via}")
+        for name in rules:
+            if name not in names:
+                names.append(name)
+    return tuple(lines), tuple(names)
+
+
+# --------------------------------------------------------------------- #
+# Joint acyclicity                                                       #
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class _RuleInfo:
+    name: str
+    rule: TGD
+    frontier: tuple[Variable, ...]
+    existentials: tuple[Variable, ...]
+    body_positions: Mapping[Variable, frozenset[Position]]
+    head_positions: Mapping[Variable, frozenset[Position]]
+
+
+def _rule_infos(rules: Sequence[TGD]) -> tuple[_RuleInfo, ...]:
+    infos = []
+    for index, rule in enumerate(rules, start=1):
+        body: dict[Variable, set[Position]] = {}
+        head: dict[Variable, set[Position]] = {}
+        for atom in rule.body:
+            for position, term in enumerate(atom.terms, start=1):
+                if isinstance(term, Variable):
+                    body.setdefault(term, set()).add(
+                        Position(atom.relation, position)
+                    )
+        for atom in rule.head:
+            for position, term in enumerate(atom.terms, start=1):
+                if isinstance(term, Variable):
+                    head.setdefault(term, set()).add(
+                        Position(atom.relation, position)
+                    )
+        infos.append(
+            _RuleInfo(
+                name=rule_name(rule, index),
+                rule=rule,
+                frontier=rule.distinguished_variables(),
+                existentials=rule.existential_head_variables(),
+                body_positions={v: frozenset(p) for v, p in body.items()},
+                head_positions={v: frozenset(p) for v, p in head.items()},
+            )
+        )
+    return tuple(infos)
+
+
+def _movement(
+    start: frozenset[Position], infos: Sequence[_RuleInfo]
+) -> tuple[frozenset[Position], frozenset[str]]:
+    """Close *start* under null movement; also report the rules used."""
+    positions = set(start)
+    carriers: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for info in infos:
+            for var in info.frontier:
+                sources = info.body_positions.get(var)
+                if not sources or not sources <= positions:
+                    continue
+                new = info.head_positions.get(var, frozenset()) - positions
+                if new:
+                    positions |= new
+                    carriers.add(info.name)
+                    changed = True
+    return frozenset(positions), frozenset(carriers)
+
+
+def _existential_node(info: _RuleInfo, var: Variable) -> str:
+    return f"{info.name}.{var.name}"
+
+
+def joint_dependency_graph(rules: Sequence[TGD]) -> LabeledGraph:
+    """The JA dependency graph over existential head variables.
+
+    Nodes are ``<rule>.<variable>`` keys; an edge ``y -> y'`` states
+    that nulls invented for ``y`` can reach every body position of some
+    frontier variable of the rule of ``y'``.  Edge provenance names the
+    two endpoint rules plus every rule whose propagation carried the
+    movement.
+    """
+    infos = _rule_infos(rules)
+    graph = LabeledGraph()
+    holders = [
+        (info, var) for info in infos for var in info.existentials
+    ]
+    for info, var in holders:
+        graph.add_node(_existential_node(info, var))
+    for info, var in holders:
+        moved, carriers = _movement(
+            info.head_positions.get(var, frozenset()), infos
+        )
+        for info2, var2 in holders:
+            if any(
+                info2.body_positions.get(x)
+                and info2.body_positions[x] <= moved
+                for x in info2.frontier
+            ):
+                graph.add_edge(
+                    _existential_node(info, var),
+                    _existential_node(info2, var2),
+                    rules=sorted(carriers | {info.name, info2.name}),
+                )
+    return graph
+
+
+# --------------------------------------------------------------------- #
+# Super-weak acyclicity                                                  #
+# --------------------------------------------------------------------- #
+
+#: A place: (rule index, "body"/"head", atom index, 1-based position).
+_Place = tuple[int, str, int, int]
+
+
+def _atoms_unify(left: Atom, right: Atom) -> bool:
+    """Syntactic unifiability of two flat atoms (disjoint namespaces).
+
+    Union-find over the terms, tagging variables by side; unification
+    fails exactly when two distinct constants are forced equal -- the
+    one situation where no instance of *left* can match *right*.
+    """
+    if left.relation != right.relation or left.arity != right.arity:
+        return False
+    parent: dict[object, object] = {}
+
+    def find(node: object) -> object:
+        while parent.setdefault(node, node) != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    for lt, rt in zip(left.terms, right.terms):
+        lk = ("L", lt) if isinstance(lt, Variable) else ("C", lt)
+        rk = ("R", rt) if isinstance(rt, Variable) else ("C", rt)
+        root_l, root_r = find(lk), find(rk)
+        if root_l == root_r:
+            continue
+        # Keep constants as class representatives so clashes surface.
+        if isinstance(root_l, tuple) and root_l[0] == "C":
+            if isinstance(root_r, tuple) and root_r[0] == "C":
+                return False
+            parent[root_r] = root_l
+        else:
+            parent[root_l] = root_r
+    return True
+
+
+def _body_places(info: _RuleInfo, rule_index: int, var: Variable) -> set[_Place]:
+    return {
+        (rule_index, "body", bj, pos)
+        for bj, beta in enumerate(info.rule.body)
+        for pos, term in enumerate(beta.terms, start=1)
+        if term == var
+    }
+
+
+def _place_movement(
+    start_index: int,
+    start_var: Variable,
+    infos: Sequence[_RuleInfo],
+) -> tuple[frozenset[_Place], frozenset[str]]:
+    """Body places reachable by nulls of *start_var*, with provenance."""
+    head_moved: set[_Place] = set()
+    body_moved: set[_Place] = set()
+    carriers: set[str] = set()
+    start_info = infos[start_index]
+    for ai, atom in enumerate(start_info.rule.head):
+        for pos, term in enumerate(atom.terms, start=1):
+            if term == start_var:
+                head_moved.add((start_index, "head", ai, pos))
+    changed = True
+    while changed:
+        changed = False
+        for ri, _, ai, pos in tuple(head_moved):
+            alpha = infos[ri].rule.head[ai]
+            for rj, info2 in enumerate(infos):
+                for bj, beta in enumerate(info2.rule.body):
+                    if beta.relation != alpha.relation:
+                        continue
+                    place = (rj, "body", bj, pos)
+                    if place in body_moved:
+                        continue
+                    if not _atoms_unify(alpha, beta):
+                        continue
+                    body_moved.add(place)
+                    changed = True
+        for rj, info2 in enumerate(infos):
+            for var in info2.frontier:
+                places = _body_places(info2, rj, var)
+                if not places or not places <= body_moved:
+                    continue
+                for aj, alpha in enumerate(info2.rule.head):
+                    for pos, term in enumerate(alpha.terms, start=1):
+                        place = (rj, "head", aj, pos)
+                        if term == var and place not in head_moved:
+                            head_moved.add(place)
+                            carriers.add(info2.name)
+                            changed = True
+    return frozenset(body_moved), frozenset(carriers)
+
+
+def trigger_graph(rules: Sequence[TGD]) -> LabeledGraph:
+    """The SWA trigger graph over existential head variables.
+
+    Same shape as :func:`joint_dependency_graph` but movement is
+    tracked per *place* and filtered by atom unification, so head
+    constants, body constants and repeated variables can sever
+    propagation paths the position-level JA analysis must assume.
+    """
+    infos = _rule_infos(rules)
+    graph = LabeledGraph()
+    holders = [
+        (index, info, var)
+        for index, info in enumerate(infos)
+        for var in info.existentials
+    ]
+    for _, info, var in holders:
+        graph.add_node(_existential_node(info, var))
+    for index, info, var in holders:
+        moved, carriers = _place_movement(index, var, infos)
+        for rj, info2 in enumerate(infos):
+            triggered = False
+            for var2 in info2.frontier:
+                places = _body_places(info2, rj, var2)
+                if places and places <= moved:
+                    triggered = True
+                    break
+            if not triggered:
+                continue
+            for var2 in info2.existentials:
+                graph.add_edge(
+                    _existential_node(info, var),
+                    _existential_node(info2, var2),
+                    rules=sorted(carriers | {info.name, info2.name}),
+                )
+    return graph
+
+
+# --------------------------------------------------------------------- #
+# The certificate                                                        #
+# --------------------------------------------------------------------- #
+
+
+def _acyclicity_verdict(
+    criterion: TerminationCriterion, graph: LabeledGraph
+) -> CriterionVerdict:
+    cycle = graph.find_labeled_cycle(())
+    if cycle is None:
+        return CriterionVerdict(criterion=criterion, holds=True)
+    lines, names = _cycle_lines(cycle, graph)
+    return CriterionVerdict(
+        criterion=criterion,
+        holds=False,
+        witness=lines,
+        implicated_rules=names,
+    )
+
+
+def _compute(dep: DependencyGraph) -> TerminationCertificate:
+    verdicts: list[CriterionVerdict] = []
+    wa_cycle = dep.weak_acyclicity_witness()
+    if wa_cycle is None:
+        verdicts.append(
+            CriterionVerdict(
+                criterion=TerminationCriterion.WEAK_ACYCLICITY, holds=True
+            )
+        )
+        for criterion in LATTICE[1:]:
+            verdicts.append(
+                CriterionVerdict(
+                    criterion=criterion,
+                    holds=True,
+                    implied_by=TerminationCriterion.WEAK_ACYCLICITY,
+                )
+            )
+        return TerminationCertificate(dep.digest, tuple(verdicts))
+
+    lines, names = _cycle_lines(wa_cycle, dep.graph)
+    verdicts.append(
+        CriterionVerdict(
+            criterion=TerminationCriterion.WEAK_ACYCLICITY,
+            holds=False,
+            witness=lines,
+            implicated_rules=names,
+        )
+    )
+    ja = _acyclicity_verdict(
+        TerminationCriterion.JOINT_ACYCLICITY,
+        joint_dependency_graph(dep.rules),
+    )
+    verdicts.append(ja)
+    if ja.holds:
+        verdicts.append(
+            CriterionVerdict(
+                criterion=TerminationCriterion.SUPER_WEAK_ACYCLICITY,
+                holds=True,
+                implied_by=TerminationCriterion.JOINT_ACYCLICITY,
+            )
+        )
+    else:
+        verdicts.append(
+            _acyclicity_verdict(
+                TerminationCriterion.SUPER_WEAK_ACYCLICITY,
+                trigger_graph(dep.rules),
+            )
+        )
+    return TerminationCertificate(dep.digest, tuple(verdicts))
+
+
+_cert_cache: OrderedDict[str, TerminationCertificate] = OrderedDict()
+
+
+def termination_certificate(rules: Sequence[TGD]) -> TerminationCertificate:
+    """The (cached) termination-lattice certificate for *rules*."""
+    dep = dependency_graph(rules)
+    cached = _cert_cache.get(dep.digest)
+    if cached is not None:
+        _cert_cache.move_to_end(dep.digest)
+        obs.count("analysis.certificate_cache_hits")
+        return cached
+    with obs.span("analysis.termination", rules=len(dep.rules)):
+        certificate = _compute(dep)
+    obs.count("analysis.certificates_computed")
+    _cert_cache[dep.digest] = certificate
+    while len(_cert_cache) > _CACHE_LIMIT:
+        _cert_cache.popitem(last=False)
+    return certificate
+
+
+def clear_certificate_cache() -> None:
+    """Drop every cached certificate (tests and benchmarks)."""
+    _cert_cache.clear()

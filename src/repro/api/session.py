@@ -48,6 +48,7 @@ from repro.rewriting.engine import FORewritingEngine
 from repro.rewriting.store import ontology_digest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis import AnalysisReport
     from repro.checkers import CheckConfig
     from repro.lint.diagnostics import LintReport
 
@@ -141,6 +142,7 @@ class Session:
         self._abox: Database | None = None
         self._sql_backend: SQLiteBackend | None = None
         self._classification: ClassificationReport | None = None
+        self._analysis: "AnalysisReport | None" = None
         self._closed = False
 
     # ----------------------------------------------------------------- #
@@ -253,6 +255,35 @@ class Session:
             path="<session>",
         )
         return check_project(project, config)
+
+    def analyze(self) -> "AnalysisReport":
+        """Constraint-interaction analysis of the session's ontology.
+
+        Bundles the chase-termination lattice certificate (weak ⊊
+        joint ⊊ super-weak acyclicity, with witness cycles) and the
+        separability partition of :mod:`repro.analysis`.  The workload
+        for the partition's cost estimates is every query prepared so
+        far.  Memoized: the ontology is immutable, so the report is
+        computed once per session.
+        """
+        from repro.analysis import analyze
+
+        with self._lock:
+            if self._analysis is None:
+                with obs.span(
+                    "session.analyze", rules=len(self._ontology)
+                ):
+                    workload = tuple(
+                        cq
+                        for p in self.prepared_queries()
+                        for cq in p.query
+                    )
+                    self._analysis = analyze(
+                        self._ontology,
+                        queries=workload,
+                        budget=self._budget,
+                    )
+            return self._analysis
 
     def abox(self) -> Database:
         """The virtual ABox: source data seen through the mappings."""

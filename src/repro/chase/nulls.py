@@ -14,7 +14,7 @@ from repro.lang.terms import Null
 class NullFactory:
     """Produces ``n1, n2, ...`` labeled nulls, one run at a time."""
 
-    def __init__(self, prefix: str = "n"):
+    def __init__(self, prefix: str = "n") -> None:
         self._prefix = prefix
         self._count = 0
 

@@ -61,15 +61,11 @@ def position_dependency_graph(rules: Sequence[TGD]) -> nx.MultiDiGraph:
 def is_weakly_acyclic(rules: Sequence[TGD]) -> bool:
     """True iff no cycle of the dependency graph uses a special edge.
 
-    Equivalently: no strongly connected component contains a special
-    edge (an intra-SCC edge always lies on some cycle).
+    Delegates to the digest-cached dependency graph of
+    :mod:`repro.analysis.depgraph`, so hot paths (the per-query
+    Section-7 decision procedure) stop rebuilding the graph on every
+    call; cache traffic shows up as ``analysis.graph_cache_hits``.
     """
-    graph = position_dependency_graph(rules)
-    component_of: dict[Position, int] = {}
-    for index, component in enumerate(nx.strongly_connected_components(graph)):
-        for node in component:
-            component_of[node] = index
-    for source, target, data in graph.edges(data=True):
-        if data["special"] and component_of[source] == component_of[target]:
-            return False
-    return True
+    from repro.analysis.depgraph import dependency_graph
+
+    return dependency_graph(rules).weakly_acyclic

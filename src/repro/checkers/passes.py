@@ -13,7 +13,11 @@ Project` -- ontology, query workload, mappings and source data --
   mismatches between mapping assertions and the ontology / source
   schema, mappings whose source relations do not exist;
 * **estimate** (``RL105``): the static rewriting-size bound of
-  :mod:`repro.checkers.estimator`, flagged when it exceeds the budget.
+  :mod:`repro.checkers.estimator`, flagged when it exceeds the budget;
+* **interaction** (``RL200``-``RL203``, :mod:`repro.analysis.passes`):
+  whole-ruleset constraint interaction -- where the ontology sits in
+  the chase-termination lattice and whether a non-terminating set
+  separates into a chase-safe core plus a rewriting residual.
 
 Diagnostics, reports, severities and renderers are shared with the
 lint subsystem (:mod:`repro.lint`); the code catalogue lives in
@@ -25,6 +29,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from repro.analysis.passes import (
+    pass_inseparable,
+    pass_lattice_admitted,
+    pass_non_terminating,
+    pass_separable_core,
+)
 from repro.checkers.estimator import estimate_disjunct_bound
 from repro.checkers.project import Project
 from repro.checkers.pruning import supported_relations
@@ -424,7 +434,7 @@ class CheckSpec:
 
     code: str
     name: str
-    stage: str  # "workload" | "coverage" | "estimate"
+    stage: str  # "workload" | "coverage" | "estimate" | "interaction"
     run: CheckPass
 
 
@@ -438,6 +448,10 @@ CHECK_REGISTRY: tuple[CheckSpec, ...] = (
     CheckSpec("RL105", "rewriting-blowup", "estimate", pass_rewriting_blowup),
     CheckSpec("RL106", "statically-empty-relation", "coverage", pass_statically_empty),
     CheckSpec("RL107", "no-workload", "workload", pass_no_workload),
+    CheckSpec("RL200", "lattice-admitted-termination", "interaction", pass_lattice_admitted),
+    CheckSpec("RL201", "chase-non-terminating", "interaction", pass_non_terminating),
+    CheckSpec("RL202", "separable-core", "interaction", pass_separable_core),
+    CheckSpec("RL203", "inseparable-interaction", "interaction", pass_inseparable),
 )
 
 
@@ -466,7 +480,12 @@ class CheckConfig:
 
     budget: RewritingBudget = field(default_factory=RewritingBudget.default)
     default_depth: int = 10
-    stages: tuple[str, ...] = ("workload", "coverage", "estimate")
+    stages: tuple[str, ...] = (
+        "workload",
+        "coverage",
+        "estimate",
+        "interaction",
+    )
     disabled: frozenset[str] = frozenset()
 
 

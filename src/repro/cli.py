@@ -177,7 +177,29 @@ def cmd_classify(args: argparse.Namespace) -> int:
         for check in report.baselines.values():
             if not check.member:
                 print(check.explain())
+        print()
+        print(_termination_summary(rules))
     return 0
+
+
+def _termination_summary(rules) -> str:
+    """Render the chase-termination lattice verdict for --explain."""
+    from repro.analysis import termination_certificate
+
+    certificate = termination_certificate(rules)
+    if certificate.terminating:
+        level = certificate.level
+        assert level is not None
+        lines = [f"chase termination: certified by {level.value}"]
+    else:
+        lines = ["chase termination: not certified at any lattice level"]
+        lines.extend(f"  witness: {line}" for line in certificate.witness)
+    for verdict in certificate.verdicts:
+        status = "holds" if verdict.holds else "fails"
+        if verdict.implied_by is not None:
+            status += f" (implied by {verdict.implied_by.value})"
+        lines.append(f"  {verdict.criterion.value}: {status}")
+    return "\n".join(lines)
 
 
 def cmd_rewrite(args: argparse.Namespace) -> int:
@@ -678,7 +700,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_check = sub.add_parser(
         "check",
         help="whole-project static analysis: dead rules, mapping "
-        "coverage, rewriting-size bounds (RL1xx)",
+        "coverage, rewriting-size bounds (RL1xx), chase-termination "
+        "lattice and separability (RL2xx)",
     )
     p_check.add_argument(
         "project",

@@ -27,7 +27,7 @@ byte-stable across regenerations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Sequence
+from typing import Hashable, Iterable, Iterator, Sequence
 
 import networkx as nx
 
@@ -43,11 +43,88 @@ def _edge_sort_key(
 def _sorted_components(
     graph: nx.DiGraph,
 ) -> list[set[Hashable]]:
-    """SCCs ordered by their smallest member's string key."""
+    """Cycle-capable SCCs ordered by their smallest member's string key.
+
+    Singleton components without a self-loop cannot contain a closed
+    walk, so they are dropped before the (string-keyed) sort -- on
+    acyclic graphs this skips the sort entirely.
+    """
+    candidates = [
+        component
+        for component in nx.strongly_connected_components(graph)
+        if len(component) > 1
+        or graph.has_edge(next(iter(component)), next(iter(component)))
+    ]
     return sorted(
-        nx.strongly_connected_components(graph),
+        candidates,
         key=lambda component: min(str(node) for node in component),
     )
+
+
+def _tarjan_components(
+    nodes: Iterable[Hashable],
+    edges: dict[tuple[Hashable, Hashable], set[str]],
+) -> list[set[Hashable]]:
+    """Strongly connected components, no networkx.
+
+    An iterative Tarjan over plain dicts: for the tiny graphs of the
+    acyclicity checks, skipping the networkx graph construction and
+    dispatch overhead is a measurable win.  Deterministic given the
+    (insertion-ordered) node and edge dicts.
+    """
+    successors: dict[Hashable, list[Hashable]] = {
+        node: [] for node in nodes
+    }
+    for source, target in edges:
+        successors[source].append(target)
+
+    index: dict[Hashable, int] = {}
+    low: dict[Hashable, int] = {}
+    on_stack: set[Hashable] = set()
+    stack: list[Hashable] = []
+    components: list[set[Hashable]] = []
+    counter = 0
+
+    for root in successors:
+        if root in index:
+            continue
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        work: list[tuple[Hashable, Iterator[Hashable]]] = [
+            (root, iter(successors[root]))
+        ]
+        while work:
+            node, remaining = work[-1]
+            pushed = False
+            for successor in remaining:
+                if successor not in index:
+                    index[successor] = low[successor] = counter
+                    counter += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(successors[successor])))
+                    pushed = True
+                    break
+                if successor in on_stack:
+                    low[node] = min(low[node], index[successor])
+            if pushed:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component: set[Hashable] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
 
 
 def _internal_edges(
@@ -107,10 +184,11 @@ class LabeledGraph:
     query it with :meth:`rules_of`.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._nodes: dict[Hashable, None] = {}
         self._edges: dict[tuple[Hashable, Hashable], set[str]] = {}
         self._edge_rules: dict[tuple[Hashable, Hashable], set[str]] = {}
+        self._nx_cache: nx.DiGraph | None = None
 
     # ----------------------------------------------------------------- #
     # Construction                                                       #
@@ -140,6 +218,7 @@ class LabeledGraph:
         self._edges.setdefault((source, target), set()).update(labels)
         if rules:
             self._edge_rules.setdefault((source, target), set()).update(rules)
+        self._nx_cache = None
 
     def add_labels(
         self, source: Hashable, target: Hashable, labels: Iterable[str]
@@ -149,6 +228,7 @@ class LabeledGraph:
         if key not in self._edges:
             raise KeyError(f"no edge {source} -> {target}")
         self._edges[key].update(labels)
+        self._nx_cache = None
 
     # ----------------------------------------------------------------- #
     # Inspection                                                         #
@@ -201,6 +281,17 @@ class LabeledGraph:
             graph.add_edge(source, target, labels=frozenset(labels))
         return graph
 
+    def _full_view(self) -> nx.DiGraph:
+        """A cached networkx view of the whole graph.
+
+        Rebuilt lazily after mutation; shared by every cycle query
+        without a *forbidden* filter, which is the hot path of the
+        acyclicity checks.
+        """
+        if self._nx_cache is None:
+            self._nx_cache = self.to_networkx()
+        return self._nx_cache
+
     # ----------------------------------------------------------------- #
     # Dangerous-cycle analysis                                           #
     # ----------------------------------------------------------------- #
@@ -219,15 +310,43 @@ class LabeledGraph:
         """
         required = list(dict.fromkeys(required))
         forbidden_set = set(forbidden)
-        allowed = nx.DiGraph()
-        allowed.add_nodes_from(self._nodes)
-        for (source, target), labels in self._edges.items():
-            if labels & forbidden_set:
-                continue
-            allowed.add_edge(source, target, labels=frozenset(labels))
+        if forbidden_set:
+            edges = {
+                key: labels
+                for key, labels in self._edges.items()
+                if not labels & forbidden_set
+            }
+        else:
+            edges = self._edges
 
-        for component in _sorted_components(allowed):
-            internal = _internal_edges(allowed, component)
+        # A covering cycle needs every required label on some allowed
+        # edge; a label present nowhere rules the cycle out before any
+        # component analysis (datalog programs have no special edges).
+        for label in required:
+            if not any(label in labels for labels in edges.values()):
+                return None
+
+        # Components and covering edges come from a pure-dict Tarjan
+        # pass; the (comparatively expensive) networkx view is built
+        # only when a witness actually needs stitching.  On acyclic
+        # graphs -- the hot path of the acyclicity checks -- no
+        # networkx graph is materialised at all.
+        components = [
+            component
+            for component in _tarjan_components(self._nodes, edges)
+            if len(component) > 1
+            or (next(iter(component)),) * 2 in edges
+        ]
+        components.sort(
+            key=lambda component: min(str(node) for node in component)
+        )
+        for component in components:
+            internal = [
+                (source, target, frozenset(labels))
+                for (source, target), labels in edges.items()
+                if source in component and target in component
+            ]
+            internal.sort(key=_edge_sort_key)
             if not internal:
                 continue
             covering: list[tuple[Hashable, Hashable, frozenset[str]]] = []
@@ -243,6 +362,15 @@ class LabeledGraph:
             if not required:
                 covering = [internal[0]]
             if satisfied:
+                if not forbidden_set:
+                    allowed = self._full_view()
+                else:
+                    allowed = nx.DiGraph()
+                    allowed.add_nodes_from(self._nodes)
+                    for (source, target), labels in edges.items():
+                        allowed.add_edge(
+                            source, target, labels=frozenset(labels)
+                        )
                 return self._stitch_walk(allowed, covering)
         return None
 
@@ -271,12 +399,15 @@ class LabeledGraph:
         """
         required = list(dict.fromkeys(required))
         forbidden_set = set(forbidden)
-        allowed = nx.DiGraph()
-        allowed.add_nodes_from(self._nodes)
-        for (source, target), labels in self._edges.items():
-            if labels & forbidden_set:
-                continue
-            allowed.add_edge(source, target, labels=frozenset(labels))
+        if not forbidden_set:
+            allowed = self._full_view()
+        else:
+            allowed = nx.DiGraph()
+            allowed.add_nodes_from(self._nodes)
+            for (source, target), labels in self._edges.items():
+                if labels & forbidden_set:
+                    continue
+                allowed.add_edge(source, target, labels=frozenset(labels))
 
         import itertools
 

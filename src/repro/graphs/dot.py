@@ -25,13 +25,18 @@ def _render(
     edges: Iterable[LabeledEdge],
     highlight: Iterable[LabeledEdge] = (),
 ) -> str:
+    # Sort nodes and edges so the output is byte-identical regardless of
+    # build/iteration order (the committed figure goldens diff cleanly).
     highlighted = {(e.source, e.target) for e in highlight}
     lines = [f"digraph {name} {{", "  rankdir=TB;", '  node [shape=ellipse];']
     index: dict[object, str] = {}
-    for i, node in enumerate(nodes):
+    for i, node in enumerate(sorted(nodes, key=str)):
         index[node] = f"n{i}"
         lines.append(f'  n{i} [label="{_escape(str(node))}"];')
-    for edge in edges:
+    for edge in sorted(
+        edges,
+        key=lambda e: (str(e.source), str(e.target), tuple(sorted(e.labels))),
+    ):
         label = ",".join(sorted(edge.labels))
         attrs = [f'label="{_escape(label)}"'] if label else []
         if (edge.source, edge.target) in highlighted:

@@ -277,7 +277,7 @@ def _canonical_node(sigma: Atom, context: Sequence[Atom]) -> PNode:
 class _Classes:
     """Union-find over the terms of σ and one head atom."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._parent: dict[Term, Term] = {}
 
     def find(self, term: Term) -> Term:

@@ -146,7 +146,7 @@ class Position:
     ``index is None`` encodes the generic form ``r[ ]``.
     """
 
-    __slots__ = ("relation", "index")
+    __slots__ = ("relation", "index", "_hash")
 
     def __init__(self, relation: str, index: int | None = None):
         if not relation:
@@ -155,6 +155,7 @@ class Position:
             raise ValueError(f"position index must be >= 1, got {index}")
         self.relation = relation
         self.index = index
+        self._hash = hash(("Position", relation, index))
 
     @property
     def is_generic(self) -> bool:
@@ -169,7 +170,7 @@ class Position:
         )
 
     def __hash__(self) -> int:
-        return hash(("Position", self.relation, self.index))
+        return self._hash
 
     def __lt__(self, other: "Position") -> bool:
         return self.sort_key() < other.sort_key()

@@ -12,10 +12,17 @@ a *per-query* basis, exploiting every tool in the library:
 2. **PROBED_REWRITING** -- the fragment's class is unknown but the
    staged probe (:mod:`repro.rewriting.probe`) observed the rewriting
    completing: exact answers, same evaluation path.
-3. **CHASE** -- rewriting unavailable, but the fragment is weakly
-   acyclic: the chase terminates, so certain answers are exact (at
-   data-dependent cost).
-4. **APPROXIMATION** -- everything else: depth-bounded rewriting gives
+3. **CHASE** -- rewriting unavailable, but some member of the
+   termination lattice (weak, joint or super-weak acyclicity,
+   :mod:`repro.analysis.termination`) certifies the chase terminates:
+   certain answers are exact (at data-dependent cost).
+4. **SPLIT** -- the chase diverges, but the fragment separates
+   (:mod:`repro.analysis.separability`) into a chase-safe stratified
+   core ``S`` and a residual ``R`` whose rewriting of the query
+   terminates: by stratification ``cert(q, S ∪ R, D) =
+   cert(q, R, chase_S(D))``, so the core is chased once and only the
+   residual is compiled into the query.
+5. **APPROXIMATION** -- everything else: depth-bounded rewriting gives
    a sound under-approximation (:mod:`repro.rewriting.approx`).
 """
 
@@ -25,8 +32,13 @@ import enum
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.analysis.separability import SeparabilityReport, separate
+from repro.analysis.termination import (
+    TerminationCertificate,
+    termination_certificate,
+)
 from repro.chase.certain import certain_answers_via_chase
-from repro.chase.termination import is_weakly_acyclic
+from repro.chase.chase import restricted_chase
 from repro.core.per_query import classify_for_query
 from repro.data.database import Database
 from repro.data.evaluation import evaluate_ucq
@@ -44,6 +56,7 @@ class Strategy(enum.Enum):
     REWRITING = "rewriting"
     PROBED_REWRITING = "probed-rewriting"
     CHASE = "chase"
+    SPLIT = "split"
     APPROXIMATION = "approximation"
 
 
@@ -57,12 +70,18 @@ class StrategyReport:
         exact: True when *answers* are exactly the certain answers;
             False for the sound APPROXIMATION under-approximation.
         reason: one-line human-readable justification.
+        certificate: the fragment's termination-lattice certificate,
+            when the procedure got far enough to compute it.
+        partition: the separability partition, when SPLIT was
+            considered (CHASE and earlier branches never need one).
     """
 
     answers: frozenset[tuple[Term, ...]]
     strategy: Strategy
     exact: bool
     reason: str
+    certificate: TerminationCertificate | None = None
+    partition: SeparabilityReport | None = None
 
 
 def answer_with_best_strategy(
@@ -99,7 +118,10 @@ def answer_with_best_strategy(
             "completed: exact per-query rewriting",
         )
 
-    if is_weakly_acyclic(fragment):
+    certificate = termination_certificate(fragment)
+    if certificate.terminating:
+        level = certificate.level
+        assert level is not None
         chase_result = certain_answers_via_chase(
             query, fragment, database, max_steps=chase_max_steps
         )
@@ -107,9 +129,30 @@ def answer_with_best_strategy(
             answers=chase_result.answers,
             strategy=Strategy.CHASE,
             exact=True,
-            reason="not (provably) FO-rewritable, but weakly acyclic: "
+            reason=f"not (provably) FO-rewritable, but {level.value}: "
             "the chase terminates, certain answers are exact",
+            certificate=certificate,
         )
+
+    partition = separate(fragment, certificate=certificate)
+    if partition.proper:
+        split = _answer_by_split(
+            query, partition, database, probe_depth, chase_max_steps
+        )
+        if split is not None:
+            answers, how = split
+            core_level = partition.core_certificate.level
+            assert core_level is not None
+            return StrategyReport(
+                answers=answers,
+                strategy=Strategy.SPLIT,
+                exact=True,
+                reason=f"separable: chased the {len(partition.core)}-rule "
+                f"core once ({core_level.value}) and rewrote the "
+                f"{len(partition.residual)}-rule residual ({how})",
+                certificate=certificate,
+                partition=partition,
+            )
 
     approx = approximate_answers(
         query, fragment, database, max_depth=approx_depth
@@ -120,4 +163,43 @@ def answer_with_best_strategy(
         exact=approx.exact,
         reason="outside every terminating regime: depth-bounded "
         "rewriting returns a sound under-approximation",
+        certificate=certificate,
+        partition=partition,
     )
+
+
+def _answer_by_split(
+    query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+    partition: SeparabilityReport,
+    database: Database,
+    probe_depth: int,
+    chase_max_steps: int,
+) -> tuple[frozenset[tuple[Term, ...]], str] | None:
+    """Chase the core once, rewrite over the residual; None if unusable.
+
+    Soundness rests on the stratification invariant of
+    :func:`repro.analysis.separability.separate`: no core rule reads a
+    residual-derived relation, so ``chase(S ∪ R, D)`` factorises into
+    ``chase_R(chase_S(D))`` and the residual consequences can be
+    compiled into the query by FO rewriting, evaluated with the
+    certain-answer filter over the materialised core.
+    """
+    residual = partition.residual
+    residual_report = classify_for_query(query, residual)
+    if residual_report.fo_rewritable_guaranteed:
+        ucq = rewrite(query, residual_report.relevant).ucq
+        how = "guaranteed FO-rewritable"
+    else:
+        probe = probe_query_rewritability(
+            query, residual, max_depth=probe_depth
+        )
+        if probe.verdict is not ProbeVerdict.TERMINATES:
+            return None
+        ucq = probe.rewriting
+        how = "probe-terminating"
+    chased = restricted_chase(
+        list(partition.core), database, max_steps=chase_max_steps
+    )
+    if not chased.fixpoint:
+        return None
+    return evaluate_ucq(ucq, chased.instance, certain=True), how

@@ -1,0 +1,115 @@
+"""Tests for repro.analysis.separability (core/residual partition)."""
+
+from repro import obs
+from repro.analysis import separate
+from repro.analysis.depgraph import rules_by_name
+from repro.lang.parser import parse_program, parse_query
+from repro.workloads.interaction import split_workload
+from repro.workloads.paper import example2
+
+
+def names(rules, universe):
+    lookup = {id(rule): name for name, rule in rules_by_name(universe).items()}
+    return {lookup[id(rule)] for rule in rules}
+
+
+class TestPartition:
+    def test_split_workload_partitions_cleanly(self):
+        rules, _, _ = split_workload()
+        report = separate(rules)
+        assert report.separable and report.proper
+        assert names(report.core, rules) == {"R1", "R2", "R3"}
+        assert names(report.residual, rules) == {"R4", "R5"}
+        assert report.core_certificate.terminating
+        assert not report.full_certificate.terminating
+
+    def test_terminating_set_is_all_core(self):
+        report = separate(example2())
+        assert report.separable
+        assert not report.proper  # nothing left over to rewrite
+        assert len(report.core) == len(example2())
+        assert report.residual == ()
+
+    def test_stratification_pulls_readers_into_residual(self):
+        # p -> q invents; the reader of q cannot stay in the core, or
+        # the one-shot core chase would miss q-facts the residual adds.
+        rules = parse_program(
+            """
+            A: p(X) -> q(X, Y).
+            B: q(X, Y) -> p(Y).
+            C: q(X, Y) -> seen(X).
+            D: base(X) -> p(X).
+            """
+        )
+        report = separate(rules)
+        if report.proper:
+            core = names(report.core, rules)
+            residual = names(report.residual, rules)
+            residual_heads = {
+                atom.relation
+                for rule in report.residual
+                for atom in rule.head
+            }
+            for rule in report.core:
+                body_relations = {atom.relation for atom in rule.body}
+                assert not body_relations & residual_heads, (
+                    core,
+                    residual,
+                )
+
+    def test_inseparable_set(self):
+        # The classic two-rule invention cycle: evicting the implicated
+        # rules empties the core, so no chase-safe part remains.
+        rules = parse_program("L: p(X) -> q(X, Y). M: q(X, Y) -> p(Y).")
+        report = separate(rules)
+        assert not report.separable
+        assert not report.proper
+        assert report.core == ()
+        assert len(report.residual) == 2
+
+    def test_counters(self):
+        rules, _, _ = split_workload()
+        with obs.capture() as cap:
+            separate(rules)
+        counters = cap.counters()
+        assert counters["analysis.separations"] == 1
+        assert counters["analysis.proper_separations"] == 1
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        rules, query, _ = split_workload()
+        report = separate(rules, queries=(query,))
+        payload = report.to_dict()
+        json.dumps(payload)
+        assert payload["separable"] is True
+        assert payload["proper"] is True
+        assert len(payload["core"]) == 3
+        assert len(payload["residual"]) == 2
+
+    def test_residual_bound_no_larger_than_full(self):
+        rules, query, _ = split_workload()
+        report = separate(rules, queries=(query,))
+        if report.residual_bound is not None and report.full_bound is not None:
+            assert report.residual_bound <= report.full_bound
+
+
+class TestAnalyze:
+    def test_analyze_bundles_both_reports(self):
+        from repro.analysis import analyze
+
+        rules, query, _ = split_workload()
+        report = analyze(rules, queries=(query,))
+        assert not report.terminating
+        assert report.level is None
+        assert report.separability.proper
+        payload = report.to_dict()
+        assert set(payload) == {"termination", "separability"}
+
+    def test_analyze_terminating_set(self):
+        from repro.analysis import analyze
+        from repro.analysis.termination import TerminationCriterion
+
+        report = analyze(example2())
+        assert report.terminating
+        assert report.level is TerminationCriterion.WEAK_ACYCLICITY

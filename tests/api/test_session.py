@@ -236,3 +236,29 @@ class TestParallelMinimization:
             ) as warm:
                 warm.prepare(query).result
         assert trace.counters().get("engine.disk_hits", 0) == 1
+
+
+class TestAnalyze:
+    def test_analyze_reports_lattice_and_partition(self):
+        from repro.workloads.interaction import split_workload
+
+        split_rules, _, _ = split_workload()
+        with Session(split_rules) as session:
+            report = session.analyze()
+            assert not report.terminating
+            assert report.separability.proper
+            assert len(report.separability.core) == 3
+
+    def test_analyze_is_memoized(self, rules):
+        with Session(rules) as session:
+            with obs.capture() as trace:
+                first = session.analyze()
+                second = session.analyze()
+            assert first is second
+            assert len(trace.spans("session.analyze")) == 1
+
+    def test_analyze_terminating_ontology(self, rules):
+        with Session(rules) as session:
+            report = session.analyze()
+            assert report.terminating
+            assert report.level is not None

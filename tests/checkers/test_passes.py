@@ -246,13 +246,17 @@ class TestConfigAndRegistry:
     def test_registry_codes_unique_and_catalogued(self):
         assert len({spec.code for spec in CHECK_REGISTRY}) == len(CHECK_REGISTRY)
         assert all_check_codes() == tuple(sorted(check_code_names()))
-        assert all(code.startswith("RL1") for code in all_check_codes())
+        assert all(
+            code.startswith("RL1") or code.startswith("RL2")
+            for code in all_check_codes()
+        )
 
     def test_stages_are_known(self):
         assert {spec.stage for spec in CHECK_REGISTRY} == {
             "workload",
             "coverage",
             "estimate",
+            "interaction",
         }
 
     def test_diagnostics_sorted_for_rendering(self):

@@ -59,6 +59,32 @@ class TestPNodeGraphDot:
         assert '\\"k\\"' in dot
 
 
+class TestSortedRendering:
+    """Rendering must be byte-identical regardless of build order."""
+
+    def test_insertion_order_does_not_matter(self):
+        from repro.graphs.dot import _render
+
+        graph = build_position_graph(example2())
+        nodes, edges = list(graph.positions), list(graph.edges)
+        forward = _render("G", nodes, edges)
+        backward = _render("G", list(reversed(nodes)), list(reversed(edges)))
+        assert forward == backward
+
+    def test_run_twice_identical_bytes(self):
+        first = position_graph_to_dot(build_position_graph(example2()))
+        second = position_graph_to_dot(build_position_graph(example2()))
+        assert first == second
+
+    def test_goldens_are_regenerated(self):
+        # The committed figures must match what the sorted renderer emits.
+        from repro.workloads.paper import example1 as ex1
+
+        fig1 = position_graph_to_dot(build_position_graph(ex1()), name="Fig1")
+        golden = REPO_ROOT / "examples" / "figure1_position_graph.dot"
+        assert fig1 + "\n" == golden.read_text()
+
+
 class TestDeterministicWitness:
     """The highlighted witness cycle must not flip across regenerations.
 

@@ -1,9 +1,11 @@
 """Tests for repro.obda.strategy (the Section-7 decision procedure)."""
 
-from repro.chase.certain import certain_answers
+from repro.analysis import TerminationCriterion
+from repro.chase.certain import certain_answers, certain_answers_via_chase
 from repro.data.database import Database
 from repro.lang.parser import parse_database, parse_program, parse_query
 from repro.obda.strategy import Strategy, answer_with_best_strategy
+from repro.workloads.interaction import lattice_chase_workload, split_workload
 from repro.workloads.paper import EXAMPLE2_QUERY, example2, example3
 
 
@@ -103,3 +105,163 @@ class TestStrategySelection:
             parse_query("q(X) :- b(X)"), hierarchy_rules, db("a(v).")
         )
         assert "rewriting" in report.reason
+
+
+class TestDecisionMatrix:
+    """One test per cell of the Section-7 decision tree.
+
+    Cells are (fragment class x termination verdict x probe outcome):
+    the two static-rewriting rows, the probe row, one chase row per
+    termination-lattice member, the split row and the approximation
+    fallback.  Each cell asserts the routed strategy, the report
+    metadata and -- where a ground truth is computable -- the answers.
+    """
+
+    def _report(self, query, rules, database, **kwargs):
+        return answer_with_best_strategy(query, rules, database, **kwargs)
+
+    def test_cell_swr_rewriting(self, hierarchy_rules):
+        report = self._report(
+            parse_query("q(X) :- d(X)"), hierarchy_rules, db("a(v).")
+        )
+        assert report.strategy is Strategy.REWRITING
+        assert report.exact
+        assert report.certificate is None  # never reached the lattice
+
+    def test_cell_wr_rewriting(self):
+        report = self._report(
+            parse_query("q(X, Y) :- r(X, Y)"), example3(), db("s(a, b, c).")
+        )
+        assert report.strategy is Strategy.REWRITING
+        assert report.exact
+
+    def test_cell_probe_terminates(self):
+        report = self._report(
+            parse_query("q() :- s(X, X, Y)"),
+            example2(),
+            db("t(b, a). r(b, e)."),
+            probe_depth=10,
+        )
+        assert report.strategy is Strategy.PROBED_REWRITING
+        assert report.exact
+
+    def test_cell_chase_weak_acyclicity(self):
+        database = db("t(b, a). r(b, e).")
+        report = self._report(EXAMPLE2_QUERY, example2(), database)
+        assert report.strategy is Strategy.CHASE
+        assert report.exact
+        assert report.certificate is not None
+        assert report.certificate.level is TerminationCriterion.WEAK_ACYCLICITY
+        assert report.answers == certain_answers(
+            EXAMPLE2_QUERY, example2(), database
+        )
+
+    def test_cell_chase_joint_acyclicity(self):
+        rules, query, database = lattice_chase_workload("ja")
+        report = self._report(query, rules, database)
+        assert report.strategy is Strategy.CHASE
+        assert report.exact
+        assert report.certificate.level is (
+            TerminationCriterion.JOINT_ACYCLICITY
+        )
+        assert "joint-acyclicity" in report.reason
+        assert report.answers == certain_answers_via_chase(
+            query, rules, database, max_steps=100_000, strict=True
+        ).answers
+
+    def test_cell_chase_super_weak_acyclicity(self):
+        rules, query, database = lattice_chase_workload("swa")
+        report = self._report(query, rules, database)
+        assert report.strategy is Strategy.CHASE
+        assert report.exact
+        assert report.certificate.level is (
+            TerminationCriterion.SUPER_WEAK_ACYCLICITY
+        )
+        assert "super-weak-acyclicity" in report.reason
+
+    def test_cell_split(self):
+        rules, query, database = split_workload()
+        report = self._report(query, rules, database)
+        assert report.strategy is Strategy.SPLIT
+        assert report.exact
+        assert report.partition is not None and report.partition.proper
+        assert not report.certificate.terminating
+        assert "separable" in report.reason
+        # Ground truth: generously bounded non-strict chase lower bound
+        # (sound prefix) must agree on this finite workload.
+        lower = certain_answers_via_chase(
+            query, rules, database, max_steps=5_000, strict=False
+        )
+        assert report.answers == lower.answers
+
+    def test_cell_approximation(self):
+        # Non-terminating at every lattice level, probe diverges, and
+        # the chase-safe core cannot answer the query exactly: Example
+        # 2's rules with the invention loop folded back in.
+        rules = parse_program(
+            """
+            t(Y1, Y2), r(Y3, Y4) -> s(Y1, Y3, Y2).
+            s(Y1, Y1, Y2) -> r(Y2, Y3).
+            r(X, Y) -> t(Y, Z).
+            """
+        )
+        report = self._report(
+            EXAMPLE2_QUERY, rules, db("t(b, a). r(b, e)."), probe_depth=8
+        )
+        assert report.strategy is Strategy.APPROXIMATION
+        assert not report.exact
+        assert report.certificate is not None
+        assert not report.certificate.terminating
+
+
+class TestSplitDifferential:
+    """SPLIT must agree with every other exact evaluation path."""
+
+    def _pieces(self):
+        from repro.analysis import separate
+        from repro.chase.chase import restricted_chase
+        from repro.rewriting.engine import rewrite
+
+        rules, query, database = split_workload()
+        partition = separate(rules)
+        chased = restricted_chase(list(partition.core), database)
+        assert chased.fixpoint
+        ucq = rewrite(query, partition.residual).ucq
+        return query, rules, database, chased.instance, ucq
+
+    def test_memory_equals_sql_equals_chase(self):
+        from repro.data.evaluation import evaluate_ucq
+        from repro.data.sql import SQLiteBackend
+        from repro.lang.signature import Signature
+        from repro.lang.terms import Null
+
+        query, rules, database, chased_db, ucq = self._pieces()
+
+        memory = evaluate_ucq(ucq, chased_db, certain=True)
+
+        signature = Signature(dict(chased_db.signature))
+        for rule in rules:
+            signature.observe_tgd(rule)
+        with SQLiteBackend(signature) as backend:
+            backend.load(chased_db.facts())
+            raw = backend.execute_ucq(ucq)
+        sql = frozenset(
+            row
+            for row in raw
+            if not any(isinstance(t, Null) for t in row)
+        )
+
+        chase_lower = certain_answers_via_chase(
+            query, rules, database, max_steps=5_000, strict=False
+        ).answers
+
+        assert memory == sql == chase_lower
+
+    def test_strategy_answers_match_differential(self):
+        rules, query, database = split_workload()
+        report = answer_with_best_strategy(query, rules, database)
+        assert report.strategy is Strategy.SPLIT
+        query2, rules2, _, chased_db, ucq = self._pieces()
+        from repro.data.evaluation import evaluate_ucq
+
+        assert report.answers == evaluate_ucq(ucq, chased_db, certain=True)
