@@ -26,6 +26,14 @@ digests (see :mod:`repro.rewriting.store`):
 * ``engine_version``  -- :data:`repro.rewriting.engine.ENGINE_VERSION`;
   bumping it invalidates every previously compiled rewriting at once.
 
+plus the *rewriting target* (``"ucq"`` or ``"datalog"``): the two
+targets compile to different artifact kinds (an exploded UCQ vs. a
+stratified rule program), stored in separate tables and addressed by
+keys that can never collide.  A session opened with ``target="auto"``
+stores entries under the *resolved* target, so the estimator-driven
+choice -- which is a pure function of (ontology, query, budget) --
+hits the same entries in every process.
+
 Robustness
 ----------
 
@@ -46,15 +54,20 @@ from pathlib import Path
 from typing import Iterator
 
 from repro import obs
-from repro.lang.parser import parse_ucq
-from repro.lang.printer import format_ucq
+from repro.lang.parser import parse_program, parse_ucq
+from repro.lang.printer import format_program, format_ucq
 from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
 from repro.rewriting.budget import RewritingBudget
+from repro.rewriting.datalog_target import DatalogRewriting
 from repro.rewriting.rewriter import RewritingResult
 from repro.rewriting.store import budget_digest, ontology_digest, query_digest
 
-CACHE_SCHEMA_VERSION = 1
-"""On-disk layout version; a mismatch resets the cache file."""
+CACHE_SCHEMA_VERSION = 2
+"""On-disk layout version; a mismatch resets the cache file.
+
+Version 2 added the ``datalog_rewritings`` table (the nonrecursive-
+Datalog target's artifacts) and the target discriminator in cache keys.
+"""
 
 DEFAULT_CACHE_FILENAME = "rewritings.sqlite"
 
@@ -69,12 +82,18 @@ def _engine_version() -> str:
 
 @dataclass(frozen=True)
 class CacheKey:
-    """The full address of one compiled rewriting."""
+    """The full address of one compiled rewriting.
+
+    ``target`` discriminates the artifact kind (``"ucq"`` or
+    ``"datalog"``); keys of different targets never collide even
+    though both embed the same content digests.
+    """
 
     ontology_digest: str
     query_digest: str
     budget_digest: str
     engine_version: str
+    target: str = "ucq"
 
     @classmethod
     def of(
@@ -82,22 +101,25 @@ class CacheKey:
         rules,
         query: ConjunctiveQuery | UnionOfConjunctiveQueries,
         budget: RewritingBudget,
+        target: str = "ucq",
     ) -> "CacheKey":
-        """Build the key for (ontology, query, budget) at the current
-        engine version."""
+        """Build the key for (ontology, query, budget, target) at the
+        current engine version."""
         return cls(
             ontology_digest=ontology_digest(rules),
             query_digest=query_digest(query),
             budget_digest=budget_digest(budget),
             engine_version=_engine_version(),
+            target=target,
         )
 
     @property
     def combined(self) -> str:
-        """The single string primary key used in the SQLite table."""
+        """The single string primary key used in the SQLite tables."""
         return "/".join(
             (
                 self.engine_version,
+                self.target,
                 self.ontology_digest,
                 self.budget_digest,
                 self.query_digest,
@@ -170,7 +192,9 @@ class RewritingCache:
         ).fetchone()
         if row is not None and row[0] != str(CACHE_SCHEMA_VERSION):
             connection.executescript(
-                "DROP TABLE IF EXISTS rewritings; DELETE FROM meta;"
+                "DROP TABLE IF EXISTS rewritings; "
+                "DROP TABLE IF EXISTS datalog_rewritings; "
+                "DELETE FROM meta;"
             )
             row = None
         if row is None:
@@ -200,6 +224,20 @@ class RewritingCache:
         connection.execute(
             "CREATE INDEX IF NOT EXISTS ix_rewritings_ontology "
             "ON rewritings (ontology_digest)"
+        )
+        connection.execute(
+            """
+            CREATE TABLE IF NOT EXISTS datalog_rewritings (
+                cache_key       TEXT PRIMARY KEY,
+                ontology_digest TEXT NOT NULL,
+                payload         TEXT NOT NULL,
+                created_at      TEXT NOT NULL DEFAULT (datetime('now'))
+            )
+            """
+        )
+        connection.execute(
+            "CREATE INDEX IF NOT EXISTS ix_datalog_rewritings_ontology "
+            "ON datalog_rewritings (ontology_digest)"
         )
         connection.commit()
         return connection
@@ -308,12 +346,67 @@ class RewritingCache:
             except sqlite3.DatabaseError:
                 self._quarantine()
 
-    def _delete(self, key: CacheKey) -> None:
+    def get_datalog(self, key: CacheKey) -> DatalogRewriting | None:
+        """The stored Datalog-target rewriting under *key*, or None.
+        Never raises."""
+        with self._lock:
+            if self._connection is None:
+                self._misses += 1
+                obs.count("api.cache.misses")
+                return None
+            try:
+                row = self._connection.execute(
+                    "SELECT payload FROM datalog_rewritings "
+                    "WHERE cache_key = ?",
+                    (key.combined,),
+                ).fetchone()
+            except sqlite3.DatabaseError:
+                self._quarantine()
+                row = None
+            if row is None:
+                self._misses += 1
+                obs.count("api.cache.misses")
+                return None
+            try:
+                result = _decode_datalog(row[0])
+            except Exception:
+                self._record_error("decode")
+                self._delete(key, table="datalog_rewritings")
+                self._misses += 1
+                obs.count("api.cache.misses")
+                return None
+            self._hits += 1
+            obs.count("api.cache.hits")
+            return result
+
+    def put_datalog(self, key: CacheKey, result: DatalogRewriting) -> None:
+        """Persist the Datalog-target *result* under *key*.  Never
+        raises."""
+        with self._lock:
+            if self._connection is None:
+                return
+            try:
+                self._connection.execute(
+                    "INSERT OR REPLACE INTO datalog_rewritings "
+                    "(cache_key, ontology_digest, payload) VALUES (?, ?, ?)",
+                    (
+                        key.combined,
+                        key.ontology_digest,
+                        _encode_datalog(result),
+                    ),
+                )
+                self._connection.commit()
+                self._writes += 1
+                obs.count("api.cache.writes")
+            except sqlite3.DatabaseError:
+                self._quarantine()
+
+    def _delete(self, key: CacheKey, table: str = "rewritings") -> None:
         if self._connection is None:
             return
         try:
             self._connection.execute(
-                "DELETE FROM rewritings WHERE cache_key = ?", (key.combined,)
+                f"DELETE FROM {table} WHERE cache_key = ?", (key.combined,)
             )
             self._connection.commit()
         except sqlite3.DatabaseError:
@@ -339,7 +432,8 @@ class RewritingCache:
                 return 0
             try:
                 row = self._connection.execute(
-                    "SELECT COUNT(*) FROM rewritings"
+                    "SELECT (SELECT COUNT(*) FROM rewritings) + "
+                    "(SELECT COUNT(*) FROM datalog_rewritings)"
                 ).fetchone()
                 return int(row[0])
             except sqlite3.DatabaseError:
@@ -353,7 +447,10 @@ class RewritingCache:
                 return iter(())
             try:
                 rows = self._connection.execute(
-                    "SELECT ontology_digest, COUNT(*) FROM rewritings "
+                    "SELECT ontology_digest, COUNT(*) FROM ("
+                    "SELECT ontology_digest FROM rewritings "
+                    "UNION ALL "
+                    "SELECT ontology_digest FROM datalog_rewritings) "
                     "GROUP BY ontology_digest ORDER BY ontology_digest"
                 ).fetchall()
             except sqlite3.DatabaseError:
@@ -373,11 +470,12 @@ class RewritingCache:
             try:
                 before = len(self)
                 placeholders = ",".join("?" for _ in keep) or "''"
-                self._connection.execute(
-                    "DELETE FROM rewritings WHERE ontology_digest "
-                    f"NOT IN ({placeholders})",
-                    tuple(sorted(keep)),
-                )
+                for table in ("rewritings", "datalog_rewritings"):
+                    self._connection.execute(
+                        f"DELETE FROM {table} WHERE ontology_digest "
+                        f"NOT IN ({placeholders})",
+                        tuple(sorted(keep)),
+                    )
                 self._connection.commit()
                 return before - len(self)
             except sqlite3.DatabaseError:
@@ -399,12 +497,15 @@ class EngineTier:
         self._ontology_digest = ontology_digest(rules)
         self._budget_digest = budget_digest(budget)
 
-    def _key(self, ucq: UnionOfConjunctiveQueries) -> CacheKey:
+    def _key(
+        self, ucq: UnionOfConjunctiveQueries, target: str = "ucq"
+    ) -> CacheKey:
         return CacheKey(
             ontology_digest=self._ontology_digest,
             query_digest=query_digest(ucq),
             budget_digest=self._budget_digest,
             engine_version=_engine_version(),
+            target=target,
         )
 
     def get(self, ucq: UnionOfConjunctiveQueries) -> RewritingResult | None:
@@ -412,6 +513,16 @@ class EngineTier:
 
     def put(self, ucq: UnionOfConjunctiveQueries, result: RewritingResult) -> None:
         self._cache.put(self._key(ucq), result)
+
+    def get_datalog(
+        self, ucq: UnionOfConjunctiveQueries
+    ) -> DatalogRewriting | None:
+        return self._cache.get_datalog(self._key(ucq, target="datalog"))
+
+    def put_datalog(
+        self, ucq: UnionOfConjunctiveQueries, result: DatalogRewriting
+    ) -> None:
+        self._cache.put_datalog(self._key(ucq, target="datalog"), result)
 
 
 def _decode_result(row) -> RewritingResult:
@@ -426,4 +537,49 @@ def _decode_result(row) -> RewritingResult:
         # Derivation lineage is not persisted; disk-served results
         # answer queries identically but cannot explain disjuncts.
         lineage={},
+    )
+
+
+def _encode_datalog(result: DatalogRewriting) -> str:
+    """Serialise a Datalog-target rewriting to a JSON payload.
+
+    The rules round-trip through the textual program syntax (every
+    aux/goal rule is a full TGD, so :func:`parse_program` accepts it);
+    rule labels are not preserved, which is harmless -- they play no
+    role in evaluation, SQL compilation or equality of answers.
+    """
+    return json.dumps(
+        {
+            "goal": result.goal,
+            "arity": result.arity,
+            "complete": result.complete,
+            "depth_reached": result.depth_reached,
+            "generated": result.generated,
+            "fallback_disjuncts": result.fallback_disjuncts,
+            "aux_rules": format_program(result.aux_rules),
+            "goal_rules": format_program(result.goal_rules),
+        }
+    )
+
+
+def _parse_rules(text: str):
+    # parse_program labels unlabelled rules R1, R2, ...; the emitter
+    # leaves rules unlabelled, so strip the synthetic labels to make
+    # disk-served programs print byte-identically to fresh ones.
+    from repro.lang.tgd import TGD
+
+    return tuple(TGD(r.body, r.head) for r in parse_program(text))
+
+
+def _decode_datalog(payload: str) -> DatalogRewriting:
+    data = json.loads(payload)
+    return DatalogRewriting(
+        goal=str(data["goal"]),
+        arity=int(data["arity"]),
+        aux_rules=_parse_rules(data["aux_rules"]),
+        goal_rules=_parse_rules(data["goal_rules"]),
+        complete=bool(data["complete"]),
+        depth_reached=int(data["depth_reached"]),
+        generated=int(data["generated"]),
+        fallback_disjuncts=int(data["fallback_disjuncts"]),
     )

@@ -51,7 +51,8 @@ class BatchResult:
     ``answers`` is None in two cases: the query failed (``error`` holds
     the message) or the batch ran compile-only (no database).
     ``disjuncts``/``complete`` describe the compiled rewriting whenever
-    compilation succeeded.
+    compilation succeeded; under the Datalog target ``disjuncts``
+    counts the program's rules instead of UCQ disjuncts.
     """
 
     index: int
@@ -78,16 +79,22 @@ def run_batch(
     backend: str = "memory",
     require_complete: bool = True,
     ordered: bool = False,
+    target: str | None = None,
 ) -> Iterator[BatchResult]:
     """Fan the batch out on a worker pool; yield results as they finish.
 
     *database* overrides the session's own data for evaluation; when
     the session has no data and none is passed, the batch is
     compile-only (rewritings are still computed and cached, answers
-    are None).
+    are None).  *target* overrides the session's rewriting target for
+    every query of the batch (None keeps the session default).
     """
     if mode not in _MODES:
         raise ReproError(f"unknown batch mode {mode!r}; expected one of {_MODES}")
+    if target is None:
+        # Worker processes rebuild their sessions from scratch, so the
+        # calling session's target must travel explicitly.
+        target = session.engine.target
     queries = list(queries)
     obs.event(
         "api.batch.start",
@@ -105,6 +112,7 @@ def run_batch(
             backend=backend,
             require_complete=require_complete,
             ordered=ordered,
+            target=target,
         )
         return
     executor = ThreadPoolExecutor(
@@ -120,6 +128,7 @@ def run_batch(
                 database,
                 backend,
                 require_complete,
+                target,
             ): index
             for index, query in enumerate(queries)
         }
@@ -135,11 +144,12 @@ def _thread_task(
     database: Database | None,
     backend: str,
     require_complete: bool,
+    target: str | None = None,
 ) -> BatchResult:
     started = time.perf_counter()
     text = query if isinstance(query, str) else str(query)
     try:
-        prepared = session.prepare(query)
+        prepared = session.prepare(query, target=target)
         answers = None
         compile_only = database is None and session.data is None
         if not compile_only:
@@ -159,7 +169,7 @@ def _thread_task(
             query=text,
             answers=answers,
             complete=prepared.complete,
-            disjuncts=prepared.result.size,
+            disjuncts=prepared.size,
             seconds=time.perf_counter() - started,
         )
     except Exception as error:  # noqa: BLE001 - one bad query != dead batch
@@ -210,6 +220,7 @@ def _init_worker(
     backend: str,
     require_complete: bool,
     filter_relevant: bool,
+    target: str | None = None,
 ) -> None:
     global _WORKER_SESSION, _WORKER_CONFIG
     from repro.api.session import Session
@@ -224,6 +235,7 @@ def _init_worker(
     _WORKER_CONFIG = {
         "backend": backend,
         "require_complete": require_complete,
+        "target": target,
     }
 
 
@@ -237,6 +249,7 @@ def _process_task(item: tuple[int, object]) -> BatchResult:
         None,
         _WORKER_CONFIG["backend"],
         _WORKER_CONFIG["require_complete"],
+        _WORKER_CONFIG.get("target"),
     )
 
 
@@ -249,6 +262,7 @@ def _run_process_batch(
     backend: str,
     require_complete: bool,
     ordered: bool,
+    target: str | None = None,
 ) -> Iterator[BatchResult]:
     # Ship the *virtual ABox* (mappings already applied), so worker
     # sessions need no mapping layer of their own.  With backend="sql"
@@ -271,6 +285,7 @@ def _run_process_batch(
             backend,
             require_complete,
             session._filter_relevant,
+            target,
         ),
     )
     try:

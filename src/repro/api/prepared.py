@@ -2,11 +2,12 @@
 
 A :class:`PreparedQuery` is the session-API analogue of a prepared
 statement in a classical DBMS: the conjunctive query is canonicalized
-and bound to a session at construction, the expensive compilation (UCQ
-rewriting w.r.t. the session's ontology) happens at most once -- served
-from the session's in-memory or persistent cache whenever possible --
-and the compiled artifacts (the UCQ, the SQL text) are reusable against
-any database with the right signature.
+and bound to a session at construction, the expensive compilation
+(rewriting w.r.t. the session's ontology, to the UCQ or the
+nonrecursive-Datalog target) happens at most once -- served from the
+session's in-memory or persistent cache whenever possible -- and the
+compiled artifacts (the UCQ or rule program, the SQL text) are reusable
+against any database with the right signature.
 """
 
 from __future__ import annotations
@@ -15,9 +16,10 @@ import threading
 from typing import TYPE_CHECKING, Any
 
 from repro.data.database import Database
-from repro.data.sql import ucq_to_sql
+from repro.data.sql import datalog_to_sql, ucq_to_sql
 from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
 from repro.lang.terms import Term
+from repro.rewriting.datalog_target import DatalogRewriting
 from repro.rewriting.rewriter import RewritingResult
 from repro.rewriting.store import query_digest
 
@@ -40,17 +42,35 @@ class PreparedQuery:
         "_session",
         "_query",
         "_digest",
+        "_target",
         "_result",
+        "_datalog",
         "_pruned",
         "_sql",
         "_lock",
     )
 
-    def __init__(self, session: "Session", query: ConjunctiveQuery | UnionOfConjunctiveQueries):
+    def __init__(
+        self,
+        session: "Session",
+        query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+        target: str | None = None,
+    ):
+        from repro.rewriting.engine import TARGETS
+
         self._session = session
         self._query = UnionOfConjunctiveQueries.of(query)
         self._digest = query_digest(self._query)
+        if target is None:
+            target = session.engine.target
+        elif target not in TARGETS:
+            raise ValueError(
+                f"unknown rewriting target {target!r}; "
+                f"expected one of {TARGETS}"
+            )
+        self._target = target
         self._result: RewritingResult | None = None
+        self._datalog: DatalogRewriting | None = None
         self._pruned: "PruneResult | None" = None
         self._sql: str | None = None
         self._lock = threading.Lock()
@@ -69,6 +89,21 @@ class PreparedQuery:
     def session(self) -> "Session":
         """The session this query is bound to."""
         return self._session
+
+    @property
+    def target(self) -> str:
+        """The requested rewriting target (``ucq``/``datalog``/``auto``)."""
+        return self._target
+
+    @property
+    def target_selected(self) -> str:
+        """The concrete target compilation uses (``ucq`` or ``datalog``).
+
+        For ``target="auto"`` this is the estimator-driven per-query
+        choice (see :meth:`FORewritingEngine.resolve_target`); cheap to
+        call -- resolving never compiles anything.
+        """
+        return self._session.engine.resolve_target(self._query, self._target)
 
     # ----------------------------------------------------------------- #
     # Compiled artifacts                                                  #
@@ -90,23 +125,56 @@ class PreparedQuery:
         return result
 
     @property
+    def datalog(self) -> DatalogRewriting:
+        """The nonrecursive-Datalog rewriting (compiles on first access).
+
+        Available regardless of :attr:`target` -- accessing it on a
+        ucq-target handle simply compiles (and caches) the other
+        artifact kind.
+        """
+        rewriting = self._datalog
+        if rewriting is None:
+            rewriting = self._session.engine._rewrite_datalog(self._query)
+            with self._lock:
+                if self._datalog is None:
+                    self._datalog = rewriting
+                rewriting = self._datalog
+        return rewriting
+
+    @property
     def ucq(self) -> UnionOfConjunctiveQueries:
         """The compiled UCQ rewriting."""
         return self.result.ucq
 
     @property
     def complete(self) -> bool:
-        """True iff the rewriting finished within the session budget."""
+        """True iff the selected target's rewriting finished within the
+        session budget."""
+        if self.target_selected == "datalog":
+            return self.datalog.complete
         return self.result.complete
+
+    @property
+    def size(self) -> int:
+        """Size of the selected target's artifact: UCQ disjuncts, or
+        Datalog rules."""
+        if self.target_selected == "datalog":
+            return self.datalog.size
+        return self.result.size
 
     @property
     def pruned(self) -> "PruneResult | None":
         """The rewriting after the session's static pruning (cached).
 
         None when the session was opened without ``prune_empty=True``
-        (or has neither mappings nor data to prune against); the
-        unpruned :attr:`ucq` is then what every backend evaluates.
+        (or has neither mappings nor data to prune against), and always
+        None for the Datalog target -- its intermediate predicates are
+        populated by the program itself, so per-disjunct static pruning
+        does not apply; the unpruned artifact is then what every
+        backend evaluates.
         """
+        if self.target_selected == "datalog":
+            return None
         supported = self._session.pruning_relations()
         if supported is None:
             return None
@@ -124,10 +192,21 @@ class PreparedQuery:
 
     @property
     def sql(self) -> str:
-        """The SQL text the (pruned) rewriting compiles to (cached)."""
+        """The SQL text the (pruned) rewriting compiles to (cached).
+
+        For the Datalog target this is the ``WITH``-CTE form (one CTE
+        per intermediate predicate); for the UCQ target the classical
+        ``UNION`` of per-disjunct ``SELECT`` blocks.
+        """
         with self._lock:
             sql = self._sql
         if sql is None:
+            if self.target_selected == "datalog":
+                sql = datalog_to_sql(self.datalog)
+                with self._lock:
+                    if self._sql is None:
+                        self._sql = sql
+                return self._sql
             pruned = self.pruned
             if pruned is None:
                 sql = ucq_to_sql(self.ucq)
@@ -147,11 +226,29 @@ class PreparedQuery:
 
     def explain(self) -> dict[str, Any]:
         """A plain-dict summary of the compilation, for logs and CLIs."""
+        selected = self.target_selected
+        if selected == "datalog":
+            rewriting = self.datalog
+            return {
+                "query": str(self._query),
+                "digest": self._digest,
+                "target": self._target,
+                "target_selected": selected,
+                "rules": rewriting.size,
+                "aux_predicates": len(rewriting.predicates),
+                "fallback_disjuncts": rewriting.fallback_disjuncts,
+                "complete": rewriting.complete,
+                "depth_reached": rewriting.depth_reached,
+                "generated": rewriting.generated,
+                "max_body_atoms": rewriting.max_body_atoms,
+            }
         result = self.result
         pruned = self.pruned
         return {
             "query": str(self._query),
             "digest": self._digest,
+            "target": self._target,
+            "target_selected": selected,
             "disjuncts": result.size,
             "complete": result.complete,
             "depth_reached": result.depth_reached,
@@ -190,5 +287,6 @@ class PreparedQuery:
         )
 
     def __repr__(self) -> str:
-        state = "compiled" if self._result is not None else "pending"
+        compiled = self._result is not None or self._datalog is not None
+        state = "compiled" if compiled else "pending"
         return f"PreparedQuery({str(self._query)!r}, {state})"

@@ -93,6 +93,12 @@ class Session:
             identical in every mode, so this never invalidates caches.
         minimize_mode: ``"thread"`` (default) or ``"process"`` --
             which pool the parallel minimization fans out over.
+        target: default rewriting target for every query this session
+            prepares -- ``"ucq"`` (classical exploded union, the
+            default), ``"datalog"`` (nonrecursive-Datalog program with
+            shared intermediate predicates, compiled to SQL ``WITH``
+            CTEs), or ``"auto"`` (per-query estimator-driven choice).
+            Overridable per query via :meth:`prepare`.
     """
 
     def __init__(
@@ -108,6 +114,7 @@ class Session:
         preflight_estimate: bool = False,
         minimize_workers: int | None = None,
         minimize_mode: str = "thread",
+        target: str = "ucq",
     ):
         self._ontology = tuple(ontology)
         self._source = data
@@ -134,6 +141,7 @@ class Session:
             preflight_estimate=preflight_estimate,
             minimize_workers=minimize_workers,
             minimize_mode=minimize_mode,
+            target=target,
         )
         self._lock = threading.RLock()
         self._prepared: dict[str, PreparedQuery] = {}
@@ -332,19 +340,28 @@ class Session:
     # ----------------------------------------------------------------- #
 
     def prepare(
-        self, query: ConjunctiveQuery | UnionOfConjunctiveQueries | str
+        self,
+        query: ConjunctiveQuery | UnionOfConjunctiveQueries | str,
+        *,
+        target: str | None = None,
     ) -> PreparedQuery:
         """The session's prepared handle for *query* (memoized).
 
         Accepts a parsed (U)CQ or query text.  Queries equal up to
         renaming / reordering share one handle, hence one compilation.
+        *target* overrides the session's rewriting target for this
+        query; handles are memoized per (query, requested target), so
+        preparing the same query under two targets yields two handles
+        (whose compilations still share the engine's per-target
+        caches).
         """
-        prepared = PreparedQuery(self, self._coerce(query))
+        prepared = PreparedQuery(self, self._coerce(query), target=target)
+        memo_key = f"{prepared.digest}/{prepared.target}"
         with self._lock:
-            existing = self._prepared.get(prepared.digest)
+            existing = self._prepared.get(memo_key)
             if existing is not None:
                 return existing
-            self._prepared[prepared.digest] = prepared
+            self._prepared[memo_key] = prepared
             return prepared
 
     def prepared_queries(self) -> tuple[PreparedQuery, ...]:
@@ -373,12 +390,13 @@ class Session:
         *,
         backend: str = "memory",
         require_complete: bool = True,
+        target: str | None = None,
     ) -> frozenset[tuple[Term, ...]]:
         """Certain answers of *query* (prepared implicitly).
 
-        Shorthand for ``session.prepare(query).answer(...)``.
+        Shorthand for ``session.prepare(query, target=target).answer(...)``.
         """
-        return self.prepare(query).answer(
+        return self.prepare(query, target=target).answer(
             database, backend=backend, require_complete=require_complete
         )
 
@@ -414,6 +432,7 @@ class Session:
         backend: str = "memory",
         require_complete: bool = True,
         ordered: bool = False,
+        target: str | None = None,
     ) -> "Iterator":
         """Answer many independent queries on a worker pool, streaming.
 
@@ -438,6 +457,7 @@ class Session:
             backend=backend,
             require_complete=require_complete,
             ordered=ordered,
+            target=target,
         )
 
     def answer_all(
@@ -451,10 +471,13 @@ class Session:
         return list(self.answer_many(queries, database, **kwargs))
 
     def sql_for(
-        self, query: ConjunctiveQuery | UnionOfConjunctiveQueries | str
+        self,
+        query: ConjunctiveQuery | UnionOfConjunctiveQueries | str,
+        *,
+        target: str | None = None,
     ) -> str:
         """The SQL text the rewriting of *query* compiles to."""
-        return self.prepare(query).sql
+        return self.prepare(query, target=target).sql
 
     def _execute(
         self,
@@ -468,6 +491,13 @@ class Session:
         if backend not in _BACKENDS:
             raise ReproError(
                 f"unknown backend {backend!r}; expected one of {_BACKENDS}"
+            )
+        if prepared.target_selected == "datalog":
+            return self._execute_datalog(
+                prepared,
+                database=database,
+                backend=backend,
+                require_complete=require_complete,
             )
         if backend == "sql":
             if database is not None:
@@ -525,6 +555,47 @@ class Session:
             from repro.data.evaluation import evaluate_ucq
 
             answers = evaluate_ucq(ucq, target)
+            span.set(answers=len(answers))
+        return answers
+
+    def _execute_datalog(
+        self,
+        prepared: PreparedQuery,
+        *,
+        database: Database | None,
+        backend: str,
+        require_complete: bool,
+    ) -> frozenset[tuple[Term, ...]]:
+        """Datalog-target evaluation: materialize the rule program
+        in-memory, or run the compiled ``WITH``-CTE SQL on SQLite.
+
+        Static disjunct pruning does not apply here (the program's
+        intermediate predicates are populated during evaluation, not
+        stored), so ``prune_empty`` is a no-op for this target.
+        """
+        rewriting = prepared.datalog
+        FORewritingEngine._check_complete(rewriting, require_complete)
+        if backend == "sql":
+            if database is not None:
+                raise ReproError(
+                    "backend='sql' evaluates over the session's own "
+                    "data; pass databases only with backend='memory'"
+                )
+            sql_backend = self.sql_backend()
+            # The CTE SQL references base (non-intermediate) relations
+            # only through the rule bodies; make sure each has a table.
+            sql_backend.ensure_atoms(rewriting.base_atoms())
+            with obs.span(
+                "obda.answer", backend="sqlite", target="datalog"
+            ) as span:
+                answers = sql_backend.execute_sql(prepared.sql)
+                span.set(answers=len(answers))
+            return answers
+        data = database if database is not None else self.abox()
+        with obs.span(
+            "obda.answer", backend="memory", target="datalog"
+        ) as span:
+            answers = rewriting.answer(data)
             span.set(answers=len(answers))
         return answers
 

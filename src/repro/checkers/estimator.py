@@ -139,6 +139,71 @@ def _longest_chain(
     return depth, chain, False
 
 
+def _alternatives(
+    relation: str,
+    derivers: dict[str, list[tuple[str, TGD]]],
+    memo: dict[str, int],
+    in_progress: set[str],
+) -> int:
+    """Number of alternative rewritten forms of one atom over *relation*.
+
+    ``A(r) = 1 + Σ_{rules deriving r} Π_{body atoms} A(rel)`` -- the
+    size of the UCQ rewriting of the atomic query over ``r`` (each rule
+    application replaces the atom with its body, whose atoms rewrite
+    independently).  Cycles saturate at :data:`ESTIMATE_CAP`.
+    """
+    if relation in memo:
+        return memo[relation]
+    if relation in in_progress:
+        return ESTIMATE_CAP
+    in_progress.add(relation)
+    total = 1
+    for _, rule in derivers.get(relation, ()):
+        contribution = 1
+        for atom in rule.body:
+            contribution = min(
+                contribution
+                * _alternatives(atom.relation, derivers, memo, in_progress),
+                ESTIMATE_CAP,
+            )
+        total = min(total + contribution, ESTIMATE_CAP)
+    in_progress.discard(relation)
+    memo[relation] = total
+    return total
+
+
+def estimate_combination_bound(
+    query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+    rules: Sequence[TGD],
+) -> int:
+    """Per-atom combination estimate of the UCQ rewriting size.
+
+    The round-based bound of :func:`estimate_disjunct_bound` tracks
+    derivation *depth* and misses the cross-product blowup of wide
+    conjunctions: ``n`` joined atoms with ``k`` derivers each explode
+    to ``(k+1)^n`` disjuncts while every derivation chain has length 1.
+    This estimate multiplies the per-atom alternative counts instead
+    (summed over disjuncts), which is exact for factorizable queries --
+    the family the nonrecursive-Datalog target collapses to
+    ``n(k+1) + 1`` rules.  Deterministic in (query, rules), so the
+    engine's ``target="auto"`` resolves identically in every process.
+    """
+    derivers = _derivers(tuple(rules))
+    ucq = UnionOfConjunctiveQueries.of(query)
+    memo: dict[str, int] = {}
+    total = 0
+    for cq in ucq:
+        product = 1
+        for atom in cq.body:
+            product = min(
+                product
+                * _alternatives(atom.relation, derivers, memo, set()),
+                ESTIMATE_CAP,
+            )
+        total = min(total + product, ESTIMATE_CAP)
+    return total
+
+
 def estimate_disjunct_bound(
     query: ConjunctiveQuery | UnionOfConjunctiveQueries,
     rules: Sequence[TGD],

@@ -415,9 +415,14 @@ def pass_rewriting_blowup(ctx: CheckContext) -> Iterator[Diagnostic]:
                 f"per-round fan-out: x{estimate.per_round}, "
                 f"{depth_kind} depth: {estimate.depth}",
                 f"offending rule chain: {chain}",
+                "datalog target available: target='datalog' (or "
+                "'auto') compiles to a nonrecursive rule program "
+                "whose size grows per atom, not per disjunct "
+                "combination",
             ),
             hint=(
-                "restructure the chain, shrink the workload query, or "
+                "restructure the chain, shrink the workload query, "
+                "switch the rewriting target to 'datalog'/'auto', or "
                 "raise the budget"
             ),
         )

@@ -108,7 +108,9 @@ def _minimize_kwargs(args: argparse.Namespace) -> dict:
 
 
 def _add_engine_options(
-    parser: argparse.ArgumentParser, backend: bool = False
+    parser: argparse.ArgumentParser,
+    backend: bool = False,
+    target: bool = False,
 ) -> None:
     """The budget/backend option group shared by answer/trace/batch.
 
@@ -153,6 +155,15 @@ def _add_engine_options(
         default="thread",
         help="worker pool for --minimize-workers (default: thread)",
     )
+    if target:
+        group.add_argument(
+            "--target",
+            choices=("ucq", "datalog", "auto"),
+            default="ucq",
+            help="rewriting target: exploded UCQ, nonrecursive-Datalog "
+            "program (compiled to SQL WITH CTEs), or estimator-driven "
+            "per-query choice (default: ucq)",
+        )
     if backend:
         group.add_argument(
             "--backend",
@@ -207,6 +218,8 @@ def cmd_rewrite(args: argparse.Namespace) -> int:
     query = parse_query(args.query)
     if _preflight(rules, query, path=args.program):
         return 2
+    if getattr(args, "target", "ucq") != "ucq":
+        return _rewrite_with_target(args, rules, query)
     if args.explain or args.cache_dir is None:
         # --explain needs derivation lineage, which the persistent
         # cache does not store; compile directly.
@@ -240,6 +253,44 @@ def cmd_rewrite(args: argparse.Namespace) -> int:
     return 0 if result.complete else 3
 
 
+def _rewrite_with_target(args: argparse.Namespace, rules, query) -> int:
+    """``repro rewrite --target datalog|auto``: session-compiled output.
+
+    Prints the nonrecursive-Datalog program (or, with ``--sql``, its
+    ``WITH``-CTE compilation) when the Datalog target is selected;
+    ``auto`` resolving to ucq falls back to the classical UCQ output.
+    ``--explain`` prints the compilation summary dict either way
+    (per-disjunct lineage exists only for the direct UCQ path).
+    """
+    import json as _json
+
+    from repro.api import Session
+
+    with Session(
+        rules,
+        budget=_budget(args),
+        cache_dir=args.cache_dir,
+        target=args.target,
+        **_minimize_kwargs(args),
+    ) as session:
+        prepared = session.prepare(query)
+        if not prepared.complete:
+            print(
+                "warning: rewriting incomplete within budget; "
+                "output is a sound under-approximation",
+                file=sys.stderr,
+            )
+        if args.explain:
+            print(_json.dumps(prepared.explain(), indent=2, sort_keys=True))
+        elif args.sql:
+            print(prepared.sql)
+        elif prepared.target_selected == "datalog":
+            print(str(prepared.datalog))
+        else:
+            print(format_ucq(prepared.ucq))
+        return 0 if prepared.complete else 3
+
+
 def cmd_answer(args: argparse.Namespace) -> int:
     from repro.api import Session
 
@@ -254,6 +305,7 @@ def cmd_answer(args: argparse.Namespace) -> int:
             database,
             budget=_budget(args),
             cache_dir=args.cache_dir,
+            target=getattr(args, "target", "ucq"),
             **_minimize_kwargs(args),
         ) as session:
             prepared = session.prepare(query)
@@ -303,6 +355,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         database,
         budget=_budget(args),
         cache_dir=args.cache_dir,
+        target=getattr(args, "target", "ucq"),
         **_minimize_kwargs(args),
     ) as session:
         stream = session.answer_many(
@@ -435,17 +488,40 @@ def cmd_trace(args: argparse.Namespace) -> int:
                 database,
                 budget=_budget(args),
                 cache_dir=args.cache_dir,
+                target=getattr(args, "target", "ucq"),
                 **_minimize_kwargs(args),
             ) as session:
                 prepared = session.prepare(query)
-                result = prepared.result
-                complete = result.complete
-                trace_span.set(query=str(query), complete=complete)
+                selected = prepared.target_selected
+                complete = prepared.complete
+                trace_span.set(
+                    query=str(query), complete=complete, target=selected
+                )
                 summary.append(f"query:     {query}")
                 summary.append(
-                    f"rewriting: {result.size} disjunct(s), "
-                    f"depth {result.depth_reached}, complete={result.complete}"
+                    f"target:    {selected}"
+                    + (
+                        " (auto)"
+                        if prepared.target == "auto"
+                        else ""
+                    )
                 )
+                if selected == "datalog":
+                    rewriting = prepared.datalog
+                    summary.append(
+                        f"rewriting: {rewriting.size} rule(s) "
+                        f"({len(rewriting.predicates)} aux predicate(s), "
+                        f"{rewriting.fallback_disjuncts} fallback "
+                        f"disjunct(s)), depth {rewriting.depth_reached}, "
+                        f"complete={rewriting.complete}"
+                    )
+                else:
+                    result = prepared.result
+                    summary.append(
+                        f"rewriting: {result.size} disjunct(s), "
+                        f"depth {result.depth_reached}, "
+                        f"complete={result.complete}"
+                    )
                 summary.append(f"sql:       {len(prepared.sql)} chars")
                 if database is not None:
                     answers = prepared.answer(require_complete=False)
@@ -456,7 +532,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
                         query, rules, database, strict=False
                     )
                     agree = answers == sql_answers
-                    if result.complete and chase.complete:
+                    if complete and chase.complete:
                         agree = agree and answers == chase.answers
                     obs.event(
                         "trace.differential",
@@ -565,7 +641,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="annotate each disjunct with its rule derivation",
     )
-    _add_engine_options(p_rewrite)
+    _add_engine_options(p_rewrite, target=True)
     p_rewrite.set_defaults(func=cmd_rewrite)
 
     p_answer = sub.add_parser("answer", help="certain answers over facts")
@@ -577,7 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the chase oracle instead of rewriting",
     )
-    _add_engine_options(p_answer, backend=True)
+    _add_engine_options(p_answer, backend=True, target=True)
     p_answer.set_defaults(func=cmd_answer)
 
     p_batch = sub.add_parser(
@@ -619,7 +695,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit one JSON object per query instead of text lines",
     )
-    _add_engine_options(p_batch, backend=True)
+    _add_engine_options(p_batch, backend=True, target=True)
     p_batch.set_defaults(func=cmd_batch)
 
     p_graph = sub.add_parser(
@@ -654,7 +730,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fact file: also trace in-memory, SQL and chase answering "
         "plus their differential comparison",
     )
-    _add_engine_options(p_trace)
+    _add_engine_options(p_trace, target=True)
     p_trace.set_defaults(func=cmd_trace)
 
     p_lint = sub.add_parser(

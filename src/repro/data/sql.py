@@ -117,6 +117,57 @@ def ucq_to_sql(query: UnionOfConjunctiveQueries | ConjunctiveQuery) -> str:
         return "\nUNION\n".join(cq_to_sql(cq) for cq in ucq)
 
 
+def _rule_to_cq(rule) -> ConjunctiveQuery:
+    """View a full TGD as the CQ selecting its head tuple."""
+    head = rule.head[0]
+    return ConjunctiveQuery(head.terms, rule.body, name=head.relation)
+
+
+def datalog_to_sql(rewriting) -> str:
+    """Compile a :class:`~repro.rewriting.datalog_target.DatalogRewriting`
+    into a single ``WITH`` query.
+
+    One CTE per auxiliary predicate (its defining rules merged with
+    ``UNION ALL``; the per-branch ``SELECT DISTINCT`` keeps each CTE
+    duplicate-light) and a final ``SELECT DISTINCT`` over the
+    ``UNION ALL`` of the goal rules.  CTE columns follow the backend's
+    base-table convention (``c1 .. ck``, ``c0`` for arity 0), so
+    :func:`cq_to_sql` compiles goal bodies against CTEs and base tables
+    alike.  The output is byte-deterministic: the rewriting's rules are
+    already normalized and sorted, and the emitter adds no
+    order-sensitive choices of its own.
+    """
+    with obs.span(
+        "sql.compile_datalog",
+        rules=len(rewriting.aux_rules) + len(rewriting.goal_rules),
+    ):
+        groups: dict[str, list] = {}
+        for rule in rewriting.aux_rules:
+            groups.setdefault(rule.head[0].relation, []).append(rule)
+        ctes = []
+        for name, rules in groups.items():
+            arity = rules[0].head[0].arity
+            columns = ", ".join(
+                f"c{i}" for i in range(1, arity + 1)
+            ) or "c0"
+            selects = "\nUNION ALL\n".join(
+                cq_to_sql(_rule_to_cq(rule)) for rule in rules
+            )
+            ctes.append(
+                f"{_quote_ident(name)}({columns}) AS (\n{selects}\n)"
+            )
+        goal_selects = "\nUNION ALL\n".join(
+            cq_to_sql(_rule_to_cq(rule)) for rule in rewriting.goal_rules
+        )
+        columns = ", ".join(
+            f"a{i}" for i in range(rewriting.arity)
+        ) or "a0"
+        outer = f"SELECT DISTINCT {columns} FROM (\n{goal_selects}\n)"
+        if not ctes:
+            return outer
+        return "WITH " + ",\n".join(ctes) + "\n" + outer
+
+
 class SQLiteBackend:
     """A SQLite-backed relational store mirroring a :class:`Database`.
 
@@ -162,20 +213,23 @@ class SQLiteBackend:
                 f"ON {_quote_ident(relation)} (c{i})"
             )
 
+    def ensure_atoms(self, atoms: Iterable[Atom]) -> None:
+        """Create (empty) tables for relations of *atoms* that the
+        loaded signature lacks, so compiled SQL never hits a missing
+        table -- rewritings may reference ontology relations with no
+        stored facts."""
+        with self._lock:
+            for atom in atoms:
+                if atom.relation not in self._signature.relations():
+                    self._signature.declare(atom.relation, atom.arity)
+                    self._create_relation(atom.relation, atom.arity)
+
     def ensure_ucq(
         self, query: UnionOfConjunctiveQueries | ConjunctiveQuery
     ) -> None:
-        """Create (empty) tables for relations the query mentions but
-        the loaded signature lacks, so compiled SQL never hits a
-        missing table -- rewritings may reference ontology relations
-        with no stored facts."""
+        """:meth:`ensure_atoms` over every body atom of a (U)CQ."""
         ucq = UnionOfConjunctiveQueries.of(query)
-        with self._lock:
-            for cq in ucq:
-                for atom in cq.body:
-                    if atom.relation not in self._signature.relations():
-                        self._signature.declare(atom.relation, atom.arity)
-                        self._create_relation(atom.relation, atom.arity)
+        self.ensure_atoms(atom for cq in ucq for atom in cq.body)
 
     @classmethod
     def from_database(cls, database: Database) -> "SQLiteBackend":

@@ -173,6 +173,16 @@ class ConjunctiveQuery:
         the tie groups and keeping the lexicographically smallest
         greedy encoding.
         """
+        return self._encode_body(list(self.canonical_order()))
+
+    def canonical_order(self) -> tuple[Atom, ...]:
+        """The deduplicated body in the atom order :meth:`canonical` uses.
+
+        Exposed so callers that need a concrete *representative* of the
+        canonical form (not just the opaque key) -- e.g. the normal-form
+        printer of :mod:`repro.rewriting.datalog_target` -- order and
+        rename atoms exactly the way the canonical key does.
+        """
         def shape_of(term: Term) -> str:
             return f"{type(term).__name__}:{term}"
 
@@ -219,29 +229,6 @@ class ConjunctiveQuery:
                 previous = invariant
             groups[-1].append(atom)
 
-        def encode(ordered: list[Atom]) -> tuple:
-            order: dict[Variable, int] = {}
-            for term in self.answer_terms:
-                if isinstance(term, Variable):
-                    order.setdefault(term, len(order))
-            rows = []
-            for atom in ordered:
-                cells: list = [atom.relation]
-                for term in atom.terms:
-                    if isinstance(term, Variable):
-                        order.setdefault(term, len(order))
-                        cells.append(("v", order[term]))
-                    else:
-                        cells.append(("c", shape_of(term)))
-                rows.append(tuple(cells))
-            answers = tuple(
-                ("v", order[t])
-                if isinstance(t, Variable)
-                else ("c", shape_of(t))
-                for t in self.answer_terms
-            )
-            return (answers, tuple(rows))
-
         import itertools
         import math
 
@@ -253,14 +240,44 @@ class ConjunctiveQuery:
         # bodies (which arise in diverging rewritings) fall back to the
         # cheap greedy order instead of dominating the run time.
         if permutations == 1 or permutations > 24 or len(body) > 12:
-            return encode([atom for group in groups for atom in group])
+            return tuple(atom for group in groups for atom in group)
         candidates = itertools.product(
             *(itertools.permutations(group) for group in groups)
         )
-        return min(
-            encode([atom for group in candidate for atom in group])
-            for candidate in candidates
+        return tuple(
+            min(
+                ([atom for group in candidate for atom in group]
+                 for candidate in candidates),
+                key=self._encode_body,
+            )
         )
+
+    def _encode_body(self, ordered: list[Atom]) -> tuple:
+        """Greedy variable-numbering encoding of one body ordering."""
+        def shape_of(term: Term) -> str:
+            return f"{type(term).__name__}:{term}"
+
+        order: dict[Variable, int] = {}
+        for term in self.answer_terms:
+            if isinstance(term, Variable):
+                order.setdefault(term, len(order))
+        rows = []
+        for atom in ordered:
+            cells: list = [atom.relation]
+            for term in atom.terms:
+                if isinstance(term, Variable):
+                    order.setdefault(term, len(order))
+                    cells.append(("v", order[term]))
+                else:
+                    cells.append(("c", shape_of(term)))
+            rows.append(tuple(cells))
+        answers = tuple(
+            ("v", order[t])
+            if isinstance(t, Variable)
+            else ("c", shape_of(t))
+            for t in self.answer_terms
+        )
+        return (answers, tuple(rows))
 
     # ----------------------------------------------------------------- #
     # Dunder plumbing                                                    #

@@ -12,6 +12,7 @@ classes are designed to recognise, so every run takes an explicit
 
 from repro.rewriting.approx import ApproximationReport, approximate_answers
 from repro.rewriting.budget import RewritingBudget
+from repro.rewriting.datalog_target import DatalogRewriting, rewrite_datalog
 from repro.rewriting.engine import CacheInfo, FORewritingEngine
 from repro.rewriting.minimize import (
     is_subsumed,
@@ -36,6 +37,7 @@ from repro.rewriting.store import (
 __all__ = [
     "ApproximationReport",
     "CacheInfo",
+    "DatalogRewriting",
     "FORewritingEngine",
     "PieceRewriting",
     "ProbeReport",
@@ -55,4 +57,5 @@ __all__ = [
     "remove_subsumed",
     "precompile_workload",
     "rewrite",
+    "rewrite_datalog",
 ]

@@ -30,6 +30,7 @@ from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
 from repro.lang.terms import Term
 from repro.lang.tgd import TGD
 from repro.rewriting.budget import RewritingBudget
+from repro.rewriting.datalog_target import DatalogRewriting, rewrite_datalog
 from repro.rewriting.rewriter import RewritingResult, rewrite
 
 ENGINE_VERSION = "2"
@@ -41,6 +42,24 @@ of :mod:`repro.api.cache` embeds this tag in every cache key, so a
 version bump automatically invalidates all previously compiled
 rewritings without any migration logic.
 """
+
+TARGETS = ("ucq", "datalog", "auto")
+"""The rewriting targets an engine (or session) can be opened with.
+
+``"ucq"`` is the classical exploded-union rewriting, ``"datalog"`` the
+nonrecursive-Datalog program of :mod:`repro.rewriting.datalog_target`,
+and ``"auto"`` picks per query: the static blowup estimator
+(:func:`repro.checkers.estimator.estimate_disjunct_bound`) is consulted
+once per canonical query, and the Datalog target is chosen when the
+estimated UCQ disjunct count exceeds :data:`AUTO_DATALOG_THRESHOLD`
+(or the budget's ``max_cqs``, whichever is smaller).  The estimate is
+a pure function of (query, rules, budget), so ``auto`` resolves to the
+same target in every process.
+"""
+
+AUTO_DATALOG_THRESHOLD = 512
+"""Estimated UCQ disjunct count above which ``target="auto"`` switches
+to the nonrecursive-Datalog target."""
 
 
 class CacheInfo(NamedTuple):
@@ -71,6 +90,18 @@ class PersistentTier(Protocol):
 
     def put(self, ucq: UnionOfConjunctiveQueries, result: RewritingResult) -> None:
         """Persist the rewriting of *ucq*."""
+        ...
+
+    def get_datalog(
+        self, ucq: UnionOfConjunctiveQueries
+    ) -> DatalogRewriting | None:
+        """The stored Datalog-target rewriting of *ucq*, or None."""
+        ...
+
+    def put_datalog(
+        self, ucq: UnionOfConjunctiveQueries, result: DatalogRewriting
+    ) -> None:
+        """Persist the Datalog-target rewriting of *ucq*."""
         ...
 
 
@@ -112,12 +143,19 @@ class FORewritingEngine:
         preflight_estimate: bool = False,
         minimize_workers: int | None = None,
         minimize_mode: str = "thread",
+        target: str = "ucq",
     ):
+        if target not in TARGETS:
+            raise ValueError(
+                f"unknown rewriting target {target!r}; "
+                f"expected one of {TARGETS}"
+            )
         self._rules = tuple(rules)
         self._budget = budget or RewritingBudget.default()
         self._filter_relevant = filter_relevant
         self._persistent = persistent
         self._preflight_estimate = preflight_estimate
+        self._target = target
         # Opt-in parallel final minimization; None keeps the
         # sequential path.  The produced rewriting is identical either
         # way (see repro.rewriting.subsume), so this deliberately does
@@ -125,10 +163,15 @@ class FORewritingEngine:
         self._minimize_workers = minimize_workers
         self._minimize_mode = minimize_mode
         self._cache: dict[UnionOfConjunctiveQueries, RewritingResult] = {}
+        self._datalog_cache: dict[UnionOfConjunctiveQueries, DatalogRewriting] = {}
+        self._target_choice: dict[UnionOfConjunctiveQueries, str] = {}
         self._hits = 0
         self._misses = 0
         self._lock = threading.Lock()
         self._inflight: dict[UnionOfConjunctiveQueries, threading.Event] = {}
+        self._datalog_inflight: dict[
+            UnionOfConjunctiveQueries, threading.Event
+        ] = {}
 
     @property
     def rules(self) -> tuple[TGD, ...]:
@@ -140,10 +183,85 @@ class FORewritingEngine:
         """The rewriting budget every compilation runs under."""
         return self._budget
 
+    @property
+    def target(self) -> str:
+        """The configured rewriting target (``ucq``/``datalog``/``auto``)."""
+        return self._target
+
     def cache_info(self) -> CacheInfo:
-        """Hits, misses and current size of the in-memory cache."""
+        """Hits, misses and current size of the in-memory caches.
+
+        Both targets share the hit/miss accounting; ``size`` counts
+        entries of the UCQ and Datalog tiers together.
+        """
         with self._lock:
-            return CacheInfo(self._hits, self._misses, len(self._cache))
+            return CacheInfo(
+                self._hits,
+                self._misses,
+                len(self._cache) + len(self._datalog_cache),
+            )
+
+    def resolve_target(
+        self,
+        query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+        target: str | None = None,
+    ) -> str:
+        """The concrete target (``ucq`` or ``datalog``) for *query*.
+
+        *target* overrides the engine-level default for this query
+        (None keeps the engine's).  Explicit targets pass through;
+        ``auto`` consults the static blowup estimator once per
+        canonical query (memoized) and picks the Datalog target when
+        the estimated disjunct count exceeds
+        ``min(AUTO_DATALOG_THRESHOLD, budget.max_cqs)``.  The choice is
+        deterministic across processes; it is surfaced on the
+        ``engine.target_selected.<target>`` counters and the
+        ``engine.target_selected`` event.
+        """
+        if target is None:
+            target = self._target
+        elif target not in TARGETS:
+            raise ValueError(
+                f"unknown rewriting target {target!r}; "
+                f"expected one of {TARGETS}"
+            )
+        if target != "auto":
+            return target
+        ucq = UnionOfConjunctiveQueries.of(query)
+        with self._lock:
+            cached = self._target_choice.get(ucq)
+        if cached is not None:
+            return cached
+        rules: Sequence[TGD] = self._rules
+        if self._filter_relevant:
+            from repro.rewriting.relevance import relevant_rules
+
+            rules = relevant_rules(ucq, rules).relevant
+        from repro.checkers.estimator import (
+            estimate_combination_bound,
+            estimate_disjunct_bound,
+        )
+
+        # Two complementary static bounds: the round-based one tracks
+        # deep derivation chains, the combination one the cross-product
+        # blowup of wide conjunctions.  Either exceeding the threshold
+        # selects the Datalog target.
+        estimate = estimate_disjunct_bound(ucq, rules, budget=self._budget)
+        bound = max(estimate.bound, estimate_combination_bound(ucq, rules))
+        threshold = min(AUTO_DATALOG_THRESHOLD, self._budget.max_cqs)
+        choice = "datalog" if bound > threshold else "ucq"
+        with self._lock:
+            first = ucq not in self._target_choice
+            choice = self._target_choice.setdefault(ucq, choice)
+        if first:
+            obs.count(f"engine.target_selected.{choice}")
+            obs.event(
+                "engine.target_selected",
+                target=choice,
+                bound=bound,
+                threshold=threshold,
+            )
+        return choice
 
     # ----------------------------------------------------------------- #
     # Compilation (tiered cache)                                          #
@@ -216,6 +334,76 @@ class FORewritingEngine:
             self._persistent.put(ucq, result)
         return result
 
+    def _rewrite_datalog(
+        self, query: ConjunctiveQuery | UnionOfConjunctiveQueries
+    ) -> DatalogRewriting:
+        """The (cached) Datalog-target rewriting of *query*.
+
+        Same tiered lookup and single-flighting as :meth:`_rewrite`,
+        over a separate cache (the two targets' artifacts never mix).
+        """
+        ucq = UnionOfConjunctiveQueries.of(query)
+        while True:
+            with self._lock:
+                result = self._datalog_cache.get(ucq)
+                if result is not None:
+                    self._hits += 1
+                    obs.count("engine.cache_hits")
+                    return result
+                waiter = self._datalog_inflight.get(ucq)
+                if waiter is None:
+                    self._datalog_inflight[ucq] = threading.Event()
+                    break
+            waiter.wait()
+        result = None
+        try:
+            result = self._compile_datalog(ucq)
+        finally:
+            with self._lock:
+                if result is not None:
+                    self._datalog_cache[ucq] = result
+                self._datalog_inflight.pop(ucq).set()
+        return result
+
+    def _compile_datalog(
+        self, ucq: UnionOfConjunctiveQueries
+    ) -> DatalogRewriting:
+        """Persistent-tier lookup, falling back to a Datalog rewriting.
+
+        The persistent tier's ``get_datalog``/``put_datalog`` methods
+        are looked up dynamically so pre-existing tier implementations
+        (the protocol grew) keep working, merely without persistence.
+        """
+        with self._lock:
+            self._misses += 1
+        obs.count("engine.cache_misses")
+        getter = getattr(self._persistent, "get_datalog", None)
+        if getter is not None:
+            stored = getter(ucq)
+            if stored is not None:
+                obs.count("engine.disk_hits")
+                return stored
+            obs.count("engine.disk_misses")
+        with obs.span("engine.rewrite", cached=False, target="datalog") as span:
+            rules: Sequence[TGD] = self._rules
+            if self._filter_relevant:
+                from repro.rewriting.relevance import relevant_rules
+
+                rules = relevant_rules(ucq, rules).relevant
+                span.set(relevant_rules=len(rules))
+            result = rewrite_datalog(
+                ucq,
+                rules,
+                self._budget,
+                minimize_workers=self._minimize_workers,
+                minimize_mode=self._minimize_mode,
+            )
+            span.set(complete=result.complete, size=result.size)
+        putter = getattr(self._persistent, "put_datalog", None)
+        if putter is not None:
+            putter(ucq, result)
+        return result
+
     def _preflight(
         self, ucq: UnionOfConjunctiveQueries, rules: Sequence[TGD]
     ) -> None:
@@ -283,7 +471,9 @@ class FORewritingEngine:
         return answers
 
     @staticmethod
-    def _check_complete(result: RewritingResult, require_complete: bool) -> None:
+    def _check_complete(
+        result: RewritingResult | DatalogRewriting, require_complete: bool
+    ) -> None:
         if require_complete and not result.complete:
             raise RewritingBudgetExceeded(
                 "rewriting incomplete within budget; pass "

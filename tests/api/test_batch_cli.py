@@ -153,3 +153,43 @@ def test_batch_process_mode(files, capsys):
     captured = capsys.readouterr()
     assert code == 0
     assert "2 process worker(s)" in captured.err
+
+
+def test_batch_target_datalog_same_answers(files, capsys):
+    program, queries, data = files
+    base = ["batch", str(program), str(queries), str(data), "--json", "--ordered"]
+    assert cli.main(base) == 0
+    default_rows = [
+        json.loads(line)
+        for line in capsys.readouterr().out.strip().splitlines()
+    ]
+    assert cli.main(base + ["--target", "datalog"]) == 0
+    datalog_rows = [
+        json.loads(line)
+        for line in capsys.readouterr().out.strip().splitlines()
+    ]
+    assert [row["answers"] for row in datalog_rows] == [
+        row["answers"] for row in default_rows
+    ]
+
+
+def test_batch_target_flag_in_process_mode(files, capsys):
+    program, queries, data = files
+    code = cli.main(
+        [
+            "batch",
+            str(program),
+            str(queries),
+            str(data),
+            "--ordered",
+            "--target",
+            "datalog",
+            "--mode",
+            "process",
+            "--workers",
+            "2",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "0 failed" in captured.err

@@ -5,7 +5,7 @@ from repro.checkers import (
     RewritingBlowupWarning,
     estimate_disjunct_bound,
 )
-from repro.checkers.estimator import ESTIMATE_CAP
+from repro.checkers.estimator import ESTIMATE_CAP, estimate_combination_bound
 from repro.lang.parser import parse_program, parse_query
 from repro.rewriting.budget import RewritingBudget
 
@@ -122,3 +122,53 @@ class TestCapAndRendering:
 
     def test_warning_category(self):
         assert issubclass(RewritingBlowupWarning, UserWarning)
+
+
+class TestCombinationBound:
+    """Per-atom combination estimate: the ``auto`` target's signal."""
+
+    def test_wide_conjunction_is_exponential(self):
+        # n joined atoms with k derivers each: (k+1)^n combinations,
+        # invisible to the depth-based bound (every chain has length 1).
+        k = 3
+        for n in (1, 3, 5):
+            rules = parse_program(
+                "\n".join(
+                    f"a{i}_{j}(X) -> c{i}(X)."
+                    for i in range(1, n + 1)
+                    for j in range(1, k + 1)
+                )
+            )
+            body = ", ".join(f"c{i}(X)" for i in range(1, n + 1))
+            query = parse_query(f"q(X) :- {body}")
+            assert estimate_combination_bound(query, rules) == (k + 1) ** n
+
+    def test_underivable_atom_counts_one(self):
+        assert (
+            estimate_combination_bound(parse_query("q(X) :- z(X)"), CHAIN)
+            == 1
+        )
+
+    def test_chain_multiplies_through(self):
+        # p <- a1 <- b1 <- b2: A(p) = 1 + A(a1) + A(a2) = 1 + 3 + 1 = 5.
+        query = parse_query("q(X) :- p(X)")
+        assert estimate_combination_bound(query, CHAIN) == 5
+
+    def test_cycle_saturates_at_cap(self):
+        rules = parse_program("loop1: p(X) -> r(X). loop2: r(X) -> p(X).")
+        query = parse_query("q(X) :- p(X)")
+        assert estimate_combination_bound(query, rules) == ESTIMATE_CAP
+
+    def test_ucq_sums_over_disjuncts(self):
+        from repro.lang.queries import UnionOfConjunctiveQueries
+
+        union = UnionOfConjunctiveQueries(
+            [parse_query("q(X) :- p(X)"), parse_query("q(X) :- z(X)")]
+        )
+        assert estimate_combination_bound(union, CHAIN) == 5 + 1
+
+    def test_deterministic_in_inputs(self):
+        query = parse_query("q(X) :- p(X), p(Y)")
+        assert estimate_combination_bound(
+            query, CHAIN
+        ) == estimate_combination_bound(query, list(reversed(CHAIN)))

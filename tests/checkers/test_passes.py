@@ -205,6 +205,17 @@ class TestEstimatePass:
         assert "q" in blowup.message
         assert any("offending rule chain" in n for n in blowup.notes)
 
+    def test_rl105_recommends_the_datalog_target(self):
+        report = check_project(
+            build(self.ONTOLOGY, queries="q(X) :- p(X).\n"),
+            CheckConfig(budget=RewritingBudget(max_depth=50, max_cqs=10, strict=False)),
+        )
+        (blowup,) = findings(report, "RL105")
+        # The remediation note names the second rewriting target: a
+        # blowup warning is exactly the case target='datalog' solves.
+        assert any("datalog target available" in n for n in blowup.notes)
+        assert "'datalog'/'auto'" in blowup.hint
+
     def test_rl105_quiet_under_roomy_budget(self):
         report = check_project(
             build(self.ONTOLOGY, queries="q(X) :- p(X).\n"),

@@ -1,0 +1,125 @@
+"""Golden tests for the Datalog target's WITH-CTE SQL compilation.
+
+The emitted SQL is part of the engine's persistent-cache contract: the
+same (ontology, query) pair must compile to byte-identical SQL in every
+process, under any ``PYTHONHASHSEED``, and regardless of the order the
+rules or disjuncts were supplied in.  The goldens under
+``tests/data/golden/`` pin the exact text.
+"""
+
+import itertools
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.data.sql import datalog_to_sql
+from repro.lang.parser import parse_program, parse_query
+from repro.lang.queries import UnionOfConjunctiveQueries
+from repro.rewriting.datalog_target import rewrite_datalog
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GOLDEN_DIR = REPO_ROOT / "tests" / "data" / "golden"
+
+RULES_TEXT = (
+    "R1: a1(X) -> c1(X). "
+    "R2: a2(X) -> c1(X). "
+    "R3: b1(X) -> c2(X). "
+    "R4: b2(X) -> c2(X)."
+)
+QUERY_TEXT = "q(X) :- c1(X), c2(X)"
+
+# A workload with a join existential: its disjunct takes the full-UCQ
+# fallback path, so the golden also pins the goal-block shape.
+FALLBACK_RULES_TEXT = "R1: p(X) -> r(X, Y). R2: t(X) -> s(X)."
+FALLBACK_QUERY_TEXT = "q(X) :- r(X, Y), s(Y)"
+
+
+def compile_family() -> str:
+    rules = parse_program(RULES_TEXT)
+    query = parse_query(QUERY_TEXT)
+    return datalog_to_sql(rewrite_datalog(query, rules))
+
+
+def compile_fallback() -> str:
+    rules = parse_program(FALLBACK_RULES_TEXT)
+    query = parse_query(FALLBACK_QUERY_TEXT)
+    return datalog_to_sql(rewrite_datalog(query, rules))
+
+
+class TestGoldenText:
+    def test_family_matches_golden(self):
+        golden = (GOLDEN_DIR / "family_cte.sql").read_text()
+        assert compile_family() + "\n" == golden
+
+    def test_fallback_matches_golden(self):
+        golden = (GOLDEN_DIR / "fallback_cte.sql").read_text()
+        assert compile_fallback() + "\n" == golden
+
+    def test_golden_shape(self):
+        sql = compile_family()
+        assert sql.startswith("WITH ")
+        assert "UNION ALL" in sql
+        assert "SELECT DISTINCT" in sql
+
+
+class TestPermutationStability:
+    def test_rule_permutations_identical_bytes(self):
+        rules = parse_program(RULES_TEXT)
+        query = parse_query(QUERY_TEXT)
+        reference = compile_family()
+        for permuted in itertools.permutations(rules):
+            sql = datalog_to_sql(rewrite_datalog(query, permuted))
+            assert sql == reference
+
+    def test_disjunct_permutations_identical_bytes(self):
+        rules = parse_program(RULES_TEXT)
+        disjuncts = [
+            parse_query("q(X) :- c1(X)"),
+            parse_query("q(X) :- c2(X)"),
+            parse_query(QUERY_TEXT),
+        ]
+        reference = datalog_to_sql(
+            rewrite_datalog(UnionOfConjunctiveQueries(disjuncts), rules)
+        )
+        for permuted in itertools.permutations(disjuncts):
+            sql = datalog_to_sql(
+                rewrite_datalog(
+                    UnionOfConjunctiveQueries(list(permuted)), rules
+                )
+            )
+            assert sql == reference
+
+
+class TestHashSeedStability:
+    """Byte-identical across interpreter processes with different seeds."""
+
+    def _compile_in_subprocess(self, hash_seed: str) -> str:
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hash_seed
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        script = (
+            "from repro.data.sql import datalog_to_sql\n"
+            "from repro.lang.parser import parse_program, parse_query\n"
+            "from repro.rewriting.datalog_target import rewrite_datalog\n"
+            "import sys\n"
+            f"rules = parse_program({RULES_TEXT!r})\n"
+            f"query = parse_query({QUERY_TEXT!r})\n"
+            "sys.stdout.write("
+            "datalog_to_sql(rewrite_datalog(query, rules)))\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        return result.stdout
+
+    def test_byte_identical_across_hash_seeds(self):
+        first = self._compile_in_subprocess("1")
+        second = self._compile_in_subprocess("31337")
+        assert first == second
+        golden = (GOLDEN_DIR / "family_cte.sql").read_text()
+        assert first + "\n" == golden

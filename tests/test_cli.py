@@ -179,3 +179,135 @@ class TestMinimizeWorkers:
         assert code == 0
         out = capsys.readouterr().out
         assert "one" in out and "two" in out
+
+
+class TestTargetFlag:
+    """``--target {ucq,datalog,auto}`` on rewrite/answer/trace."""
+
+    def test_rewrite_datalog_prints_rule_program(
+        self, program_file, capsys
+    ):
+        assert (
+            main(
+                [
+                    "rewrite",
+                    program_file,
+                    "q(X) :- c(X)",
+                    "--target",
+                    "datalog",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "->" in out  # rule syntax, not a UCQ union
+        assert "a(" in out and "c(" in out
+
+    def test_rewrite_datalog_sql_prints_cte(self, program_file, capsys):
+        assert (
+            main(
+                [
+                    "rewrite",
+                    program_file,
+                    "q(X) :- c(X)",
+                    "--sql",
+                    "--target",
+                    "datalog",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.startswith("WITH ")
+        assert "SELECT DISTINCT" in out
+
+    def test_rewrite_explain_reports_selected_target(
+        self, program_file, capsys
+    ):
+        import json as _json
+
+        assert (
+            main(
+                [
+                    "rewrite",
+                    program_file,
+                    "q(X) :- c(X)",
+                    "--explain",
+                    "--target",
+                    "auto",
+                ]
+            )
+            == 0
+        )
+        explain = _json.loads(capsys.readouterr().out)
+        assert explain["target"] == "auto"
+        assert explain["target_selected"] in ("ucq", "datalog")
+
+    def test_answer_targets_agree(self, program_file, facts_file, capsys):
+        main(["answer", program_file, "q(X) :- c(X)", facts_file])
+        default_out = capsys.readouterr().out
+        for target in ("datalog", "auto"):
+            assert (
+                main(
+                    [
+                        "answer",
+                        program_file,
+                        "q(X) :- c(X)",
+                        facts_file,
+                        "--target",
+                        target,
+                    ]
+                )
+                == 0
+            )
+            assert capsys.readouterr().out == default_out
+
+    def test_answer_sql_backend_with_datalog_target(
+        self, program_file, facts_file, capsys
+    ):
+        main(["answer", program_file, "q(X) :- c(X)", facts_file])
+        default_out = capsys.readouterr().out
+        code = main(
+            [
+                "answer",
+                program_file,
+                "q(X) :- c(X)",
+                facts_file,
+                "--backend",
+                "sql",
+                "--target",
+                "datalog",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == default_out
+
+    def test_trace_reports_target_line(self, program_file, capsys):
+        assert (
+            main(
+                [
+                    "trace",
+                    program_file,
+                    "q(X) :- c(X)",
+                    "--target",
+                    "datalog",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "target:" in out
+        assert "datalog" in out
+        assert "rule(s)" in out
+
+    def test_rejects_unknown_target(self, program_file, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "rewrite",
+                    program_file,
+                    "q(X) :- c(X)",
+                    "--target",
+                    "prolog",
+                ]
+            )
