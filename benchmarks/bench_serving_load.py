@@ -1,0 +1,464 @@
+"""SERVE -- closed-loop load harness over the async serving layer.
+
+The serving acceptance bench: a zipf-mixed query stream (weights
+``1/rank^1.1``, seeded) over a 40-query concept-hierarchy workload,
+driven closed-loop -- 16 client threads, each with one keep-alive
+connection, each firing its next request the moment the previous one
+answers -- against a live :class:`repro.serve.ReproServer` on a real
+socket.  Four phases:
+
+* **cold**     -- boot over an empty cache directory, issue every
+  distinct query once: every compilation runs and lands on disk;
+* **warm**     -- restart over the same cache directory, ``warm_all()``,
+  then the full zipf load: every request must be admitted and answered
+  with ZERO rewriting (the counter gate), yielding p50/p99/QPS;
+* **shed**     -- a saturated one-slot server (worker pinned by a
+  barrier) must 429 every excess request with a ``Retry-After``;
+* **deadline** -- a pinned worker under a request deadline must 504
+  and count ``serve.deadline_exceeded``.
+
+Hard gates are on the deterministic counters (admitted/shed/errors,
+``rewrite.cqs_generated``, disk hits); wall-clock percentiles are
+recorded in the JSON artifact but -- as everywhere in this suite --
+only gate under ``--check-timings``.
+
+Run standalone as the CI smoke: ``python benchmarks/bench_serving_load.py
+--smoke --requests 200 --concurrency 16`` boots the real ``repro
+serve`` CLI in a subprocess, drives the mix, and exits non-zero on any
+shed or error.
+"""
+
+from __future__ import annotations
+
+import collections
+import http.client
+import json
+import random
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.data.database import Database
+from repro.lang.parser import parse_database, parse_program
+from repro.serve import BackgroundServer, ReproServer, ServeConfig, TenantRegistry
+from repro.workloads.generators import concept_hierarchy, generate_database
+
+DEPTH = 40  # distinct queries in the mix
+ZIPF_EXPONENT = 1.1
+REQUESTS = 1000
+CONCURRENCY = 16
+
+
+# --------------------------------------------------------------------- #
+# Workload                                                              #
+# --------------------------------------------------------------------- #
+
+
+def _workload():
+    rules = concept_hierarchy(DEPTH)
+    queries = [f"q(X) :- c{i}(X)" for i in range(1, DEPTH + 1)]
+    facts = generate_database(random.Random(7), rules, facts_per_relation=3)
+    return rules, queries, Database(facts)
+
+
+def _zipf_plan(queries, requests, seed=11):
+    """A seeded zipf-weighted request plan over *queries*."""
+    rng = random.Random(seed)
+    weights = [1.0 / (rank**ZIPF_EXPONENT) for rank in range(1, len(queries) + 1)]
+    return rng.choices(queries, weights=weights, k=requests)
+
+
+def _percentile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+# --------------------------------------------------------------------- #
+# Closed-loop client                                                    #
+# --------------------------------------------------------------------- #
+
+
+def _drive(host, port, plan, concurrency):
+    """Drive *plan* closed-loop; return (sorted latencies s, status tally)."""
+    work = collections.deque(plan)
+    lock = threading.Lock()
+    latencies: list[float] = []
+    statuses: collections.Counter = collections.Counter()
+
+    def post(conn, query):
+        conn.request(
+            "POST",
+            "/v1/query",
+            body=json.dumps({"query": query}),
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        response.read()
+        return response.status
+
+    def client():
+        conn = http.client.HTTPConnection(host, port, timeout=60)
+        try:
+            while True:
+                with lock:
+                    if not work:
+                        return
+                    query = work.popleft()
+                start = time.perf_counter()
+                try:
+                    status = post(conn, query)
+                except (http.client.HTTPException, OSError):
+                    # Stale keep-alive connection: reconnect, retry once.
+                    conn.close()
+                    conn = http.client.HTTPConnection(host, port, timeout=60)
+                    try:
+                        status = post(conn, query)
+                    except (http.client.HTTPException, OSError):
+                        status = 599  # client-side failure marker
+                elapsed = time.perf_counter() - start
+                with lock:
+                    latencies.append(elapsed)
+                    statuses[status] += 1
+        finally:
+            conn.close()
+
+    pool = [threading.Thread(target=client) for _ in range(concurrency)]
+    start = time.perf_counter()
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    wall = time.perf_counter() - start
+    return sorted(latencies), statuses, wall
+
+
+def _server(cache_dir, rules, database, **config_kwargs):
+    config = ServeConfig(port=0, **config_kwargs)
+    registry = TenantRegistry(
+        cache_dir=cache_dir, options=config.effective_options()
+    )
+    registry.register("default", rules, database)
+    return ReproServer(registry, config)
+
+
+# --------------------------------------------------------------------- #
+# Phases                                                                #
+# --------------------------------------------------------------------- #
+
+
+def _phase_cold(cache_dir, rules, database, queries):
+    """Every distinct query once against an empty cache."""
+    with obs.capture() as trace:
+        server = _server(cache_dir, rules, database, workers=4, queue_depth=16)
+        with BackgroundServer(server) as (host, port):
+            latencies, statuses, _wall = _drive(host, port, queries, 4)
+    return {
+        "statuses": dict(statuses),
+        "disk_misses": trace.counter("engine.disk_misses"),
+        "cache_writes": trace.counter("api.cache.writes"),
+        "cqs_generated": trace.counter("rewrite.cqs_generated"),
+    }
+
+
+def _phase_warm(cache_dir, rules, database, plan, concurrency):
+    """Restart, warm from disk, then serve the zipf mix rewrite-free."""
+    with obs.capture() as trace:
+        server = _server(cache_dir, rules, database, workers=4, queue_depth=16)
+        warmed = server.registry.warm_all()
+        with BackgroundServer(server) as (host, port):
+            latencies, statuses, wall = _drive(host, port, plan, concurrency)
+        stats = server.admission.stats()
+    return {
+        "warmed": warmed,
+        "statuses": dict(statuses),
+        "admitted": stats["admitted"],
+        "shed": stats["shed"],
+        "errors": stats["errors"],
+        "disk_hits": trace.counter("engine.disk_hits"),
+        "cqs_generated": trace.counter("rewrite.cqs_generated"),
+        "p50_ms": _percentile(latencies, 0.50) * 1000.0,
+        "p99_ms": _percentile(latencies, 0.99) * 1000.0,
+        "qps": len(plan) / max(wall, 1e-9),
+    }
+
+
+def _phase_shed(rules, database, query, excess=5):
+    """Saturate a one-slot server; every excess request must 429."""
+    release = threading.Event()
+    server = _server(None, rules, database, workers=1, queue_depth=0)
+    server._before_execute = release.wait
+    shed_statuses: collections.Counter = collections.Counter()
+    retry_after_ok = True
+    with obs.capture() as trace:
+        with BackgroundServer(server) as (host, port):
+            blocker = threading.Thread(
+                target=lambda: _drive(host, port, [query], 1)
+            )
+            blocker.start()
+            deadline = time.time() + 10
+            while server.admission.inflight == 0:
+                assert time.time() < deadline, "blocker never admitted"
+                time.sleep(0.01)
+            for _ in range(excess):
+                conn = http.client.HTTPConnection(host, port, timeout=30)
+                try:
+                    conn.request(
+                        "POST", "/v1/query", body=json.dumps({"query": query})
+                    )
+                    response = conn.getresponse()
+                    response.read()
+                    shed_statuses[response.status] += 1
+                    retry_after = response.getheader("Retry-After")
+                    if retry_after is None or int(retry_after) < 1:
+                        retry_after_ok = False
+                finally:
+                    conn.close()
+            release.set()
+            blocker.join(timeout=30)
+    return {
+        "statuses": dict(shed_statuses),
+        "shed": trace.counter("serve.shed"),
+        "all_429": set(shed_statuses) == {429},
+        "retry_after_present": retry_after_ok,
+        "excess": excess,
+    }
+
+
+def _phase_deadline(rules, database, query, deadline_seconds=0.2):
+    """A pinned worker under a request deadline must 504."""
+    release = threading.Event()
+    server = _server(
+        None,
+        rules,
+        database,
+        workers=1,
+        queue_depth=4,
+        deadline_seconds=deadline_seconds,
+    )
+    server._before_execute = release.wait
+    with obs.capture() as trace:
+        with BackgroundServer(server) as (host, port):
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+            try:
+                conn.request(
+                    "POST", "/v1/query", body=json.dumps({"query": query})
+                )
+                status = conn.getresponse().status
+            finally:
+                conn.close()
+            release.set()
+            limit = time.time() + 10
+            while server.admission.inflight:
+                assert time.time() < limit, "slot never released"
+                time.sleep(0.01)
+    return {
+        "status": status,
+        "deadline_exceeded": trace.counter("serve.deadline_exceeded"),
+    }
+
+
+# --------------------------------------------------------------------- #
+# The bench (pytest entry)                                              #
+# --------------------------------------------------------------------- #
+
+
+def test_serving_load():
+    from _harness import write_artifact, write_json_artifact
+
+    rules, queries, database = _workload()
+    plan = _zipf_plan(queries, REQUESTS)
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as cache_dir:
+        cold = _phase_cold(cache_dir, rules, database, queries)
+        warm = _phase_warm(cache_dir, rules, database, plan, CONCURRENCY)
+    shed = _phase_shed(rules, database, queries[0])
+    deadline = _phase_deadline(rules, database, queries[0])
+
+    # -- deterministic gates ------------------------------------------ #
+    n = len(queries)
+    assert cold["statuses"] == {200: n}
+    assert cold["disk_misses"] == n
+    assert cold["cache_writes"] == n
+    assert cold["cqs_generated"] > 0
+
+    assert warm["warmed"] == n
+    assert warm["statuses"] == {200: REQUESTS}
+    assert warm["admitted"] == REQUESTS
+    assert warm["shed"] == 0
+    assert warm["errors"] == 0
+    assert warm["disk_hits"] == n
+    # The headline gate: a fully warm server rewrites NOTHING.
+    assert warm["cqs_generated"] == 0
+
+    assert shed["all_429"], shed
+    assert shed["shed"] == shed["excess"]
+    assert shed["retry_after_present"]
+    assert deadline["status"] == 504
+    assert deadline["deadline_exceeded"] == 1
+
+    lines = [
+        f"SERVE: closed-loop zipf load, {REQUESTS} requests x "
+        f"{CONCURRENCY} clients over {n} distinct queries",
+        "",
+        f"{'phase':<10} {'gate':<42} observed",
+        f"{'cold':<10} {'every query compiled + written once':<42} "
+        f"{cold['cache_writes']} writes, {cold['cqs_generated']} CQs",
+        f"{'warm':<10} {'all admitted, zero shed, ZERO rewrites':<42} "
+        f"{warm['admitted']} admitted, {warm['shed']} shed, "
+        f"{warm['cqs_generated']} CQs",
+        f"{'shed':<10} {'saturated server 429s with Retry-After':<42} "
+        f"{shed['shed']}/{shed['excess']} shed",
+        f"{'deadline':<10} {'pinned worker deadline -> 504':<42} "
+        f"status {deadline['status']}",
+        "",
+        f"warm p50 {warm['p50_ms']:.2f} ms | p99 {warm['p99_ms']:.2f} ms "
+        f"| {warm['qps']:.0f} QPS",
+    ]
+    write_artifact("serving_load.txt", "\n".join(lines))
+    write_json_artifact(
+        "serving_load.json",
+        {
+            "schema": 1,
+            "distinct_queries": n,
+            "requests": REQUESTS,
+            "concurrency": CONCURRENCY,
+            "cold": {
+                "disk_misses": cold["disk_misses"],
+                "cache_writes": cold["cache_writes"],
+                "cqs_generated": cold["cqs_generated"],
+            },
+            "warm": {
+                "warmed": warm["warmed"],
+                "all_admitted": warm["admitted"] == REQUESTS,
+                "shed": warm["shed"],
+                "errors": warm["errors"],
+                "disk_hits": warm["disk_hits"],
+                "cqs_generated": warm["cqs_generated"],
+                "p50_ms": warm["p50_ms"],
+                "p99_ms": warm["p99_ms"],
+                "qps": warm["qps"],
+            },
+            "shed_phase": {
+                "shed": shed["shed"],
+                "all_429": shed["all_429"],
+                "retry_after_present": shed["retry_after_present"],
+            },
+            "deadline_phase": deadline,
+        },
+    )
+
+
+# --------------------------------------------------------------------- #
+# Standalone smoke: boots the real CLI                                  #
+# --------------------------------------------------------------------- #
+
+_ANNOUNCE = re.compile(r"listening on http://([^:]+):(\d+)")
+
+
+def _smoke(requests, concurrency):
+    """Boot ``repro serve`` as a subprocess and drive the zipf mix."""
+    rules, queries, database = _workload()
+    plan = _zipf_plan(queries, requests)
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        program = Path(tmp) / "program.dlp"
+        data = Path(tmp) / "data.dlp"
+        program.write_text(" ".join(f"{rule}." for rule in rules) + "\n")
+        data.write_text(
+            " ".join(f"{fact}." for fact in database.facts()) + "\n"
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                str(program),
+                str(data),
+                "--port",
+                "0",
+                "--workers",
+                "4",
+                "--queue-depth",
+                str(max(16, concurrency)),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            announce = process.stdout.readline()
+            match = _ANNOUNCE.search(announce)
+            if match is None:
+                process.kill()
+                rest = process.stdout.read()
+                print(f"server failed to boot:\n{announce}{rest}")
+                return 1
+            host, port = match.group(1), int(match.group(2))
+            print(announce.strip())
+            latencies, statuses, wall = _drive(host, port, plan, concurrency)
+            status_line, _, stats = _http_get(host, port, "/v1/stats")
+            admission = stats["admission"] if status_line == 200 else {}
+        finally:
+            process.terminate()
+            process.wait(timeout=30)
+
+    shed = admission.get("shed", -1)
+    errors = admission.get("errors", -1)
+    ok = (
+        set(statuses) == {200}
+        and shed == 0
+        and errors == 0
+        and len(latencies) == requests
+    )
+    print(
+        f"smoke: {requests} requests x {concurrency} clients -> "
+        f"statuses {dict(statuses)}, shed {shed}, errors {errors}, "
+        f"p50 {_percentile(latencies, 0.5) * 1000:.2f} ms, "
+        f"p99 {_percentile(latencies, 0.99) * 1000:.2f} ms, "
+        f"{len(plan) / max(wall, 1e-9):.0f} QPS"
+    )
+    print("smoke: OK" if ok else "smoke: FAILED (shed/error gate)")
+    return 0 if ok else 1
+
+
+def _http_get(host, port, path):
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        raw = response.read()
+        return (
+            response.status,
+            dict(response.getheaders()),
+            json.loads(raw) if raw else None,
+        )
+    finally:
+        conn.close()
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="boot the real `repro serve` CLI and gate zero shed/error",
+    )
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--concurrency", type=int, default=CONCURRENCY)
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("standalone runs require --smoke (pytest runs the bench)")
+    return _smoke(args.requests, args.concurrency)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

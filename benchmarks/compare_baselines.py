@@ -45,7 +45,7 @@ DEFAULT_BASELINES = BENCH_DIR / "baselines"
 # Wall-clock-derived leaves: compared only under --check-timings.
 TIMING_SUFFIXES = ("_ms", "_s", "_seconds")
 TIMING_KEYS = {"seconds", "dur_ms"}
-TIMING_SUBSTRINGS = ("speedup", "over_bypass")
+TIMING_SUBSTRINGS = ("speedup", "over_bypass", "qps")
 
 # Machine-dependent leaves: never compared (track the runner, not the code).
 MACHINE_KEYS = {"workers"}

@@ -30,6 +30,7 @@ from repro.api.cache import (
     CacheStats,
     RewritingCache,
 )
+from repro.api.options import EngineOptions
 from repro.api.pool import BatchResult, resolve_workers
 from repro.api.prepared import PreparedQuery
 from repro.api.session import Session
@@ -39,6 +40,7 @@ __all__ = [
     "CACHE_SCHEMA_VERSION",
     "CacheKey",
     "CacheStats",
+    "EngineOptions",
     "PreparedQuery",
     "RewritingCache",
     "Session",

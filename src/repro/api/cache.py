@@ -62,11 +62,16 @@ from repro.rewriting.datalog_target import DatalogRewriting
 from repro.rewriting.rewriter import RewritingResult
 from repro.rewriting.store import budget_digest, ontology_digest, query_digest
 
-CACHE_SCHEMA_VERSION = 2
+CACHE_SCHEMA_VERSION = 3
 """On-disk layout version; a mismatch resets the cache file.
 
 Version 2 added the ``datalog_rewritings`` table (the nonrecursive-
 Datalog target's artifacts) and the target discriminator in cache keys.
+Version 3 added the ``query_text`` column to both tables: the canonical
+text of the *input* query, which makes stored entries enumerable --
+the serving layer's boot warm-up (:meth:`repro.api.Session.warm_up`)
+re-prepares every stored query of an ontology so a restarted server
+reaches steady state with zero fresh rewrites.
 """
 
 DEFAULT_CACHE_FILENAME = "rewritings.sqlite"
@@ -217,6 +222,7 @@ class RewritingCache:
                 explored        INTEGER NOT NULL,
                 per_depth       TEXT NOT NULL,
                 ucq             TEXT NOT NULL,
+                query_text      TEXT NOT NULL DEFAULT '',
                 created_at      TEXT NOT NULL DEFAULT (datetime('now'))
             )
             """
@@ -231,6 +237,7 @@ class RewritingCache:
                 cache_key       TEXT PRIMARY KEY,
                 ontology_digest TEXT NOT NULL,
                 payload         TEXT NOT NULL,
+                query_text      TEXT NOT NULL DEFAULT '',
                 created_at      TEXT NOT NULL DEFAULT (datetime('now'))
             )
             """
@@ -314,8 +321,19 @@ class RewritingCache:
             obs.count("api.cache.hits")
             return result
 
-    def put(self, key: CacheKey, result: RewritingResult) -> None:
-        """Persist *result* under *key*.  Never raises."""
+    def put(
+        self,
+        key: CacheKey,
+        result: RewritingResult,
+        query_text: str = "",
+    ) -> None:
+        """Persist *result* under *key*.  Never raises.
+
+        *query_text* is the canonical text of the input query; storing
+        it makes the entry reachable by :meth:`stored_queries` (warm-up
+        enumeration).  Empty is allowed -- the entry still serves
+        lookups, it just cannot be re-prepared by digest alone.
+        """
         with self._lock:
             if self._connection is None:
                 return
@@ -324,8 +342,9 @@ class RewritingCache:
                     "INSERT OR REPLACE INTO rewritings "
                     "(cache_key, ontology_digest, query_digest, "
                     " budget_digest, engine_version, complete, "
-                    " depth_reached, generated, explored, per_depth, ucq) "
-                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    " depth_reached, generated, explored, per_depth, ucq, "
+                    " query_text) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                     (
                         key.combined,
                         key.ontology_digest,
@@ -338,6 +357,7 @@ class RewritingCache:
                         result.explored,
                         json.dumps(list(result.per_depth)),
                         format_ucq(result.ucq),
+                        query_text,
                     ),
                 )
                 self._connection.commit()
@@ -379,7 +399,12 @@ class RewritingCache:
             obs.count("api.cache.hits")
             return result
 
-    def put_datalog(self, key: CacheKey, result: DatalogRewriting) -> None:
+    def put_datalog(
+        self,
+        key: CacheKey,
+        result: DatalogRewriting,
+        query_text: str = "",
+    ) -> None:
         """Persist the Datalog-target *result* under *key*.  Never
         raises."""
         with self._lock:
@@ -388,11 +413,13 @@ class RewritingCache:
             try:
                 self._connection.execute(
                     "INSERT OR REPLACE INTO datalog_rewritings "
-                    "(cache_key, ontology_digest, payload) VALUES (?, ?, ?)",
+                    "(cache_key, ontology_digest, payload, query_text) "
+                    "VALUES (?, ?, ?, ?)",
                     (
                         key.combined,
                         key.ontology_digest,
                         _encode_datalog(result),
+                        query_text,
                     ),
                 )
                 self._connection.commit()
@@ -458,6 +485,72 @@ class RewritingCache:
                 return iter(())
         return iter([(str(d), int(n)) for d, n in rows])
 
+    def counts(self) -> dict[str, int]:
+        """Per-table entry counts: ``{"ucq": n, "datalog": m}``.
+
+        Never raises; a closed or broken cache reports zeros.
+        """
+        with self._lock:
+            if self._connection is None:
+                return {"ucq": 0, "datalog": 0}
+            try:
+                row = self._connection.execute(
+                    "SELECT (SELECT COUNT(*) FROM rewritings), "
+                    "(SELECT COUNT(*) FROM datalog_rewritings)"
+                ).fetchone()
+                return {"ucq": int(row[0]), "datalog": int(row[1])}
+            except sqlite3.DatabaseError:
+                self._quarantine()
+                return {"ucq": 0, "datalog": 0}
+
+    def stored_queries(
+        self,
+        ontology_digest: str | None = None,
+        budget_digest: str | None = None,
+        engine_version: str | None = None,
+    ) -> list[tuple[str, str]]:
+        """(query text, target) pairs of enumerable stored entries.
+
+        The warm-up path: a restarting server lists what previous
+        processes compiled for its ontology and re-prepares each entry,
+        so steady state is reached with zero fresh rewrites.  Entries
+        written before schema v3 (empty ``query_text``) are skipped --
+        they still serve digest lookups, they just cannot be enumerated.
+        Filters narrow by ontology digest and -- via the structured key
+        prefix -- budget digest and engine version.  Never raises.
+        """
+        with self._lock:
+            if self._connection is None:
+                return []
+            results: list[tuple[str, str]] = []
+            try:
+                for table, target in (
+                    ("rewritings", "ucq"),
+                    ("datalog_rewritings", "datalog"),
+                ):
+                    sql = (
+                        f"SELECT cache_key, query_text FROM {table} "
+                        "WHERE query_text != ''"
+                    )
+                    params: list[str] = []
+                    if ontology_digest is not None:
+                        sql += " AND ontology_digest = ?"
+                        params.append(ontology_digest)
+                    for row in self._connection.execute(sql, params):
+                        # combined key: version/target/ontology/budget/query
+                        parts = str(row[0]).split("/")
+                        if len(parts) != 5:
+                            continue
+                        if engine_version is not None and parts[0] != engine_version:
+                            continue
+                        if budget_digest is not None and parts[3] != budget_digest:
+                            continue
+                        results.append((str(row[1]), target))
+            except sqlite3.DatabaseError:
+                self._quarantine()
+                return []
+        return sorted(set(results))
+
     def evict_ontologies(self, keep: set[str] | frozenset[str]) -> int:
         """Drop entries whose ontology digest is not in *keep*.
 
@@ -512,7 +605,7 @@ class EngineTier:
         return self._cache.get(self._key(ucq))
 
     def put(self, ucq: UnionOfConjunctiveQueries, result: RewritingResult) -> None:
-        self._cache.put(self._key(ucq), result)
+        self._cache.put(self._key(ucq), result, query_text=format_ucq(ucq))
 
     def get_datalog(
         self, ucq: UnionOfConjunctiveQueries
@@ -522,7 +615,9 @@ class EngineTier:
     def put_datalog(
         self, ucq: UnionOfConjunctiveQueries, result: DatalogRewriting
     ) -> None:
-        self._cache.put_datalog(self._key(ucq, target="datalog"), result)
+        self._cache.put_datalog(
+            self._key(ucq, target="datalog"), result, query_text=format_ucq(ucq)
+        )
 
 
 def _decode_result(row) -> RewritingResult:

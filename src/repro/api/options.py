@@ -1,0 +1,190 @@
+"""One frozen bundle for every engine-tuning option of a session.
+
+Before this module the options steering a :class:`~repro.api.Session`'s
+rewriting engine -- budget, rewriting target, parallel-minimization
+knobs, pruning and pre-flight switches -- were threaded positionally
+through ``Session.__init__``, the batch pool's worker initializer and
+every CLI subcommand, each spelling the defaults again.
+:class:`EngineOptions` collects them in a single immutable value:
+
+* one definition of the defaults, shared by API, pool workers and CLI;
+* picklable, so process-pool workers and the serving layer rebuild an
+  identical engine from one object;
+* a single :meth:`EngineOptions.from_args` adapter mapping the CLI's
+  shared *engine options* argument group onto the dataclass.
+
+Passing the old keyword arguments to ``Session`` still works but emits
+a :class:`DeprecationWarning` (once per process); ``docs/api.md`` has
+the migration table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.rewriting.budget import RewritingBudget
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import argparse
+
+_MINIMIZE_MODES = ("thread", "process")
+
+#: The ``Session.__init__`` keywords superseded by :class:`EngineOptions`.
+LEGACY_OPTION_KEYS = (
+    "budget",
+    "filter_relevant",
+    "prune_empty",
+    "preflight_estimate",
+    "minimize_workers",
+    "minimize_mode",
+    "target",
+)
+
+# Deprecation is announced once per process, not once per Session: a
+# server opening hundreds of sessions through a legacy call site should
+# log one actionable warning, not a flood.
+_legacy_warned = False
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Everything that tunes a session's rewriting engine, in one value.
+
+    Attributes:
+        budget: rewriting budget every compilation runs under
+            (default: :meth:`RewritingBudget.default`).
+        filter_relevant: backward-reachability rule filtering before
+            each rewriting run.
+        prune_empty: drop statically-empty disjuncts from compiled
+            rewritings before evaluation (see
+            :mod:`repro.checkers.pruning`).
+        preflight_estimate: run the static rewriting-size estimator
+            before each cold compilation and warn on projected blowup.
+        minimize_workers: opt-in parallel UCQ minimization worker count
+            (None = sequential, 0 = one per CPU); never changes the
+            compiled rewriting, so it is outside all cache keys.
+        minimize_mode: ``"thread"`` or ``"process"`` pool for the
+            parallel minimization.
+        target: rewriting target -- ``"ucq"``, ``"datalog"`` or
+            ``"auto"`` (see :data:`repro.rewriting.engine.TARGETS`).
+    """
+
+    budget: RewritingBudget = field(default_factory=RewritingBudget.default)
+    filter_relevant: bool = True
+    prune_empty: bool = False
+    preflight_estimate: bool = False
+    minimize_workers: int | None = None
+    minimize_mode: str = "thread"
+    target: str = "ucq"
+
+    def __post_init__(self) -> None:
+        from repro.rewriting.engine import TARGETS
+
+        if self.target not in TARGETS:
+            raise ValueError(
+                f"unknown rewriting target {self.target!r}; "
+                f"expected one of {TARGETS}"
+            )
+        if self.minimize_mode not in _MINIMIZE_MODES:
+            raise ValueError(
+                f"unknown minimize mode {self.minimize_mode!r}; "
+                f"expected one of {_MINIMIZE_MODES}"
+            )
+        if not isinstance(self.budget, RewritingBudget):
+            raise TypeError(
+                f"budget must be a RewritingBudget, got {self.budget!r}"
+            )
+
+    def replace(self, **changes: Any) -> "EngineOptions":
+        """A copy with *changes* applied (``dataclasses.replace``)."""
+        return dataclasses.replace(self, **changes)
+
+    def with_deadline(self, seconds: float | None) -> "EngineOptions":
+        """A copy whose budget's wall-clock ceiling is at most *seconds*.
+
+        The serving layer maps per-request deadlines onto the budget
+        machinery with this: a compilation admitted under a deadline
+        must not run past it, so the budget's ``max_seconds`` is
+        tightened (never loosened) to the deadline.
+        """
+        if seconds is None:
+            return self
+        current = self.budget.max_seconds
+        ceiling = seconds if current is None else min(current, seconds)
+        if ceiling == current:
+            return self
+        return self.replace(
+            budget=dataclasses.replace(self.budget, max_seconds=ceiling)
+        )
+
+    @classmethod
+    def from_args(cls, args: "argparse.Namespace") -> "EngineOptions":
+        """Build options from the CLI's shared *engine options* group.
+
+        The single adapter between ``argparse`` and the engine: every
+        subcommand that accepts engine flags (answer, batch, trace,
+        rewrite, serve) resolves them here, so flag semantics cannot
+        drift between commands.  Absent attributes fall back to the
+        dataclass defaults, which lets callers reuse the adapter with
+        partial namespaces (e.g. ``lint``'s budget-only subset).
+        """
+        budget = RewritingBudget(
+            max_depth=getattr(args, "max_depth", None),
+            max_cqs=getattr(args, "max_cqs", 100_000),
+            max_seconds=getattr(args, "max_seconds", None),
+            strict=False,
+        )
+        return cls(
+            budget=budget,
+            filter_relevant=getattr(args, "filter_relevant", True),
+            prune_empty=getattr(args, "prune_empty", False),
+            preflight_estimate=getattr(args, "preflight_estimate", False),
+            minimize_workers=getattr(args, "minimize_workers", None),
+            minimize_mode=getattr(args, "minimize_mode", "thread"),
+            target=getattr(args, "target", "ucq"),
+        )
+
+
+def merge_legacy_options(
+    options: EngineOptions | None, legacy: dict[str, Any]
+) -> EngineOptions:
+    """Resolve the deprecated ``Session`` keyword sprawl into options.
+
+    *legacy* holds whatever engine keywords a caller still passes
+    directly (``budget=``, ``target=``, ...).  Unknown keys raise
+    ``TypeError`` exactly like a wrong keyword argument would; mixing
+    the old keywords with an explicit *options* value raises
+    ``ValueError`` (there would be no well-defined precedence).  The
+    first legacy use in a process emits one :class:`DeprecationWarning`.
+    """
+    unknown = set(legacy) - set(LEGACY_OPTION_KEYS)
+    if unknown:
+        raise TypeError(
+            "Session() got unexpected keyword argument(s): "
+            + ", ".join(sorted(unknown))
+        )
+    if not legacy:
+        return options if options is not None else EngineOptions()
+    if options is not None:
+        raise ValueError(
+            "pass engine options either as Session(options=EngineOptions(...)) "
+            "or as the deprecated keywords, not both"
+        )
+    global _legacy_warned
+    if not _legacy_warned:
+        _legacy_warned = True
+        warnings.warn(
+            "passing engine options as individual Session keywords "
+            f"({', '.join(sorted(legacy))}) is deprecated; use "
+            "Session(..., options=EngineOptions(...)) instead "
+            "(see docs/api.md for the migration table)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    # None always meant "use the default" for these keywords; dropping
+    # them lets the dataclass defaults apply.
+    cleaned = {key: value for key, value in legacy.items() if value is not None}
+    return EngineOptions(**cleaned)

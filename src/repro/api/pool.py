@@ -215,22 +215,22 @@ _WORKER_CONFIG: dict | None = None
 def _init_worker(
     rules,
     database: Database | None,
-    budget,
+    options,
     cache_dir: str | None,
     backend: str,
     require_complete: bool,
-    filter_relevant: bool,
     target: str | None = None,
 ) -> None:
+    # One picklable EngineOptions rebuilds an identical engine in every
+    # spawned worker -- no per-knob plumbing through initargs.
     global _WORKER_SESSION, _WORKER_CONFIG
     from repro.api.session import Session
 
     _WORKER_SESSION = Session(
         rules,
         database,
-        budget=budget,
         cache_dir=cache_dir,
-        filter_relevant=filter_relevant,
+        options=options,
     )
     _WORKER_CONFIG = {
         "backend": backend,
@@ -280,11 +280,10 @@ def _run_process_batch(
         initargs=(
             session.ontology,
             data,
-            session.budget,
+            session.options,
             cache_dir,
             backend,
             require_complete,
-            session._filter_relevant,
             target,
         ),
     )

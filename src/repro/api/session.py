@@ -28,15 +28,16 @@ from __future__ import annotations
 
 import threading
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 from repro import obs
 from repro.api.cache import CacheStats, EngineTier, RewritingCache
+from repro.api.options import EngineOptions, merge_legacy_options
 from repro.api.prepared import PreparedQuery
 from repro.chase.certain import certain_answers_via_chase
 from repro.core.classify import ClassificationReport, classify
+from repro.data.backend import Backend, BackendFactory, create_backend
 from repro.data.database import Database
-from repro.data.sql import SQLiteBackend
 from repro.lang.errors import ReproError
 from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
 from repro.lang.signature import Signature
@@ -45,7 +46,7 @@ from repro.lang.tgd import TGD
 from repro.obda.mappings import MappingAssertion, apply_mappings
 from repro.rewriting.budget import RewritingBudget
 from repro.rewriting.engine import FORewritingEngine
-from repro.rewriting.store import ontology_digest
+from repro.rewriting.store import budget_digest, ontology_digest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis import AnalysisReport
@@ -66,39 +67,24 @@ class Session:
         mappings: GAV assertions source -> ontology vocabulary; when
             None the source is taken to be stated directly in the
             ontology's vocabulary (identity mapping).
-        budget: rewriting budget for the engine (default:
-            :meth:`RewritingBudget.default`).
         cache_dir: directory for the persistent rewriting cache; when
             None only the in-memory cache is used.  The cache file is
             keyed by content digests, so any number of sessions (and
             processes) may share one directory -- see
             :mod:`repro.api.cache` for the invalidation rules.
-        filter_relevant: forward to the engine's backward-reachability
-            rule filtering.
-        prune_empty: drop statically-empty disjuncts from compiled
-            rewritings before evaluation.  A disjunct over a relation
-            the mappings/source data can never populate has no matches
-            in any reachable ABox, so pruning it cannot change the
-            certain answers (see :mod:`repro.checkers.pruning`).  Off
-            by default; ``repro check`` reports what it would prune
-            as ``RL106``.
-        preflight_estimate: have the engine run the static
-            rewriting-size estimator before each cold compilation and
-            emit a :class:`~repro.checkers.estimator.
-            RewritingBlowupWarning` when the bound exceeds the budget.
-        minimize_workers: opt-in parallel UCQ minimization -- worker
-            count for the final subsumption pass of each cold
-            compilation (None = sequential; 0 = one worker per CPU,
-            as in :meth:`answer_many`).  The compiled rewriting is
-            identical in every mode, so this never invalidates caches.
-        minimize_mode: ``"thread"`` (default) or ``"process"`` --
-            which pool the parallel minimization fans out over.
-        target: default rewriting target for every query this session
-            prepares -- ``"ucq"`` (classical exploded union, the
-            default), ``"datalog"`` (nonrecursive-Datalog program with
-            shared intermediate predicates, compiled to SQL ``WITH``
-            CTEs), or ``"auto"`` (per-query estimator-driven choice).
-            Overridable per query via :meth:`prepare`.
+        options: every engine-tuning knob -- budget, rewriting target,
+            pruning, pre-flight estimation, parallel minimization -- in
+            one frozen :class:`~repro.api.EngineOptions` value (default:
+            ``EngineOptions()``).
+        backend_factory: the evaluation backend provider -- a name
+            registered with :func:`repro.data.backend.register_backend`
+            (default ``"sqlite"``) or a factory callable
+            ``Signature -> Backend``.  The session programs only
+            against the :class:`~repro.data.backend.Backend` protocol.
+        **legacy: the pre-``EngineOptions`` keywords (``budget=``,
+            ``target=``, ``prune_empty=``, ...) still work but emit a
+            :class:`DeprecationWarning` once per process; see
+            ``docs/api.md`` for the migration table.
     """
 
     def __init__(
@@ -107,21 +93,16 @@ class Session:
         data: Database | None = None,
         *,
         mappings: Sequence[MappingAssertion] | None = None,
-        budget: RewritingBudget | None = None,
         cache_dir: str | Path | None = None,
-        filter_relevant: bool = True,
-        prune_empty: bool = False,
-        preflight_estimate: bool = False,
-        minimize_workers: int | None = None,
-        minimize_mode: str = "thread",
-        target: str = "ucq",
+        options: EngineOptions | None = None,
+        backend_factory: "str | BackendFactory" = "sqlite",
+        **legacy: Any,
     ):
         self._ontology = tuple(ontology)
         self._source = data
         self._mappings = tuple(mappings) if mappings is not None else None
-        self._budget = budget or RewritingBudget.default()
-        self._filter_relevant = filter_relevant
-        self._prune_empty = prune_empty
+        self._options = merge_legacy_options(options, legacy)
+        self._backend_factory = backend_factory
         self._cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._cache = (
             RewritingCache(self._cache_dir)
@@ -129,26 +110,26 @@ class Session:
             else None
         )
         tier = (
-            EngineTier(self._cache, self._ontology, self._budget)
+            EngineTier(self._cache, self._ontology, self._options.budget)
             if self._cache is not None
             else None
         )
         self._engine = FORewritingEngine(
             self._ontology,
-            budget=self._budget,
-            filter_relevant=filter_relevant,
+            budget=self._options.budget,
+            filter_relevant=self._options.filter_relevant,
             persistent=tier,
-            preflight_estimate=preflight_estimate,
-            minimize_workers=minimize_workers,
-            minimize_mode=minimize_mode,
-            target=target,
+            preflight_estimate=self._options.preflight_estimate,
+            minimize_workers=self._options.minimize_workers,
+            minimize_mode=self._options.minimize_mode,
+            target=self._options.target,
         )
         self._lock = threading.RLock()
         self._prepared: dict[str, PreparedQuery] = {}
         self._pruning: frozenset[str] | None = None
         self._pruning_ready = False
         self._abox: Database | None = None
-        self._sql_backend: SQLiteBackend | None = None
+        self._sql_backend: Backend | None = None
         self._classification: ClassificationReport | None = None
         self._analysis: "AnalysisReport | None" = None
         self._closed = False
@@ -168,9 +149,14 @@ class Session:
         return ontology_digest(self._ontology)
 
     @property
+    def options(self) -> EngineOptions:
+        """The frozen engine-options bundle this session was opened with."""
+        return self._options
+
+    @property
     def budget(self) -> RewritingBudget:
         """The rewriting budget every compilation runs under."""
-        return self._budget
+        return self._options.budget
 
     @property
     def engine(self) -> FORewritingEngine:
@@ -202,7 +188,7 @@ class Session:
     @property
     def prune_empty(self) -> bool:
         """Whether statically-empty disjuncts are pruned at evaluation."""
-        return self._prune_empty
+        return self._options.prune_empty
 
     def pruning_relations(self) -> frozenset[str] | None:
         """The relations pruning keeps (the ABox's possible vocabulary).
@@ -211,7 +197,7 @@ class Session:
         nor data (nothing is statically known about the ABox, so every
         disjunct must be kept).
         """
-        if not self._prune_empty:
+        if not self._options.prune_empty:
             return None
         with self._lock:
             if not self._pruning_ready:
@@ -244,7 +230,7 @@ class Session:
         from repro.checkers import CheckConfig, Project, check_project
 
         if config is None:
-            config = CheckConfig(budget=self._budget)
+            config = CheckConfig(budget=self._options.budget)
         if queries is None:
             workload = [p.query for p in self.prepared_queries()]
         else:
@@ -289,7 +275,7 @@ class Session:
                     self._analysis = analyze(
                         self._ontology,
                         queries=workload,
-                        budget=self._budget,
+                        budget=self._options.budget,
                     )
             return self._analysis
 
@@ -315,12 +301,15 @@ class Session:
                         span.set(facts=len(self._abox))
             return self._abox
 
-    def sql_backend(self) -> SQLiteBackend:
-        """The lazily created SQLite backend over the virtual ABox.
+    def sql_backend(self) -> Backend:
+        """The lazily created evaluation backend over the virtual ABox.
 
-        The schema covers the whole ontology signature (the rewriting
-        may mention relations with no stored facts), and the backend is
-        shared -- and safe to share -- across batch worker threads.
+        Built by the session's ``backend_factory`` (default: the
+        bundled SQLite provider); the session programs only against the
+        :class:`~repro.data.backend.Backend` protocol.  The schema
+        covers the whole ontology signature (the rewriting may mention
+        relations with no stored facts), and the backend is shared --
+        and safe to share -- across batch worker threads.
         """
         with self._lock:
             if self._sql_backend is None:
@@ -329,7 +318,7 @@ class Session:
                     signature = Signature(dict(abox.signature))
                     for rule in self._ontology:
                         signature.observe_tgd(rule)
-                    backend = SQLiteBackend(signature)
+                    backend = create_backend(self._backend_factory, signature)
                     backend.load(abox.facts())
                     init_span.set(relations=len(signature), facts=len(abox))
                 self._sql_backend = backend
@@ -532,7 +521,7 @@ class Session:
             # the session-level supported set does not apply; prune
             # against *that* database's own (non-empty) relations.
             target = database
-            if self._prune_empty:
+            if self._options.prune_empty:
                 from repro.checkers.pruning import (
                     prune_statically_empty,
                     supported_relations,
@@ -603,37 +592,99 @@ class Session:
     # Introspection / lifecycle                                           #
     # ----------------------------------------------------------------- #
 
+    def warm_up(self, *, limit: int | None = None) -> int:
+        """Re-prepare every persisted rewriting of this ontology.
+
+        Enumerates the persistent tier's stored queries for this
+        session's (ontology, budget, engine version) context -- both
+        the UCQ and Datalog tables -- and prepares each under its
+        stored target, so every compilation is a disk hit and steady
+        state is reached with zero fresh rewrites.  This is the serving
+        layer's boot path: a restarted server warms its in-memory cache
+        from what previous processes compiled.
+
+        Returns the number of entries warmed.  Entries written by
+        schema versions before 3 (no stored query text) are skipped;
+        undecodable entries are counted on ``session.warmup.errors``
+        and skipped.  No-op (0) without a persistent cache.
+        """
+        if self._cache is None:
+            return 0
+        from repro.lang.parser import parse_ucq
+        from repro.rewriting import engine as engine_module
+
+        stored = self._cache.stored_queries(
+            ontology_digest=self.ontology_digest,
+            budget_digest=budget_digest(self._options.budget),
+            engine_version=str(engine_module.ENGINE_VERSION),
+        )
+        if limit is not None:
+            stored = stored[:limit]
+        warmed = 0
+        with obs.span("session.warm_up", stored=len(stored)) as span:
+            for query_text, target in stored:
+                try:
+                    prepared = self.prepare(
+                        parse_ucq(query_text), target=target
+                    )
+                    if prepared.target_selected == "datalog":
+                        prepared.datalog  # noqa: B018 - forces compilation
+                    else:
+                        prepared.result  # noqa: B018 - forces compilation
+                    warmed += 1
+                except Exception:  # noqa: BLE001 - warm-up must not boot-loop
+                    obs.count("session.warmup.errors")
+            span.set(warmed=warmed)
+        return warmed
+
     def cache_stats(self) -> dict[str, object]:
-        """Combined statistics of the in-memory and persistent tiers."""
+        """Combined statistics of the in-memory and persistent tiers.
+
+        Both tiers report per-target entry counts (``ucq_entries`` /
+        ``datalog_entries``); ``size`` and ``entries`` remain the
+        combined totals.
+        """
         info = self._engine.cache_info()
+        sizes = self._engine.cache_sizes()
         stats: dict[str, object] = {
             "memory": {
                 "hits": info.hits,
                 "misses": info.misses,
                 "size": info.size,
+                "ucq_entries": sizes["ucq"],
+                "datalog_entries": sizes["datalog"],
             },
             "persistent": None,
         }
         if self._cache is not None:
             disk: CacheStats = self._cache.stats()
+            counts = self._cache.counts()
             stats["persistent"] = {
                 "hits": disk.hits,
                 "misses": disk.misses,
                 "writes": disk.writes,
                 "errors": disk.errors,
-                "entries": len(self._cache),
+                "entries": counts["ucq"] + counts["datalog"],
+                "ucq_entries": counts["ucq"],
+                "datalog_entries": counts["datalog"],
                 "path": str(self._cache.path),
             }
         return stats
 
     def close(self) -> None:
-        """Release the SQLite backend and cache handle (idempotent)."""
+        """Release the evaluation backend and cache handle (idempotent).
+
+        Safe against a backend something else already closed (e.g. a
+        shared backend handed to several sessions): close is only
+        forwarded while the backend reports itself open.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
             if self._sql_backend is not None:
-                self._sql_backend.close()
+                if not getattr(self._sql_backend, "closed", False):
+                    self._sql_backend.close()
                 self._sql_backend = None
             if self._cache is not None:
                 self._cache.close()

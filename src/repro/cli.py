@@ -23,7 +23,11 @@ Commands mirroring the library's workflow:
   same formats and exit-code contract as ``lint``;
 * ``trace``     -- run the rewriting (and optionally answering)
   pipeline under the observability layer and print the span tree with
-  per-stage timings and counters.
+  per-stage timings and counters;
+* ``serve``     -- HTTP/JSON query-answering server over the session
+  layer: bounded-queue admission (429 + ``Retry-After`` when full),
+  per-request deadlines, per-tenant ontology isolation and a warm
+  single-flight rewriting cache (see ``docs/serving.md``).
 
 Two global flags (before the subcommand) compose with every
 subcommand: ``--metrics PATH`` streams every instrumentation record of
@@ -225,13 +229,12 @@ def cmd_rewrite(args: argparse.Namespace) -> int:
         # cache does not store; compile directly.
         result = rewrite(query, rules, _budget(args), **_minimize_kwargs(args))
     else:
-        from repro.api import Session
+        from repro.api import EngineOptions, Session
 
         with Session(
             rules,
-            budget=_budget(args),
             cache_dir=args.cache_dir,
-            **_minimize_kwargs(args),
+            options=EngineOptions.from_args(args),
         ) as session:
             result = session.prepare(query).result
     if not result.complete:
@@ -264,14 +267,12 @@ def _rewrite_with_target(args: argparse.Namespace, rules, query) -> int:
     """
     import json as _json
 
-    from repro.api import Session
+    from repro.api import EngineOptions, Session
 
     with Session(
         rules,
-        budget=_budget(args),
         cache_dir=args.cache_dir,
-        target=args.target,
-        **_minimize_kwargs(args),
+        options=EngineOptions.from_args(args),
     ) as session:
         prepared = session.prepare(query)
         if not prepared.complete:
@@ -292,7 +293,7 @@ def _rewrite_with_target(args: argparse.Namespace, rules, query) -> int:
 
 
 def cmd_answer(args: argparse.Namespace) -> int:
-    from repro.api import Session
+    from repro.api import EngineOptions, Session
 
     rules = parse_program(_read(args.program))
     query = parse_query(args.query)
@@ -303,10 +304,8 @@ def cmd_answer(args: argparse.Namespace) -> int:
         with Session(
             rules,
             database,
-            budget=_budget(args),
             cache_dir=args.cache_dir,
-            target=getattr(args, "target", "ucq"),
-            **_minimize_kwargs(args),
+            options=EngineOptions.from_args(args),
         ) as session:
             prepared = session.prepare(query)
             if not prepared.complete:
@@ -329,7 +328,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
     import json as _json
     import time as _time
 
-    from repro.api import Session, resolve_workers
+    from repro.api import EngineOptions, Session, resolve_workers
 
     rules = parse_program(_read(args.program))
     if _preflight(rules, path=args.program):
@@ -353,10 +352,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
     with Session(
         rules,
         database,
-        budget=_budget(args),
         cache_dir=args.cache_dir,
-        target=getattr(args, "target", "ucq"),
-        **_minimize_kwargs(args),
+        options=EngineOptions.from_args(args),
     ) as session:
         stream = session.answer_many(
             queries,
@@ -460,7 +457,7 @@ def _default_query(rules):
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    from repro.api import Session
+    from repro.api import EngineOptions, Session
     from repro.obs import TreeSink
 
     tree = TreeSink()
@@ -486,10 +483,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
             with Session(
                 rules,
                 database,
-                budget=_budget(args),
                 cache_dir=args.cache_dir,
-                target=getattr(args, "target", "ucq"),
-                **_minimize_kwargs(args),
+                options=EngineOptions.from_args(args),
             ) as session:
                 prepared = session.prepare(query)
                 selected = prepared.target_selected
@@ -556,6 +551,64 @@ def cmd_trace(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 3
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.api import EngineOptions
+    from repro.serve import ReproServer, ServeConfig, TenantRegistry
+
+    rules = parse_program(_read(args.program))
+    if _preflight(rules, path=args.program):
+        return 2
+    database = (
+        Database(parse_database(_read(args.data))) if args.data else None
+    )
+    mappings = None
+    if args.mappings:
+        from repro.obda.mappings import parse_mappings
+
+        mappings = parse_mappings(_read(args.mappings))
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        deadline_seconds=args.deadline,
+        max_tenants=args.max_tenants,
+        options=EngineOptions.from_args(args),
+    )
+    registry = TenantRegistry(
+        cache_dir=args.cache_dir,
+        options=config.effective_options(),
+        max_live=config.max_tenants,
+    )
+    registry.register(args.tenant, rules, database, mappings)
+    warmed = registry.warm_all()
+    server = ReproServer(registry, config)
+
+    async def main() -> None:
+        await server.start()
+        # The announce line prints the *actual* port (--port 0 binds an
+        # ephemeral one); harnesses parse it to find the server.
+        print(
+            f"repro serve listening on http://{config.host}:{server.port} "
+            f"(tenant {args.tenant!r}, {warmed} rewriting(s) warmed)",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -732,6 +785,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_options(p_trace, target=True)
     p_trace.set_defaults(func=cmd_trace)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="HTTP/JSON query-answering server with admission control "
+        "and a warm single-flight rewriting cache",
+    )
+    p_serve.add_argument("program", help="TGD file ('-' for stdin)")
+    p_serve.add_argument(
+        "data",
+        nargs="?",
+        help="fact file for the initial tenant (omit for compile/SQL "
+        "serving without evaluation data)",
+    )
+    p_serve.add_argument(
+        "--mappings", help="GAV mapping file for the initial tenant"
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="bind port; 0 picks an ephemeral one, printed on the "
+        "announce line (default: 8080)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="query executor threads (default: 4)",
+    )
+    p_serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="requests allowed to wait beyond the workers; anything "
+        "past workers+queue-depth is shed with 429 (default: 16)",
+    )
+    p_serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request deadline; also tightens the rewriting "
+        "budget's wall-clock ceiling (default: none)",
+    )
+    p_serve.add_argument(
+        "--max-tenants",
+        type=int,
+        default=8,
+        help="live tenant sessions kept open, LRU (default: 8)",
+    )
+    p_serve.add_argument(
+        "--tenant",
+        default="default",
+        help="name of the initial tenant (default: 'default')",
+    )
+    _add_engine_options(p_serve, target=True)
+    p_serve.set_defaults(func=cmd_serve)
 
     p_lint = sub.add_parser(
         "lint", help="static analysis: diagnostics with source spans"

@@ -1,0 +1,125 @@
+"""The data-plane seam: what a session needs from an evaluation backend.
+
+The paper's pitch is that FO-rewritable query answering pushes all data
+work down to a stock DBMS -- *which* DBMS should therefore be a detail.
+:class:`Backend` is the protocol :class:`~repro.api.Session` and
+:class:`~repro.api.PreparedQuery` program against; the bundled SQLite
+implementation (:class:`repro.data.sql.SQLiteBackend`) is one
+registered provider, and server-grade backends (PostgreSQL, DuckDB)
+plug in behind the same six methods without touching the session layer.
+
+Thread-safety contract
+----------------------
+
+A backend is shared across the worker threads of
+``Session.answer_many`` and across the serving layer's executor, so
+every method must be safe to call concurrently: either internally
+locked (as SQLite's single connection is) or backed by a connection
+pool.  ``close`` must be idempotent, and using a closed backend must
+raise :class:`~repro.lang.errors.ReproError` rather than corrupt state.
+
+Providers register under a name::
+
+    from repro.data.backend import register_backend, create_backend
+
+    register_backend("duckdb", lambda signature: DuckDBBackend(signature))
+    backend = create_backend("duckdb", signature)
+
+``Session(backend_factory=...)`` accepts either a registered name or a
+factory callable directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Protocol, runtime_checkable
+
+from repro.lang.atoms import Atom
+from repro.lang.errors import ReproError
+from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.lang.signature import Signature
+from repro.lang.terms import Term
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Evaluation backend for compiled rewritings (UCQ or SQL text).
+
+    All methods must be thread-safe (see the module docstring); the
+    session layer calls them concurrently from batch pools and the
+    async serving executor without external locking.
+    """
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has released the connection(s)."""
+        ...
+
+    def load(self, facts: Iterable[Atom]) -> int:
+        """Bulk-insert ground facts; returns the number of rows stored."""
+        ...
+
+    def ensure_atoms(self, atoms: Iterable[Atom]) -> None:
+        """Create (empty) relations for *atoms* the store lacks, so
+        compiled SQL never references a missing table."""
+        ...
+
+    def ensure_ucq(
+        self, query: UnionOfConjunctiveQueries | ConjunctiveQuery
+    ) -> None:
+        """:meth:`ensure_atoms` over every body atom of a (U)CQ."""
+        ...
+
+    def execute_sql(self, sql: str) -> frozenset[tuple[Term, ...]]:
+        """Run compiled SQL text, decoding rows back into terms."""
+        ...
+
+    def execute_ucq(
+        self, query: UnionOfConjunctiveQueries | ConjunctiveQuery
+    ) -> frozenset[tuple[Term, ...]]:
+        """Compile and run a UCQ; boolean queries return ``{()}`` or ``{}``."""
+        ...
+
+    def close(self) -> None:
+        """Release the underlying connection(s); must be idempotent."""
+        ...
+
+
+BackendFactory = Callable[[Signature], Backend]
+"""A provider: builds an empty backend over *signature* (facts are
+loaded separately with :meth:`Backend.load`)."""
+
+
+def _sqlite_factory(signature: Signature) -> Backend:
+    # Imported lazily so the protocol module stays import-light and the
+    # session layer never names the concrete class.
+    from repro.data.sql import SQLiteBackend
+
+    return SQLiteBackend(signature)
+
+
+_FACTORIES: dict[str, BackendFactory] = {"sqlite": _sqlite_factory}
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Register (or replace) a named backend provider."""
+    _FACTORIES[name] = factory
+
+
+def backend_names() -> tuple[str, ...]:
+    """The registered provider names, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def create_backend(
+    factory: str | BackendFactory, signature: Signature
+) -> Backend:
+    """Instantiate a backend from a registered name or a factory."""
+    if callable(factory):
+        return factory(signature)
+    provider = _FACTORIES.get(factory)
+    if provider is None:
+        raise ReproError(
+            f"unknown backend factory {factory!r}; "
+            f"registered: {', '.join(backend_names())}"
+        )
+    return provider(signature)

@@ -66,10 +66,16 @@ class OBDASystem:
         )
         # Imported lazily: repro.api.session itself imports the obda
         # mapping layer, so a module-level import here would be a cycle.
+        from repro.api.options import EngineOptions
         from repro.api.session import Session
 
+        options = (
+            EngineOptions(budget=budget)
+            if budget is not None
+            else EngineOptions()
+        )
         self._session = Session(
-            ontology, source, mappings=mappings, budget=budget
+            ontology, source, mappings=mappings, options=options
         )
 
     # ----------------------------------------------------------------- #

@@ -201,6 +201,14 @@ class FORewritingEngine:
                 len(self._cache) + len(self._datalog_cache),
             )
 
+    def cache_sizes(self) -> dict[str, int]:
+        """Per-target in-memory cache entry counts."""
+        with self._lock:
+            return {
+                "ucq": len(self._cache),
+                "datalog": len(self._datalog_cache),
+            }
+
     def resolve_target(
         self,
         query: ConjunctiveQuery | UnionOfConjunctiveQueries,

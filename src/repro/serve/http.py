@@ -1,0 +1,141 @@
+"""A minimal HTTP/1.1 codec over asyncio streams.
+
+The serving layer deliberately depends on nothing outside the standard
+library, so this module hand-rolls the small slice of HTTP the API
+needs: request-line + header parsing, ``Content-Length`` bodies, JSON
+responses and keep-alive.  It is not a general-purpose HTTP server --
+no chunked encoding, no multipart, no TLS -- which is exactly the
+point: the surface is small enough to audit and to test directly.
+
+Limits (header block and body size) are enforced while reading, so a
+misbehaving client cannot balloon server memory; violations raise
+:class:`HttpError`, which the server maps to a 4xx response.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A protocol-level problem with a definite status code."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request (headers lower-cased)."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        # HTTP/1.1 default is persistent; only an explicit close opts out.
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> Any:
+        """The body decoded as JSON (400 on syntax errors)."""
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise HttpError(400, f"invalid JSON body: {error}") from error
+
+
+async def read_request(reader) -> Request | None:
+    """Read one request from *reader*; None on a clean EOF.
+
+    Raises :class:`HttpError` on malformed input or exceeded limits and
+    ``asyncio.IncompleteReadError`` when the peer dies mid-request.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except Exception as error:  # noqa: BLE001 - stream errors map below
+        # asyncio raises LimitOverrunError for oversized header blocks
+        # and IncompleteReadError at EOF; an empty partial read is a
+        # clean close between requests.
+        partial = getattr(error, "partial", b"")
+        if not partial:
+            return None
+        if len(partial) >= MAX_HEADER_BYTES:
+            raise HttpError(413, "header block too large") from error
+        raise HttpError(400, "truncated request") from error
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "header block too large")
+    lines = head.decode("latin-1").split("\r\n")
+    request_line = lines[0].split(" ")
+    if len(request_line) != 3 or not request_line[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, path, _version = request_line
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as error:
+            raise HttpError(400, "invalid Content-Length") from error
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise HttpError(413, "body too large")
+        if length:
+            body = await reader.readexactly(length)
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+    return Request(method=method.upper(), path=path, headers=headers, body=body)
+
+
+def encode_response(
+    status: int,
+    payload: Any = None,
+    *,
+    headers: Mapping[str, str] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialise a JSON response (or a bare status) to wire bytes."""
+    body = b""
+    content_type = ""
+    if payload is not None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        content_type = "application/json"
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    if content_type:
+        lines.append(f"Content-Type: {content_type}")
+    lines.append(f"Content-Length: {len(body)}")
+    lines.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body

@@ -70,9 +70,15 @@ class TestInvalidation:
             assert len(dict(cache.ontologies())) == 2
 
     def test_budget_change_forces_recompile(self, rules, tmp_path):
+        from repro.api import EngineOptions
+
         _compile(rules, tmp_path)
         _, trace = _compile(
-            rules, tmp_path, budget=RewritingBudget(max_depth=7, strict=False)
+            rules,
+            tmp_path,
+            options=EngineOptions(
+                budget=RewritingBudget(max_depth=7, strict=False)
+            ),
         )
         assert trace.counter("engine.disk_hits") == 0
         assert trace.counter("rewrite.cqs_generated") > 0

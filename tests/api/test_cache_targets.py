@@ -15,7 +15,7 @@ from pathlib import Path
 import pytest
 
 from repro import obs
-from repro.api import CacheKey, RewritingCache, Session
+from repro.api import CacheKey, EngineOptions, RewritingCache, Session
 from repro.lang.parser import parse_program, parse_query
 from repro.rewriting.budget import RewritingBudget
 from repro.rewriting.datalog_target import rewrite_datalog
@@ -107,9 +107,17 @@ class TestWarmPath:
                 Atom("a2", (Constant("v"),)),
             ]
         )
-        with Session(rules, cache_dir=tmp_path, target="datalog") as session:
+        with Session(
+            rules,
+            cache_dir=tmp_path,
+            options=EngineOptions(target="datalog"),
+        ) as session:
             cold = session.answer(QUERY, database)
-        with Session(rules, cache_dir=tmp_path, target="datalog") as session:
+        with Session(
+            rules,
+            cache_dir=tmp_path,
+            options=EngineOptions(target="datalog"),
+        ) as session:
             warm = session.answer(QUERY, database)
         assert warm == cold == frozenset({(Constant("u"),)})
 

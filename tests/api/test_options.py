@@ -1,0 +1,162 @@
+"""EngineOptions: validation, CLI adapter, deprecation-exactly-once."""
+
+import argparse
+import pickle
+import warnings
+
+import pytest
+
+import repro.api.options as options_module
+from repro.api import EngineOptions, Session
+from repro.lang.parser import parse_program
+from repro.rewriting.budget import RewritingBudget
+
+PROGRAM = "R1: professor(X) -> teaches(X, Y)."
+
+
+@pytest.fixture
+def rules():
+    return parse_program(PROGRAM)
+
+
+@pytest.fixture
+def reset_legacy_warning():
+    """Each test sees a fresh once-per-process deprecation latch."""
+    previous = options_module._legacy_warned
+    options_module._legacy_warned = False
+    yield
+    options_module._legacy_warned = previous
+
+
+def _deprecations(action):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        action()
+    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+class TestValidation:
+    def test_defaults(self):
+        options = EngineOptions()
+        assert options.target == "ucq"
+        assert options.minimize_mode == "thread"
+        assert options.budget == RewritingBudget.default()
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError, match="unknown rewriting target"):
+            EngineOptions(target="prolog")
+
+    def test_unknown_minimize_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown minimize mode"):
+            EngineOptions(minimize_mode="fiber")
+
+    def test_non_budget_rejected(self):
+        with pytest.raises(TypeError, match="RewritingBudget"):
+            EngineOptions(budget=42)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            EngineOptions().target = "datalog"
+
+    def test_replace(self):
+        options = EngineOptions().replace(target="datalog")
+        assert options.target == "datalog"
+        assert EngineOptions().target == "ucq"
+
+    def test_picklable_for_process_pools(self):
+        options = EngineOptions(target="auto", minimize_workers=2)
+        assert pickle.loads(pickle.dumps(options)) == options
+
+
+class TestWithDeadline:
+    def test_none_is_identity(self):
+        options = EngineOptions()
+        assert options.with_deadline(None) is options
+
+    def test_tightens_unlimited_budget(self):
+        options = EngineOptions().with_deadline(2.5)
+        assert options.budget.max_seconds == 2.5
+
+    def test_never_loosens(self):
+        tight = EngineOptions(
+            budget=RewritingBudget(max_seconds=0.5, strict=False)
+        )
+        assert tight.with_deadline(10.0) is tight
+
+
+class TestFromArgs:
+    def test_maps_the_cli_engine_group(self):
+        args = argparse.Namespace(
+            max_depth=7,
+            max_cqs=500,
+            max_seconds=1.5,
+            minimize_workers=2,
+            minimize_mode="process",
+            target="datalog",
+        )
+        options = EngineOptions.from_args(args)
+        assert options.budget == RewritingBudget(
+            max_depth=7, max_cqs=500, max_seconds=1.5, strict=False
+        )
+        assert options.minimize_workers == 2
+        assert options.minimize_mode == "process"
+        assert options.target == "datalog"
+
+    def test_partial_namespace_falls_back_to_defaults(self):
+        options = EngineOptions.from_args(argparse.Namespace(max_depth=3))
+        assert options.budget.max_depth == 3
+        assert options.target == "ucq"
+        assert options.minimize_workers is None
+
+    def test_matches_the_real_parser(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["answer", "p.dlp", "q(X) :- r(X)", "d.dlp", "--target", "auto"]
+        )
+        assert EngineOptions.from_args(args).target == "auto"
+
+
+class TestLegacyKeywords:
+    def test_legacy_keyword_still_works(self, rules, reset_legacy_warning):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with Session(rules, target="datalog") as session:
+                assert session.options.target == "datalog"
+
+    def test_legacy_warns_exactly_once_per_process(
+        self, rules, reset_legacy_warning
+    ):
+        def open_twice():
+            Session(rules, target="datalog").close()
+            Session(rules, prune_empty=True).close()
+
+        caught = _deprecations(open_twice)
+        assert len(caught) == 1
+        message = str(caught[0].message)
+        assert "options=EngineOptions" in message
+        assert "docs/api.md" in message
+
+    def test_options_path_never_warns(self, rules):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            Session(rules, options=EngineOptions(target="datalog")).close()
+
+    def test_mixing_options_and_legacy_rejected(
+        self, rules, reset_legacy_warning
+    ):
+        with pytest.raises(ValueError, match="not both"):
+            Session(rules, options=EngineOptions(), target="datalog")
+
+    def test_unknown_keyword_is_a_type_error(self, rules):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            Session(rules, tarrget="datalog")
+
+    def test_none_legacy_values_mean_default(
+        self, rules, reset_legacy_warning
+    ):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with Session(rules, budget=None, minimize_workers=2) as session:
+                assert session.options.budget == RewritingBudget.default()
+                assert session.options.minimize_workers == 2

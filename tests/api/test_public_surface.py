@@ -23,6 +23,7 @@ API_SURFACE = [
     "CACHE_SCHEMA_VERSION",
     "CacheKey",
     "CacheStats",
+    "EngineOptions",
     "PreparedQuery",
     "RewritingCache",
     "Session",

@@ -8,7 +8,7 @@ one, while evaluating strictly fewer disjuncts.
 import pytest
 
 from repro import obs
-from repro.api import Session
+from repro.api import EngineOptions, Session
 from repro.checkers import prune_statically_empty, supported_relations
 from repro.data.database import Database
 from repro.lang.parser import (
@@ -97,7 +97,10 @@ class TestDifferentialSoundness:
     @pytest.fixture
     def sessions(self):
         with Session(ONTOLOGY, DATA, mappings=MAPPINGS) as plain, Session(
-            ONTOLOGY, DATA, mappings=MAPPINGS, prune_empty=True
+            ONTOLOGY,
+            DATA,
+            mappings=MAPPINGS,
+            options=EngineOptions(prune_empty=True),
         ) as pruning:
             yield plain, pruning
 
@@ -145,7 +148,7 @@ class TestDifferentialSoundness:
         assert expected
 
     def test_pruning_disabled_without_static_knowledge(self):
-        with Session(ONTOLOGY, prune_empty=True) as session:
+        with Session(ONTOLOGY, options=EngineOptions(prune_empty=True)) as session:
             assert session.pruning_relations() is None
             assert session.prepare(QUERY).pruned is None
 

@@ -5,7 +5,7 @@ import warnings
 import pytest
 
 from repro import obs
-from repro.api import Session
+from repro.api import EngineOptions, Session
 from repro.checkers import CheckConfig, RewritingBlowupWarning, render_check
 from repro.data.database import Database
 from repro.lang.parser import parse_database, parse_program, parse_query
@@ -59,7 +59,7 @@ class TestSessionCheck:
 
     def test_session_budget_is_the_default_estimate_budget(self):
         budget = RewritingBudget(max_depth=50, max_cqs=5, strict=False)
-        with Session(FANOUT, budget=budget) as session:
+        with Session(FANOUT, options=EngineOptions(budget=budget)) as session:
             report = session.check(queries=["q(X) :- p(X)"])
         assert any(d.code == "RL105" for d in report.diagnostics)
 
@@ -114,7 +114,10 @@ class TestPreflightEstimate:
 
     def test_session_flag_reaches_engine(self):
         budget = RewritingBudget(max_depth=3, max_cqs=5, strict=False)
-        with Session(FANOUT, budget=budget, preflight_estimate=True) as session:
+        with Session(
+            FANOUT,
+            options=EngineOptions(budget=budget, preflight_estimate=True),
+        ) as session:
             with pytest.warns(RewritingBlowupWarning):
                 session.prepare("q(X) :- p(X)").result
 

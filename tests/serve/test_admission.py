@@ -1,0 +1,93 @@
+"""Admission control: capacity accounting, shedding, counters."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.serve.admission import AdmissionController
+
+
+class TestCapacity:
+    def test_admits_up_to_workers_plus_queue(self):
+        controller = AdmissionController(workers=2, queue_depth=3)
+        tickets = [controller.try_admit() for _ in range(5)]
+        assert all(tickets)
+        assert controller.try_admit() is None
+        tickets[0].release()
+        assert controller.try_admit() is not None
+
+    def test_release_is_idempotent(self):
+        controller = AdmissionController(workers=1, queue_depth=0)
+        ticket = controller.try_admit()
+        ticket.release()
+        ticket.release()
+        assert controller.inflight == 0
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(workers=0, queue_depth=1)
+        with pytest.raises(ValueError):
+            AdmissionController(workers=1, queue_depth=-1)
+
+
+class TestCounters:
+    def test_admitted_shed_completed_errors(self):
+        with obs.capture() as trace:
+            controller = AdmissionController(workers=1, queue_depth=1)
+            first = controller.try_admit()
+            second = controller.try_admit()
+            assert controller.try_admit() is None
+            first.release()
+            second.release(error=True)
+        assert trace.counter("serve.admitted") == 2
+        assert trace.counter("serve.shed") == 1
+        assert trace.counter("serve.completed") == 1
+        assert trace.counter("serve.errors") == 1
+
+    def test_deadline_counter(self):
+        with obs.capture() as trace:
+            controller = AdmissionController(workers=1, queue_depth=0)
+            controller.record_deadline_exceeded()
+        assert trace.counter("serve.deadline_exceeded") == 1
+        assert controller.stats()["deadline_exceeded"] == 1
+
+    def test_stats_snapshot(self):
+        controller = AdmissionController(workers=2, queue_depth=1)
+        ticket = controller.try_admit()
+        stats = controller.stats()
+        assert stats["capacity"] == 3
+        assert stats["inflight"] == 1
+        assert stats["admitted"] == 1
+        ticket.release()
+        assert controller.stats()["inflight"] == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_admission_never_exceeds_capacity(self):
+        controller = AdmissionController(workers=4, queue_depth=4)
+        barrier = threading.Barrier(16)
+        admitted = []
+        lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            ticket = controller.try_admit()
+            if ticket is not None:
+                with lock:
+                    admitted.append(ticket)
+
+        threads = [threading.Thread(target=worker) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(admitted) == 8
+        assert controller.inflight == 8
+        for ticket in admitted:
+            ticket.release()
+        assert controller.inflight == 0
+
+    def test_retry_after_is_at_least_one_second(self):
+        controller = AdmissionController(workers=1, queue_depth=0)
+        assert controller.retry_after_seconds() >= 1

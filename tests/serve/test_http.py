@@ -1,0 +1,93 @@
+"""The hand-rolled HTTP/1.1 codec, exercised without sockets."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    HttpError,
+    Request,
+    encode_response,
+    read_request,
+)
+
+
+def _read(raw: bytes):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_get_round_trip(self):
+        request = _read(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/healthz"
+        assert request.headers["host"] == "x"
+        assert request.body == b""
+
+    def test_post_with_body(self):
+        body = json.dumps({"query": "q(X) :- r(X)"}).encode()
+        raw = (
+            b"POST /v1/query HTTP/1.1\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n" + body
+        )
+        request = _read(raw)
+        assert request.method == "POST"
+        assert request.json() == {"query": "q(X) :- r(X)"}
+
+    def test_clean_eof_returns_none(self):
+        assert _read(b"") is None
+
+    def test_malformed_request_line_raises_400(self):
+        with pytest.raises(HttpError) as info:
+            _read(b"NONSENSE\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_negative_content_length_raises_413(self):
+        with pytest.raises(HttpError) as info:
+            _read(b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n")
+        assert info.value.status == 413
+
+    def test_chunked_encoding_rejected(self):
+        with pytest.raises(HttpError) as info:
+            _read(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_invalid_json_body_raises_400(self):
+        request = Request("POST", "/", body=b"{nope")
+        with pytest.raises(HttpError) as info:
+            request.json()
+        assert info.value.status == 400
+
+
+class TestKeepAlive:
+    def test_default_is_keep_alive(self):
+        assert Request("GET", "/").keep_alive
+
+    def test_connection_close_opts_out(self):
+        request = Request("GET", "/", headers={"connection": "Close"})
+        assert not request.keep_alive
+
+
+class TestEncodeResponse:
+    def test_json_payload(self):
+        wire = encode_response(200, {"ok": True})
+        head, _, body = wire.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK")
+        assert b"Content-Type: application/json" in head
+        assert json.loads(body) == {"ok": True}
+        assert f"Content-Length: {len(body)}".encode() in head
+
+    def test_extra_headers_and_close(self):
+        wire = encode_response(
+            429, None, headers={"Retry-After": "2"}, keep_alive=False
+        )
+        assert b"429 Too Many Requests" in wire
+        assert b"Retry-After: 2" in wire
+        assert b"Connection: close" in wire
