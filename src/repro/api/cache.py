@@ -51,12 +51,13 @@ import sqlite3
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator
+from typing import Any, Iterator, Sequence
 
 from repro import obs
 from repro.lang.parser import parse_program, parse_ucq
 from repro.lang.printer import format_program, format_ucq
 from repro.lang.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.lang.tgd import TGD
 from repro.rewriting.budget import RewritingBudget
 from repro.rewriting.datalog_target import DatalogRewriting
 from repro.rewriting.rewriter import RewritingResult
@@ -103,7 +104,7 @@ class CacheKey:
     @classmethod
     def of(
         cls,
-        rules,
+        rules: Sequence[TGD],
         query: ConjunctiveQuery | UnionOfConjunctiveQueries,
         budget: RewritingBudget,
         target: str = "ucq",
@@ -152,7 +153,9 @@ class RewritingCache:
     module docstring.
     """
 
-    def __init__(self, directory: str | Path, filename: str = DEFAULT_CACHE_FILENAME):
+    def __init__(
+        self, directory: str | Path, filename: str = DEFAULT_CACHE_FILENAME
+    ) -> None:
         self._directory = Path(directory)
         self._path = self._directory / filename
         self._lock = threading.RLock()
@@ -180,6 +183,7 @@ class RewritingCache:
     def _open(self) -> None:
         try:
             self._directory.mkdir(parents=True, exist_ok=True)
+            # audit: ok[RL302] runs from __init__ before the object is shared
             self._connection = self._connect()
         except (sqlite3.Error, OSError):
             self._quarantine()
@@ -250,22 +254,30 @@ class RewritingCache:
         return connection
 
     def _quarantine(self) -> None:
-        """Move a broken cache file aside and start a fresh one."""
+        """Move a broken cache file aside and start a fresh one.
+
+        Every caller already holds ``self._lock`` (or runs from
+        ``__init__`` before the object is shared), so the connection
+        swaps below cannot race.
+        """
         self._record_error("open")
         if self._connection is not None:
             try:
                 self._connection.close()
             except sqlite3.Error:
                 pass
+            # audit: ok[RL302] callers hold self._lock (see docstring)
             self._connection = None
         try:
             if self._path.exists():
                 self._path.replace(self._path.with_suffix(".corrupt"))
+            # audit: ok[RL302] callers hold self._lock (see docstring)
             self._connection = self._connect()
             obs.event("api.cache.reset", path=str(self._path))
         except (sqlite3.Error, OSError):
             # Even the fresh file failed (unwritable directory, ...):
             # stay disabled; every lookup is a miss, every put a no-op.
+            # audit: ok[RL302] callers hold self._lock (see docstring)
             self._connection = None
 
     def close(self) -> None:
@@ -585,7 +597,12 @@ class EngineTier:
     the engine version is read at call time.
     """
 
-    def __init__(self, cache: RewritingCache, rules, budget: RewritingBudget):
+    def __init__(
+        self,
+        cache: RewritingCache,
+        rules: Sequence[TGD],
+        budget: RewritingBudget,
+    ) -> None:
         self._cache = cache
         self._ontology_digest = ontology_digest(rules)
         self._budget_digest = budget_digest(budget)
@@ -620,7 +637,7 @@ class EngineTier:
         )
 
 
-def _decode_result(row) -> RewritingResult:
+def _decode_result(row: Any) -> RewritingResult:
     complete, depth_reached, generated, explored, per_depth, ucq_text = row
     return RewritingResult(
         ucq=parse_ucq(ucq_text),
@@ -657,7 +674,7 @@ def _encode_datalog(result: DatalogRewriting) -> str:
     )
 
 
-def _parse_rules(text: str):
+def _parse_rules(text: str) -> tuple[TGD, ...]:
     # parse_program labels unlabelled rules R1, R2, ...; the emitter
     # leaves rules unlabelled, so strip the synthetic labels to make
     # disk-served programs print byte-identically to fresh ones.

@@ -31,7 +31,7 @@ from concurrent.futures import (
 )
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from repro import obs
 from repro.data.database import Database
@@ -140,7 +140,7 @@ def run_batch(
 def _thread_task(
     session: "Session",
     index: int,
-    query,
+    query: Any,
     database: Database | None,
     backend: str,
     require_complete: bool,
@@ -187,11 +187,13 @@ def _thread_task(
 def _stream(futures: dict, ordered: bool) -> Iterator[BatchResult]:
     if not ordered:
         for future in as_completed(futures):
+            # audit: ok[RL312] as_completed only yields finished futures
             yield future.result()
         return
     pending: dict[int, BatchResult] = {}
     next_index = 0
     for future in as_completed(futures):
+        # audit: ok[RL312] as_completed only yields finished futures
         result = future.result()
         pending[result.index] = result
         while next_index in pending:
@@ -213,9 +215,9 @@ _WORKER_CONFIG: dict | None = None
 
 
 def _init_worker(
-    rules,
+    rules: Any,
     database: Database | None,
-    options,
+    options: Any,
     cache_dir: str | None,
     backend: str,
     require_complete: bool,

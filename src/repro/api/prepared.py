@@ -55,7 +55,7 @@ class PreparedQuery:
         session: "Session",
         query: ConjunctiveQuery | UnionOfConjunctiveQueries,
         target: str | None = None,
-    ):
+    ) -> None:
         from repro.rewriting.engine import TARGETS
 
         self._session = session

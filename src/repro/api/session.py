@@ -97,7 +97,7 @@ class Session:
         options: EngineOptions | None = None,
         backend_factory: "str | BackendFactory" = "sqlite",
         **legacy: Any,
-    ):
+    ) -> None:
         self._ontology = tuple(ontology)
         self._source = data
         self._mappings = tuple(mappings) if mappings is not None else None
@@ -453,7 +453,7 @@ class Session:
         self,
         queries: Iterable[ConjunctiveQuery | UnionOfConjunctiveQueries | str],
         database: Database | None = None,
-        **kwargs,
+        **kwargs: Any,
     ) -> list:
         """:meth:`answer_many`, collected into an input-ordered list."""
         kwargs["ordered"] = True

@@ -1,0 +1,218 @@
+"""Blocking-call-in-async passes (RL303--RL306).
+
+An ``async def`` body runs on the event loop; any call that blocks the
+calling thread stalls *every* connection the loop is serving.  The
+serving layer's contract is that blocking work (rewriting compilation,
+SQLite evaluation, file I/O) happens on executor threads --
+``run_in_executor`` / ``asyncio.wait_for`` -- never inline in a
+coroutine.  These passes enforce that contract syntactically:
+
+* **RL303** -- ``time.sleep`` in a coroutine (use ``asyncio.sleep``);
+* **RL304** -- database/compilation work in a coroutine:
+  ``sqlite3.connect``, cursor ``execute``/``executemany``/``commit``,
+  or the session layer's compile entry points
+  (``.prepare(...)``/``.answer(...)``/``.warm_up(...)``) -- exactly
+  the calls ``repro serve`` must route through its executor;
+* **RL305** -- blocking file I/O in a coroutine: ``open``,
+  ``Path.read_text``/``write_text``/``read_bytes``/``write_bytes``,
+  ``subprocess.run``/``check_*``, ``os.system``;
+* **RL306** -- synchronous ``threading`` lock use in a coroutine
+  (``with self._lock:`` or ``lock.acquire()``): the loop thread can
+  park on it indefinitely while holding every other connection
+  hostage (use ``asyncio.Lock``, or move the critical section onto an
+  executor thread).
+
+The receiver-name heuristics are deliberately shallow (no type
+inference); each diagnostic names the call it matched so a false
+positive is a one-line justified suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.audit.locks import resolve_lock
+from repro.audit.model import AuditFile, ClassModel, dotted_name
+from repro.lint.diagnostics import Diagnostic, Severity
+
+#: RL304: dotted callee names (resolved through imports) that hit the
+#: database or compile a rewriting.
+_DB_CALLS = frozenset({"sqlite3.connect"})
+_DB_METHODS = frozenset({"execute", "executemany", "executescript", "commit"})
+_COMPILE_METHODS = frozenset({"prepare", "answer", "answer_many", "warm_up"})
+
+#: RL305: blocking file/process I/O.
+_IO_CALLS = frozenset(
+    {
+        "open",
+        "os.system",
+        "subprocess.run",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+    }
+)
+_IO_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+
+def _async_functions(
+    file: AuditFile,
+) -> Iterator[tuple[ClassModel | None, ast.AsyncFunctionDef]]:
+    if file.tree is None:
+        return
+    method_ids = {
+        id(method): cls
+        for cls in file.classes
+        for method in cls.methods.values()
+    }
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            yield method_ids.get(id(node)), node
+
+
+def _calls_in(fn: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+    """Calls lexically inside *fn*, skipping nested (sync) functions.
+
+    A ``def`` nested in a coroutine typically *is* the blocking work
+    being shipped to an executor; its body does not run on the loop.
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def pass_sleep_in_async(files: Sequence[AuditFile]) -> Iterator[Diagnostic]:
+    """RL303: ``time.sleep`` on the event loop."""
+    for file in files:
+        for _cls, fn in _async_functions(file):
+            for call in _calls_in(fn):
+                name = file.resolved_call(dotted_name(call.func))
+                if name == "time.sleep":
+                    yield Diagnostic(
+                        code="RL303",
+                        severity=Severity.WARNING,
+                        message=(
+                            f"time.sleep() inside async def {fn.name}: "
+                            "blocks the event loop"
+                        ),
+                        span=file.span(call),
+                        file=file.path,
+                        hint="await asyncio.sleep(...) instead",
+                    )
+
+
+def pass_blocking_db_in_async(
+    files: Sequence[AuditFile],
+) -> Iterator[Diagnostic]:
+    """RL304: database access / rewriting compilation on the loop."""
+    for file in files:
+        for _cls, fn in _async_functions(file):
+            for call in _calls_in(fn):
+                name = file.resolved_call(dotted_name(call.func))
+                if name is None:
+                    continue
+                tail = name.rsplit(".", 1)[-1]
+                blocking = name in _DB_CALLS or (
+                    "." in name
+                    and (tail in _DB_METHODS or tail in _COMPILE_METHODS)
+                )
+                if not blocking:
+                    continue
+                yield Diagnostic(
+                    code="RL304",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"blocking call {name}(...) inside async def "
+                        f"{fn.name}: SQLite and rewriting compilation "
+                        "must not run on the event loop"
+                    ),
+                    span=file.span(call),
+                    file=file.path,
+                    hint="run it on the executor: await "
+                    "loop.run_in_executor(None, ...) (or asyncio.wait_for)",
+                )
+
+
+def pass_blocking_io_in_async(
+    files: Sequence[AuditFile],
+) -> Iterator[Diagnostic]:
+    """RL305: file/process I/O on the loop."""
+    for file in files:
+        for _cls, fn in _async_functions(file):
+            for call in _calls_in(fn):
+                name = file.resolved_call(dotted_name(call.func))
+                if name is None:
+                    continue
+                tail = name.rsplit(".", 1)[-1]
+                if name in _IO_CALLS or ("." in name and tail in _IO_METHODS):
+                    yield Diagnostic(
+                        code="RL305",
+                        severity=Severity.WARNING,
+                        message=(
+                            f"blocking I/O {name}(...) inside async def "
+                            f"{fn.name}: stalls every connection on the loop"
+                        ),
+                        span=file.span(call),
+                        file=file.path,
+                        hint="move the I/O onto an executor thread",
+                    )
+
+
+def pass_sync_lock_in_async(
+    files: Sequence[AuditFile],
+) -> Iterator[Diagnostic]:
+    """RL306: ``threading`` lock acquired inside a coroutine."""
+    for file in files:
+        for cls, fn in _async_functions(file):
+            stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+            while stack:
+                node = stack.pop()
+                if isinstance(node, (ast.FunctionDef, ast.Lambda)):
+                    continue
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        resolved = resolve_lock(item.context_expr, file, cls)
+                        if resolved is not None:
+                            yield Diagnostic(
+                                code="RL306",
+                                severity=Severity.WARNING,
+                                message=(
+                                    f"threading lock {resolved[0]!r} "
+                                    f"acquired inside async def {fn.name}: "
+                                    "the loop thread can park on it"
+                                ),
+                                span=file.span(node),
+                                file=file.path,
+                                hint="use asyncio.Lock, or do the locked "
+                                "work on an executor thread",
+                            )
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "acquire"
+                    and resolve_lock(node.func.value, file, cls) is not None
+                ):
+                    lock_id = resolve_lock(node.func.value, file, cls)
+                    assert lock_id is not None
+                    yield Diagnostic(
+                        code="RL306",
+                        severity=Severity.WARNING,
+                        message=(
+                            f"threading lock {lock_id[0]!r}.acquire() "
+                            f"inside async def {fn.name}: "
+                            "the loop thread can park on it"
+                        ),
+                        span=file.span(node),
+                        file=file.path,
+                        hint="use asyncio.Lock, or do the locked work on "
+                        "an executor thread",
+                    )
+                stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,194 @@
+"""The audit pass pipeline: ``repro audit`` over Python source trees.
+
+Mirrors :mod:`repro.lint.engine` structurally -- a registry of passes
+with stable public codes, a config with stages/disabled sets, and a
+:class:`~repro.lint.diagnostics.LintReport` out the other end so the
+shared renderers, ``--strict`` gating and exit-code contract apply
+unchanged.  The unit of analysis is a set of *Python files* (the
+project's own source, or user extension code) instead of a TGD
+program.
+
+Suppressions are inline: ``# audit: ok[RL303] justification`` on the
+finding's line (or the line above) drops it.  The justification text
+is mandatory -- a bare marker suppresses nothing and is itself
+reported (RL313 family), so every silenced finding carries its
+rationale in the diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator, Sequence
+
+from repro import obs
+from repro.audit.asyncpasses import (
+    pass_blocking_db_in_async,
+    pass_blocking_io_in_async,
+    pass_sleep_in_async,
+    pass_sync_lock_in_async,
+)
+from repro.audit.executors import (
+    pass_done_callback_swallows,
+    pass_future_dropped,
+    pass_spawn_unpicklable,
+)
+from repro.audit.lifecycle import (
+    pass_loop_not_closed,
+    pass_run_forever_no_join,
+    pass_unbounded_wait,
+)
+from repro.audit.locks import (
+    pass_lock_order,
+    pass_manual_acquire,
+    pass_unguarded_shared_write,
+)
+from repro.audit.model import AuditFile, iter_python_files
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+
+AuditPass = Callable[[Sequence[AuditFile]], Iterator[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class AuditSpec:
+    """One registered audit pass: code, name, stage, callable."""
+
+    code: str
+    name: str
+    stage: str  # "locks" | "async" | "executors" | "lifecycle"
+    run: AuditPass
+
+
+#: Every pass, in pipeline order.  Codes are stable public API.
+AUDIT_REGISTRY: tuple[AuditSpec, ...] = (
+    AuditSpec("RL300", "lock-order-cycle", "locks", pass_lock_order),
+    AuditSpec("RL301", "manual-acquire", "locks", pass_manual_acquire),
+    AuditSpec("RL302", "unguarded-shared-write", "locks", pass_unguarded_shared_write),
+    AuditSpec("RL303", "sleep-in-async", "async", pass_sleep_in_async),
+    AuditSpec("RL304", "blocking-db-in-async", "async", pass_blocking_db_in_async),
+    AuditSpec("RL305", "blocking-io-in-async", "async", pass_blocking_io_in_async),
+    AuditSpec("RL306", "sync-lock-in-async", "async", pass_sync_lock_in_async),
+    AuditSpec("RL307", "future-dropped", "executors", pass_future_dropped),
+    AuditSpec("RL308", "done-callback-swallows", "executors", pass_done_callback_swallows),
+    AuditSpec("RL309", "spawn-unpicklable", "executors", pass_spawn_unpicklable),
+    AuditSpec("RL310", "loop-not-closed", "lifecycle", pass_loop_not_closed),
+    AuditSpec("RL311", "run-forever-no-join", "lifecycle", pass_run_forever_no_join),
+    AuditSpec("RL312", "unbounded-wait", "lifecycle", pass_unbounded_wait),
+)
+
+#: Codes emitted by the driver itself, not a registered pass.
+AUDIT_SECONDARY_CODES: dict[str, str] = {
+    "RL313": "unparsable-file",
+    "RL314": "unjustified-suppression",
+}
+
+AUDIT_STAGES: tuple[str, ...] = ("locks", "async", "executors", "lifecycle")
+
+
+def all_audit_codes() -> tuple[str, ...]:
+    """Every diagnostic code the auditor can emit, sorted."""
+    return tuple(
+        sorted(
+            {spec.code for spec in AUDIT_REGISTRY} | set(AUDIT_SECONDARY_CODES)
+        )
+    )
+
+
+def audit_code_names() -> dict[str, str]:
+    """code -> short kebab-case name, for SARIF rule metadata."""
+    out = {spec.code: spec.name for spec in AUDIT_REGISTRY}
+    out.update(AUDIT_SECONDARY_CODES)
+    return dict(sorted(out.items()))
+
+
+@dataclass(frozen=True)
+class AuditConfig:
+    """Knobs of one audit run.
+
+    Attributes:
+        stages: which pass stages run.
+        disabled: diagnostic codes to suppress globally.
+    """
+
+    stages: tuple[str, ...] = AUDIT_STAGES
+    disabled: frozenset[str] = field(default_factory=frozenset)
+
+
+def audit_files(
+    files: Sequence[AuditFile],
+    config: AuditConfig | None = None,
+    path: str = "<audit>",
+) -> LintReport:
+    """Run every registered pass over parsed *files*."""
+    config = config or AuditConfig()
+    diagnostics: list[Diagnostic] = []
+    parsed = [file for file in files if file.tree is not None]
+    for file in files:
+        if file.error is not None:
+            diagnostics.append(
+                Diagnostic(
+                    code="RL313",
+                    severity=Severity.ERROR,
+                    message=f"cannot parse: {file.error.msg}",
+                    span=file.span_at_line(file.error.lineno or 1),
+                    file=file.path,
+                )
+            )
+        for lineno in file.bare_suppressions():
+            diagnostics.append(
+                Diagnostic(
+                    code="RL314",
+                    severity=Severity.WARNING,
+                    message=(
+                        "suppression marker without a justification: "
+                        "`# audit: ok[...]` must say why"
+                    ),
+                    span=file.span_at_line(lineno),
+                    file=file.path,
+                    hint="append the reason after the bracket, e.g. "
+                    "`# audit: ok[RL312] future is done (as_completed)`",
+                )
+            )
+    by_path = {file.path: file for file in files}
+    with obs.span("audit.run", files=len(files)):
+        for spec in AUDIT_REGISTRY:
+            if spec.stage not in config.stages:
+                continue
+            for diagnostic in spec.run(parsed):
+                if diagnostic.code in config.disabled:
+                    continue
+                if _suppressed(diagnostic, by_path):
+                    obs.count("audit.suppressed")
+                    continue
+                diagnostics.append(diagnostic)
+    report = LintReport.of(
+        (d for d in diagnostics if d.code not in config.disabled), path=path
+    )
+    obs.count("audit.files", len(files))
+    obs.count("audit.findings", len(report))
+    return report
+
+
+def _suppressed(diagnostic: Diagnostic, by_path: dict[str, AuditFile]) -> bool:
+    if diagnostic.file is None or diagnostic.span is None:
+        return False
+    file = by_path.get(diagnostic.file)
+    if file is None:
+        return False
+    return file.suppressed(diagnostic.code, diagnostic.span.line)
+
+
+def audit_paths(
+    paths: Sequence[str | Path],
+    config: AuditConfig | None = None,
+) -> LintReport:
+    """Audit every ``.py`` file under *paths* (files or directories).
+
+    Unreadable paths raise (:class:`FileNotFoundError`/:class:`OSError`)
+    -- the CLI maps them to exit 2; syntax errors in readable files
+    become RL313 diagnostics instead.
+    """
+    resolved = iter_python_files([str(p) for p in paths])
+    files = [AuditFile(str(p), Path(p).read_text()) for p in resolved]
+    display = ", ".join(str(p) for p in paths)
+    return audit_files(files, config, path=display)

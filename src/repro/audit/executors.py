@@ -1,0 +1,253 @@
+"""Executor-hygiene passes (RL307--RL309).
+
+``concurrent.futures`` makes three silent-failure modes easy to write:
+
+* **RL307 (future-dropped)** -- ``executor.submit(...)`` (or
+  ``loop.create_task`` / ``asyncio.ensure_future``) as a bare
+  expression statement.  Nobody holds the future, so its exception is
+  swallowed when it is garbage collected and its completion can never
+  be awaited or joined.
+* **RL308 (done-callback-swallows)** -- an ``add_done_callback``
+  whose callback never consults the future it receives
+  (``.exception()`` / ``.result()``): a failed task completes
+  "successfully" as far as the callback chain is concerned.  Release
+  paths wired through done-callbacks (the admission controller's
+  ticket release) must branch on the outcome or errors disappear.
+* **RL309 (spawn-unpicklable)** -- work shipped to a
+  ``ProcessPoolExecutor`` that cannot survive pickling: lambdas,
+  functions nested in the enclosing scope, or ``initargs``/arguments
+  mentioning ``self`` (which drags the whole object graph -- locks,
+  sockets, SQLite handles -- across the spawn boundary).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.audit.model import AuditFile, dotted_name
+from repro.lint.diagnostics import Diagnostic, Severity
+
+_SPAWNING_CALLS = frozenset(
+    {"asyncio.ensure_future"}
+)
+_SPAWNING_METHODS = frozenset({"submit", "create_task"})
+
+
+def _module_functions(file: AuditFile) -> dict[str, ast.FunctionDef]:
+    assert file.tree is not None
+    return {
+        node.name: node
+        for node in file.tree.body
+        if isinstance(node, ast.FunctionDef)
+    }
+
+
+def pass_future_dropped(files: Sequence[AuditFile]) -> Iterator[Diagnostic]:
+    """RL307: a submitted future discarded on the spot."""
+    for file in files:
+        if file.tree is None:
+            continue
+        for node in ast.walk(file.tree):
+            if not (
+                isinstance(node, ast.Expr) and isinstance(node.value, ast.Call)
+            ):
+                continue
+            call = node.value
+            name = file.resolved_call(dotted_name(call.func))
+            if name is None:
+                continue
+            tail = name.rsplit(".", 1)[-1]
+            spawning = name in _SPAWNING_CALLS or (
+                "." in name and tail in _SPAWNING_METHODS
+            )
+            if not spawning:
+                continue
+            yield Diagnostic(
+                code="RL307",
+                severity=Severity.WARNING,
+                message=(
+                    f"{name}(...) discards its future: exceptions are "
+                    "swallowed and completion cannot be awaited"
+                ),
+                span=file.span(node),
+                file=file.path,
+                hint="keep the future (await/collect it) or attach an "
+                "add_done_callback that checks .exception()",
+            )
+
+
+def _callback_checks_outcome(
+    callback: ast.expr, file: AuditFile
+) -> bool | None:
+    """Does the done-callback consult its future?  None = unresolvable."""
+    if isinstance(callback, ast.Lambda):
+        if len(callback.args.args) != 1:
+            return None
+        param = callback.args.args[0].arg
+        return _body_consults(callback.body, param)
+    name = dotted_name(callback)
+    if name is None:
+        return None
+    fn = _module_functions(file).get(name)
+    if fn is None or not fn.args.args:
+        return None
+    param = fn.args.args[0].arg
+    return any(_body_consults(statement, param) for statement in fn.body)
+
+
+def _body_consults(node: ast.AST, param: str) -> bool:
+    for inner in ast.walk(node):
+        if (
+            isinstance(inner, ast.Attribute)
+            and inner.attr in ("exception", "result", "cancelled")
+            and isinstance(inner.value, ast.Name)
+            and inner.value.id == param
+        ):
+            return True
+    return False
+
+
+def pass_done_callback_swallows(
+    files: Sequence[AuditFile],
+) -> Iterator[Diagnostic]:
+    """RL308: done-callbacks that ignore the future's outcome."""
+    for file in files:
+        if file.tree is None:
+            continue
+        for node in ast.walk(file.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_done_callback"
+                and node.args
+            ):
+                continue
+            checks = _callback_checks_outcome(node.args[0], file)
+            if checks is not False:
+                continue
+            yield Diagnostic(
+                code="RL308",
+                severity=Severity.WARNING,
+                message=(
+                    "done-callback never consults the future: a failed "
+                    "task is silently treated as success"
+                ),
+                span=file.span(node),
+                file=file.path,
+                hint="branch on future.exception() (or .result()) inside "
+                "the callback",
+            )
+
+
+def _contains_self(node: ast.expr) -> bool:
+    return any(
+        isinstance(inner, ast.Name) and inner.id == "self"
+        for inner in ast.walk(node)
+    )
+
+
+def pass_spawn_unpicklable(files: Sequence[AuditFile]) -> Iterator[Diagnostic]:
+    """RL309: lambdas / nested defs / ``self`` shipped to a process pool."""
+    for file in files:
+        if file.tree is None:
+            continue
+        module_fns = set(_module_functions(file))
+        for scope in ast.walk(file.tree):
+            if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            nested = {
+                inner.name
+                for inner in ast.walk(scope)
+                if isinstance(inner, ast.FunctionDef) and inner is not scope
+            } - module_fns
+            pool_names: set[str] = set()
+            for node in ast.walk(scope):
+                if (
+                    isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)
+                    and (
+                        file.resolved_call(dotted_name(node.value.func))
+                        or ""
+                    ).endswith("ProcessPoolExecutor")
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                ):
+                    pool_names.add(node.targets[0].id)
+            for node in ast.walk(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = file.resolved_call(dotted_name(node.func)) or ""
+                if name.endswith("ProcessPoolExecutor"):
+                    yield from _check_spawn_args(
+                        file, node, node.keywords, nested
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "submit"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in pool_names
+                    and node.args
+                ):
+                    yield from _check_spawn_payload(
+                        file, node, node.args[0], nested, "submit target"
+                    )
+
+
+def _check_spawn_args(
+    file: AuditFile,
+    call: ast.Call,
+    keywords: list[ast.keyword],
+    nested: set[str],
+) -> Iterator[Diagnostic]:
+    for keyword in keywords:
+        if keyword.arg == "initializer":
+            yield from _check_spawn_payload(
+                file, call, keyword.value, nested, "initializer"
+            )
+        elif keyword.arg == "initargs" and _contains_self(keyword.value):
+            yield Diagnostic(
+                code="RL309",
+                severity=Severity.WARNING,
+                message=(
+                    "ProcessPoolExecutor initargs capture `self`: the "
+                    "whole object graph (locks, handles) must pickle "
+                    "across the spawn boundary"
+                ),
+                span=file.span(call),
+                file=file.path,
+                hint="pass plain values (tuples, frozen dataclasses) "
+                "instead of live objects",
+            )
+
+
+def _check_spawn_payload(
+    file: AuditFile,
+    call: ast.Call,
+    payload: ast.expr,
+    nested: set[str],
+    what: str,
+) -> Iterator[Diagnostic]:
+    problem: str | None = None
+    if isinstance(payload, ast.Lambda):
+        problem = "a lambda"
+    else:
+        name = dotted_name(payload)
+        if name is not None and name in nested:
+            problem = f"the nested function {name!r}"
+        elif name is not None and name.startswith("self."):
+            problem = f"the bound method {name!r}"
+    if problem is None:
+        return
+    yield Diagnostic(
+        code="RL309",
+        severity=Severity.WARNING,
+        message=(
+            f"process-pool {what} is {problem}: spawn workers "
+            "cannot unpickle it"
+        ),
+        span=file.span(call),
+        file=file.path,
+        hint="use a module-level function (spawn workers import it by "
+        "qualified name)",
+    )

@@ -1,0 +1,145 @@
+"""Asyncio/thread lifecycle passes (RL310--RL312).
+
+* **RL310 (loop-not-closed)** -- a function calls
+  ``asyncio.new_event_loop()`` but never ``.close()``es any loop on
+  any path.  A leaked loop keeps its selector FD and internal threads
+  alive for the life of the process; the close belongs in a
+  ``finally``.
+* **RL311 (run-forever-no-join)** -- a class runs an event loop
+  forever on some thread (``loop.run_forever()``) but no method of the
+  class ever ``join``s a thread: there is no shutdown path that
+  guarantees the loop thread has actually exited before the process
+  (or the test) moves on.
+* **RL312 (unbounded-wait, info)** -- ``.result()`` / ``.wait()``
+  without a timeout on a future/event/thread-shaped receiver, or a
+  bare ``.join()`` on a thread-shaped one.  These park the calling
+  thread forever if the peer never completes; a timeout turns a
+  wedged system into a diagnosable error.  Info-level: often the
+  receiver is known-complete (e.g. futures out of ``as_completed``)
+  -- suppress with a justification where that is the case.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.audit.model import AuditFile, dotted_name
+from repro.lint.diagnostics import Diagnostic, Severity
+
+#: RL312 receiver-name heuristic: last dotted segment must contain one
+#: of these to count as a concurrency primitive.
+_WAITY_RECEIVERS = ("future", "thread", "event", "task", "started", "done")
+
+
+def pass_loop_not_closed(files: Sequence[AuditFile]) -> Iterator[Diagnostic]:
+    """RL310: ``new_event_loop()`` without a close in the same function."""
+    for file in files:
+        if file.tree is None:
+            continue
+        for scope in ast.walk(file.tree):
+            if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            creation: ast.Call | None = None
+            closes = False
+            for node in ast.walk(scope):
+                if isinstance(node, ast.Call):
+                    name = file.resolved_call(dotted_name(node.func)) or ""
+                    if name.endswith("new_event_loop") and creation is None:
+                        creation = node
+                    if (
+                        isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "close"
+                    ):
+                        closes = True
+            if creation is not None and not closes:
+                yield Diagnostic(
+                    code="RL310",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"event loop created in {scope.name}() is never "
+                        "closed: its selector FD leaks for the process "
+                        "lifetime"
+                    ),
+                    span=file.span(creation),
+                    file=file.path,
+                    hint="close the loop in a finally block",
+                )
+
+
+def pass_run_forever_no_join(
+    files: Sequence[AuditFile],
+) -> Iterator[Diagnostic]:
+    """RL311: a run-forever loop thread with no join path in the class."""
+    for file in files:
+        for cls in file.classes:
+            run_forever_sites: list[ast.Call] = []
+            joins = False
+            for method in cls.methods.values():
+                for node in ast.walk(method):
+                    if isinstance(node, ast.Call) and isinstance(
+                        node.func, ast.Attribute
+                    ):
+                        if node.func.attr == "run_forever":
+                            run_forever_sites.append(node)
+                        elif node.func.attr == "join":
+                            joins = True
+            if joins:
+                continue
+            for site in run_forever_sites:
+                yield Diagnostic(
+                    code="RL311",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"{cls.name} runs an event loop forever but no "
+                        "method joins the loop thread: shutdown cannot "
+                        "prove the thread exited"
+                    ),
+                    span=file.span(site),
+                    file=file.path,
+                    hint="stop the loop via call_soon_threadsafe(loop.stop) "
+                    "and join the thread (with a timeout) in the stop path",
+                )
+
+
+def _has_timeout(call: ast.Call) -> bool:
+    if call.args:
+        return True
+    return any(keyword.arg == "timeout" for keyword in call.keywords)
+
+
+def pass_unbounded_wait(files: Sequence[AuditFile]) -> Iterator[Diagnostic]:
+    """RL312 (info): result/wait/join without a timeout."""
+    for file in files:
+        if file.tree is None:
+            continue
+        for node in ast.walk(file.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+            ):
+                continue
+            receiver = dotted_name(node.func.value)
+            if receiver is None:
+                continue
+            tail = receiver.rsplit(".", 1)[-1].lower()
+            waity = any(piece in tail for piece in _WAITY_RECEIVERS)
+            if not waity:
+                continue
+            method = node.func.attr
+            if method not in ("result", "wait", "join"):
+                continue
+            if _has_timeout(node):
+                continue
+            yield Diagnostic(
+                code="RL312",
+                severity=Severity.INFO,
+                message=(
+                    f"{receiver}.{method}() without a timeout can park "
+                    "this thread forever if the peer never completes"
+                ),
+                span=file.span(node),
+                file=file.path,
+                hint="pass timeout=... and handle the expiry "
+                "(or justify why completion is guaranteed)",
+            )

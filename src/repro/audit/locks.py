@@ -1,0 +1,451 @@
+"""Lock-discipline passes: order cycles, manual acquire, unguarded state.
+
+*Lock identity* is syntactic: ``self.<attr>`` inside a class whose
+``__init__`` (or class body) binds ``<attr>`` to a ``threading.Lock``
+/ ``RLock`` resolves to ``<ClassName>.<attr>``; a module-level
+``NAME = threading.Lock()`` resolves to ``<file>:<NAME>``.  This is
+deliberately conservative -- an expression the resolver cannot name is
+simply not tracked, so the passes under-approximate rather than guess.
+
+**RL300 (lock-order-cycle).**  Every method is walked with the set of
+currently-held locks; acquiring lock *B* while holding lock *A* adds
+the edge ``A -> B`` to a project-wide acquisition-order graph, with the
+acquisition site as witness provenance.  Same-class calls
+(``self.m()``) made under a lock contribute the callee's direct
+acquisitions, so one level of intra-class indirection is covered.
+A cycle in this graph is a potential deadlock; the witness walk (via
+the shared :class:`~repro.graphs.cycles.LabeledGraph` machinery that
+also powers the weak-acyclicity checks) names every edge and its
+acquisition sites.  Re-acquiring a reentrant lock is not an edge;
+re-acquiring a *non*-reentrant lock is a self-cycle (guaranteed
+deadlock, not merely potential).
+
+**RL301 (manual-acquire).**  ``lock.acquire()`` as a statement, when
+the enclosing function never releases the same lock inside a
+``finally`` block: an exception between acquire and release leaks the
+lock forever.  ``with lock:`` is the fix.
+
+**RL302 (unguarded-shared-write).**  In a class owning at least one
+lock, an attribute assigned both inside and outside ``with
+self._lock`` scopes (``__init__`` excluded -- construction
+happens-before publication) is a data race: the unguarded writer can
+interleave with every guarded reader.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.audit.model import AuditFile, ClassModel, dotted_name
+from repro.graphs.cycles import LabeledGraph
+from repro.lint.diagnostics import Diagnostic, Severity
+
+#: Bound on distinct cycles reported per audit run (each found cycle
+#: has one edge removed before re-searching).
+_MAX_CYCLES = 8
+
+
+@dataclass(frozen=True)
+class LockSite:
+    """One resolved lock acquisition: its identity and source site."""
+
+    lock: str
+    reentrant: bool
+    file: str
+    lineno: int
+    where: str  # "Class.method" or "<module>.function"
+    node: ast.AST
+
+
+def resolve_lock(
+    expr: ast.expr, file: AuditFile, cls: ClassModel | None
+) -> tuple[str, bool] | None:
+    """``(lock_id, reentrant)`` when *expr* names a known lock."""
+    name = dotted_name(expr)
+    if name is None:
+        return None
+    if cls is not None and name.startswith("self."):
+        attr = name[len("self."):]
+        lock = cls.locks.get(attr)
+        if lock is not None:
+            return f"{cls.name}.{attr}", lock.reentrant
+        return None
+    lock = file.module_locks.get(name)
+    if lock is not None:
+        return f"{file.path}:{name}", lock.reentrant
+    return None
+
+
+def _functions(
+    file: AuditFile,
+) -> Iterator[tuple[ClassModel | None, str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Every function with its owning class (None for module level)."""
+    if file.tree is None:
+        return
+    claimed: set[int] = set()
+    for cls in file.classes:
+        for name, method in cls.methods.items():
+            claimed.add(id(method))
+            yield cls, f"{cls.name}.{name}", method
+    for node in ast.walk(file.tree):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and id(node) not in claimed
+        ):
+            yield None, f"<module>.{node.name}", node
+
+
+def _direct_acquisitions(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    file: AuditFile,
+    cls: ClassModel | None,
+) -> list[tuple[str, bool, int]]:
+    """Locks this function's body acquires via ``with`` (any depth)."""
+    out: list[tuple[str, bool, int]] = []
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                resolved = resolve_lock(item.context_expr, file, cls)
+                if resolved is not None:
+                    out.append((resolved[0], resolved[1], node.lineno))
+    return out
+
+
+class _OrderWalker(ast.NodeVisitor):
+    """Collect acquired-while-held edges for one function."""
+
+    def __init__(
+        self,
+        file: AuditFile,
+        cls: ClassModel | None,
+        where: str,
+        callee_locks: dict[str, list[tuple[str, bool, int]]],
+        graph: LabeledGraph,
+        self_deadlocks: list[LockSite],
+    ) -> None:
+        self.file = file
+        self.cls = cls
+        self.where = where
+        self.callee_locks = callee_locks
+        self.graph = graph
+        self.self_deadlocks = self_deadlocks
+        self.held: list[str] = []
+
+    def _witness(self, lineno: int) -> str:
+        return f"{self.file.path}:{lineno} ({self.where})"
+
+    def _enter(self, lock: str, reentrant: bool, node: ast.AST) -> bool:
+        lineno = getattr(node, "lineno", 0)
+        if lock in self.held:
+            if not reentrant:
+                self.self_deadlocks.append(
+                    LockSite(lock, reentrant, self.file.path, lineno, self.where, node)
+                )
+            return False
+        for held in self.held:
+            self.graph.add_edge(held, lock, rules=(self._witness(lineno),))
+        self.held.append(lock)
+        return True
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        entered: list[str] = []
+        for item in node.items:
+            resolved = resolve_lock(item.context_expr, self.file, self.cls)
+            if resolved is not None and self._enter(resolved[0], resolved[1], node):
+                entered.append(resolved[0])
+            self.visit(item.context_expr)
+        for statement in node.body:
+            self.visit(statement)
+        for lock in reversed(entered):
+            self.held.remove(lock)
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # One level of intra-class indirection: self.m() under a lock
+        # contributes m's own direct acquisitions as order edges.
+        name = dotted_name(node.func)
+        if (
+            self.held
+            and name is not None
+            and name.startswith("self.")
+            and self.cls is not None
+        ):
+            method = name[len("self."):]
+            for lock, reentrant, _lineno in self.callee_locks.get(
+                f"{self.cls.name}.{method}", []
+            ):
+                if lock in self.held:
+                    if not reentrant:
+                        self.self_deadlocks.append(
+                            LockSite(
+                                lock,
+                                reentrant,
+                                self.file.path,
+                                node.lineno,
+                                self.where,
+                                node,
+                            )
+                        )
+                    continue
+                for held in self.held:
+                    self.graph.add_edge(
+                        held, lock, rules=(self._witness(node.lineno),)
+                    )
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested function bodies run later, under unknown lock state.
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+def _build_order_graph(
+    files: Sequence[AuditFile],
+) -> tuple[LabeledGraph, list[LockSite]]:
+    callee_locks: dict[str, list[tuple[str, bool, int]]] = {}
+    per_file: list[
+        tuple[AuditFile, ClassModel | None, str, ast.FunctionDef | ast.AsyncFunctionDef]
+    ] = []
+    for file in files:
+        for cls, where, fn in _functions(file):
+            callee_locks[where] = _direct_acquisitions(fn, file, cls)
+            per_file.append((file, cls, where, fn))
+    graph = LabeledGraph()
+    self_deadlocks: list[LockSite] = []
+    for file, cls, where, fn in per_file:
+        walker = _OrderWalker(file, cls, where, callee_locks, graph, self_deadlocks)
+        for statement in fn.body:
+            walker.visit(statement)
+    return graph, self_deadlocks
+
+
+def _drop_edge(graph: LabeledGraph, source: object, target: object) -> LabeledGraph:
+    out = LabeledGraph()
+    for node in graph.nodes:
+        out.add_node(node)
+    for edge in graph.edges:
+        if (edge.source, edge.target) == (source, target):
+            continue
+        out.add_edge(
+            edge.source,
+            edge.target,
+            labels=edge.labels,
+            rules=graph.rules_of(edge.source, edge.target),
+        )
+    return out
+
+
+def pass_lock_order(files: Sequence[AuditFile]) -> Iterator[Diagnostic]:
+    """RL300: cycles in the project-wide lock acquisition-order graph."""
+    graph, self_deadlocks = _build_order_graph(files)
+    for site in self_deadlocks:
+        span = None
+        for file in files:
+            if file.path == site.file:
+                span = file.span(site.node)
+                break
+        yield Diagnostic(
+            code="RL300",
+            severity=Severity.ERROR,
+            message=(
+                f"non-reentrant lock {site.lock!r} re-acquired while "
+                "already held: guaranteed self-deadlock"
+            ),
+            span=span,
+            file=site.file,
+            hint="use threading.RLock, or restructure so the lock is "
+            "acquired exactly once per thread",
+        )
+    seen = 0
+    while seen < _MAX_CYCLES:
+        cycle = graph.find_labeled_cycle(())
+        if cycle is None:
+            return
+        seen += 1
+        notes = []
+        witness_file: str | None = None
+        witness_line: int | None = None
+        for edge in cycle:
+            sites = sorted(graph.rules_of(edge.source, edge.target))
+            notes.append(
+                f"{edge.source} -> {edge.target} at "
+                + ("; ".join(sites) if sites else "<unknown site>")
+            )
+            if witness_file is None and sites:
+                head = sites[0]
+                path, _, rest = head.partition(":")
+                line = rest.split(" ")[0]
+                if line.isdigit():
+                    witness_file, witness_line = path, int(line)
+        order = " -> ".join(
+            [str(edge.source) for edge in cycle] + [str(cycle[0].source)]
+        )
+        # Anchor the diagnostic at the first witness site so inline
+        # suppressions (and the text renderer's location) work.
+        span = None
+        if witness_file is not None and witness_line is not None:
+            for file in files:
+                if file.path == witness_file:
+                    span = file.span_at_line(witness_line)
+                    break
+        yield Diagnostic(
+            code="RL300",
+            severity=Severity.WARNING,
+            message=f"potential deadlock: lock-order cycle {order}",
+            span=span,
+            file=witness_file,
+            hint="pick one global acquisition order for these locks and "
+            "restructure the inverted site (see docs/concurrency.md)",
+            notes=tuple(notes),
+        )
+        graph = _drop_edge(graph, cycle[0].source, cycle[0].target)
+
+
+def pass_manual_acquire(files: Sequence[AuditFile]) -> Iterator[Diagnostic]:
+    """RL301: ``.acquire()`` without a finally-guarded ``.release()``."""
+    for file in files:
+        for cls, where, fn in _functions(file):
+            acquires: list[tuple[str, ast.expr, ast.Call]] = []
+            released_in_finally: set[str] = set()
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    receiver = dotted_name(node.func.value)
+                    if receiver is None:
+                        continue
+                    resolved = resolve_lock(node.func.value, file, cls)
+                    if resolved is None:
+                        continue
+                    if node.func.attr == "acquire":
+                        acquires.append((resolved[0], node.func.value, node))
+                if isinstance(node, ast.Try):
+                    for statement in node.finalbody:
+                        for inner in ast.walk(statement):
+                            if (
+                                isinstance(inner, ast.Call)
+                                and isinstance(inner.func, ast.Attribute)
+                                and inner.func.attr == "release"
+                            ):
+                                resolved = resolve_lock(
+                                    inner.func.value, file, cls
+                                )
+                                if resolved is not None:
+                                    released_in_finally.add(resolved[0])
+            for lock, _expr, call in acquires:
+                if lock in released_in_finally:
+                    continue
+                yield Diagnostic(
+                    code="RL301",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"manual {lock}.acquire() in {where} without a "
+                        "finally-guarded release: an exception leaks the lock"
+                    ),
+                    span=file.span(call),
+                    file=file.path,
+                    hint="use `with <lock>:` (or release in a finally block)",
+                )
+
+
+class _GuardWalker(ast.NodeVisitor):
+    """Classify attribute writes of one method as guarded/unguarded."""
+
+    def __init__(self, file: AuditFile, cls: ClassModel) -> None:
+        self.file = file
+        self.cls = cls
+        self.depth = 0
+        self.writes: list[tuple[str, bool, ast.AST]] = []
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        holds = any(
+            resolve_lock(item.context_expr, self.file, self.cls) is not None
+            for item in node.items
+        )
+        if holds:
+            self.depth += 1
+        for statement in node.body:
+            self.visit(statement)
+        if holds:
+            self.depth -= 1
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _record(self, target: ast.expr, node: ast.AST) -> None:
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and target.attr not in self.cls.locks
+        ):
+            self.writes.append((target.attr, self.depth > 0, node))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record(node.target, node)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+
+def pass_unguarded_shared_write(
+    files: Sequence[AuditFile],
+) -> Iterator[Diagnostic]:
+    """RL302: attributes written both under and outside the class lock."""
+    for file in files:
+        for cls in file.classes:
+            if not cls.owns_locks:
+                continue
+            guarded: set[str] = set()
+            unguarded: list[tuple[str, ast.AST, str]] = []
+            for name, method in cls.methods.items():
+                if name == "__init__":
+                    continue
+                walker = _GuardWalker(file, cls)
+                for statement in method.body:
+                    walker.visit(statement)
+                for attr, is_guarded, node in walker.writes:
+                    if is_guarded:
+                        guarded.add(attr)
+                    else:
+                        unguarded.append((attr, node, name))
+            for attr, node, method_name in unguarded:
+                if attr not in guarded:
+                    continue
+                yield Diagnostic(
+                    code="RL302",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"{cls.name}.{attr} is written under the class lock "
+                        f"elsewhere but unguarded in {method_name}(): "
+                        "racing writers can interleave"
+                    ),
+                    span=file.span(node),
+                    file=file.path,
+                    hint=f"move the write inside `with self.<lock>:` or "
+                    f"document why {method_name} cannot race",
+                )

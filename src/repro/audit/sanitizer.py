@@ -1,0 +1,252 @@
+"""Runtime lock-order sanitizer: observe every acquisition, fail on inversions.
+
+The static pass (RL300) sees lexical nesting; it cannot see an order
+inversion that only materialises when two call chains interleave at
+runtime.  This module closes that gap the way TSan's deadlock detector
+does, scaled down to this codebase:
+
+* :func:`install` monkey-wraps :func:`threading.Lock` and
+  :func:`threading.RLock`.  Locks allocated by ``repro`` modules are
+  replaced with tracked proxies (allocation site = ``module:lineno``);
+  locks allocated anywhere else are returned untouched, so stdlib
+  internals are never perturbed.
+* Each thread keeps a stack of tracked locks it currently holds.
+  Acquiring lock *B* while holding lock *A* records the edge
+  ``A -> B`` in a process-wide acquisition-order graph.
+* A **violation** is recorded when an acquisition (a) inverts the
+  statically declared order of :mod:`repro.audit.order` -- acquiring
+  an outer-group lock while holding an inner-group one -- or (b)
+  inverts an edge already observed the other way around (a cycle of
+  length two in the observed graph: the classic ABBA deadlock
+  pattern, caught even if the schedule never actually deadlocks).
+
+The sanitizer is wired into the test suite by ``tests/conftest.py``
+under ``REPRO_LOCK_SANITIZER=1`` (the nightly CI job runs tier-1 that
+way) and fails the run if any violation was recorded.  Overhead is a
+dict lookup and a couple of list operations per acquisition --
+negligible next to the lock syscall itself.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.audit.order import DECLARED_ORDER, rank_of
+
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One recorded acquisition-order inversion."""
+
+    kind: str  # "declared-order" | "observed-inversion"
+    held_site: str
+    acquired_site: str
+    thread: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.kind}] thread {self.thread}: acquired lock from "
+            f"{self.acquired_site} while holding {self.held_site}"
+        )
+
+
+class _State:
+    """Process-wide sanitizer state (edges, violations, config)."""
+
+    def __init__(self, declared_order: tuple[str, ...]) -> None:
+        self.declared_order = declared_order
+        self.guard = _REAL_LOCK()
+        # (held_site, acquired_site) -> first witness thread name.
+        self.edges: dict[tuple[str, str], str] = {}
+        self.violations: list[Violation] = []
+        self.local = threading.local()
+
+    def held_stack(self) -> list["TrackedLock"]:
+        stack = getattr(self.local, "stack", None)
+        if stack is None:
+            stack = []
+            self.local.stack = stack
+        return stack
+
+    def record_acquired(self, lock: "TrackedLock") -> None:
+        stack = self.held_stack()
+        held_sites = {
+            held.site for held in stack if held.site != lock.site
+        }
+        thread = threading.current_thread().name
+        with self.guard:
+            for held_site in held_sites:
+                edge = (held_site, lock.site)
+                if edge not in self.edges:
+                    self.edges[edge] = thread
+                held_rank = rank_of(held_site)
+                acquired_rank = rank_of(lock.site)
+                if (
+                    held_rank is not None
+                    and acquired_rank is not None
+                    and acquired_rank < held_rank
+                ):
+                    self.violations.append(
+                        Violation(
+                            "declared-order", held_site, lock.site, thread
+                        )
+                    )
+                elif (lock.site, held_site) in self.edges:
+                    self.violations.append(
+                        Violation(
+                            "observed-inversion", held_site, lock.site, thread
+                        )
+                    )
+        stack.append(lock)
+
+    def record_released(self, lock: "TrackedLock") -> None:
+        stack = self.held_stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is lock:
+                del stack[index]
+                return
+
+
+class TrackedLock:
+    """Proxy around a real Lock/RLock that reports to the sanitizer."""
+
+    def __init__(self, state: _State, site: str, reentrant: bool) -> None:
+        self._state = state
+        self.site = site
+        self._reentrant = reentrant
+        self._inner = _REAL_RLOCK() if reentrant else _REAL_LOCK()
+        self._depth = 0  # this thread's reentry depth is inner-guarded
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            if self._reentrant and self._already_held():
+                # Reentry: no new edge, but track depth for release.
+                self._state.held_stack().append(self)
+            else:
+                self._state.record_acquired(self)
+        return acquired
+
+    def _already_held(self) -> bool:
+        return any(held is self for held in self._state.held_stack())
+
+    def release(self) -> None:
+        self._state.record_released(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        kind = "RLock" if self._reentrant else "Lock"
+        return f"<tracked {kind} from {self.site}>"
+
+
+_state: _State | None = None
+_installed = False
+
+
+def _allocation_site() -> str | None:
+    """``module:lineno`` of the frame allocating the lock, repro-only."""
+    import sys
+
+    frame = sys._getframe(2)
+    module = frame.f_globals.get("__name__", "")
+    if not isinstance(module, str) or not module.startswith("repro"):
+        return None
+    return f"{module}:{frame.f_lineno}"
+
+
+def _make_lock(*args: Any, **kwargs: Any) -> Any:
+    site = _allocation_site()
+    if _state is None or site is None:
+        return _REAL_LOCK(*args, **kwargs)
+    return TrackedLock(_state, site, reentrant=False)
+
+
+def _make_rlock(*args: Any, **kwargs: Any) -> Any:
+    site = _allocation_site()
+    if _state is None or site is None:
+        return _REAL_RLOCK(*args, **kwargs)
+    return TrackedLock(_state, site, reentrant=True)
+
+
+def install(declared_order: tuple[str, ...] = DECLARED_ORDER) -> None:
+    """Start tracking: wrap Lock/RLock allocation for repro modules."""
+    global _state, _installed
+    if _installed:
+        return
+    _state = _State(declared_order)
+    threading.Lock = _make_lock  # type: ignore[misc, assignment]
+    threading.RLock = _make_rlock  # type: ignore[misc, assignment]
+    _installed = True
+
+
+def uninstall() -> None:
+    """Stop tracking; already-created tracked locks keep working."""
+    global _installed
+    if not _installed:
+        return
+    threading.Lock = _REAL_LOCK  # type: ignore[misc]
+    threading.RLock = _REAL_RLOCK  # type: ignore[misc]
+    _installed = False
+
+
+def reset() -> None:
+    """Drop recorded edges and violations (state survives reinstall)."""
+    if _state is not None:
+        with _state.guard:
+            _state.edges.clear()
+            _state.violations.clear()
+
+
+def installed() -> bool:
+    return _installed
+
+
+def violations() -> tuple[Violation, ...]:
+    """Every inversion recorded since install/reset."""
+    if _state is None:
+        return ()
+    with _state.guard:
+        return tuple(_state.violations)
+
+
+def observed_edges() -> dict[tuple[str, str], str]:
+    """The acquisition-order edges observed so far (copy)."""
+    if _state is None:
+        return {}
+    with _state.guard:
+        return dict(_state.edges)
+
+
+def enabled_from_env() -> bool:
+    """True iff ``REPRO_LOCK_SANITIZER`` asks for sanitized runs."""
+    import os
+
+    return os.environ.get("REPRO_LOCK_SANITIZER", "").strip() not in (
+        "",
+        "0",
+        "false",
+    )
+
+
+def report() -> str:
+    """Human-readable summary for the pytest plugin's failure output."""
+    lines = [
+        f"lock-order sanitizer: {len(violations())} violation(s), "
+        f"{len(observed_edges())} observed acquisition edge(s)"
+    ]
+    lines.extend(f"  {violation}" for violation in violations())
+    return "\n".join(lines)

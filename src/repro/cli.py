@@ -21,6 +21,10 @@ Commands mirroring the library's workflow:
   ``project.json`` manifest (ontology + queries + mappings + data):
   dead rules, mapping coverage and rewriting-size bounds, with the
   same formats and exit-code contract as ``lint``;
+* ``audit``     -- concurrency/async static analysis of Python source
+  trees (RL3xx): lock-order cycles, unguarded shared-state writes,
+  blocking calls in ``async def``, executor and event-loop hygiene;
+  same formats and exit-code contract as ``lint``;
 * ``trace``     -- run the rewriting (and optionally answering)
   pipeline under the observability layer and print the span tree with
   per-stage timings and counters;
@@ -45,7 +49,8 @@ Programs, queries and facts use the textual syntax of
 :mod:`repro.lang.parser`; every input is a file path or ``-`` for
 stdin.
 
-Exit codes: 0 success; 1 findings (lint/check) / failed batch queries;
+Exit codes: 0 success; 1 findings (lint/check/audit) / failed batch
+queries;
 2 input error (unreadable file, parse error, ill-formed program);
 3 incomplete rewriting.
 """
@@ -634,6 +639,20 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def cmd_audit(args: argparse.Namespace) -> int:
+    from repro.audit import AuditConfig, audit_code_names, audit_paths
+
+    config = AuditConfig(disabled=frozenset(args.disable or ()))
+    try:
+        report = audit_paths(args.paths, config)
+    except FileNotFoundError as error:
+        raise ReproError(str(error)) from error
+    except OSError as error:
+        raise ReproError(f"cannot read audit input: {error}") from error
+    print(render(report, args.format, names=audit_code_names(), tool="repro-audit"))
+    return report.exit_code(strict=args.strict)
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     from repro.checkers import (
         CheckConfig,
@@ -922,6 +941,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_options(p_check)
     p_check.set_defaults(func=cmd_check)
+
+    p_audit = sub.add_parser(
+        "audit",
+        help="concurrency/async static analysis of Python source "
+        "(RL3xx): lock-order cycles, unguarded shared state, "
+        "blocking calls in async code, executor and loop hygiene",
+    )
+    p_audit.add_argument(
+        "paths",
+        nargs="+",
+        help="Python files or directories to audit (directories are "
+        "walked recursively for .py files)",
+    )
+    p_audit.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    p_audit.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings too (CI gating)",
+    )
+    p_audit.add_argument(
+        "--disable",
+        action="append",
+        metavar="CODE",
+        help="suppress a diagnostic code (repeatable), e.g. RL312",
+    )
+    p_audit.set_defaults(func=cmd_audit)
 
     return parser
 

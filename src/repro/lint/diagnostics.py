@@ -46,6 +46,9 @@ class Diagnostic:
         hint: optional suggested fix.
         notes: additional detail lines (witness-cycle edges, conflicting
             use sites, ...), rendered indented under the message.
+        file: the file the finding is in, for multi-file runs (the
+            audit pipeline); None means "the report's path" and keeps
+            single-file lint/check output unchanged.
     """
 
     code: str
@@ -55,11 +58,12 @@ class Diagnostic:
     rule: str | None = None
     hint: str | None = None
     notes: tuple[str, ...] = field(default_factory=tuple)
+    file: str | None = None
 
-    def sort_key(self) -> tuple[int, str, str]:
-        """Deterministic report order: position, then code, then text."""
+    def sort_key(self) -> tuple[str, int, str, str]:
+        """Deterministic report order: file, position, code, text."""
         start = self.span.start if self.span is not None else -1
-        return (start, self.code, self.message)
+        return (self.file or "", start, self.code, self.message)
 
     def to_dict(self) -> dict[str, object]:
         """JSON-ready representation (used by ``--format json``)."""
@@ -77,6 +81,8 @@ class Diagnostic:
                 "endLine": self.span.end_line,
                 "endColumn": self.span.end_column,
             }
+        if self.file is not None:
+            out["file"] = self.file
         if self.rule is not None:
             out["rule"] = self.rule
         if self.hint is not None:

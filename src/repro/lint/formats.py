@@ -37,7 +37,7 @@ def render_text(report: LintReport) -> str:
         report.source.splitlines() if report.source is not None else None
     )
     for diagnostic in report:
-        location = report.path
+        location = diagnostic.file or report.path
         if diagnostic.span is not None:
             location += f":{diagnostic.span.line}:{diagnostic.span.column}"
         lines.append(
@@ -152,7 +152,9 @@ def _sarif_result(
         result["locations"] = [
             {
                 "physicalLocation": {
-                    "artifactLocation": {"uri": report.path},
+                    "artifactLocation": {
+                        "uri": diagnostic.file or report.path
+                    },
                     "region": {
                         "startLine": diagnostic.span.line,
                         "startColumn": diagnostic.span.column,

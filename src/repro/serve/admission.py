@@ -35,7 +35,7 @@ class AdmissionTicket:
 
     __slots__ = ("_controller", "_released", "_started")
 
-    def __init__(self, controller: "AdmissionController"):
+    def __init__(self, controller: "AdmissionController") -> None:
         self._controller = controller
         self._released = False
         self._started = time.perf_counter()
@@ -52,7 +52,7 @@ class AdmissionTicket:
 class AdmissionController:
     """Thread-safe admit/shed gate with ``workers + queue_depth`` capacity."""
 
-    def __init__(self, workers: int, queue_depth: int):
+    def __init__(self, workers: int, queue_depth: int) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if queue_depth < 0:

@@ -14,6 +14,7 @@ misbehaving client cannot balloon server memory; violations raise
 
 from __future__ import annotations
 
+import asyncio
 import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
@@ -39,7 +40,7 @@ REASONS = {
 class HttpError(Exception):
     """A protocol-level problem with a definite status code."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
@@ -69,7 +70,7 @@ class Request:
             raise HttpError(400, f"invalid JSON body: {error}") from error
 
 
-async def read_request(reader) -> Request | None:
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
     """Read one request from *reader*; None on a clean EOF.
 
     Raises :class:`HttpError` on malformed input or exceeded limits and

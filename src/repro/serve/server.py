@@ -80,7 +80,7 @@ class ServeConfig:
 class ReproServer:
     """The serving front end over a :class:`TenantRegistry`."""
 
-    def __init__(self, registry: TenantRegistry, config: ServeConfig):
+    def __init__(self, registry: TenantRegistry, config: ServeConfig) -> None:
         self.registry = registry
         self.config = config
         self.admission = AdmissionController(
@@ -131,7 +131,9 @@ class ReproServer:
     # Connection handling                                                 #
     # ----------------------------------------------------------------- #
 
-    async def _handle_connection(self, reader, writer) -> None:
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         try:
             while True:
                 try:
@@ -302,9 +304,15 @@ class ReproServer:
         )
         # The slot is freed when the *thread* finishes, never earlier:
         # a deadline-exceeded request still occupies its worker until
-        # the rewriting/evaluation actually returns.
+        # the rewriting/evaluation actually returns.  A request whose
+        # deadline fires while it is still *queued* gets cancelled by
+        # wait_for before it ever runs -- .exception() on a cancelled
+        # future raises, so check .cancelled() first or the callback
+        # dies and the slot leaks forever.
         future.add_done_callback(
-            lambda f: ticket.release(error=f.exception() is not None)
+            lambda f: ticket.release(
+                error=f.cancelled() or f.exception() is not None
+            )
         )
         try:
             result = await asyncio.wait_for(
@@ -367,11 +375,12 @@ class BackgroundServer:
             ... drive HTTP traffic ...
     """
 
-    def __init__(self, server: ReproServer):
+    def __init__(self, server: ReproServer) -> None:
         self.server = server
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._started = threading.Event()
+        self._boot_error: BaseException | None = None
 
     def start(self) -> tuple[str, int]:
         self._thread = threading.Thread(
@@ -380,6 +389,13 @@ class BackgroundServer:
         self._thread.start()
         if not self._started.wait(timeout=30):
             raise RuntimeError("server failed to start within 30s")
+        if self._boot_error is not None:
+            # The loop thread already closed its loop and is exiting;
+            # join it so no half-dead thread outlives the failed start.
+            self._thread.join(timeout=30)
+            raise RuntimeError(
+                f"server failed to start: {self._boot_error}"
+            ) from self._boot_error
         assert self.server.port is not None
         return self.server.config.host, self.server.port
 
@@ -387,15 +403,21 @@ class BackgroundServer:
         loop = asyncio.new_event_loop()
         self._loop = loop
         asyncio.set_event_loop(loop)
-        # start_server() already accepts connections once bound; the
-        # loop just needs to keep running (no serve_forever task, so
-        # shutdown cannot race the runner's own completion callback).
-        loop.run_until_complete(self.server.start())
-        self._started.set()
         try:
+            # start_server() already accepts connections once bound; the
+            # loop just needs to keep running (no serve_forever task, so
+            # shutdown cannot race the runner's own completion callback).
+            try:
+                loop.run_until_complete(self.server.start())
+            except BaseException as error:  # noqa: BLE001 - report to start()
+                self._boot_error = error
+                return
+            finally:
+                self._started.set()
             loop.run_forever()
         finally:
             loop.close()
+            self._loop = None
 
     def stop(self) -> None:
         loop = self._loop

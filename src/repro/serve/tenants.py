@@ -41,7 +41,7 @@ class _TenantDef:
         ontology: tuple[TGD, ...],
         data: Database | None,
         mappings: tuple[MappingAssertion, ...] | None,
-    ):
+    ) -> None:
         self.ontology = ontology
         self.data = data
         self.mappings = mappings
@@ -55,9 +55,9 @@ class TenantRegistry:
         *,
         cache_dir: str | Path | None = None,
         options: EngineOptions | None = None,
-        backend_factory="sqlite",
+        backend_factory: str = "sqlite",
         max_live: int = 8,
-    ):
+    ) -> None:
         if max_live < 1:
             raise ValueError(f"max_live must be >= 1, got {max_live}")
         self._cache_dir = Path(cache_dir) if cache_dir is not None else None

@@ -1,0 +1,178 @@
+"""The runtime lock-order sanitizer: tracked locks, inversions, wiring."""
+
+import threading
+
+import pytest
+
+from repro.audit import sanitizer
+from repro.audit.order import DECLARED_ORDER
+from repro.audit.sanitizer import TrackedLock, _State
+
+
+def tracked(state, site, reentrant=False):
+    return TrackedLock(state, site, reentrant)
+
+
+@pytest.fixture
+def state():
+    return _State(DECLARED_ORDER)
+
+
+class TestEdgeRecording:
+    def test_nested_acquisition_records_edge(self, state):
+        outer = tracked(state, "repro.foo:1")
+        inner = tracked(state, "repro.bar:2")
+        with outer:
+            with inner:
+                pass
+        assert ("repro.foo:1", "repro.bar:2") in state.edges
+        assert not state.violations
+
+    def test_release_pops_held_stack(self, state):
+        lock = tracked(state, "repro.foo:1")
+        with lock:
+            assert state.held_stack()
+        assert not state.held_stack()
+
+    def test_reentrant_reacquire_is_not_an_edge(self, state):
+        lock = tracked(state, "repro.foo:1", reentrant=True)
+        with lock:
+            with lock:
+                pass
+        assert not state.edges
+        assert not state.violations
+
+
+class TestViolations:
+    def test_declared_order_inversion(self, state):
+        # session (rank 2) held while acquiring tenants (rank 0).
+        inner = tracked(state, "repro.api.session:10")
+        outer = tracked(state, "repro.serve.tenants:5")
+        with inner:
+            with outer:
+                pass
+        (violation,) = state.violations
+        assert violation.kind == "declared-order"
+        assert violation.held_site == "repro.api.session:10"
+        assert violation.acquired_site == "repro.serve.tenants:5"
+
+    def test_declared_order_respected_is_clean(self, state):
+        outer = tracked(state, "repro.serve.tenants:5")
+        inner = tracked(state, "repro.api.session:10")
+        with outer:
+            with inner:
+                pass
+        assert not state.violations
+
+    def test_observed_inversion_between_unranked_locks(self, state):
+        # Neither module is in DECLARED_ORDER; the ABBA pattern is
+        # still caught as a cycle in the observed graph.
+        a = tracked(state, "repro.alpha:1")
+        b = tracked(state, "repro.beta:2")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        (violation,) = state.violations
+        assert violation.kind == "observed-inversion"
+
+    def test_same_order_twice_is_clean(self, state):
+        a = tracked(state, "repro.alpha:1")
+        b = tracked(state, "repro.beta:2")
+        for _ in range(2):
+            with a:
+                with b:
+                    pass
+        assert not state.violations
+
+
+class TestCrossThread:
+    def test_inversion_across_threads_is_detected(self, state):
+        a = tracked(state, "repro.alpha:1")
+        b = tracked(state, "repro.beta:2")
+        with a:
+            with b:
+                pass
+
+        def inverted():
+            with b:
+                with a:
+                    pass
+
+        worker = threading.Thread(target=inverted)
+        worker.start()
+        worker.join(timeout=10)
+        (violation,) = state.violations
+        assert violation.kind == "observed-inversion"
+
+
+class TestInstall:
+    def test_install_wraps_repro_allocations_only(self):
+        if sanitizer.installed():
+            pytest.skip("sanitizer active for this whole run")
+        sanitizer.install()
+        try:
+            namespace = {"__name__": "repro.fake.module", "threading": threading}
+            exec("lock = threading.Lock()", namespace)
+            assert isinstance(namespace["lock"], TrackedLock)
+            # Allocations outside repro.* stay real stdlib locks.
+            assert not isinstance(threading.Lock(), TrackedLock)
+        finally:
+            sanitizer.reset()
+            sanitizer.uninstall()
+        assert threading.Lock is sanitizer._REAL_LOCK
+
+    def test_install_is_idempotent(self):
+        if sanitizer.installed():
+            pytest.skip("sanitizer active for this whole run")
+        sanitizer.install()
+        try:
+            sanitizer.install()
+        finally:
+            sanitizer.reset()
+            sanitizer.uninstall()
+        assert not sanitizer.installed()
+
+    def test_violations_flow_through_module_api(self):
+        if sanitizer.installed():
+            pytest.skip("sanitizer active for this whole run")
+        sanitizer.install()
+        try:
+            namespace = {"__name__": "repro.fake.module", "threading": threading}
+            exec(
+                "a = threading.Lock()\n"
+                "b = threading.Lock()\n",
+                namespace,
+            )
+            a, b = namespace["a"], namespace["b"]
+            with a:
+                with b:
+                    pass
+            with b:
+                with a:
+                    pass
+            assert sanitizer.violations()
+            assert sanitizer.observed_edges()
+            assert "1 violation" in sanitizer.report()
+            sanitizer.reset()
+            assert not sanitizer.violations()
+        finally:
+            sanitizer.reset()
+            sanitizer.uninstall()
+
+
+class TestEnvFlag:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOCK_SANITIZER", raising=False)
+        assert not sanitizer.enabled_from_env()
+
+    def test_zero_and_false_are_off(self, monkeypatch):
+        for value in ("0", "false", ""):
+            monkeypatch.setenv("REPRO_LOCK_SANITIZER", value)
+            assert not sanitizer.enabled_from_env()
+
+    def test_one_is_on(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCK_SANITIZER", "1")
+        assert sanitizer.enabled_from_env()

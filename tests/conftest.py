@@ -32,6 +32,35 @@ settings.register_profile(
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
+# ------------------------------------------------------------------ #
+# Lock-order sanitizer (REPRO_LOCK_SANITIZER=1)                        #
+# ------------------------------------------------------------------ #
+# The nightly CI job runs the whole tier-1 suite with the runtime
+# lock-order sanitizer installed: every Lock/RLock allocated by a
+# repro module is wrapped, acquisition order is recorded globally, and
+# any inversion of the declared order (docs/concurrency.md) fails the
+# run here, even if the schedule never actually deadlocked.
+
+
+def pytest_configure(config):
+    from repro.audit import sanitizer
+
+    if sanitizer.enabled_from_env():
+        sanitizer.install()
+        sanitizer.reset()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    from repro.audit import sanitizer
+
+    if not sanitizer.enabled_from_env() or not sanitizer.installed():
+        return
+    found = sanitizer.violations()
+    if found:
+        session.exitstatus = 3
+        print("\n" + sanitizer.report())
+
+
 @pytest.fixture
 def hierarchy_rules():
     """A three-level concept hierarchy (linear, SWR, everything)."""

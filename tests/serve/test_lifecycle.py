@@ -1,0 +1,78 @@
+"""BackgroundServer lifecycle: failed boots must not leak loop threads."""
+
+import pytest
+
+from repro.api import EngineOptions  # noqa: F401 - parity with test_server
+from repro.data.database import Database
+from repro.lang.parser import parse_database, parse_program
+from repro.serve import (
+    BackgroundServer,
+    ReproServer,
+    ServeConfig,
+    TenantRegistry,
+)
+
+PROGRAM = "R1: professor(X) -> teaches(X, Y)."
+DATA = "professor(ada)."
+
+
+def _server(**config_kwargs):
+    config = ServeConfig(port=0, **config_kwargs)
+    registry = TenantRegistry(options=config.effective_options())
+    registry.register(
+        "default", parse_program(PROGRAM), Database(parse_database(DATA))
+    )
+    return ReproServer(registry, config)
+
+
+class TestBootFailure:
+    def test_start_reraises_boot_error_and_joins_thread(self):
+        server = _server()
+
+        async def boom():
+            raise RuntimeError("bind exploded")
+
+        server.start = boom
+        background = BackgroundServer(server)
+        with pytest.raises(RuntimeError) as info:
+            background.start()
+        assert "bind exploded" in str(info.value)
+        assert isinstance(info.value.__cause__, RuntimeError)
+        # The loop thread exited (no half-dead daemon left behind) and
+        # its loop was closed on the way out.
+        assert background._thread is not None
+        assert not background._thread.is_alive()
+        assert background._loop is None
+        server.registry.close()
+
+    def test_stop_after_failed_boot_is_a_noop(self):
+        server = _server()
+
+        async def boom():
+            raise OSError("address in use")
+
+        server.start = boom
+        background = BackgroundServer(server)
+        with pytest.raises(RuntimeError):
+            background.start()
+        background.stop()
+        background.stop()
+        server.registry.close()
+
+
+class TestCleanShutdown:
+    def test_stop_joins_the_loop_thread(self):
+        server = _server()
+        background = BackgroundServer(server)
+        background.start()
+        background.stop()
+        assert background._thread is not None
+        assert not background._thread.is_alive()
+        assert background._loop is None
+
+    def test_stop_is_idempotent(self):
+        server = _server()
+        with BackgroundServer(server):
+            pass
+        # __exit__ already stopped it; stopping again must not raise.
+        BackgroundServer.stop(BackgroundServer(server))

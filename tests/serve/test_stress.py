@@ -1,0 +1,117 @@
+"""Admission-slot accounting under deadline churn.
+
+The contract under test: a request that outruns its deadline while its
+work is still queued or running gets its 504 immediately, but the slot
+is released *exactly once* -- by the executor-thread done-callback,
+never by the timeout path.  Under 16 concurrent clients mixing fast
+and deliberately slow queries, the books must balance afterwards:
+``admitted == completed + errors`` and ``inflight`` back to 0.  A
+double release would drive ``completed + errors`` past ``admitted``;
+a leaked slot would leave ``inflight`` stuck above 0 (and eventually
+shed everything).
+"""
+
+import http.client
+import itertools
+import json
+import threading
+import time
+
+from repro.data.database import Database
+from repro.lang.parser import parse_database, parse_program
+from repro.serve import (
+    BackgroundServer,
+    ReproServer,
+    ServeConfig,
+    TenantRegistry,
+)
+
+PROGRAM = (
+    "R1: professor(X) -> teaches(X, Y). "
+    "R2: assoc_prof(X) -> professor(X)."
+)
+DATA = "professor(ada). assoc_prof(bob)."
+QUERY = "q(X) :- teaches(X, Y)"
+
+CLIENTS = 16
+REQUESTS_PER_CLIENT = 2
+
+
+def _request(host, port, payload, timeout=30):
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("POST", "/v1/query", body=json.dumps(payload))
+        response = conn.getresponse()
+        response.read()
+        return response.status
+    finally:
+        conn.close()
+
+
+class TestDeadlineChurn:
+    def test_tickets_release_exactly_once_under_timeout_churn(self, tmp_path):
+        config = ServeConfig(
+            port=0, workers=2, queue_depth=2, deadline_seconds=0.25
+        )
+        registry = TenantRegistry(options=config.effective_options())
+        registry.register(
+            "default", parse_program(PROGRAM), Database(parse_database(DATA))
+        )
+        server = ReproServer(registry, config)
+
+        # Every other admitted request outruns the deadline on purpose.
+        calls = itertools.count()
+        counter_guard = threading.Lock()
+
+        def before_execute():
+            with counter_guard:
+                slow = next(calls) % 2 == 1
+            if slow:
+                time.sleep(0.6)
+
+        server._before_execute = before_execute
+
+        statuses = []
+        statuses_guard = threading.Lock()
+
+        def client():
+            for _ in range(REQUESTS_PER_CLIENT):
+                try:
+                    status = _request(host, port, {"query": QUERY})
+                except OSError:
+                    status = -1
+                with statuses_guard:
+                    statuses.append(status)
+
+        with BackgroundServer(server) as (host, port):
+            threads = [
+                threading.Thread(target=client, name=f"client-{i}")
+                for i in range(CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not any(thread.is_alive() for thread in threads)
+
+            # Deadline-exceeded requests already got their 504, but
+            # their worker threads may still be finishing; wait for the
+            # done-callbacks to drain every slot.
+            drain_deadline = time.time() + 30
+            while time.time() < drain_deadline:
+                if server.admission.inflight == 0:
+                    break
+                time.sleep(0.02)
+
+            stats = server.admission.stats()
+
+        assert len(statuses) == CLIENTS * REQUESTS_PER_CLIENT
+        assert -1 not in statuses, "clients saw transport errors"
+        assert set(statuses) <= {200, 429, 504}
+        # The churn actually exercised the timeout path.
+        assert stats["deadline_exceeded"] > 0
+        assert 504 in statuses
+        # Exactly-once release: the books balance and nothing leaks.
+        assert stats["inflight"] == 0
+        assert stats["admitted"] == stats["completed"] + stats["errors"]
+        assert stats["admitted"] + stats["shed"] == len(statuses)
