@@ -132,11 +132,30 @@ def run(argv: list[str] | None = None) -> int:
         action="store_true",
         help="copy benchmarks/out/*.json over the committed baselines",
     )
+    parser.add_argument(
+        "--only",
+        action="append",
+        metavar="NAME",
+        help="restrict to artifact NAME (stem or filename; repeatable) "
+        "-- lets a CI job gate just the artifact it produced instead "
+        "of staging a filtered baseline directory",
+    )
     parser.add_argument("--out-dir", type=Path, default=DEFAULT_OUT)
     parser.add_argument("--baseline-dir", type=Path, default=DEFAULT_BASELINES)
     args = parser.parse_args(argv)
 
-    artifacts = sorted(args.out_dir.glob("*.json"))
+    only = set(args.only or ())
+
+    def selected(path: Path) -> bool:
+        return not only or path.stem in only or path.name in only
+
+    artifacts = sorted(p for p in args.out_dir.glob("*.json") if selected(p))
+    if only and not artifacts:
+        print(
+            f"--only matched no artifacts in {args.out_dir} "
+            f"(asked for: {', '.join(sorted(only))})"
+        )
+        return 2
     if args.update_baselines:
         if not artifacts:
             print(f"no JSON artifacts in {args.out_dir}; run the benches first")
@@ -147,7 +166,9 @@ def run(argv: list[str] | None = None) -> int:
             print(f"baseline updated: {artifact.name}")
         return 0
 
-    baselines = sorted(args.baseline_dir.glob("*.json"))
+    baselines = sorted(
+        p for p in args.baseline_dir.glob("*.json") if selected(p)
+    )
     if not baselines:
         print(f"no baselines in {args.baseline_dir}; nothing to gate")
         return 0

@@ -63,7 +63,7 @@ from repro.rewriting.datalog_target import DatalogRewriting
 from repro.rewriting.rewriter import RewritingResult
 from repro.rewriting.store import budget_digest, ontology_digest, query_digest
 
-CACHE_SCHEMA_VERSION = 3
+CACHE_SCHEMA_VERSION = 4
 """On-disk layout version; a mismatch resets the cache file.
 
 Version 2 added the ``datalog_rewritings`` table (the nonrecursive-
@@ -73,6 +73,11 @@ text of the *input* query, which makes stored entries enumerable --
 the serving layer's boot warm-up (:meth:`repro.api.Session.warm_up`)
 re-prepares every stored query of an ontology so a restarted server
 reaches steady state with zero fresh rewrites.
+Version 4 added the ``materialized_cores`` table: chased-core
+snapshots of the hybrid answering layer (:mod:`repro.hybrid.store`),
+keyed by (core rules, ABox, budget) and carrying the full ontology
+digest so :meth:`RewritingCache.evict_ontologies` retires them
+together with the ontology's rewritings.
 """
 
 DEFAULT_CACHE_FILENAME = "rewritings.sqlite"
@@ -203,6 +208,7 @@ class RewritingCache:
             connection.executescript(
                 "DROP TABLE IF EXISTS rewritings; "
                 "DROP TABLE IF EXISTS datalog_rewritings; "
+                "DROP TABLE IF EXISTS materialized_cores; "
                 "DELETE FROM meta;"
             )
             row = None
@@ -249,6 +255,20 @@ class RewritingCache:
         connection.execute(
             "CREATE INDEX IF NOT EXISTS ix_datalog_rewritings_ontology "
             "ON datalog_rewritings (ontology_digest)"
+        )
+        connection.execute(
+            """
+            CREATE TABLE IF NOT EXISTS materialized_cores (
+                cache_key       TEXT PRIMARY KEY,
+                ontology_digest TEXT NOT NULL,
+                payload         TEXT NOT NULL,
+                created_at      TEXT NOT NULL DEFAULT (datetime('now'))
+            )
+            """
+        )
+        connection.execute(
+            "CREATE INDEX IF NOT EXISTS ix_materialized_cores_ontology "
+            "ON materialized_cores (ontology_digest)"
         )
         connection.commit()
         return connection
@@ -440,6 +460,59 @@ class RewritingCache:
             except sqlite3.DatabaseError:
                 self._quarantine()
 
+    def get_core(self, cache_key: str) -> str | None:
+        """The stored materialized-core snapshot payload, or None.
+
+        Keys come from :func:`repro.hybrid.store.core_key`; the payload
+        is the opaque JSON produced by ``encode_core``.  Never raises.
+        """
+        with self._lock:
+            if self._connection is None:
+                self._misses += 1
+                obs.count("api.cache.misses")
+                return None
+            try:
+                row = self._connection.execute(
+                    "SELECT payload FROM materialized_cores "
+                    "WHERE cache_key = ?",
+                    (cache_key,),
+                ).fetchone()
+            except sqlite3.DatabaseError:
+                self._quarantine()
+                row = None
+            if row is None:
+                self._misses += 1
+                obs.count("api.cache.misses")
+                return None
+            self._hits += 1
+            obs.count("api.cache.hits")
+            return str(row[0])
+
+    def put_core(
+        self, cache_key: str, ontology_digest: str, payload: str
+    ) -> None:
+        """Persist a materialized-core snapshot.  Never raises.
+
+        *ontology_digest* is the **full** ontology's digest -- not the
+        core subset's -- so :meth:`evict_ontologies` retires core
+        snapshots together with the ontology's rewritings.
+        """
+        with self._lock:
+            if self._connection is None:
+                return
+            try:
+                self._connection.execute(
+                    "INSERT OR REPLACE INTO materialized_cores "
+                    "(cache_key, ontology_digest, payload) "
+                    "VALUES (?, ?, ?)",
+                    (cache_key, ontology_digest, payload),
+                )
+                self._connection.commit()
+                self._writes += 1
+                obs.count("api.cache.writes")
+            except sqlite3.DatabaseError:
+                self._quarantine()
+
     def _delete(self, key: CacheKey, table: str = "rewritings") -> None:
         if self._connection is None:
             return
@@ -472,7 +545,8 @@ class RewritingCache:
             try:
                 row = self._connection.execute(
                     "SELECT (SELECT COUNT(*) FROM rewritings) + "
-                    "(SELECT COUNT(*) FROM datalog_rewritings)"
+                    "(SELECT COUNT(*) FROM datalog_rewritings) + "
+                    "(SELECT COUNT(*) FROM materialized_cores)"
                 ).fetchone()
                 return int(row[0])
             except sqlite3.DatabaseError:
@@ -489,7 +563,9 @@ class RewritingCache:
                     "SELECT ontology_digest, COUNT(*) FROM ("
                     "SELECT ontology_digest FROM rewritings "
                     "UNION ALL "
-                    "SELECT ontology_digest FROM datalog_rewritings) "
+                    "SELECT ontology_digest FROM datalog_rewritings "
+                    "UNION ALL "
+                    "SELECT ontology_digest FROM materialized_cores) "
                     "GROUP BY ontology_digest ORDER BY ontology_digest"
                 ).fetchall()
             except sqlite3.DatabaseError:
@@ -498,22 +574,27 @@ class RewritingCache:
         return iter([(str(d), int(n)) for d, n in rows])
 
     def counts(self) -> dict[str, int]:
-        """Per-table entry counts: ``{"ucq": n, "datalog": m}``.
+        """Per-table entry counts: ``{"ucq": n, "datalog": m, "cores": k}``.
 
         Never raises; a closed or broken cache reports zeros.
         """
         with self._lock:
             if self._connection is None:
-                return {"ucq": 0, "datalog": 0}
+                return {"ucq": 0, "datalog": 0, "cores": 0}
             try:
                 row = self._connection.execute(
                     "SELECT (SELECT COUNT(*) FROM rewritings), "
-                    "(SELECT COUNT(*) FROM datalog_rewritings)"
+                    "(SELECT COUNT(*) FROM datalog_rewritings), "
+                    "(SELECT COUNT(*) FROM materialized_cores)"
                 ).fetchone()
-                return {"ucq": int(row[0]), "datalog": int(row[1])}
+                return {
+                    "ucq": int(row[0]),
+                    "datalog": int(row[1]),
+                    "cores": int(row[2]),
+                }
             except sqlite3.DatabaseError:
                 self._quarantine()
-                return {"ucq": 0, "datalog": 0}
+                return {"ucq": 0, "datalog": 0, "cores": 0}
 
     def stored_queries(
         self,
@@ -575,7 +656,11 @@ class RewritingCache:
             try:
                 before = len(self)
                 placeholders = ",".join("?" for _ in keep) or "''"
-                for table in ("rewritings", "datalog_rewritings"):
+                for table in (
+                    "rewritings",
+                    "datalog_rewritings",
+                    "materialized_cores",
+                ):
                     self._connection.execute(
                         f"DELETE FROM {table} WHERE ontology_digest "
                         f"NOT IN ({placeholders})",

@@ -31,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     import argparse
 
 _MINIMIZE_MODES = ("thread", "process")
+_HYBRID_MODES = ("off", "auto", "rewrite", "split", "materialize")
 
 #: The ``Session.__init__`` keywords superseded by :class:`EngineOptions`.
 LEGACY_OPTION_KEYS = (
@@ -70,6 +71,14 @@ class EngineOptions:
             parallel minimization.
         target: rewriting target -- ``"ucq"``, ``"datalog"`` or
             ``"auto"`` (see :data:`repro.rewriting.engine.TARGETS`).
+        hybrid: hybrid answering mode -- ``"off"`` (default; pure
+            rewriting), ``"auto"`` (cost model picks REWRITE / SPLIT /
+            MATERIALIZE per workload), or one of ``"rewrite"`` /
+            ``"split"`` / ``"materialize"`` to pin the regime (see
+            :mod:`repro.hybrid`).
+        hybrid_threshold: delta fraction of the materialized instance
+            above which incremental maintenance falls back to a full
+            re-chase (in ``(0, 1]``).
     """
 
     budget: RewritingBudget = field(default_factory=RewritingBudget.default)
@@ -79,6 +88,8 @@ class EngineOptions:
     minimize_workers: int | None = None
     minimize_mode: str = "thread"
     target: str = "ucq"
+    hybrid: str = "off"
+    hybrid_threshold: float = 0.5
 
     def __post_init__(self) -> None:
         from repro.rewriting.engine import TARGETS
@@ -87,6 +98,16 @@ class EngineOptions:
             raise ValueError(
                 f"unknown rewriting target {self.target!r}; "
                 f"expected one of {TARGETS}"
+            )
+        if self.hybrid not in _HYBRID_MODES:
+            raise ValueError(
+                f"unknown hybrid mode {self.hybrid!r}; "
+                f"expected one of {_HYBRID_MODES}"
+            )
+        if not 0.0 < self.hybrid_threshold <= 1.0:
+            raise ValueError(
+                "hybrid_threshold must be in (0, 1], got "
+                f"{self.hybrid_threshold!r}"
             )
         if self.minimize_mode not in _MINIMIZE_MODES:
             raise ValueError(
@@ -145,6 +166,8 @@ class EngineOptions:
             minimize_workers=getattr(args, "minimize_workers", None),
             minimize_mode=getattr(args, "minimize_mode", "thread"),
             target=getattr(args, "target", "ucq"),
+            hybrid=getattr(args, "hybrid", "off"),
+            hybrid_threshold=getattr(args, "hybrid_threshold", 0.5),
         )
 
 

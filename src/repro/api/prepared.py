@@ -260,6 +260,19 @@ class PreparedQuery:
             ),
         }
 
+    def _invalidate_data_caches(self) -> None:
+        """Drop artifacts derived from the session's *data*.
+
+        Called by :meth:`Session.insert` / :meth:`Session.delete`: the
+        rewriting itself depends only on the ontology and survives, but
+        the static pruning (and the SQL compiled from the pruned UCQ)
+        was computed against the old ABox vocabulary — a disjunct that
+        was statically empty may now match.
+        """
+        with self._lock:
+            self._pruned = None
+            self._sql = None
+
     # ----------------------------------------------------------------- #
     # Execution                                                           #
     # ----------------------------------------------------------------- #

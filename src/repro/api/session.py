@@ -51,9 +51,40 @@ from repro.rewriting.store import budget_digest, ontology_digest
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis import AnalysisReport
     from repro.checkers import CheckConfig
+    from repro.hybrid.cost import HybridDecision
+    from repro.hybrid.maintain import MaintenanceResult, MaterializedCore
     from repro.lint.diagnostics import LintReport
 
 _BACKENDS = ("memory", "sql")
+
+#: Chase step budget for building a hybrid materialized core; matches
+#: the strategy layer's chase ceiling.
+HYBRID_CHASE_MAX_STEPS = 200_000
+
+
+class _HybridState:
+    """Everything the hybrid answering regime keeps per session.
+
+    ``core`` is None for a REWRITE decision (nothing materialized);
+    ``residual_engine`` is set only for SPLIT; ``backend`` is the lazy
+    SQL backend over the materialized instance, rebuilt when a
+    maintenance operation falls back to a full re-chase.
+    """
+
+    __slots__ = ("decision", "rules", "core", "residual_engine", "backend")
+
+    def __init__(
+        self,
+        decision: "HybridDecision",
+        rules: tuple[TGD, ...],
+        core: "MaterializedCore | None",
+        residual_engine: FORewritingEngine | None,
+    ) -> None:
+        self.decision = decision
+        self.rules = rules
+        self.core = core
+        self.residual_engine = residual_engine
+        self.backend: Backend | None = None
 
 
 class Session:
@@ -132,6 +163,8 @@ class Session:
         self._sql_backend: Backend | None = None
         self._classification: ClassificationReport | None = None
         self._analysis: "AnalysisReport | None" = None
+        self._hybrid: "_HybridState | None" = None
+        self._hybrid_ready = False
         self._closed = False
 
     # ----------------------------------------------------------------- #
@@ -468,6 +501,269 @@ class Session:
         """The SQL text the rewriting of *query* compiles to."""
         return self.prepare(query, target=target).sql
 
+    # ----------------------------------------------------------------- #
+    # Hybrid answering + ABox mutation                                    #
+    # ----------------------------------------------------------------- #
+
+    def hybrid_decision(self) -> "HybridDecision | None":
+        """The cost model's REWRITE/SPLIT/MATERIALIZE decision.
+
+        None when the session runs with ``options.hybrid="off"``.
+        Building the decision needs the session's data (relation
+        cardinalities) and analysis; it is memoized together with the
+        materialized core it may imply.
+        """
+        state = self._hybrid_state()
+        return state.decision if state is not None else None
+
+    def _hybrid_state(self) -> "_HybridState | None":
+        if self._options.hybrid == "off":
+            return None
+        with self._lock:
+            if self._hybrid_ready:
+                return self._hybrid
+            from repro.hybrid.cost import HybridChoice, decide
+            from repro.hybrid.store import load_or_build
+
+            abox = self.abox()
+            analysis = self.analyze()
+            partition = analysis.separability
+            decision = decide(
+                partition=partition,
+                certificate=analysis.certificate,
+                data_size=len(abox),
+                relation_sizes={
+                    name: abox.count(name) for name in abox.relations()
+                },
+                workload_weight=max(1, len(self._prepared)),
+                mode=self._options.hybrid,
+            )
+            if decision.choice is HybridChoice.REWRITE:
+                state = _HybridState(decision, (), None, None)
+            else:
+                rules = (
+                    self._ontology
+                    if decision.choice is HybridChoice.MATERIALIZE
+                    else partition.core
+                )
+                core = load_or_build(
+                    self._cache,
+                    self.ontology_digest,
+                    rules,
+                    abox,
+                    max_steps=HYBRID_CHASE_MAX_STEPS,
+                    threshold=self._options.hybrid_threshold,
+                )
+                residual_engine = None
+                if decision.choice is HybridChoice.SPLIT:
+                    tier = (
+                        EngineTier(
+                            self._cache,
+                            partition.residual,
+                            self._options.budget,
+                        )
+                        if self._cache is not None
+                        else None
+                    )
+                    residual_engine = FORewritingEngine(
+                        partition.residual,
+                        budget=self._options.budget,
+                        filter_relevant=self._options.filter_relevant,
+                        persistent=tier,
+                        minimize_workers=self._options.minimize_workers,
+                        minimize_mode=self._options.minimize_mode,
+                        target="ucq",
+                    )
+                state = _HybridState(
+                    decision, tuple(rules), core, residual_engine
+                )
+            self._hybrid = state
+            self._hybrid_ready = True
+            return state
+
+    def _hybrid_answer(
+        self,
+        prepared: PreparedQuery,
+        state: "_HybridState",
+        *,
+        backend: str,
+        require_complete: bool,
+    ) -> frozenset[tuple[Term, ...]]:
+        """Answer over the materialized instance (SPLIT/MATERIALIZE).
+
+        MATERIALIZE evaluates the *original* query over the full chase;
+        SPLIT rewrites w.r.t. the residual rules only and evaluates
+        that rewriting over the chased core — the separability
+        guarantee ``cert(q, S∪R, D) = cert(rewrite_R(q), chase_S(D))``.
+        Both evaluate with certain-answer semantics (null-bearing rows
+        are never answers).
+        """
+        from repro.hybrid.cost import HybridChoice
+
+        core = state.core
+        assert core is not None
+        if state.decision.choice is HybridChoice.MATERIALIZE:
+            ucq = prepared.query
+        else:
+            assert state.residual_engine is not None
+            result = state.residual_engine._rewrite(prepared.query)
+            FORewritingEngine._check_complete(result, require_complete)
+            ucq = result.ucq
+        regime = state.decision.choice.value
+        if backend == "sql":
+            from repro.lang.terms import Null
+
+            hybrid_backend = self._hybrid_backend(state)
+            hybrid_backend.ensure_ucq(ucq)
+            with obs.span(
+                "obda.answer", backend="sqlite", hybrid=regime
+            ) as span:
+                rows = hybrid_backend.execute_ucq(ucq)
+                answers = frozenset(
+                    row
+                    for row in rows
+                    if not any(isinstance(term, Null) for term in row)
+                )
+                span.set(answers=len(answers))
+            return answers
+        from repro.data.evaluation import evaluate_ucq
+
+        with obs.span("obda.answer", backend="memory", hybrid=regime) as span:
+            answers = evaluate_ucq(ucq, core.instance, certain=True)
+            span.set(answers=len(answers))
+        return answers
+
+    def _hybrid_backend(self, state: "_HybridState") -> Backend:
+        """The lazy SQL backend mirroring the materialized instance."""
+        with self._lock:
+            if state.backend is None:
+                assert state.core is not None
+                instance = state.core.instance
+                signature = Signature(dict(instance.signature))
+                for rule in self._ontology:
+                    signature.observe_tgd(rule)
+                backend = create_backend(self._backend_factory, signature)
+                backend.load(instance.facts())
+                state.backend = backend
+            return state.backend
+
+    def insert(
+        self, facts: "Iterable[Any] | str"
+    ) -> "MaintenanceResult | None":
+        """Add ABox facts; incrementally maintain derived state.
+
+        Accepts parsed atoms or database text (``"a(c). r(c, d)."``).
+        The virtual ABox, the SQL backend, static pruning, and — when a
+        hybrid core is materialized — the chase closure are all brought
+        up to date; the core uses a semi-naive delta chase unless the
+        delta exceeds ``options.hybrid_threshold`` of the instance.
+        Returns the core's :class:`MaintenanceResult`, or None when no
+        core is materialized.
+        """
+        return self._mutate(facts, delete=False)
+
+    def delete(
+        self, facts: "Iterable[Any] | str"
+    ) -> "MaintenanceResult | None":
+        """Remove ABox facts; incrementally maintain derived state.
+
+        The materialized core (when present) retracts consequences via
+        DRed-style overestimate-then-rederive instead of re-chasing.
+        Returns the core's :class:`MaintenanceResult`, or None when no
+        core is materialized.
+        """
+        return self._mutate(facts, delete=True)
+
+    def _mutate(
+        self, facts: "Iterable[Any] | str", *, delete: bool
+    ) -> "MaintenanceResult | None":
+        if isinstance(facts, str):
+            from repro.lang.parser import parse_database
+
+            atoms = tuple(parse_database(facts))
+        else:
+            atoms = tuple(facts)
+        with self._lock, obs.span(
+            "session.mutate",
+            op="delete" if delete else "insert",
+            facts=len(atoms),
+        ):
+            abox = self.abox()
+            if abox is self._source:
+                # Mutations must never reach the caller's database
+                # object; fork the virtual ABox on first write.
+                abox = self._abox = self._source.copy()
+            if delete:
+                changed = [fact for fact in atoms if abox.discard(fact)]
+                obs.count("session.deletes", len(changed))
+            else:
+                changed = [fact for fact in atoms if abox.add(fact)]
+                obs.count("session.inserts", len(changed))
+            # Data-derived compilation state is stale now: the pruning
+            # vocabulary (and SQL compiled from pruned UCQs) must be
+            # recomputed against the new ABox.
+            self._pruning = None
+            self._pruning_ready = False
+            for prepared in self._prepared.values():
+                prepared._invalidate_data_caches()
+            self._refresh_backend(changed, delete=delete)
+            result: "MaintenanceResult | None" = None
+            state = self._hybrid if self._hybrid_ready else None
+            if state is not None and state.core is not None:
+                result = (
+                    state.core.apply_delete(changed)
+                    if delete
+                    else state.core.apply_insert(changed)
+                )
+                self._refresh_hybrid_backend(state, result)
+            return result
+
+    def _refresh_backend(
+        self, changed: Sequence[Any], *, delete: bool
+    ) -> None:
+        """Propagate an ABox delta into the main SQL backend (if built)."""
+        backend = self._sql_backend
+        if backend is None or not changed:
+            return
+        if delete:
+            remove = getattr(backend, "delete", None)
+            if remove is None:
+                # The backend cannot unload rows; drop it and let the
+                # next use rebuild from the mutated ABox.
+                if not getattr(backend, "closed", False):
+                    backend.close()
+                # audit: ok[RL302] only called from _mutate, under self._lock
+                self._sql_backend = None
+            else:
+                remove(changed)
+        else:
+            backend.ensure_atoms(changed)
+            backend.load(changed)
+
+    def _refresh_hybrid_backend(
+        self, state: "_HybridState", result: "MaintenanceResult"
+    ) -> None:
+        """Mirror a maintenance delta into the hybrid SQL backend."""
+        backend = state.backend
+        if backend is None:
+            return
+        if result.full_rechase:
+            if not getattr(backend, "closed", False):
+                backend.close()
+            state.backend = None
+            return
+        if result.removed:
+            remove = getattr(backend, "delete", None)
+            if remove is None:
+                if not getattr(backend, "closed", False):
+                    backend.close()
+                state.backend = None
+                return
+            remove(result.removed)
+        if result.added:
+            backend.ensure_atoms(result.added)
+            backend.load(result.added)
+
     def _execute(
         self,
         prepared: PreparedQuery,
@@ -488,6 +784,20 @@ class Session:
                 backend=backend,
                 require_complete=require_complete,
             )
+        if database is None and self._options.hybrid != "off":
+            from repro.hybrid.cost import HybridChoice
+
+            state = self._hybrid_state()
+            if (
+                state is not None
+                and state.decision.choice is not HybridChoice.REWRITE
+            ):
+                return self._hybrid_answer(
+                    prepared,
+                    state,
+                    backend=backend,
+                    require_complete=require_complete,
+                )
         if backend == "sql":
             if database is not None:
                 raise ReproError(
@@ -667,6 +977,7 @@ class Session:
                 "entries": counts["ucq"] + counts["datalog"],
                 "ucq_entries": counts["ucq"],
                 "datalog_entries": counts["datalog"],
+                "core_entries": counts.get("cores", 0),
                 "path": str(self._cache.path),
             }
         return stats
@@ -686,6 +997,10 @@ class Session:
                 if not getattr(self._sql_backend, "closed", False):
                     self._sql_backend.close()
                 self._sql_backend = None
+            if self._hybrid is not None and self._hybrid.backend is not None:
+                if not getattr(self._hybrid.backend, "closed", False):
+                    self._hybrid.backend.close()
+                self._hybrid.backend = None
             if self._cache is not None:
                 self._cache.close()
 

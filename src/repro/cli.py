@@ -164,6 +164,24 @@ def _add_engine_options(
         default="thread",
         help="worker pool for --minimize-workers (default: thread)",
     )
+    group.add_argument(
+        "--hybrid",
+        choices=("off", "auto", "rewrite", "split", "materialize"),
+        default="off",
+        help="hybrid answering regime: cost-model choice between pure "
+        "rewriting, separability-driven partial materialization "
+        "(split) and full materialization with incremental "
+        "maintenance (default: off)",
+    )
+    group.add_argument(
+        "--hybrid-threshold",
+        type=float,
+        default=0.5,
+        metavar="FRACTION",
+        help="delta size (as a fraction of the materialized instance) "
+        "past which maintenance falls back to a full re-chase "
+        "(default: 0.5)",
+    )
     if target:
         group.add_argument(
             "--target",
@@ -199,7 +217,34 @@ def cmd_classify(args: argparse.Namespace) -> int:
                 print(check.explain())
         print()
         print(_termination_summary(rules))
+        print()
+        print(_hybrid_summary(rules))
     return 0
+
+
+def _hybrid_summary(rules) -> str:
+    """Render the hybrid cost model's verdict for --explain.
+
+    Classification sees no data, so the estimates are the data-free
+    ones (size 1); the live decision a :class:`~repro.api.Session`
+    makes additionally weighs the actual relation cardinalities.
+    """
+    from repro.analysis.separability import separate
+    from repro.hybrid.cost import decide
+
+    partition = separate(rules)
+    decision = decide(partition=partition)
+    lines = [f"hybrid regime: {decision.choice.value}"]
+    lines.append(f"  reason: {decision.reason}")
+    lines.append(f"  feasible: {', '.join(decision.feasible)}")
+    for name, cost in sorted(decision.estimates.items()):
+        lines.append(f"  estimate[{name}]: {cost:.0f}")
+    if partition.proper:
+        lines.append(
+            f"  partition: {len(partition.core)}-rule core / "
+            f"{len(partition.residual)}-rule residual"
+        )
+    return "\n".join(lines)
 
 
 def _termination_summary(rules) -> str:

@@ -55,7 +55,14 @@ class Backend(Protocol):
         ...
 
     def load(self, facts: Iterable[Atom]) -> int:
-        """Bulk-insert ground facts; returns the number of rows stored."""
+        """Bulk-insert ground facts; returns the number of rows stored.
+
+        Backends may additionally implement the *optional* ``delete(facts)
+        -> int`` counterpart; the session layer probes for it with
+        ``getattr`` when propagating ABox deletions (incremental
+        maintenance, :mod:`repro.hybrid`) and rebuilds the backend from
+        scratch when it is absent.
+        """
         ...
 
     def ensure_atoms(self, atoms: Iterable[Atom]) -> None:

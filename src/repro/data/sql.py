@@ -265,6 +265,34 @@ class SQLiteBackend:
             obs.count("sql.rows_loaded", count)
         return count
 
+    def delete(self, facts: Iterable[Atom]) -> int:
+        """Remove facts; returns the number of rows deleted.
+
+        The incremental-maintenance counterpart of :meth:`load` (see
+        :mod:`repro.hybrid.maintain`): relations the backend never saw
+        are ignored, and deleting an absent fact is a no-op, so callers
+        can hand over a raw delta without pre-filtering.
+        """
+        with obs.span("sql.delete") as span, self._lock:
+            connection = self._conn()
+            count = 0
+            for fact in facts:
+                if fact.relation not in self._signature.relations():
+                    continue
+                conditions = " AND ".join(
+                    f"c{i} = ?" for i in range(1, len(fact.terms) + 1)
+                ) or "1 = 1"
+                cursor = connection.execute(
+                    f"DELETE FROM {_quote_ident(fact.relation)} "
+                    f"WHERE {conditions}",
+                    tuple(_encode(t) for t in fact.terms),
+                )
+                count += cursor.rowcount if cursor.rowcount > 0 else 0
+            connection.commit()
+            span.set(rows=count)
+            obs.count("sql.rows_deleted", count)
+        return count
+
     def _run(self, sql: str) -> list:
         """Execute *sql*, tracking statement/row/VM-progress counters.
 

@@ -1,0 +1,196 @@
+"""Materialized-core snapshots: digests and a JSON codec.
+
+A :class:`repro.hybrid.maintain.MaterializedCore` is expensive to
+build (a full restricted chase) but cheap to serialize: its state is
+the base facts, the closed instance, and the valid firing provenance.
+This module turns a core into a JSON payload and back, so the
+persistent :class:`repro.api.cache.RewritingCache` can hand a warm
+core to the next process the way it already hands out rewritings.
+
+Snapshots are keyed by ``(engine version, core-rules digest, ABox
+digest, max_steps)`` — any change to the rules or the data produces a
+different key — while each row also carries the *full* ontology digest
+so ``evict_ontologies`` retires core snapshots together with the
+rewritings of a replaced ontology (the eviction-discipline bugfix this
+PR pins with a regression test).
+
+Term encoding reuses the SQL backend's tagged-text codec
+(``s:``/``i:``/``n:``), so null labels survive the round trip and the
+restored :class:`~repro.chase.nulls.NullFactory` resumes counting past
+every label already issued.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Sequence
+
+from repro import obs
+from repro.data.database import Database
+from repro.data.sql import _decode, _encode
+from repro.hybrid.maintain import Firing, MaterializedCore
+from repro.lang.atoms import Atom
+from repro.lang.tgd import TGD
+from repro.rewriting.store import ontology_digest
+
+#: Bump when the snapshot layout changes; stale payloads are ignored
+#: (the core is rebuilt and re-stored), never misread.
+SNAPSHOT_VERSION = 1
+
+
+def abox_digest(database: Database) -> str:
+    """Order-independent digest of a fact set."""
+    rows = sorted(
+        "".join([fact.relation, *(_encode(t) for t in fact.terms)])
+        for fact in database.facts()
+    )
+    digest = hashlib.sha256()
+    for row in rows:
+        digest.update(row.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def core_key(
+    rules: Sequence[TGD], data_digest: str, max_steps: int
+) -> str:
+    """Cache key for one (core rules, ABox, budget) combination."""
+    return "/".join(
+        [
+            f"v{SNAPSHOT_VERSION}",
+            ontology_digest(tuple(rules)),
+            data_digest,
+            str(max_steps),
+        ]
+    )
+
+
+def encode_core(core: MaterializedCore) -> str:
+    """Serialize a core's state (valid provenance only) to JSON."""
+    facts = list(core.instance.facts())
+    index = {fact: i for i, fact in enumerate(facts)}
+    encoded_facts = [
+        [fact.relation, [_encode(term) for term in fact.terms]]
+        for fact in facts
+    ]
+    firings = []
+    for firing_id, firing in enumerate(core._firings):
+        if not firing.valid:
+            continue
+        supported = [
+            index[fact]
+            for fact in firing.produced
+            if firing_id in core._supports.get(fact, ())
+        ]
+        firings.append(
+            [
+                firing.rule_index,
+                [index[fact] for fact in firing.body_facts],
+                [
+                    index[fact]
+                    for fact in firing.produced
+                    if fact in index
+                ],
+                supported,
+            ]
+        )
+    payload = {
+        "version": SNAPSHOT_VERSION,
+        "facts": encoded_facts,
+        "base": sorted(index[fact] for fact in core.base.facts()),
+        "firings": firings,
+        "nulls": core._nulls.created,
+    }
+    return json.dumps(payload, separators=(",", ":"))
+
+
+def decode_core(
+    payload: str,
+    rules: Sequence[TGD],
+    *,
+    max_steps: int,
+    threshold: float,
+) -> MaterializedCore | None:
+    """Restore a core from :func:`encode_core` output.
+
+    Returns None on any malformed or version-mismatched payload — the
+    caller falls back to a fresh chase, exactly like a cache miss.
+    """
+    try:
+        data = json.loads(payload)
+        if data.get("version") != SNAPSHOT_VERSION:
+            return None
+        facts = [
+            Atom(relation, [_decode(text) for text in terms])
+            for relation, terms in data["facts"]
+        ]
+        base = Database(facts[i] for i in data["base"])
+        core = MaterializedCore(
+            rules, Database(), max_steps=max_steps, threshold=threshold
+        )
+        core.base = base
+        core.instance = Database(facts)
+        core._firings = []
+        core._supports = {}
+        core._uses = {}
+        for rule_index, body_idx, produced_idx, supported_idx in (
+            data["firings"]
+        ):
+            if not 0 <= rule_index < len(core.rules):
+                return None
+            firing_id = len(core._firings)
+            body_facts = tuple(facts[i] for i in body_idx)
+            produced = tuple(facts[i] for i in produced_idx)
+            core._firings.append(
+                Firing(
+                    rule_index=rule_index,
+                    body_facts=body_facts,
+                    produced=produced,
+                )
+            )
+            for fact in body_facts:
+                core._uses.setdefault(fact, set()).add(firing_id)
+            for i in supported_idx:
+                core._supports.setdefault(facts[i], set()).add(firing_id)
+        core._nulls._count = int(data["nulls"])
+        return core
+    except (KeyError, TypeError, ValueError, IndexError):
+        return None
+
+
+def load_or_build(
+    cache: object,
+    full_digest: str,
+    rules: Sequence[TGD],
+    base: Database,
+    *,
+    max_steps: int,
+    threshold: float,
+) -> MaterializedCore:
+    """Fetch a warm core from *cache* or chase and store a fresh one.
+
+    *cache* is a :class:`repro.api.cache.RewritingCache` (typed loosely
+    to keep this layer import-light); *full_digest* is the complete
+    ontology's digest used for eviction grouping.  Pass ``cache=None``
+    to always build.
+    """
+    key = core_key(rules, abox_digest(base), max_steps)
+    if cache is not None:
+        payload = cache.get_core(key)  # type: ignore[attr-defined]
+        if payload is not None:
+            core = decode_core(
+                payload, rules, max_steps=max_steps, threshold=threshold
+            )
+            if core is not None:
+                obs.count("hybrid.core_cache.hits")
+                return core
+    obs.count("hybrid.core_cache.misses")
+    core = MaterializedCore(
+        rules, base, max_steps=max_steps, threshold=threshold
+    )
+    if cache is not None:
+        cache.put_core(  # type: ignore[attr-defined]
+            key, full_digest, encode_core(core)
+        )
+    return core

@@ -60,6 +60,25 @@ from repro.serve.tenants import TenantRegistry
 _QUERY_BACKENDS = ("memory", "sql")
 
 
+def _maintenance_summary(maintained: Any) -> dict[str, Any]:
+    """JSON shape of a :class:`~repro.hybrid.MaintenanceResult`.
+
+    ``{"maintained": false}`` when no hybrid core is materialized for
+    the tenant (the mutation still updated the virtual ABox and the
+    SQL backend).
+    """
+    if maintained is None:
+        return {"maintained": False}
+    return {
+        "maintained": True,
+        "added": len(maintained.added),
+        "removed": len(maintained.removed),
+        "full_rechase": maintained.full_rechase,
+        "rounds": maintained.rounds,
+        "firings": maintained.firings,
+    }
+
+
 @dataclass(frozen=True)
 class ServeConfig:
     """Everything ``repro serve`` configures, in one value."""
@@ -173,6 +192,8 @@ class ReproServer:
                 return self._stats(request)
             if request.method == "POST" and request.path == "/v1/query":
                 return await self._query(request)
+            if request.method == "POST" and request.path == "/v1/mutate":
+                return await self._mutate(request)
             if request.method == "POST" and request.path == "/v1/tenants":
                 return self._register_tenant(request)
             if request.method == "DELETE" and request.path.startswith(
@@ -336,6 +357,85 @@ class ReproServer:
         return encode_response(
             200, result, keep_alive=request.keep_alive
         )
+
+    async def _mutate(self, request: Request) -> bytes:
+        payload = request.json()
+        if not isinstance(payload, dict) or (
+            "insert" not in payload and "delete" not in payload
+        ):
+            raise HttpError(400, "expected {tenant?, insert?, delete?}")
+        tenant = str(payload.get("tenant", "default"))
+        insert_text = str(payload["insert"]) if "insert" in payload else None
+        delete_text = str(payload["delete"]) if "delete" in payload else None
+
+        # Mutations go through the same admission gate as queries: a
+        # re-chase fallback can be as expensive as any rewriting, and
+        # sharing the gate keeps the capacity accounting truthful.
+        ticket = self.admission.try_admit()
+        if ticket is None:
+            return encode_response(
+                429,
+                {
+                    "error": "server at capacity; retry later",
+                    "inflight": self.admission.capacity,
+                },
+                headers={
+                    "Retry-After": str(self.admission.retry_after_seconds())
+                },
+                keep_alive=request.keep_alive,
+            )
+
+        loop = asyncio.get_running_loop()
+        future = self._executor.submit(
+            self._execute_mutate, tenant, insert_text, delete_text
+        )
+        future.add_done_callback(
+            lambda f: ticket.release(
+                error=f.cancelled() or f.exception() is not None
+            )
+        )
+        try:
+            result = await asyncio.wait_for(
+                asyncio.wrap_future(future, loop=loop),
+                timeout=self.config.deadline_seconds,
+            )
+        except asyncio.TimeoutError:
+            self.admission.record_deadline_exceeded()
+            return encode_response(
+                504,
+                {
+                    "error": "deadline exceeded",
+                    "deadline_seconds": self.config.deadline_seconds,
+                },
+                keep_alive=request.keep_alive,
+            )
+        except ReproError as error:
+            return encode_response(
+                400, {"error": str(error)}, keep_alive=request.keep_alive
+            )
+        return encode_response(200, result, keep_alive=request.keep_alive)
+
+    # Runs on an executor thread.
+    def _execute_mutate(
+        self,
+        tenant: str,
+        insert_text: str | None,
+        delete_text: str | None,
+    ) -> dict[str, Any]:
+        started = time.perf_counter()
+        session: Session = self.registry.session(tenant)
+        obs.count("serve.mutations")
+        summary: dict[str, Any] = {"tenant": tenant}
+        with obs.span("serve.mutate", tenant=tenant):
+            if insert_text is not None:
+                maintained = session.insert(insert_text)
+                summary["insert"] = _maintenance_summary(maintained)
+            if delete_text is not None:
+                maintained = session.delete(delete_text)
+                summary["delete"] = _maintenance_summary(maintained)
+        summary["data_size"] = len(session.abox())
+        summary["seconds"] = round(time.perf_counter() - started, 6)
+        return summary
 
     # Runs on an executor thread.
     def _execute_query(

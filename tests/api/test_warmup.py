@@ -94,7 +94,7 @@ class TestCacheStatsBothTables:
     def test_counts_never_raise_on_closed_cache(self, tmp_path):
         cache = RewritingCache(tmp_path)
         cache.close()
-        assert cache.counts() == {"ucq": 0, "datalog": 0}
+        assert cache.counts() == {"ucq": 0, "datalog": 0, "cores": 0}
         assert cache.stored_queries() == []
 
 

@@ -1,0 +1,76 @@
+"""Regression tests: materialized-core rows obey the cache discipline.
+
+The eviction bugfix this PR pins: replacing an ontology must retire its
+core snapshots exactly like its rewritings — ``evict_ontologies`` (and
+the schema-version drop script) cover the ``materialized_cores`` table.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from repro.api.cache import RewritingCache
+
+
+def test_core_rows_survive_reopen(tmp_path):
+    with RewritingCache(tmp_path) as cache:
+        cache.put_core("k1", "ont-a", '{"payload": 1}')
+    with RewritingCache(tmp_path) as cache:
+        assert cache.get_core("k1") == '{"payload": 1}'
+        assert cache.get_core("missing") is None
+
+
+def test_counts_and_len_cover_cores(tmp_path):
+    with RewritingCache(tmp_path) as cache:
+        assert cache.counts() == {"ucq": 0, "datalog": 0, "cores": 0}
+        cache.put_core("k1", "ont-a", "{}")
+        cache.put_core("k2", "ont-b", "{}")
+        assert cache.counts()["cores"] == 2
+        assert len(cache) == 2
+        assert dict(cache.ontologies()) == {"ont-a": 1, "ont-b": 1}
+
+
+def test_evicting_an_ontology_retires_its_cores(tmp_path):
+    with RewritingCache(tmp_path) as cache:
+        cache.put_core("k1", "ont-a", "{}")
+        cache.put_core("k2", "ont-b", "{}")
+        removed = cache.evict_ontologies({"ont-a"})
+        assert removed == 1
+        # The replaced ontology's snapshot is gone; the kept one stays.
+        assert cache.get_core("k2") is None
+        assert cache.get_core("k1") == "{}"
+        assert cache.counts()["cores"] == 1
+
+
+def test_put_core_overwrites_in_place(tmp_path):
+    with RewritingCache(tmp_path) as cache:
+        cache.put_core("k1", "ont-a", "old")
+        cache.put_core("k1", "ont-a", "new")
+        assert cache.get_core("k1") == "new"
+        assert cache.counts()["cores"] == 1
+
+
+def test_schema_bump_drops_stale_core_tables(tmp_path):
+    # Simulate a cache written by an older schema: rewind the recorded
+    # schema_version; reopening must rebuild the schema and drop the
+    # stale snapshot rather than misread it.
+    with RewritingCache(tmp_path) as cache:
+        cache.put_core("k1", "ont-a", "{}")
+        path = cache.path
+    connection = sqlite3.connect(path)
+    connection.execute(
+        "UPDATE meta SET value = '3' WHERE key = 'schema_version'"
+    )
+    connection.commit()
+    connection.close()
+    with RewritingCache(tmp_path) as cache:
+        assert cache.get_core("k1") is None
+        assert cache.counts() == {"ucq": 0, "datalog": 0, "cores": 0}
+
+
+def test_core_api_never_raises_on_closed_cache(tmp_path):
+    cache = RewritingCache(tmp_path)
+    cache.close()
+    assert cache.get_core("k1") is None
+    cache.put_core("k1", "ont-a", "{}")  # silently dropped
+    assert cache.counts() == {"ucq": 0, "datalog": 0, "cores": 0}

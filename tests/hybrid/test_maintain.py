@@ -1,0 +1,188 @@
+"""Unit tests for the incrementally maintained chase core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.hybrid import MaterializedCore
+from repro.hybrid.maintain import MIN_DELTA_FLOOR, _certain_shape
+from repro.lang.atoms import Atom
+from repro.lang.errors import ChaseBudgetExceeded
+from repro.lang.parser import parse_program
+from repro.lang.terms import Constant, Null
+from repro.obs import InMemorySink
+
+HIERARCHY = parse_program(
+    """
+    H1: lvl0(X) -> lvl1(X).
+    H2: lvl1(X) -> lvl2(X).
+    """
+)
+
+EXISTENTIAL = parse_program("E: person(X) -> hasId(X, Y).")
+
+# Two independent derivations of the same head relation.
+DIAMOND = parse_program(
+    """
+    D1: a(X) -> c(X).
+    D2: b(X) -> c(X).
+    """
+)
+
+# A body/head cycle on null-free atoms: the classic trap where naive
+# support counting lets facts keep each other alive after the base
+# fact is gone.
+CYCLE = parse_program(
+    """
+    C1: a(X) -> b(X).
+    C2: b(X) -> a(X).
+    """
+)
+
+
+def fact(relation: str, *names: str) -> Atom:
+    return Atom(relation, tuple(Constant(name) for name in names))
+
+
+def test_build_saturates_to_the_chase_closure():
+    core = MaterializedCore(HIERARCHY, [fact("lvl0", "e")])
+    assert fact("lvl2", "e") in core.instance
+    assert core.derived_count == 2
+    assert core.check_consistency() == []
+
+
+def test_insert_propagates_semi_naively():
+    core = MaterializedCore(HIERARCHY, [fact("lvl0", "a")])
+    result = core.apply_insert([fact("lvl0", "b")])
+    assert not result.full_rechase
+    assert fact("lvl2", "b") in core.instance
+    assert set(result.added) >= {
+        fact("lvl0", "b"), fact("lvl1", "b"), fact("lvl2", "b")
+    }
+    assert core.check_consistency() == []
+
+
+def test_insert_of_entailed_fact_is_a_noop_delta():
+    core = MaterializedCore(HIERARCHY, [fact("lvl0", "a")])
+    before = len(core)
+    result = core.apply_insert([fact("lvl0", "a")])
+    assert result.added == ()
+    assert len(core) == before
+    # The fact is now *base* as well as derived, though: deleting the
+    # lvl1 projection later cannot remove it.
+    result = core.apply_insert([fact("lvl1", "a")])
+    assert result.added == ()
+    assert core.check_consistency() == []
+
+
+def test_delete_retracts_downstream_derivations():
+    core = MaterializedCore(
+        HIERARCHY, [fact("lvl0", "a"), fact("lvl0", "b")]
+    )
+    result = core.apply_delete([fact("lvl0", "a")])
+    assert not result.full_rechase
+    assert fact("lvl2", "a") not in core.instance
+    assert fact("lvl2", "b") in core.instance
+    assert set(result.removed) == {
+        fact("lvl0", "a"), fact("lvl1", "a"), fact("lvl2", "a")
+    }
+    assert core.check_consistency() == []
+
+
+def test_delete_rederives_alternatively_supported_facts():
+    core = MaterializedCore(DIAMOND, [fact("a", "x"), fact("b", "x")])
+    result = core.apply_delete([fact("a", "x")])
+    # c(x) is over-deleted with its a-derivation but immediately
+    # re-derived from b(x): the net removal is a(x) alone.
+    assert fact("c", "x") in core.instance
+    assert set(result.removed) == {fact("a", "x")}
+    assert core.check_consistency() == []
+
+
+def test_delete_breaks_mutual_support_cycles():
+    core = MaterializedCore(CYCLE, [fact("a", "x")])
+    assert fact("b", "x") in core.instance
+    core.apply_delete([fact("a", "x")])
+    # Neither a(x) nor b(x) may survive on circular support.
+    assert len(core.instance) == 0
+    assert core.check_consistency() == []
+
+
+def test_existential_consequences_are_invented_and_retracted():
+    core = MaterializedCore(EXISTENTIAL, [fact("person", "ada")])
+    ids = [f for f in core.instance.facts() if f.relation == "hasId"]
+    assert len(ids) == 1
+    assert isinstance(ids[0].terms[1], Null)
+    core.apply_delete([fact("person", "ada")])
+    assert len(core.instance) == 0
+    assert core.check_consistency() == []
+
+
+def test_large_insert_falls_back_to_full_rechase():
+    sink = InMemorySink()
+    core = MaterializedCore(
+        HIERARCHY, [fact("lvl0", "seed")], threshold=0.5
+    )
+    batch = [fact("lvl0", f"n{i}") for i in range(MIN_DELTA_FLOOR + 2)]
+    with obs.use(sink, inherit=False):
+        result = core.apply_insert(batch)
+    assert result.full_rechase
+    assert sink.counters().get("hybrid.full_rechase") == 1
+    assert "hybrid.delta_applied" not in sink.counters()
+    # The rebuild still lands the complete closure.
+    assert all(fact("lvl2", f"n{i}") in core.instance for i in range(5))
+    assert core.check_consistency() == []
+
+
+def test_small_deltas_never_trigger_rechase():
+    sink = InMemorySink()
+    core = MaterializedCore(HIERARCHY, [fact("lvl0", "seed")])
+    with obs.use(sink, inherit=False):
+        for i in range(5):
+            core.apply_insert([fact("lvl0", f"n{i}")])
+        for i in range(5):
+            core.apply_delete([fact("lvl0", f"n{i}")])
+    counters = sink.counters()
+    assert counters.get("hybrid.full_rechase") is None
+    assert counters["hybrid.delta_applied"] == 10
+    assert _certain_shape(core.instance) == _certain_shape(
+        core.rechase_reference()
+    )
+
+
+def test_chase_budget_is_enforced():
+    with pytest.raises(ChaseBudgetExceeded):
+        MaterializedCore(
+            HIERARCHY,
+            [fact("lvl0", f"n{i}") for i in range(10)],
+            max_steps=3,
+        )
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        MaterializedCore(HIERARCHY, [], threshold=0.0)
+    with pytest.raises(ValueError):
+        MaterializedCore(HIERARCHY, [], threshold=1.5)
+
+
+def test_mixed_mutation_sequence_stays_consistent():
+    core = MaterializedCore(
+        parse_program(
+            """
+            E: emp(X) -> person(X).
+            P: person(X) -> hasId(X, Y).
+            M: hasId(X, Y), emp(X) -> verified(X).
+            """
+        ),
+        [fact("emp", "a"), fact("emp", "b")],
+    )
+    core.apply_insert([fact("emp", "c")])
+    core.apply_delete([fact("emp", "a")])
+    core.apply_insert([fact("person", "d")])
+    core.apply_delete([fact("emp", "b"), fact("person", "d")])
+    assert core.check_consistency() == []
+    shape = _certain_shape(core.instance)
+    assert fact("verified", "c") in shape
+    assert fact("person", "a") not in shape

@@ -1,0 +1,111 @@
+"""Unit tests for the perf-regression gate (benchmarks/compare_baselines.py).
+
+The ``--only`` filter is what lets a CI job gate exactly the artifact
+it produced (serve-smoke gates ``serving_load.json``) without staging
+a filtered copy of the baseline directory.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "compare_baselines.py"
+)
+
+spec = importlib.util.spec_from_file_location("compare_baselines", SCRIPT)
+compare_baselines = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(compare_baselines)
+
+
+@pytest.fixture()
+def dirs(tmp_path):
+    out = tmp_path / "out"
+    baselines = tmp_path / "baselines"
+    out.mkdir()
+    baselines.mkdir()
+    return out, baselines
+
+
+def write(directory: Path, name: str, payload: dict) -> None:
+    (directory / name).write_text(json.dumps(payload))
+
+
+def run(out: Path, baselines: Path, *extra: str) -> int:
+    return compare_baselines.run(
+        ["--out-dir", str(out), "--baseline-dir", str(baselines), *extra]
+    )
+
+
+def test_matching_artifacts_pass(dirs, capsys):
+    out, baselines = dirs
+    write(out, "alpha.json", {"counters": {"hits": 10}})
+    write(baselines, "alpha.json", {"counters": {"hits": 10}})
+    assert run(out, baselines) == 0
+    assert "ok alpha.json" in capsys.readouterr().out.replace("  ", " ")
+
+
+def test_drift_fails_without_only(dirs):
+    out, baselines = dirs
+    write(out, "alpha.json", {"counters": {"hits": 10}})
+    write(baselines, "alpha.json", {"counters": {"hits": 10}})
+    write(out, "beta.json", {"counters": {"misses": 100}})
+    write(baselines, "beta.json", {"counters": {"misses": 1}})
+    assert run(out, baselines) == 1
+
+
+def test_only_restricts_the_gate_to_named_artifacts(dirs):
+    out, baselines = dirs
+    write(out, "alpha.json", {"counters": {"hits": 10}})
+    write(baselines, "alpha.json", {"counters": {"hits": 10}})
+    # beta drifts badly, but --only alpha must not look at it.
+    write(out, "beta.json", {"counters": {"misses": 100}})
+    write(baselines, "beta.json", {"counters": {"misses": 1}})
+    assert run(out, baselines, "--only", "alpha") == 0
+    # The filter accepts the filename spelling too, and is repeatable.
+    assert run(out, baselines, "--only", "alpha.json") == 0
+    assert run(out, baselines, "--only", "alpha", "--only", "beta") == 1
+
+
+def test_only_with_missing_artifact_is_an_error(dirs, capsys):
+    out, baselines = dirs
+    write(out, "alpha.json", {"counters": {"hits": 10}})
+    write(baselines, "alpha.json", {"counters": {"hits": 10}})
+    assert run(out, baselines, "--only", "nonexistent") == 2
+    assert "matched no artifacts" in capsys.readouterr().out
+
+
+def test_only_catches_a_missing_artifact_for_its_baseline(dirs, capsys):
+    # A baseline committed for the selected name but no artifact
+    # produced is a hard failure, not a silent skip.
+    out, baselines = dirs
+    write(out, "alpha.json", {"counters": {"hits": 10}})
+    write(out, "beta.json", {"counters": {"misses": 1}})
+    write(baselines, "beta.json", {"counters": {"misses": 1}})
+    write(baselines, "alpha.json", {"counters": {"hits": 10}})
+    (out / "alpha.json").unlink()
+    assert run(out, baselines, "--only", "alpha") == 2
+    assert "matched no artifacts" in capsys.readouterr().out
+
+
+def test_timings_exempt_by_default_but_gated_on_request(dirs):
+    out, baselines = dirs
+    write(out, "alpha.json", {"eval_ms": 500.0, "counters": {"hits": 10}})
+    write(baselines, "alpha.json", {"eval_ms": 1.0, "counters": {"hits": 10}})
+    assert run(out, baselines) == 0
+    assert run(out, baselines, "--check-timings") == 1
+
+
+def test_update_baselines_respects_only(dirs):
+    out, baselines = dirs
+    write(out, "alpha.json", {"counters": {"hits": 11}})
+    write(out, "beta.json", {"counters": {"misses": 5}})
+    write(baselines, "alpha.json", {"counters": {"hits": 10}})
+    assert run(out, baselines, "--only", "alpha", "--update-baselines") == 0
+    refreshed = json.loads((baselines / "alpha.json").read_text())
+    assert refreshed == {"counters": {"hits": 11}}
+    assert not (baselines / "beta.json").exists()

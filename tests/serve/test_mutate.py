@@ -1,0 +1,135 @@
+"""End-to-end tests for the ``POST /v1/mutate`` serving route."""
+
+from repro.api import EngineOptions
+from repro.data.database import Database
+from repro.lang.parser import parse_database, parse_program
+from repro.serve import BackgroundServer, ReproServer, ServeConfig, TenantRegistry
+
+from tests.serve.test_server import _request
+
+PROGRAM = (
+    "R1: professor(X) -> teaches(X, Y). "
+    "R2: assoc_prof(X) -> professor(X)."
+)
+DATA = "professor(ada). assoc_prof(bob)."
+QUERY = "q(X) :- teaches(X, Y)"
+
+
+def _server(tmp_path=None, **config_kwargs):
+    config = ServeConfig(port=0, **config_kwargs)
+    registry = TenantRegistry(
+        cache_dir=tmp_path, options=config.effective_options()
+    )
+    registry.register(
+        "default",
+        parse_program(PROGRAM),
+        Database(parse_database(DATA)),
+    )
+    return ReproServer(registry, config)
+
+
+class TestMutateRoute:
+    def test_insert_is_visible_to_subsequent_queries(self):
+        server = _server()
+        with BackgroundServer(server) as (host, port):
+            status, _, before = _request(
+                host, port, "POST", "/v1/query", {"query": QUERY}
+            )
+            assert status == 200
+            assert len(before["answers"]) == 2
+
+            status, _, payload = _request(
+                host,
+                port,
+                "POST",
+                "/v1/mutate",
+                {"insert": "assoc_prof(carl)."},
+            )
+            assert status == 200
+            assert payload["tenant"] == "default"
+            assert payload["data_size"] == 3
+            # No hybrid core on a default-options tenant: the mutation
+            # lands in the ABox but nothing is maintained.
+            assert payload["insert"] == {"maintained": False}
+
+            status, _, after = _request(
+                host, port, "POST", "/v1/query", {"query": QUERY}
+            )
+            assert status == 200
+            assert len(after["answers"]) == 3
+
+    def test_delete_retracts_answers(self):
+        server = _server()
+        with BackgroundServer(server) as (host, port):
+            status, _, payload = _request(
+                host,
+                port,
+                "POST",
+                "/v1/mutate",
+                {"delete": "professor(ada)."},
+            )
+            assert status == 200
+            assert payload["data_size"] == 1
+            status, _, after = _request(
+                host, port, "POST", "/v1/query", {"query": QUERY}
+            )
+            assert status == 200
+            assert after["answers"] == [['"bob"']]
+
+    def test_hybrid_tenant_reports_maintenance(self):
+        server = _server(options=EngineOptions(hybrid="materialize"))
+        with BackgroundServer(server) as (host, port):
+            # The first query builds the materialized core.
+            status, _, payload = _request(
+                host, port, "POST", "/v1/query", {"query": QUERY}
+            )
+            assert status == 200
+            status, _, payload = _request(
+                host,
+                port,
+                "POST",
+                "/v1/mutate",
+                {"insert": "professor(carl).", "delete": "professor(ada)."},
+            )
+            assert status == 200
+            assert payload["insert"]["maintained"] is True
+            assert payload["insert"]["full_rechase"] is False
+            assert payload["insert"]["added"] >= 1
+            assert payload["delete"]["maintained"] is True
+            assert payload["delete"]["removed"] >= 1
+            status, _, after = _request(
+                host, port, "POST", "/v1/query", {"query": QUERY}
+            )
+            assert status == 200
+            assert len(after["answers"]) == 2
+
+    def test_malformed_payloads_are_400(self):
+        server = _server()
+        with BackgroundServer(server) as (host, port):
+            status, _, payload = _request(
+                host, port, "POST", "/v1/mutate", {"tenant": "default"}
+            )
+            assert status == 400
+            assert "error" in payload
+            status, _, payload = _request(
+                host,
+                port,
+                "POST",
+                "/v1/mutate",
+                {"insert": "this is not database text"},
+            )
+            assert status == 400
+            assert "error" in payload
+
+    def test_unknown_tenant_is_400(self):
+        server = _server()
+        with BackgroundServer(server) as (host, port):
+            status, _, payload = _request(
+                host,
+                port,
+                "POST",
+                "/v1/mutate",
+                {"tenant": "ghost", "insert": "a(c)."},
+            )
+            assert status == 400
+            assert "error" in payload
